@@ -1,0 +1,223 @@
+//! A shared lossy-network harness for comparing protocols.
+//!
+//! Each step, a random node initiates; every produced message (requests
+//! *and* replies) is independently lost with probability `ℓ` — the
+//! Section 4.1 model, applied uniformly so comparisons are fair. The
+//! drainage metric (`total_ids`) is the one the paper's Section 3.1
+//! argument is about: shuffle-style protocols bleed ids under loss, S&F's
+//! duplication floor replaces them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::NodeId;
+
+use crate::traits::{GossipProtocol, Outgoing};
+
+/// A comparison harness over any [`GossipProtocol`] implementation.
+#[derive(Clone, Debug)]
+pub struct BaselineHarness<P> {
+    nodes: Vec<P>,
+    loss: f64,
+    rng: StdRng,
+    /// Maximum request→reply chain length per action (guards against
+    /// protocols that would ping-pong forever).
+    max_chain: usize,
+}
+
+/// Aggregate metrics of a harness snapshot.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HarnessMetrics {
+    /// Total id instances across all views.
+    pub total_ids: usize,
+    /// Number of nodes with an empty view (isolated senders).
+    pub empty_views: usize,
+    /// Mean outdegree.
+    pub mean_out_degree: f64,
+    /// Population variance of the indegree (Property M2's quantity).
+    pub in_degree_variance: f64,
+}
+
+impl<P: GossipProtocol> BaselineHarness<P> {
+    /// Creates a harness over the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or `loss ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(nodes: Vec<P>, loss: f64, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "harness needs at least one node");
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Self { nodes, loss, rng: StdRng::seed_from_u64(seed), max_chain: 8 }
+    }
+
+    fn position(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id() == id)
+    }
+
+    /// One step: a random node initiates; the message chain (request,
+    /// replies) is delivered subject to independent loss.
+    pub fn step(&mut self) {
+        let initiator = self.rng.gen_range(0..self.nodes.len());
+        let Some(mut outgoing) = self.nodes[initiator].initiate(&mut self.rng) else {
+            return;
+        };
+        let mut from = self.nodes[initiator].id();
+        for _ in 0..self.max_chain {
+            if self.loss > 0.0 && self.rng.gen_bool(self.loss) {
+                return; // message lost; nothing downstream happens
+            }
+            let Some(receiver) = self.position(outgoing.to) else {
+                return; // dead letter
+            };
+            let Outgoing { to, message } = outgoing;
+            match self.nodes[receiver].receive(from, message, &mut self.rng) {
+                Some(reply) => {
+                    from = to;
+                    outgoing = reply;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// One round: `n` random steps.
+    pub fn round(&mut self) {
+        for _ in 0..self.nodes.len() {
+            self.step();
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// The nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Snapshot metrics.
+    #[must_use]
+    pub fn metrics(&self) -> HarnessMetrics {
+        let n = self.nodes.len();
+        let out_degrees: Vec<usize> = self.nodes.iter().map(GossipProtocol::out_degree).collect();
+        let total_ids: usize = out_degrees.iter().sum();
+        let empty_views = out_degrees.iter().filter(|&&d| d == 0).count();
+        let mean_out_degree = total_ids as f64 / n as f64;
+
+        let mut in_degrees = vec![0usize; n];
+        for node in &self.nodes {
+            for id in node.view_ids() {
+                if let Some(k) = self.position(id) {
+                    in_degrees[k] += 1;
+                }
+            }
+        }
+        let mean_in = in_degrees.iter().sum::<usize>() as f64 / n as f64;
+        let in_degree_variance = in_degrees
+            .iter()
+            .map(|&d| (d as f64 - mean_in).powi(2))
+            .sum::<f64>()
+            / n as f64;
+
+        HarnessMetrics { total_ids, empty_views, mean_out_degree, in_degree_variance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sandf_core::{SfConfig, SfNode};
+
+    use crate::push_pull::PushPullNode;
+    use crate::sf_adapter::SfAdapter;
+    use crate::shuffle::ShuffleNode;
+
+    use super::*;
+
+    fn ring_bootstrap(n: usize, k: usize) -> Vec<Vec<NodeId>> {
+        (0..n)
+            .map(|i| {
+                (1..=k)
+                    .map(|d| NodeId::new(((i + d) % n) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shuffle_drains_under_loss_but_not_without() {
+        let n = 64;
+        let boots = ring_bootstrap(n, 6);
+        let make = |seed: u64, loss: f64| {
+            let nodes: Vec<ShuffleNode> = boots
+                .iter()
+                .enumerate()
+                .map(|(i, b)| ShuffleNode::new(NodeId::new(i as u64), 12, 3, b))
+                .collect();
+            let mut h = BaselineHarness::new(nodes, loss, seed);
+            h.run_rounds(150);
+            h.metrics().total_ids
+        };
+        let lossless = make(1, 0.0);
+        let lossy = make(1, 0.1);
+        assert!(
+            lossy * 2 < lossless,
+            "shuffle should drain under loss: {lossless} vs {lossy}"
+        );
+    }
+
+    #[test]
+    fn sf_survives_the_same_loss() {
+        let n = 64;
+        let config = SfConfig::new(12, 4).unwrap();
+        let boots = ring_bootstrap(n, 6);
+        let nodes: Vec<SfAdapter> = boots
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SfAdapter::new(SfNode::with_view(NodeId::new(i as u64), config, b).unwrap()))
+            .collect();
+        let mut h = BaselineHarness::new(nodes, 0.1, 1);
+        let before = h.metrics().total_ids;
+        h.run_rounds(150);
+        let after = h.metrics();
+        assert!(
+            after.total_ids * 2 > before,
+            "S&F must not drain: {before} -> {}",
+            after.total_ids
+        );
+        assert_eq!(after.empty_views, 0);
+    }
+
+    #[test]
+    fn push_pull_is_loss_immune_but_never_shrinks() {
+        let n = 32;
+        let boots = ring_bootstrap(n, 4);
+        let nodes: Vec<PushPullNode> = boots
+            .iter()
+            .enumerate()
+            .map(|(i, b)| PushPullNode::new(NodeId::new(i as u64), 8, 2, b))
+            .collect();
+        let mut h = BaselineHarness::new(nodes, 0.2, 2);
+        h.run_rounds(100);
+        let m = h.metrics();
+        assert_eq!(m.empty_views, 0);
+        assert!(m.mean_out_degree >= 4.0);
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        let nodes: Vec<PushPullNode> = (0..4)
+            .map(|i| PushPullNode::new(NodeId::new(i), 8, 2, &[NodeId::new((i + 1) % 4)]))
+            .collect();
+        let h = BaselineHarness::new(nodes, 0.0, 3);
+        let m = h.metrics();
+        assert_eq!(m.total_ids, 4);
+        assert_eq!(m.mean_out_degree, 1.0);
+        assert_eq!(m.in_degree_variance, 0.0);
+        assert_eq!(m.empty_views, 0);
+    }
+}

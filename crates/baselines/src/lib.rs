@@ -1,0 +1,55 @@
+//! # sandf-baselines — the protocols S&F is contrasted with
+//!
+//! Section 3.1 of the paper taxonomizes gossip membership protocols along
+//! two axes: push vs. pull, and whether sent ids are kept or deleted. This
+//! crate implements one representative of each corner the paper discusses,
+//! behind a shared [`GossipProtocol`] trait, plus a lossy
+//! [`BaselineHarness`] so all of them (including S&F via [`SfAdapter`]) run
+//! under identical conditions:
+//!
+//! * [`PushOnlyNode`] — reinforcement-only push that keeps sent ids
+//!   (Lpbcast-flavored): loss-immune but spatially dependent;
+//! * [`ShuffleNode`] — Cyclon/flipper-style shuffles that delete sent ids:
+//!   dependence-free but **drains ids under loss**, the paper's central
+//!   criticism;
+//! * [`PushPullNode`] — Allavena-style push-pull keeping sent ids:
+//!   loss-immune, dependence-heavy.
+//!
+//! The `baseline_compare` bench binary reproduces the qualitative contrast:
+//! under 5–10 % loss the shuffle population collapses while S&F holds its
+//! edge count with only `O(ℓ)` extra dependence.
+//!
+//! ## Example
+//!
+//! ```
+//! use sandf_baselines::{BaselineHarness, GossipProtocol, ShuffleNode};
+//! use sandf_core::NodeId;
+//!
+//! let nodes: Vec<ShuffleNode> = (0..16u64)
+//!     .map(|i| {
+//!         let bootstrap = [NodeId::new((i + 1) % 16), NodeId::new((i + 2) % 16)];
+//!         ShuffleNode::new(NodeId::new(i), 8, 2, &bootstrap)
+//!     })
+//!     .collect();
+//! let mut harness = BaselineHarness::new(nodes, 0.05, 42);
+//! harness.run_rounds(20);
+//! let metrics = harness.metrics();
+//! assert!(metrics.total_ids <= 32, "shuffles never create ids");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod push_only;
+mod push_pull;
+mod sf_adapter;
+mod shuffle;
+mod traits;
+
+pub use harness::{BaselineHarness, HarnessMetrics};
+pub use push_only::PushOnlyNode;
+pub use push_pull::PushPullNode;
+pub use sf_adapter::SfAdapter;
+pub use shuffle::ShuffleNode;
+pub use traits::{GossipProtocol, Outgoing, ProtocolMessage};

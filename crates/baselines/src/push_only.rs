@@ -1,0 +1,128 @@
+//! A reinforcement-only push protocol (a simplification of Lpbcast-style
+//! push gossip, Section 3.1).
+//!
+//! Each action, the node sends its own id plus one id copied from its view
+//! to a random out-neighbor. Sent ids are *kept* (inducing the spatial
+//! dependencies the paper sets out to avoid); a full receiver evicts a
+//! uniformly random entry. Robust to loss (nothing is removed on send) but
+//! heavily correlated.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sandf_core::NodeId;
+
+use crate::traits::{GossipProtocol, Outgoing, ProtocolMessage};
+
+/// A push-only gossip node with a bounded view.
+#[derive(Clone, Debug)]
+pub struct PushOnlyNode {
+    id: NodeId,
+    view: Vec<NodeId>,
+    capacity: usize,
+}
+
+impl PushOnlyNode {
+    /// Creates a node with the given bootstrap view and view capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap exceeds `capacity` or `capacity == 0`.
+    #[must_use]
+    pub fn new(id: NodeId, capacity: usize, bootstrap: &[NodeId]) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(bootstrap.len() <= capacity, "bootstrap exceeds capacity");
+        Self { id, view: bootstrap.to_vec(), capacity }
+    }
+
+    fn store<R: Rng + ?Sized>(&mut self, id: NodeId, rng: &mut R) {
+        if self.view.len() < self.capacity {
+            self.view.push(id);
+        } else {
+            let victim = rng.gen_range(0..self.view.len());
+            self.view[victim] = id;
+        }
+    }
+}
+
+impl GossipProtocol for PushOnlyNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.view.clone()
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Outgoing> {
+        let &target = self.view.choose(rng)?;
+        let &extra = self.view.choose(rng)?;
+        Some(Outgoing {
+            to: target,
+            message: ProtocolMessage::Push { ids: vec![self.id, extra] },
+        })
+    }
+
+    fn receive<R: Rng + ?Sized>(
+        &mut self,
+        _from: NodeId,
+        message: ProtocolMessage,
+        rng: &mut R,
+    ) -> Option<Outgoing> {
+        if let ProtocolMessage::Push { ids } = message {
+            for id in ids {
+                if id != self.id {
+                    self.store(id, rng);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn initiate_keeps_the_view_intact() {
+        let mut node = PushOnlyNode::new(id(0), 8, &[id(1), id(2)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = node.initiate(&mut rng).unwrap();
+        assert_eq!(node.out_degree(), 2, "push-only never removes ids");
+        let ProtocolMessage::Push { ids } = out.message else { panic!("wrong variant") };
+        assert_eq!(ids[0], id(0), "reinforcement: own id first");
+    }
+
+    #[test]
+    fn empty_view_stays_silent() {
+        let mut node = PushOnlyNode::new(id(0), 4, &[]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(node.initiate(&mut rng).is_none());
+    }
+
+    #[test]
+    fn receive_fills_then_evicts() {
+        let mut node = PushOnlyNode::new(id(9), 2, &[]);
+        let mut rng = StdRng::seed_from_u64(2);
+        node.receive(id(1), ProtocolMessage::Push { ids: vec![id(1), id(2)] }, &mut rng);
+        assert_eq!(node.out_degree(), 2);
+        node.receive(id(3), ProtocolMessage::Push { ids: vec![id(3)] }, &mut rng);
+        assert_eq!(node.out_degree(), 2, "eviction keeps the view bounded");
+        assert!(node.view_ids().contains(&id(3)));
+    }
+
+    #[test]
+    fn own_id_is_never_stored() {
+        let mut node = PushOnlyNode::new(id(9), 4, &[]);
+        let mut rng = StdRng::seed_from_u64(3);
+        node.receive(id(1), ProtocolMessage::Push { ids: vec![id(9), id(1)] }, &mut rng);
+        assert!(!node.view_ids().contains(&id(9)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Adapter running an [`sandf_core::SfNode`] under the baseline-comparison
+//! harness.
+
+use rand::Rng;
+use sandf_core::{InitiateOutcome, Message, NodeId, SfNode};
+
+use crate::traits::{GossipProtocol, Outgoing, ProtocolMessage};
+
+/// S&F behind the [`GossipProtocol`] trait, for apples-to-apples comparison
+/// with the baselines under identical loss schedules.
+#[derive(Clone, Debug)]
+pub struct SfAdapter {
+    node: SfNode,
+}
+
+impl SfAdapter {
+    /// Wraps an S&F node.
+    #[must_use]
+    pub fn new(node: SfNode) -> Self {
+        Self { node }
+    }
+
+    /// The wrapped node.
+    #[must_use]
+    pub fn inner(&self) -> &SfNode {
+        &self.node
+    }
+}
+
+impl GossipProtocol for SfAdapter {
+    fn id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.node.view().ids().collect()
+    }
+
+    fn out_degree(&self) -> usize {
+        self.node.out_degree()
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Outgoing> {
+        match self.node.initiate(rng) {
+            InitiateOutcome::SelfLoop => None,
+            InitiateOutcome::Sent { to, message, .. } => Some(Outgoing {
+                to,
+                message: ProtocolMessage::Push { ids: vec![message.sender, message.payload] },
+            }),
+        }
+    }
+
+    fn receive<R: Rng + ?Sized>(
+        &mut self,
+        _from: NodeId,
+        message: ProtocolMessage,
+        rng: &mut R,
+    ) -> Option<Outgoing> {
+        if let ProtocolMessage::Push { ids } = message {
+            if let [sender, payload] = ids[..] {
+                self.node.receive(Message::new(sender, payload, false), rng);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sandf_core::SfConfig;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn adapter_round_trips_a_message() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let mut a = SfAdapter::new(
+            SfNode::with_view(id(0), config, &[id(1), id(2), id(3), id(4)]).unwrap(),
+        );
+        let mut b = SfAdapter::new(SfNode::with_view(id(1), config, &[id(0), id(2)]).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = loop {
+            if let Some(out) = a.initiate(&mut rng) {
+                break out;
+            }
+        };
+        let before = b.out_degree();
+        if out.to == id(1) {
+            assert!(b.receive(id(0), out.message, &mut rng).is_none());
+            assert_eq!(b.out_degree(), before + 2);
+        }
+    }
+
+    #[test]
+    fn adapter_exposes_view() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let a = SfAdapter::new(SfNode::with_view(id(0), config, &[id(1), id(2)]).unwrap());
+        assert_eq!(a.out_degree(), 2);
+        assert_eq!(a.view_ids().len(), 2);
+        assert_eq!(a.id(), id(0));
+    }
+}

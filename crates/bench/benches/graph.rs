@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of membership-graph analytics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sandf_core::SfConfig;
+use sandf_graph::{DegreeStats, DependenceReport, MembershipGraph};
+use sandf_sim::topology;
+use std::hint::black_box;
+
+fn nodes() -> Vec<sandf_core::SfNode> {
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    let mut rng = StdRng::seed_from_u64(3);
+    topology::random(1000, config, 30, &mut rng)
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let nodes = nodes();
+    c.bench_function("graph/snapshot_n1000", |b| {
+        b.iter(|| black_box(MembershipGraph::from_nodes(&nodes)));
+    });
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let graph = MembershipGraph::from_nodes(&nodes());
+    c.bench_function("graph/weak_connectivity_n1000", |b| {
+        b.iter(|| black_box(graph.is_weakly_connected()));
+    });
+}
+
+fn bench_degree_stats(c: &mut Criterion) {
+    let graph = MembershipGraph::from_nodes(&nodes());
+    let in_degrees = graph.in_degrees();
+    c.bench_function("graph/degree_stats_n1000", |b| {
+        b.iter(|| black_box(DegreeStats::from_samples(&in_degrees)));
+    });
+}
+
+fn bench_dependence(c: &mut Criterion) {
+    let nodes = nodes();
+    c.bench_function("graph/dependence_report_n1000", |b| {
+        b.iter(|| black_box(DependenceReport::measure(&nodes)));
+    });
+}
+
+criterion_group!(benches, bench_snapshot, bench_connectivity, bench_degree_stats, bench_dependence);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the Markov-chain numerics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sandf_core::SfConfig;
+use sandf_markov::{AnalyticalDegrees, DegreeMc, DegreeMcParams, ExactGlobalMc};
+use std::hint::black_box;
+
+fn bench_analytical(c: &mut Criterion) {
+    c.bench_function("markov/analytical_law_dm90", |b| {
+        b.iter(|| black_box(AnalyticalDegrees::new(90).expect("even")));
+    });
+}
+
+fn bench_degree_mc_small(c: &mut Criterion) {
+    let config = SfConfig::new(16, 6).expect("legal");
+    c.bench_function("markov/degree_mc_solve_s16", |b| {
+        b.iter(|| {
+            black_box(
+                DegreeMc::solve(DegreeMcParams::new(config, 0.01)).expect("converges"),
+            )
+        });
+    });
+}
+
+fn bench_exact_enumeration(c: &mut Criterion) {
+    let initial = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+    c.bench_function("markov/exact_global_n3", |b| {
+        b.iter(|| {
+            black_box(
+                ExactGlobalMc::build(initial.clone(), 6, 0, 0.0, 100_000).expect("enumerable"),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_analytical, bench_degree_mc_small, bench_exact_enumeration);
+criterion_main!(benches);

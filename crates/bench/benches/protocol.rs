@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the core protocol steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sandf_core::{Message, NodeId, SfConfig, SfNode};
+use std::hint::black_box;
+
+fn bench_initiate(c: &mut Criterion) {
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    let bootstrap: Vec<NodeId> = (1..=30).map(NodeId::new).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("protocol/initiate", |b| {
+        let mut node =
+            SfNode::with_view(NodeId::new(0), config, &bootstrap).expect("legal bootstrap");
+        b.iter(|| {
+            // Re-fill when the view drains so the bench stays in the steady
+            // regime rather than measuring self-loops.
+            if node.out_degree() <= config.lower_threshold() {
+                node = SfNode::with_view(NodeId::new(0), config, &bootstrap)
+                    .expect("legal bootstrap");
+            }
+            black_box(node.initiate(&mut rng))
+        });
+    });
+}
+
+fn bench_receive(c: &mut Criterion) {
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    let bootstrap: Vec<NodeId> = (1..=18).map(NodeId::new).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let message = Message::new(NodeId::new(99), NodeId::new(98), false);
+    c.bench_function("protocol/receive", |b| {
+        let mut node =
+            SfNode::with_view(NodeId::new(0), config, &bootstrap).expect("legal bootstrap");
+        b.iter(|| {
+            if node.out_degree() >= config.view_size() {
+                node = SfNode::with_view(NodeId::new(0), config, &bootstrap)
+                    .expect("legal bootstrap");
+            }
+            black_box(node.receive(message, &mut rng))
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let message = Message::new(NodeId::new(7), NodeId::new(9), true);
+    c.bench_function("protocol/codec_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = sandf_net::codec::encode(black_box(message));
+            black_box(sandf_net::codec::decode(&bytes).expect("roundtrip"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_initiate, bench_receive, bench_codec);
+criterion_main!(benches);

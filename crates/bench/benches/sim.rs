@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the simulator (actions per second at
+//! various scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sandf_core::SfConfig;
+use sandf_sim::{topology, Simulation, UniformLoss};
+use std::hint::black_box;
+
+fn bench_rounds(c: &mut Criterion) {
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    let mut group = c.benchmark_group("sim/round");
+    for &n in &[100usize, 1000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let nodes = topology::circulant(n, config, 30);
+            let mut sim =
+                Simulation::new(nodes, UniformLoss::new(0.01).expect("valid"), 1);
+            sim.run_rounds(20); // warm into the steady state
+            b.iter(|| {
+                sim.round();
+                black_box(sim.stats().actions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_snapshot(c: &mut Criterion) {
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    let nodes = topology::circulant(1000, config, 30);
+    let mut sim = Simulation::new(nodes, UniformLoss::none(), 2);
+    sim.run_rounds(50);
+    c.bench_function("sim/graph_snapshot_n1000", |b| {
+        b.iter(|| black_box(sim.graph().edge_count()));
+    });
+}
+
+criterion_group!(benches, bench_rounds, bench_graph_snapshot);
+criterion_main!(benches);

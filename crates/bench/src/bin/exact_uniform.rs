@@ -1,0 +1,57 @@
+//! Lemma 7.5 — exact enumeration of the global Markov chain for tiny
+//! systems: irreducibility (Lemma A.2), the uniform stationary law on the
+//! simple-state stratum, and the finite-`n` deviation on the full space.
+
+use sandf_bench::{fmt, header, note};
+use sandf_markov::ExactGlobalMc;
+
+fn report(name: &str, initial: Vec<Vec<u8>>, s: usize, d_l: usize, loss: f64) {
+    let mc = ExactGlobalMc::build(initial, s, d_l, loss, 5_000_000).expect("enumerable");
+    let tv = mc.uniformity_tv().expect("stationary converges");
+    let cond = mc
+        .conditional_simple_uniformity_tv()
+        .expect("stationary converges")
+        .map_or_else(|| "-".to_string(), fmt);
+    println!(
+        "{name}\t{}\t{}\t{}\t{}\t{}\t{}\t{cond}",
+        s,
+        fmt(loss),
+        mc.state_count(),
+        mc.simple_state_count(),
+        mc.scc_count(),
+        fmt(tv),
+    );
+}
+
+fn main() {
+    note("Lemma 7.5 / A.2: exact global-MC enumeration for tiny systems");
+    note("tv_uniform = TV(stationary, uniform over ALL states);");
+    note("tv_simple = TV(stationary conditioned on simple states, uniform) — the finite-n form of Lemma 7.5");
+    header(&[
+        "system",
+        "s",
+        "loss",
+        "states",
+        "simple_states",
+        "sccs",
+        "tv_uniform",
+        "tv_simple",
+    ]);
+    // n = 3, d_s(u) = 6 each.
+    report("triangle_n3", vec![vec![1, 2], vec![0, 2], vec![0, 1]], 6, 0, 0.0);
+    // n = 4, d_s(u) = 6 each — 885 states, 9 of them simple.
+    report(
+        "square_n4",
+        vec![vec![1, 2], vec![2, 3], vec![3, 0], vec![0, 1]],
+        6,
+        0,
+        0.0,
+    );
+    // Lossy variant (Lemma 7.1 strong connectivity), smaller views.
+    report("triangle_n3_lossy", vec![vec![1, 2], vec![0, 2], vec![0, 1]], 4, 2, 0.1);
+
+    println!();
+    note("expected: sccs = 1 everywhere; tv_simple ~ 0 for lossless runs;");
+    note("tv_uniform substantially > 0 at tiny n (multiplicity corrections to Lemma 7.3 —");
+    note("the paper's uniformity emerges as n >> s, where simple states dominate)");
+}

@@ -1,0 +1,50 @@
+//! The Section 1 motivation, quantified: independent uniform views "result
+//! in an expander graph, with good connectivity, robustness, and low
+//! diameter". This binary measures clustering, distances, and assortativity
+//! of converged S&F overlays against their (deliberately poor) initial
+//! topologies, across system sizes.
+
+use sandf_bench::{fmt, header, note};
+use sandf_core::SfConfig;
+use sandf_graph::{clustering_coefficient, degree_assortativity, distance_stats, MembershipGraph};
+use sandf_sim::{topology, Simulation, UniformLoss};
+
+fn report(label: &str, graph: &MembershipGraph) {
+    let n = graph.node_count();
+    let sources: Vec<usize> = (0..n).step_by((n / 32).max(1)).collect();
+    let dist = distance_stats(graph, &sources);
+    println!(
+        "{label}\t{n}\t{}\t{}\t{}\t{}\t{}",
+        fmt(clustering_coefficient(graph).unwrap_or(0.0)),
+        fmt(dist.mean),
+        dist.max,
+        fmt(degree_assortativity(graph).unwrap_or(0.0)),
+        graph.is_weakly_connected(),
+    );
+}
+
+fn main() {
+    note("expander metrics: initial topology vs converged S&F overlay (d_L=6, s=16, l=0.01)");
+    header(&["graph", "n", "clustering", "mean_dist", "max_dist", "assortativity", "connected"]);
+    let config = SfConfig::new(16, 6).expect("legal");
+
+    for &n in &[128usize, 256, 512, 1024] {
+        let nodes = topology::ring(n, config);
+        report(&format!("ring_initial_n{n}"), &MembershipGraph::from_nodes(&nodes));
+        let mut sim = Simulation::new(nodes, UniformLoss::new(0.01).expect("valid"), n as u64);
+        sim.run_rounds(400);
+        report(&format!("sandf_from_ring_n{n}"), &sim.graph());
+    }
+
+    let n = 256usize;
+    let nodes = topology::hub_cluster(n, config, 6);
+    report("hubs_initial_n256", &MembershipGraph::from_nodes(&nodes));
+    let mut sim = Simulation::new(nodes, UniformLoss::new(0.01).expect("valid"), 7);
+    sim.run_rounds(400);
+    report("sandf_from_hubs_n256", &sim.graph());
+
+    println!();
+    note("expected shape: converged overlays have near-zero clustering, mean distance");
+    note("growing ~log n (ring initials grow ~n), max distance small, assortativity ~0");
+    note("(hub initials are strongly disassortative before convergence)");
+}

@@ -1,0 +1,87 @@
+//! Figure 6.1 — S&F node degree distributions (analytical approximation and
+//! exact, from the degree MC) against binomial distributions with the same
+//! expectation. Parameters: `s = 90`, `d_L = 0`, `ℓ = 0`, `d_s(u) = 90`.
+
+use sandf_bench::{fmt, header, note};
+use sandf_core::SfConfig;
+use sandf_markov::binomial::binomial_with_mean;
+use sandf_markov::{AnalyticalDegrees, DegreeMc, DegreeMcParams};
+
+fn moments(pmf: &[f64]) -> (f64, f64) {
+    let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+    let var: f64 = pmf
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
+        .sum();
+    (mean, var)
+}
+
+fn main() {
+    note("Figure 6.1: degree distributions, s=90, d_L=0, l=0, d_s(u)=90");
+    let d_m = 90usize;
+    let analytical = AnalyticalDegrees::new(d_m).expect("d_m is even");
+
+    let config = SfConfig::lossless(90).expect("legal config");
+    let params = DegreeMcParams::new(config, 0.0).with_initial_state(30, 30);
+    note("solving the degree MC (Section 6.2) ...");
+    let mc = DegreeMc::solve(params).expect("degree MC converges");
+    note(&format!(
+        "degree MC: {} states, {} fixed-point iterations",
+        mc.states().len(),
+        mc.fixed_point_iterations()
+    ));
+
+    let binom_out = binomial_with_mean(d_m as u64, analytical.mean_out());
+    let binom_in = binomial_with_mean(d_m as u64, analytical.mean_in());
+
+    let mc_out = mc.out_pmf();
+    let mc_in = mc.in_pmf();
+    let an_out = analytical.out_pmf();
+    let an_in = analytical.in_pmf();
+
+    println!();
+    note("panel (a): node indegree");
+    header(&["indegree", "binomial", "sandf_analytical", "sandf_markov"]);
+    for k in 0..=45usize {
+        println!(
+            "{k}\t{}\t{}\t{}",
+            fmt(binom_in.get(k).copied().unwrap_or(0.0)),
+            fmt(an_in.get(k).copied().unwrap_or(0.0)),
+            fmt(mc_in.get(k).copied().unwrap_or(0.0)),
+        );
+    }
+
+    println!();
+    note("panel (b): node outdegree");
+    header(&["outdegree", "binomial", "sandf_analytical", "sandf_markov"]);
+    for d in 0..=90usize {
+        println!(
+            "{d}\t{}\t{}\t{}",
+            fmt(binom_out.get(d).copied().unwrap_or(0.0)),
+            fmt(an_out.get(d).copied().unwrap_or(0.0)),
+            fmt(mc_out.get(d).copied().unwrap_or(0.0)),
+        );
+    }
+
+    println!();
+    note("summary (paper: means d_m/3 = 30; S&F variance below binomial)");
+    header(&["curve", "mean", "variance"]);
+    let (bm, bv) = moments(&binom_out);
+    println!("binomial_out\t{}\t{}", fmt(bm), fmt(bv));
+    println!("analytical_out\t{}\t{}", fmt(analytical.mean_out()), fmt(analytical.var_out()));
+    let (mm, mv) = moments(&mc_out);
+    println!("markov_out\t{}\t{}", fmt(mm), fmt(mv));
+    let (bmi, bvi) = moments(&binom_in);
+    println!("binomial_in\t{}\t{}", fmt(bmi), fmt(bvi));
+    println!("analytical_in\t{}\t{}", fmt(analytical.mean_in()), fmt(analytical.var_in()));
+    let (mmi, mvi) = moments(&mc_in);
+    println!("markov_in\t{}\t{}", fmt(mmi), fmt(mvi));
+    note(&format!(
+        "indegree variance: S&F analytical {:.2} / markov {:.2} vs binomial {:.2} -> {}",
+        analytical.var_in(),
+        mvi,
+        bvi,
+        if analytical.var_in() < bvi && mvi < bvi { "S&F tighter, as in the paper" } else { "MISMATCH" }
+    ));
+}

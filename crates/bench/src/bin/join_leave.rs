@@ -1,0 +1,58 @@
+//! §6.5 — join/leave dynamics: Lemma 6.10's decay (simulated vs. bound)
+//! and Corollary 6.14's join integration (after `2s` rounds a joiner has
+//! created at least `D_in/4` id instances, for `s/d_L = 2`).
+
+use sandf_bench::{fmt, header, note};
+use sandf_core::SfConfig;
+use sandf_markov::decay::join_integration_bound;
+use sandf_sim::experiment::{join_integration, leave_decay, ExperimentParams};
+
+fn main() {
+    note("Section 6.5: join and leave dynamics");
+
+    // Corollary 6.14 wants s/d_L = 2: use s = 40, d_L = 20.
+    let config = SfConfig::new(40, 20).expect("s/d_L = 2");
+    let loss = 0.01;
+    let params = ExperimentParams { n: 500, config, loss, burn_in: 300, seed: 9 };
+
+    note("join integration: joiner bootstrapped with d_L=20 ids, tracked for 2s = 80 rounds");
+    let result = join_integration(&params, 80);
+    let bound = join_integration_bound(loss, 0.01, 20, 40, result.d_in_at_join);
+    note(&format!(
+        "steady-state D_in = {:.2}; Cor 6.14 expects >= D_in/4 = {:.2} instances within ~{:.0} rounds",
+        result.d_in_at_join, bound.expected_instances, bound.rounds
+    ));
+    header(&["round", "joiner_id_instances"]);
+    for (i, &count) in result.instances_per_round.iter().enumerate() {
+        if (i + 1) % 5 == 0 {
+            println!("{}\t{count}", i + 1);
+        }
+    }
+    let at_horizon = *result.instances_per_round.last().expect("tracked rounds");
+    note(&format!(
+        "at round 80: {at_horizon} instances vs Cor 6.14 floor {:.1} -> {}",
+        bound.expected_instances,
+        if at_horizon as f64 >= bound.expected_instances { "bound met" } else { "BOUND MISSED" }
+    ));
+
+    println!();
+    note("leave decay (d_L=18, s=40): simulated survival fraction vs Lemma 6.10 bound");
+    let config = SfConfig::new(40, 18).expect("paper parameters");
+    header(&["round", "simulated_l01", "bound_l01"]);
+    let sim = leave_decay(
+        &ExperimentParams { n: 500, config, loss: 0.01, burn_in: 300, seed: 10 },
+        300,
+    );
+    let bound = sandf_markov::decay::leave_survival_bound(0.01, 0.01, 18, 40, 300);
+    for i in (0..300).step_by(15) {
+        println!("{}\t{}\t{}", i + 1, fmt(sim[i]), fmt(bound[i]));
+    }
+    let violations = sim
+        .iter()
+        .zip(&bound)
+        .filter(|(s, b)| **s > **b * 1.25 + 0.05)
+        .count();
+    note(&format!(
+        "rounds where the simulation exceeds 1.25x the bound: {violations} / 300 (expect ~0; the bound is an upper bound in expectation)"
+    ));
+}

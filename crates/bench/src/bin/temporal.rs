@@ -1,0 +1,57 @@
+//! §7.5 — temporal independence: how fast the membership graph forgets a
+//! steady-state snapshot, versus system size; plus the analytic `τ_ε`
+//! bound of Lemma 7.15.
+
+use sandf_bench::{fmt, header, note};
+use sandf_core::SfConfig;
+use sandf_graph::baseline_jaccard;
+use sandf_markov::conductance::{actions_per_node_bound, expected_conductance_bound};
+use sandf_sim::experiment::{temporal_overlap, ExperimentParams};
+
+const SIZES: [usize; 4] = [64, 128, 256, 512];
+
+fn main() {
+    note("Section 7.5: edge-overlap decay with the initial steady-state graph");
+    let config = SfConfig::new(16, 6).expect("small views for visible decay");
+    let s = config.view_size();
+
+    let mut curves = Vec::new();
+    for (k, &n) in SIZES.iter().enumerate() {
+        let params = ExperimentParams { n, config, loss: 0.01, burn_in: 200, seed: 70 + k as u64 };
+        curves.push(temporal_overlap(&params, 30, 2));
+    }
+
+    header(&["actions_per_node", "jac_n64", "jac_n128", "jac_n256", "jac_n512"]);
+    for i in 0..curves[0].len() {
+        let mut row = vec![fmt(curves[0][i].actions_per_node)];
+        for curve in &curves {
+            row.push(fmt(curve[i].jaccard));
+        }
+        println!("{}", row.join("\t"));
+    }
+
+    println!();
+    note("independent-graph baselines (what the curves should decay to)");
+    header(&["n", "baseline_jaccard", "half_life_rounds (first point below (1+baseline)/2 of start)"]);
+    for (k, &n) in SIZES.iter().enumerate() {
+        let edges = (n as f64 * 11.0) as usize; // ~mean outdegree for this config
+        let base = baseline_jaccard(n, edges);
+        let half = curves[k]
+            .iter()
+            .position(|p| p.jaccard < 0.5 + base / 2.0)
+            .map_or_else(|| ">60".to_string(), |i| fmt(curves[k][i].actions_per_node));
+        println!("{n}\t{}\t{half}", fmt(base));
+    }
+    note("expected shape: half-life grows ~ s log n (slowly with n), not with n itself");
+
+    println!();
+    note("Lemma 7.15 analytic bounds (deliberately conservative, as the paper notes vs mixing-time work)");
+    header(&["n", "s", "d_E", "alpha", "phi_bound", "tau_eps_actions_per_node"]);
+    for &n in &SIZES {
+        let d_e = 11.0;
+        let alpha = 0.96;
+        let phi = expected_conductance_bound(d_e, alpha, s);
+        let per_node = actions_per_node_bound(n, s, d_e, alpha, 0.01);
+        println!("{n}\t{s}\t{}\t{}\t{}\t{}", fmt(d_e), fmt(alpha), fmt(phi), fmt(per_node));
+    }
+}

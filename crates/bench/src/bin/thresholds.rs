@@ -1,0 +1,55 @@
+//! §6.3 — threshold selection sweep (`d̂ × δ → (d_L, s)`), the paper's
+//! running example, and the §7.4 connectivity condition.
+
+use sandf_bench::{fmt, header, note};
+use sandf_markov::{alpha_lower_bound, min_dl_for_connectivity, select_thresholds, AnalyticalDegrees};
+
+fn main() {
+    note("Section 6.3: threshold selection from the Eq. (6.1) law (d_m = 3 d_hat)");
+    header(&["d_hat", "delta", "d_L", "s", "P_dup", "P_del", "E_out"]);
+    for d_hat in [10usize, 20, 30, 40, 50] {
+        for delta in [0.05, 0.01, 0.001] {
+            let sel = select_thresholds(d_hat, delta).expect("valid inputs");
+            println!(
+                "{d_hat}\t{}\t{}\t{}\t{}\t{}\t{}",
+                fmt(delta),
+                sel.d_l,
+                sel.s,
+                fmt(sel.duplication_probability),
+                fmt(sel.deletion_probability),
+                fmt(sel.expected_out_degree),
+            );
+        }
+    }
+
+    println!();
+    note("paper's running example: d_hat=30, delta=0.01 -> paper reports (18, 40)");
+    let sel = select_thresholds(30, 0.01).expect("paper example");
+    note(&format!(
+        "faithful Eq. (6.1) rule gives (d_L, s) = ({}, {}); d_L matches, s differs",
+        sel.d_l, sel.s
+    ));
+    let law = AnalyticalDegrees::new(90).expect("even");
+    note(&format!(
+        "tail under Eq. (6.1): P(d >= 40) = {} > delta; P(d >= 42) = {} <= delta",
+        fmt(law.cdf_out_at_least(40)),
+        fmt(law.cdf_out_at_least(42)),
+    ));
+    note("the paper's s = 40 is consistent with its (narrower) degree-MC law; see EXPERIMENTS.md");
+
+    println!();
+    note("Section 7.4 connectivity condition: min d_L with P(Bin(d_L, alpha) < 3) <= eps");
+    header(&["loss", "delta", "alpha", "eps", "min_d_L"]);
+    for (loss, delta, eps) in [
+        (0.01, 0.01, 1e-30),
+        (0.01, 0.01, 1e-10),
+        (0.05, 0.01, 1e-30),
+        (0.1, 0.01, 1e-30),
+    ] {
+        let alpha = alpha_lower_bound(loss, delta);
+        let d_l = min_dl_for_connectivity(alpha, eps, 200)
+            .map_or_else(|| "-".to_string(), |d| d.to_string());
+        println!("{}\t{}\t{}\t{:e}\t{}", fmt(loss), fmt(delta), fmt(alpha), eps, d_l);
+    }
+    note("paper's example: l = delta = 1%, eps = 1e-30 -> d_L = 26");
+}

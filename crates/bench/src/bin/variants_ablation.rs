@@ -1,0 +1,90 @@
+//! Ablation of the Section 5 optimizations the paper deferred to future
+//! work: vanilla S&F vs. undeletion, replace-when-full, and batched sends,
+//! under identical loss schedules.
+//!
+//! The design questions this answers (DESIGN.md, experiment B2):
+//!
+//! * does *undeletion* reduce neighbor dependence compared to duplication,
+//!   as the paper's motivation for avoiding in-view replication suggests?
+//! * does *replace-when-full* change the degree balance (it trades
+//!   deletion-loss for displacement churn)?
+//! * how much does *batching* coarsen the degree distribution (moves of
+//!   ±(b+1) instead of ±2)?
+
+use sandf_bench::{fmt, header, note};
+use sandf_core::{NodeId, SfConfig};
+use sandf_variants::{
+    BatchedNode, ReplaceNode, SfVariant, UndeleteNode, VanillaNode, VariantMetrics, VariantSim,
+};
+
+const N: usize = 256;
+const ROUNDS: usize = 400;
+
+fn bootstrap(i: usize, k: usize) -> Vec<NodeId> {
+    (1..=k).map(|d| NodeId::new(((i + d) % N) as u64)).collect()
+}
+
+fn run<V: SfVariant>(nodes: Vec<V>, loss: f64, seed: u64) -> VariantMetrics {
+    let mut sim = VariantSim::new(nodes, loss, seed);
+    sim.run_rounds(ROUNDS);
+    sim.metrics()
+}
+
+fn row(label: &str, loss: f64, m: &VariantMetrics) {
+    let sent = m.stats.sent.max(1);
+    println!(
+        "{label}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        fmt(loss),
+        fmt(m.mean_out),
+        fmt(m.in_std),
+        fmt(m.dependent_fraction),
+        m.total_ids,
+        fmt(m.stats.compensations as f64 / sent as f64),
+        fmt(m.stats.displaced as f64 / sent as f64),
+        m.connected,
+    );
+}
+
+fn main() {
+    note("Section 5 optimization ablation, n=256, 400 rounds, s=16, d_L=6 (batched: s=24)");
+    header(&[
+        "variant",
+        "loss",
+        "mean_out",
+        "in_std",
+        "dependent_frac",
+        "total_ids",
+        "compensation_rate",
+        "displacement_rate",
+        "connected",
+    ]);
+    let config = SfConfig::new(16, 6).expect("legal");
+    let batched_config = SfConfig::new(24, 6).expect("legal");
+    for (k, &loss) in [0.0, 0.01, 0.05, 0.1].iter().enumerate() {
+        let seed = 1000 + k as u64;
+        let vanilla: Vec<VanillaNode> = (0..N)
+            .map(|i| VanillaNode::new(NodeId::new(i as u64), config, &bootstrap(i, 10)))
+            .collect();
+        row("vanilla", loss, &run(vanilla, loss, seed));
+
+        let undelete: Vec<UndeleteNode> = (0..N)
+            .map(|i| UndeleteNode::new(NodeId::new(i as u64), config, &bootstrap(i, 10)))
+            .collect();
+        row("undelete", loss, &run(undelete, loss, seed + 10));
+
+        let replace: Vec<ReplaceNode> = (0..N)
+            .map(|i| ReplaceNode::new(NodeId::new(i as u64), config, &bootstrap(i, 10)))
+            .collect();
+        row("replace", loss, &run(replace, loss, seed + 20));
+
+        let batched: Vec<BatchedNode> = (0..N)
+            .map(|i| {
+                BatchedNode::new(NodeId::new(i as u64), batched_config, 3, &bootstrap(i, 12))
+            })
+            .collect();
+        row("batched_b3", loss, &run(batched, loss, seed + 30));
+    }
+    println!();
+    note("reading guide: dependent_frac includes the dependent bootstrap tags only until they");
+    note("wash out; compare variants within a loss row, not against the Lemma 7.9 bound");
+}

@@ -1,0 +1,48 @@
+//! # sandf-bench — the paper's evaluation, regenerated
+//!
+//! One binary per figure/table of Gurevich & Keidar's evaluation (see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! paper-vs-measured comparisons):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig6_1` | Figure 6.1 — degree laws: analytical vs. degree-MC vs. binomial |
+//! | `fig6_3` | Figure 6.3 — degree-MC distributions under loss (+ sim overlay) |
+//! | `indegree_stats` | §6.4 — mean ± std of indegree per loss rate |
+//! | `thresholds` | §6.3 — `(d_L, s)` selection sweep; §7.4 connectivity condition |
+//! | `fig6_4` | Figure 6.4 — departed-id survival bound (+ sim overlay) |
+//! | `join_leave` | §6.5 — Lemma 6.10 decay and Corollary 6.14 join integration |
+//! | `independence` | §7.4 — measured dependent fraction vs. `2(ℓ+δ)` bound |
+//! | `temporal` | §7.5 — edge-overlap decay vs. `O(s log n)`; `τ_ε` table |
+//! | `uniformity` | Lemma 7.6 — χ² of id representation over a long run |
+//! | `exact_uniform` | Lemma 7.5 — exact tiny-system enumeration |
+//! | `baseline_compare` | §3.1 — S&F vs. shuffle vs. push-pull vs. push-only under loss |
+//!
+//! All binaries print TSV to stdout (self-describing headers, `#`-prefixed
+//! commentary) and take no arguments; seeds are fixed so output is
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a `#`-prefixed commentary line.
+pub fn note(text: &str) {
+    println!("# {text}");
+}
+
+/// Prints a TSV header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Formats a float compactly for TSV output.
+#[must_use]
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 0.001 {
+        format!("{x:.6}")
+    } else {
+        format!("{x:.3e}")
+    }
+}

@@ -1,0 +1,98 @@
+//! Outcomes of the two protocol steps, with enough detail for external
+//! observers (simulators, provenance trackers) to mirror every state change.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+use crate::message::Message;
+
+/// Outcome of `S&F-InitiateAction` (Figure 5.1, left).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InitiateOutcome {
+    /// One of the two selected slots was empty; views are unchanged. The
+    /// paper calls the corresponding graph transformation a *self-loop
+    /// transformation* (Section 6.2).
+    SelfLoop,
+    /// A message was produced and must be delivered (or lost) by the caller.
+    Sent {
+        /// The message target `v = u.lv[i]`.
+        to: NodeId,
+        /// The message `[u, w]` to deliver to `to`.
+        message: Message,
+        /// Whether the sender kept its entries (outdegree was at `d_L`),
+        /// i.e. the action performed a *duplication*.
+        duplicated: bool,
+        /// The selected slot indices `(i, j)` — `i` held the target, `j` the
+        /// payload. Exposed so observers can track id-instance provenance.
+        slots: (usize, usize),
+    },
+}
+
+impl InitiateOutcome {
+    /// The message produced, if any.
+    #[must_use]
+    pub fn message(&self) -> Option<Message> {
+        match *self {
+            Self::SelfLoop => None,
+            Self::Sent { message, .. } => Some(message),
+        }
+    }
+
+    /// Whether this outcome was a self-loop (no message sent).
+    #[must_use]
+    pub fn is_self_loop(&self) -> bool {
+        matches!(self, Self::SelfLoop)
+    }
+}
+
+/// Outcome of `S&F-Receive` (Figure 5.1, right).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ReceiveOutcome {
+    /// Both received ids were stored into empty slots.
+    Stored {
+        /// Slot that now holds the sender's id (`v1` in Figure 5.1).
+        sender_slot: usize,
+        /// Slot that now holds the payload id (`v2` in Figure 5.1).
+        payload_slot: usize,
+    },
+    /// The view was full (`d(u) = s`); the received ids were *deleted*.
+    Deleted,
+}
+
+impl ReceiveOutcome {
+    /// Whether the received ids were deleted.
+    #[must_use]
+    pub fn is_deleted(&self) -> bool {
+        matches!(self, Self::Deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loop_has_no_message() {
+        assert_eq!(InitiateOutcome::SelfLoop.message(), None);
+        assert!(InitiateOutcome::SelfLoop.is_self_loop());
+    }
+
+    #[test]
+    fn sent_exposes_message() {
+        let msg = Message::new(NodeId::new(1), NodeId::new(2), false);
+        let outcome = InitiateOutcome::Sent {
+            to: NodeId::new(3),
+            message: msg,
+            duplicated: false,
+            slots: (0, 1),
+        };
+        assert_eq!(outcome.message(), Some(msg));
+        assert!(!outcome.is_self_loop());
+    }
+
+    #[test]
+    fn deleted_flag() {
+        assert!(ReceiveOutcome::Deleted.is_deleted());
+        assert!(!ReceiveOutcome::Stored { sender_slot: 0, payload_slot: 1 }.is_deleted());
+    }
+}

@@ -1,0 +1,107 @@
+//! Node identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque node identifier.
+///
+/// In the paper a node id is "for example, an IP address and port"
+/// (Section 1). The protocol only ever compares ids for equality and copies
+/// them between views, so a compact integer newtype suffices; the
+/// [`sandf-net`](https://example.org/sandf) transports map `NodeId`s to real
+/// socket addresses.
+///
+/// # Examples
+///
+/// ```
+/// use sandf_core::NodeId;
+///
+/// let a = NodeId::new(7);
+/// assert_eq!(a.as_u64(), 7);
+/// assert_eq!(a.to_string(), "n7");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw integer.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw integer backing this id.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw integer as a `usize`.
+    ///
+    /// Convenient for indexing dense per-node tables in simulations where ids
+    /// are assigned contiguously from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not fit in a `usize` (only possible on 16/32-bit
+    /// targets).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("node id exceeds usize")
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.as_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_u64() {
+        let id = NodeId::new(42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(NodeId::new(123).to_string(), "n123");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5).max(NodeId::new(9)), NodeId::new(9));
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(NodeId::new(17).index(), 17);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", NodeId::default()).is_empty());
+    }
+}

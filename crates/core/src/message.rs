@@ -1,0 +1,56 @@
+//! The single message type of the S&F protocol.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// An S&F protocol message `[u, w]` (Figure 5.1, line 6): the initiator `u`
+/// sends its own id together with one id `w` taken from its view.
+///
+/// `u` is the *reinforcement* component (the receiver learns about `u`
+/// directly) and `w` is the *mixing* component (membership information
+/// spreads between views) — see Section 3.1.
+///
+/// The `dependent` flag is measurement metadata mirroring the paper's edge
+/// labeling (Section 2, Section 7.4): it is set when the send performed a
+/// *duplication*, in which case the transmitted id instances are labeled
+/// dependent (the sender kept the representative copies). It never influences
+/// protocol behavior.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// The initiator's own id (`u`).
+    pub sender: NodeId,
+    /// The forwarded id (`w`), drawn from the initiator's view.
+    pub payload: NodeId,
+    /// Whether the transmitted instances are labeled dependent (the send
+    /// duplicated instead of clearing).
+    pub dependent: bool,
+}
+
+impl Message {
+    /// Creates a message with the given dependence label.
+    #[must_use]
+    pub const fn new(sender: NodeId, payload: NodeId, dependent: bool) -> Self {
+        Self { sender, payload, dependent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let m = Message::new(NodeId::new(1), NodeId::new(2), true);
+        assert_eq!(m.sender, NodeId::new(1));
+        assert_eq!(m.payload, NodeId::new(2));
+        assert!(m.dependent);
+    }
+
+    #[test]
+    fn message_is_copy_and_comparable() {
+        let m = Message::new(NodeId::new(1), NodeId::new(2), false);
+        let n = m;
+        assert_eq!(m, n);
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-node event counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of protocol events at a single node.
+///
+/// These are the quantities Section 6.4 relates to the loss rate: in the
+/// steady state the duplication probability equals the loss rate plus the
+/// deletion probability (Lemma 6.6), and lies in `[ℓ, ℓ + δ]` (Lemma 6.7).
+/// The simulator aggregates these counters across nodes to verify both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Actions initiated (calls to `initiate`).
+    pub initiated: u64,
+    /// Actions that were self-loop transformations (an empty slot selected).
+    pub self_loops: u64,
+    /// Messages produced (non-self-loop actions).
+    pub sent: u64,
+    /// Sends that duplicated instead of clearing (`d(u) = d_L`).
+    pub duplications: u64,
+    /// Messages received and stored.
+    pub stored: u64,
+    /// Messages received but deleted because the view was full (`d(u) = s`).
+    pub deletions: u64,
+}
+
+impl NodeStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Fraction of non-self-loop sends that duplicated, or `None` if no
+    /// message was sent yet.
+    #[must_use]
+    pub fn duplication_rate(&self) -> Option<f64> {
+        (self.sent > 0).then(|| self.duplications as f64 / self.sent as f64)
+    }
+
+    /// Fraction of received messages that were deleted, or `None` if nothing
+    /// was received yet.
+    #[must_use]
+    pub fn deletion_rate(&self) -> Option<f64> {
+        let received = self.stored + self.deletions;
+        (received > 0).then(|| self.deletions as f64 / received as f64)
+    }
+
+    /// Adds another node's counters into this one (for system-wide totals).
+    pub fn merge(&mut self, other: &Self) {
+        self.initiated += other.initiated;
+        self.self_loops += other.self_loops;
+        self.sent += other.sent;
+        self.duplications += other.duplications;
+        self.stored += other.stored;
+        self.deletions += other.deletions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_none_without_events() {
+        let stats = NodeStats::new();
+        assert_eq!(stats.duplication_rate(), None);
+        assert_eq!(stats.deletion_rate(), None);
+    }
+
+    #[test]
+    fn rates_divide_correctly() {
+        let stats = NodeStats {
+            initiated: 10,
+            self_loops: 2,
+            sent: 8,
+            duplications: 2,
+            stored: 3,
+            deletions: 1,
+        };
+        assert_eq!(stats.duplication_rate(), Some(0.25));
+        assert_eq!(stats.deletion_rate(), Some(0.25));
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = NodeStats { initiated: 1, sent: 2, ..NodeStats::default() };
+        let b = NodeStats { initiated: 3, deletions: 4, ..NodeStats::default() };
+        a.merge(&b);
+        assert_eq!(a.initiated, 4);
+        assert_eq!(a.sent, 2);
+        assert_eq!(a.deletions, 4);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut stats = NodeStats { initiated: 5, ..NodeStats::default() };
+        stats.reset();
+        assert_eq!(stats, NodeStats::default());
+    }
+}

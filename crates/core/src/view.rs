@@ -1,0 +1,432 @@
+//! Local views: fixed arrays of `s` id slots (Section 2).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// One occupied view slot.
+///
+/// Besides the stored [`NodeId`], an entry carries a *dependence tag* used to
+/// measure Property M4 (spatial independence). The tag mirrors the paper's
+/// edge labeling of Section 2 and the dependence Markov chain of Section 7.4
+/// (Figure 7.1): an id *instance* becomes dependent when it is sent with
+/// duplication or received after having been duplicated, and becomes
+/// independent again when it is sent without duplication. The tag never
+/// influences protocol behavior — it exists purely so experiments can count
+/// dependent entries without instrumenting the protocol externally.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Entry {
+    /// The stored node id.
+    pub id: NodeId,
+    /// Whether this id instance is labeled dependent (Section 2 labeling).
+    pub dependent: bool,
+}
+
+impl Entry {
+    /// Creates an independent (untagged) entry.
+    #[must_use]
+    pub const fn independent(id: NodeId) -> Self {
+        Self { id, dependent: false }
+    }
+
+    /// Creates a dependent (tagged) entry.
+    #[must_use]
+    pub const fn dependent(id: NodeId) -> Self {
+        Self { id, dependent: true }
+    }
+}
+
+/// A node's local view: an array of `s` slots, each empty (`⊥`) or holding a
+/// node id (Figure 5.1).
+///
+/// The view is a *multiset* — duplicate ids are allowed and are accounted for
+/// as dependencies by the analysis (Section 2). The number of occupied slots
+/// is the node's outdegree `d(u)`.
+///
+/// # Examples
+///
+/// ```
+/// use sandf_core::{LocalView, NodeId};
+///
+/// let mut view = LocalView::new(6);
+/// assert_eq!(view.out_degree(), 0);
+/// view.insert_at_first_empty(NodeId::new(1)).unwrap();
+/// view.insert_at_first_empty(NodeId::new(2)).unwrap();
+/// assert_eq!(view.out_degree(), 2);
+/// assert!(view.contains(NodeId::new(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LocalView {
+    slots: Vec<Option<Entry>>,
+    occupied: usize,
+}
+
+impl LocalView {
+    /// Creates an all-empty view with `s` slots.
+    #[must_use]
+    pub fn new(s: usize) -> Self {
+        Self { slots: vec![None; s], occupied: 0 }
+    }
+
+    /// Creates a view of `s` slots pre-filled with `ids` (in slot order,
+    /// remaining slots empty), each tagged with the given dependence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() > s`; construction paths in
+    /// [`SfNode`](crate::SfNode) validate sizes beforehand.
+    #[must_use]
+    pub fn from_ids(s: usize, ids: &[NodeId], dependent: bool) -> Self {
+        assert!(ids.len() <= s, "more bootstrap ids than view slots");
+        let mut slots = vec![None; s];
+        for (slot, &id) in slots.iter_mut().zip(ids) {
+            *slot = Some(Entry { id, dependent });
+        }
+        Self { slots, occupied: ids.len() }
+    }
+
+    /// The view size `s` (number of slots, occupied or not).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The outdegree `d(u)`: the number of occupied slots.
+    #[must_use]
+    pub const fn out_degree(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether every slot is occupied (`d(u) = s`), in which case received
+    /// ids are deleted (Figure 5.1, receive step).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.occupied == self.slots.len()
+    }
+
+    /// The entry at `slot`, or `None` if the slot is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= s`.
+    #[must_use]
+    pub fn entry(&self, slot: usize) -> Option<Entry> {
+        self.slots[slot]
+    }
+
+    /// Iterates over all slots in order, yielding `None` for empty slots.
+    pub fn slots(&self) -> impl Iterator<Item = Option<Entry>> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Iterates over the occupied entries, in slot order.
+    pub fn entries(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.slots.iter().flatten().copied()
+    }
+
+    /// Iterates over the stored ids (with multiplicity), in slot order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries().map(|e| e.id)
+    }
+
+    /// Whether `id` occurs in some slot.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.ids().any(|stored| stored == id)
+    }
+
+    /// The multiplicity of `id` in the view (0 when absent).
+    #[must_use]
+    pub fn multiplicity(&self, id: NodeId) -> usize {
+        self.ids().filter(|&stored| stored == id).count()
+    }
+
+    /// Selects two *distinct slot indices* `1 ≤ i ≠ j ≤ s` uniformly at
+    /// random, exactly as `S&F-InitiateAction` does (Figure 5.1, line 2).
+    ///
+    /// The slots may be empty — the protocol treats that as a self-loop
+    /// transformation.
+    pub fn pick_two_distinct_slots<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, usize) {
+        let s = self.slots.len();
+        debug_assert!(s >= 2, "view must have at least two slots");
+        let i = rng.gen_range(0..s);
+        let mut j = rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        (i, j)
+    }
+
+    /// Empties `slot`, returning the entry that was stored there (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= s`.
+    pub fn clear_slot(&mut self, slot: usize) -> Option<Entry> {
+        let prev = self.slots[slot].take();
+        if prev.is_some() {
+            self.occupied -= 1;
+        }
+        prev
+    }
+
+    /// Overwrites `slot` with `entry`, returning the previous occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= s`.
+    pub fn set_entry(&mut self, slot: usize, entry: Entry) -> Option<Entry> {
+        let prev = self.slots[slot].replace(entry);
+        if prev.is_none() {
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Stores `entry` into an empty slot chosen uniformly at random, as
+    /// `S&F-Receive` does (Figure 5.1, lines 3–4). Returns the chosen slot
+    /// index, or `Err(entry)` when the view is full.
+    pub fn insert_into_random_empty<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        entry: Entry,
+    ) -> Result<usize, Entry> {
+        let empty = self.slots.len() - self.occupied;
+        if empty == 0 {
+            return Err(entry);
+        }
+        let mut nth = rng.gen_range(0..empty);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                if nth == 0 {
+                    *slot = Some(entry);
+                    self.occupied += 1;
+                    return Ok(i);
+                }
+                nth -= 1;
+            }
+        }
+        unreachable!("an empty slot was counted but not found");
+    }
+
+    /// Stores `id` (independent) into the first empty slot. Returns the slot
+    /// index, or `Err(id)` when the view is full.
+    ///
+    /// This deterministic variant is convenient for constructing initial
+    /// topologies; slot position never influences protocol semantics.
+    pub fn insert_at_first_empty(&mut self, id: NodeId) -> Result<usize, NodeId> {
+        match self.slots.iter().position(Option::is_none) {
+            Some(i) => {
+                self.slots[i] = Some(Entry::independent(id));
+                self.occupied += 1;
+                Ok(i)
+            }
+            None => Err(id),
+        }
+    }
+
+    /// Removes one occurrence of `id` (the first in slot order). Returns the
+    /// removed entry, or `None` if `id` is absent.
+    ///
+    /// Not part of the S&F action set; used by churn bootstrapping and tests.
+    pub fn remove_one(&mut self, id: NodeId) -> Option<Entry> {
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.map(|e| e.id) == Some(id))?;
+        self.clear_slot(slot)
+    }
+
+    /// Sets the dependence tag of the entry in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or out of range.
+    pub fn set_dependent(&mut self, slot: usize, dependent: bool) {
+        self.slots[slot]
+            .as_mut()
+            .expect("cannot tag an empty slot")
+            .dependent = dependent;
+    }
+
+    /// Counts entries labeled dependent by the Section 2 rules: entries whose
+    /// tag is set, plus *self-edges* (entries equal to `owner`), which are
+    /// always considered dependent.
+    #[must_use]
+    pub fn dependent_entries(&self, owner: NodeId) -> usize {
+        self.entries()
+            .filter(|e| e.dependent || e.id == owner)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn new_view_is_empty() {
+        let v = LocalView::new(8);
+        assert_eq!(v.capacity(), 8);
+        assert_eq!(v.out_degree(), 0);
+        assert!(!v.is_full());
+        assert_eq!(v.ids().count(), 0);
+    }
+
+    #[test]
+    fn from_ids_fills_prefix() {
+        let v = LocalView::from_ids(6, &[id(1), id(2)], false);
+        assert_eq!(v.out_degree(), 2);
+        assert_eq!(v.entry(0).unwrap().id, id(1));
+        assert_eq!(v.entry(1).unwrap().id, id(2));
+        assert!(v.entry(2).is_none());
+    }
+
+    #[test]
+    fn from_ids_respects_dependence_tag() {
+        let v = LocalView::from_ids(6, &[id(1)], true);
+        assert!(v.entry(0).unwrap().dependent);
+        assert_eq!(v.dependent_entries(id(99)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bootstrap ids")]
+    fn from_ids_panics_on_overflow() {
+        let ids: Vec<NodeId> = (0..7).map(id).collect();
+        let _ = LocalView::from_ids(6, &ids, false);
+    }
+
+    #[test]
+    fn multiplicity_counts_duplicates() {
+        let v = LocalView::from_ids(6, &[id(3), id(3), id(4)], false);
+        assert_eq!(v.multiplicity(id(3)), 2);
+        assert_eq!(v.multiplicity(id(4)), 1);
+        assert_eq!(v.multiplicity(id(5)), 0);
+        assert!(v.contains(id(4)));
+        assert!(!v.contains(id(5)));
+    }
+
+    #[test]
+    fn clear_and_set_maintain_occupancy() {
+        let mut v = LocalView::from_ids(6, &[id(1), id(2)], false);
+        assert_eq!(v.clear_slot(0).unwrap().id, id(1));
+        assert_eq!(v.out_degree(), 1);
+        assert!(v.clear_slot(0).is_none());
+        assert_eq!(v.out_degree(), 1);
+        assert!(v.set_entry(0, Entry::independent(id(7))).is_none());
+        assert_eq!(v.out_degree(), 2);
+        assert_eq!(v.set_entry(0, Entry::independent(id(8))).unwrap().id, id(7));
+        assert_eq!(v.out_degree(), 2);
+    }
+
+    #[test]
+    fn pick_two_distinct_slots_never_collides() {
+        let v = LocalView::new(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let (i, j) = v.pick_two_distinct_slots(&mut rng);
+            assert_ne!(i, j);
+            assert!(i < 6 && j < 6);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pick_two_distinct_slots_is_uniform_over_ordered_pairs() {
+        let v = LocalView::new(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [[0u32; 4]; 4];
+        let trials = 120_000;
+        for _ in 0..trials {
+            let (i, j) = v.pick_two_distinct_slots(&mut rng);
+            counts[i][j] += 1;
+        }
+        let expected = trials as f64 / 12.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    assert_eq!(counts[i][j], 0);
+                } else {
+                    let ratio = f64::from(counts[i][j]) / expected;
+                    assert!(
+                        (0.9..1.1).contains(&ratio),
+                        "pair ({i},{j}) frequency off: {ratio}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_into_random_empty_fills_and_rejects_when_full() {
+        let mut v = LocalView::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 0..4 {
+            let slot = v
+                .insert_into_random_empty(&mut rng, Entry::independent(id(k)))
+                .unwrap();
+            assert_eq!(v.entry(slot).unwrap().id, id(k));
+        }
+        assert!(v.is_full());
+        let rejected = v
+            .insert_into_random_empty(&mut rng, Entry::independent(id(9)))
+            .unwrap_err();
+        assert_eq!(rejected.id, id(9));
+    }
+
+    #[test]
+    fn insert_into_random_empty_is_uniform_over_empty_slots() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let mut v = LocalView::new(4);
+            v.set_entry(1, Entry::independent(id(0)));
+            let slot = v
+                .insert_into_random_empty(&mut rng, Entry::independent(id(1)))
+                .unwrap();
+            match slot {
+                0 => counts[0] += 1,
+                2 => counts[1] += 1,
+                3 => counts[2] += 1,
+                other => panic!("filled occupied slot {other}"),
+            }
+        }
+        for &c in &counts {
+            let ratio = f64::from(c) / 10_000.0;
+            assert!((0.9..1.1).contains(&ratio), "slot frequency off: {ratio}");
+        }
+    }
+
+    #[test]
+    fn remove_one_takes_a_single_instance() {
+        let mut v = LocalView::from_ids(6, &[id(3), id(3)], false);
+        assert!(v.remove_one(id(3)).is_some());
+        assert_eq!(v.multiplicity(id(3)), 1);
+        assert!(v.remove_one(id(9)).is_none());
+    }
+
+    #[test]
+    fn dependent_entries_counts_tags_and_self_edges() {
+        let mut v = LocalView::from_ids(6, &[id(1), id(2), id(5)], false);
+        v.set_dependent(0, true);
+        // Entry id(5) is a self-edge for owner 5: always dependent.
+        assert_eq!(v.dependent_entries(id(5)), 2);
+        assert_eq!(v.dependent_entries(id(99)), 1);
+    }
+
+    #[test]
+    fn insert_at_first_empty_reports_full() {
+        let mut v = LocalView::new(2);
+        v.insert_at_first_empty(id(1)).unwrap();
+        v.insert_at_first_empty(id(2)).unwrap();
+        assert_eq!(v.insert_at_first_empty(id(3)), Err(id(3)));
+    }
+}

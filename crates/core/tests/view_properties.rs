@@ -1,0 +1,108 @@
+//! Property tests of the view slot algebra.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sandf_core::{Entry, LocalView, NodeId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    ClearSlot(usize),
+    RemoveOne(u64),
+    SetEntry(usize, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32).prop_map(Op::Insert),
+        (0usize..16).prop_map(Op::ClearSlot),
+        (0u64..32).prop_map(Op::RemoveOne),
+        ((0usize..16), (0u64..32)).prop_map(|(s, id)| Op::SetEntry(s, id)),
+    ]
+}
+
+proptest! {
+    /// The cached occupancy always matches a recount, and multiplicities
+    /// sum to the occupancy, under arbitrary operation sequences.
+    #[test]
+    fn occupancy_is_consistent(ops in proptest::collection::vec(arb_op(), 0..200), seed in any::<u64>()) {
+        let s = 16usize;
+        let mut view = LocalView::new(s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in ops {
+            match op {
+                Op::Insert(id) => {
+                    let _ = view.insert_into_random_empty(&mut rng, Entry::independent(NodeId::new(id)));
+                }
+                Op::ClearSlot(slot) => {
+                    let _ = view.clear_slot(slot % s);
+                }
+                Op::RemoveOne(id) => {
+                    let _ = view.remove_one(NodeId::new(id));
+                }
+                Op::SetEntry(slot, id) => {
+                    let _ = view.set_entry(slot % s, Entry::independent(NodeId::new(id)));
+                }
+            }
+            let recount = view.slots().flatten().count();
+            prop_assert_eq!(view.out_degree(), recount);
+            prop_assert!(view.out_degree() <= s);
+            let mult_sum: usize = (0..32u64)
+                .map(|id| view.multiplicity(NodeId::new(id)))
+                .sum();
+            prop_assert_eq!(mult_sum, recount);
+            prop_assert_eq!(view.is_full(), recount == s);
+        }
+    }
+
+    /// `insert_into_random_empty` succeeds exactly when the view is not
+    /// full, and never overwrites an occupied slot.
+    #[test]
+    fn insert_fills_only_empty_slots(prefill in 0usize..=16, id in any::<u64>(), seed in any::<u64>()) {
+        let s = 16usize;
+        let mut view = LocalView::new(s);
+        for k in 0..prefill {
+            view.insert_at_first_empty(NodeId::new(k as u64 + 1000)).unwrap();
+        }
+        let before: Vec<Option<Entry>> = view.slots().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = view.insert_into_random_empty(&mut rng, Entry::independent(NodeId::new(id)));
+        if prefill == s {
+            prop_assert!(result.is_err());
+        } else {
+            let slot = result.unwrap();
+            prop_assert!(before[slot].is_none());
+            prop_assert_eq!(view.entry(slot).unwrap().id, NodeId::new(id));
+            // Every other slot is untouched.
+            for (k, prev) in before.iter().enumerate() {
+                if k != slot {
+                    prop_assert_eq!(view.entry(k), *prev);
+                }
+            }
+        }
+    }
+
+    /// Slot-pair selection is always a valid distinct pair.
+    #[test]
+    fn pick_pairs_are_distinct(seed in any::<u64>(), s in 2usize..64) {
+        let view = LocalView::new(s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let (i, j) = view.pick_two_distinct_slots(&mut rng);
+            prop_assert!(i < s && j < s && i != j);
+        }
+    }
+
+    /// The dependence count never exceeds the occupancy.
+    #[test]
+    fn dependence_bounded_by_occupancy(ids in proptest::collection::vec((0u64..8, any::<bool>()), 0..16)) {
+        let mut view = LocalView::new(16);
+        for &(id, dep) in &ids {
+            let slot = view.insert_at_first_empty(NodeId::new(id)).unwrap();
+            view.set_dependent(slot, dep);
+        }
+        let owner = NodeId::new(3);
+        prop_assert!(view.dependent_entries(owner) <= view.out_degree());
+    }
+}

@@ -1,0 +1,261 @@
+//! The analytical degree-distribution approximation of Section 6.1
+//! (Eq. 6.1): with no loss, `d_L = 0`, and every node initialized to the
+//! same sum degree `d_m`, the protocol reaches every membership graph
+//! satisfying the sum-degree invariant equally often (Lemma 7.5), so
+//!
+//! ```text
+//! Pr(d(u) = d*) ≈ a(d*) / Σ_{d' even} a(d'),
+//! a(d) = C(d_m, d) · C(d_m − d, (d_m − d)/2),
+//! ```
+//!
+//! and the indegree is determined by `d_in = (d_m − d)/2`.
+
+use crate::binomial::ln_choose;
+
+/// Error returned when the sum degree is odd (outdegrees are always even —
+/// Observation 5.1 — and `d_in = (d_m − d)/2` must be integral).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OddSumDegreeError {
+    /// The offending sum degree.
+    pub d_m: usize,
+}
+
+impl core::fmt::Display for OddSumDegreeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "sum degree {} must be even", self.d_m)
+    }
+}
+
+impl std::error::Error for OddSumDegreeError {}
+
+/// The Eq. (6.1) joint law of one node's in/outdegree under the Section 6.1
+/// assumptions.
+///
+/// # Examples
+///
+/// ```
+/// use sandf_markov::AnalyticalDegrees;
+///
+/// // Figure 6.1's setting: d_m = 90, so E[d] = E[d_in] = 30 (Lemma 6.3).
+/// let law = AnalyticalDegrees::new(90)?;
+/// assert!((law.mean_out() - 30.0).abs() < 0.5);
+/// assert!((law.mean_in() - 30.0).abs() < 0.25);
+/// # Ok::<(), sandf_markov::OddSumDegreeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalyticalDegrees {
+    d_m: usize,
+    out_pmf: Vec<f64>,
+}
+
+impl AnalyticalDegrees {
+    /// Computes the law for sum degree `d_m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OddSumDegreeError`] when `d_m` is odd.
+    pub fn new(d_m: usize) -> Result<Self, OddSumDegreeError> {
+        if !d_m.is_multiple_of(2) {
+            return Err(OddSumDegreeError { d_m });
+        }
+        // Work in log space and normalize with a shifted softmax: the counts
+        // a(d) overflow f64 already for d_m ≈ 60.
+        let dm = d_m as u64;
+        let ln_a: Vec<(usize, f64)> = (0..=d_m)
+            .step_by(2)
+            .map(|d| {
+                let rest = (dm - d as u64) / 2;
+                (d, ln_choose(dm, d as u64) + ln_choose(dm - d as u64, rest))
+            })
+            .collect();
+        let max = ln_a.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+        let mut out_pmf = vec![0.0; d_m + 1];
+        let mut total = 0.0;
+        for &(d, x) in &ln_a {
+            let w = (x - max).exp();
+            out_pmf[d] = w;
+            total += w;
+        }
+        for p in &mut out_pmf {
+            *p /= total;
+        }
+        Ok(Self { d_m, out_pmf })
+    }
+
+    /// The sum degree `d_m`.
+    #[must_use]
+    pub fn sum_degree(&self) -> usize {
+        self.d_m
+    }
+
+    /// The outdegree pmf, indexed by outdegree (zero at odd indices).
+    #[must_use]
+    pub fn out_pmf(&self) -> &[f64] {
+        &self.out_pmf
+    }
+
+    /// The indegree pmf, indexed by indegree: `P(d_in = k) = P(d = d_m −
+    /// 2k)`.
+    #[must_use]
+    pub fn in_pmf(&self) -> Vec<f64> {
+        (0..=self.d_m / 2).map(|k| self.out_pmf[self.d_m - 2 * k]).collect()
+    }
+
+    /// Expected outdegree (Lemma 6.3 predicts `d_m / 3`).
+    #[must_use]
+    pub fn mean_out(&self) -> f64 {
+        self.out_pmf.iter().enumerate().map(|(d, &p)| d as f64 * p).sum()
+    }
+
+    /// Expected indegree (Lemma 6.3 predicts `d_m / 3`).
+    #[must_use]
+    pub fn mean_in(&self) -> f64 {
+        (self.d_m as f64 - self.mean_out()) / 2.0
+    }
+
+    /// Outdegree variance.
+    #[must_use]
+    pub fn var_out(&self) -> f64 {
+        let mean = self.mean_out();
+        self.out_pmf
+            .iter()
+            .enumerate()
+            .map(|(d, &p)| (d as f64 - mean).powi(2) * p)
+            .sum()
+    }
+
+    /// Indegree variance (`= var_out / 4` by the affine relation).
+    #[must_use]
+    pub fn var_in(&self) -> f64 {
+        self.var_out() / 4.0
+    }
+
+    /// The lower cumulative probability `P(d ≤ d*)`.
+    #[must_use]
+    pub fn cdf_out_at_most(&self, d_star: usize) -> f64 {
+        self.out_pmf.iter().take(d_star.min(self.d_m) + 1).sum()
+    }
+
+    /// The upper cumulative probability `P(d ≥ d*)`.
+    #[must_use]
+    pub fn cdf_out_at_least(&self, d_star: usize) -> f64 {
+        if d_star > self.d_m {
+            return 0.0;
+        }
+        self.out_pmf.iter().skip(d_star).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::binomial::binomial_with_mean;
+
+    use super::*;
+
+    #[test]
+    fn rejects_odd_sum_degree() {
+        let err = AnalyticalDegrees::new(7).unwrap_err();
+        assert_eq!(err, OddSumDegreeError { d_m: 7 });
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn pmf_is_normalized_and_even_supported() {
+        let law = AnalyticalDegrees::new(90).unwrap();
+        let sum: f64 = law.out_pmf().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for d in (1..90).step_by(2) {
+            assert_eq!(law.out_pmf()[d], 0.0);
+        }
+        let in_sum: f64 = law.in_pmf().iter().sum();
+        assert!((in_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_case_matches_hand_computation() {
+        // d_m = 2: a(0) = C(2,0)·C(2,1) = 2; a(2) = C(2,2)·C(0,0) = 1.
+        let law = AnalyticalDegrees::new(2).unwrap();
+        assert!((law.out_pmf()[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((law.out_pmf()[2] - 1.0 / 3.0).abs() < 1e-12);
+        // E[d] = 2/3 = d_m/3 exactly (Lemma 6.3).
+        assert!((law.mean_out() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_close_to_dm_over_3() {
+        // Lemma 6.3 is exact for the protocol; the Eq. 6.1 approximation
+        // lands close for large d_m.
+        for dm in [30, 60, 90, 120] {
+            let law = AnalyticalDegrees::new(dm).unwrap();
+            let expected = dm as f64 / 3.0;
+            assert!(
+                (law.mean_out() - expected).abs() / expected < 0.02,
+                "dm={dm}: mean {} vs {expected}",
+                law.mean_out()
+            );
+        }
+    }
+
+    #[test]
+    fn indegree_variance_is_below_matched_binomial() {
+        // The headline of Figure 6.1: S&F's degree laws are *tighter* than
+        // binomials with the same mean. The indegree comparison is the
+        // clean one: integer support, mean 30 → Bin(90, 1/3) has variance
+        // 20, while Eq. (6.1)'s indegree variance is about 5.
+        let law = AnalyticalDegrees::new(90).unwrap();
+        let binom = binomial_with_mean(90, law.mean_in());
+        let mean: f64 = binom.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let bin_var: f64 = binom
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
+            .sum();
+        assert!(
+            law.var_in() < bin_var / 2.0,
+            "S&F indegree var {} should be well below binomial var {bin_var}",
+            law.var_in()
+        );
+    }
+
+    #[test]
+    fn outdegree_variance_is_below_matched_binomial_on_its_lattice() {
+        // The outdegree lives on the even lattice {0, 2, …, d_m}; measured
+        // in lattice units (d/2 ∈ 0..=45) its variance must undercut the
+        // mean-matched binomial on that support (Bin(45, 2/3), variance 10).
+        let law = AnalyticalDegrees::new(90).unwrap();
+        let lattice_var = law.var_out() / 4.0;
+        let binom = binomial_with_mean(45, law.mean_out() / 2.0);
+        let mean: f64 = binom.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let bin_var: f64 = binom
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
+            .sum();
+        assert!(
+            lattice_var < bin_var,
+            "S&F lattice var {lattice_var} should be below binomial var {bin_var}"
+        );
+    }
+
+    #[test]
+    fn cdfs_are_complementary() {
+        let law = AnalyticalDegrees::new(60).unwrap();
+        for d in [0, 10, 20, 30, 60] {
+            let below = law.cdf_out_at_most(d);
+            let above = law.cdf_out_at_least(d + 1);
+            assert!((below + above - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(law.cdf_out_at_least(61), 0.0);
+        assert!((law.cdf_out_at_most(60) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_pmf_mirrors_out_pmf() {
+        let law = AnalyticalDegrees::new(10).unwrap();
+        let in_pmf = law.in_pmf();
+        // P(d_in = 0) = P(d = 10), P(d_in = 5) = P(d = 0).
+        assert_eq!(in_pmf[0], law.out_pmf()[10]);
+        assert_eq!(in_pmf[5], law.out_pmf()[0]);
+        assert!((law.mean_in() - (10.0 - law.mean_out()) / 2.0).abs() < 1e-12);
+    }
+}

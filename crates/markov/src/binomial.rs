@@ -1,0 +1,121 @@
+//! Log-space binomial machinery: reference distributions for Figures 6.1 and
+//! 6.3, the combinatorial counts of Eq. (6.1), and the binomial tails behind
+//! the Section 7.4 connectivity condition.
+
+/// Natural log of `k!`, computed by summation (exact enough for the `k`
+/// values used here, and free of special-function dependencies).
+#[must_use]
+pub fn ln_factorial(k: u64) -> f64 {
+    (2..=k).map(|i| (i as f64).ln()).sum()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`; `-∞` when `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial pmf `P(Bin(n, p) = k)`, computed in log space to stay
+/// accurate for extreme tails (the Section 7.4 example needs probabilities
+/// near 1e-30).
+#[must_use]
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// The full binomial pmf vector `[P(X = 0), …, P(X = n)]`.
+#[must_use]
+pub fn binomial_pmf_vec(n: u64, p: f64) -> Vec<f64> {
+    (0..=n).map(|k| binomial_pmf(n, p, k)).collect()
+}
+
+/// The lower tail `P(Bin(n, p) < k)`, accurate in log space for tiny tails.
+#[must_use]
+pub fn binomial_cdf_below(n: u64, p: f64, k: u64) -> f64 {
+    (0..k.min(n + 1)).map(|i| binomial_pmf(n, p, i)).sum()
+}
+
+/// A binomial pmf with the same *mean* as a target distribution, over the
+/// same support — the comparison curves of Figure 6.1 ("binomial
+/// distributions with the same expectations"). Given support size `n` and
+/// mean `m`, returns `Bin(n, m/n)`.
+#[must_use]
+pub fn binomial_with_mean(n: u64, mean: f64) -> Vec<f64> {
+    let p = (mean / n as f64).clamp(0.0, 1.0);
+    binomial_pmf_vec(n, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials_are_exact_for_small_k() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choose_matches_pascal() {
+        assert!((ln_choose(6, 2).exp() - 15.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let pmf = binomial_pmf_vec(40, 0.3);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_handles_degenerate_p() {
+        assert_eq!(binomial_pmf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_pmf(10, 1.0, 9), 0.0);
+        assert_eq!(binomial_pmf(10, 0.5, 11), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        // P(Bin(4, 0.5) = 2) = 6/16.
+        assert!((binomial_pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_accurate_at_extreme_values() {
+        // P(Bin(26, 0.96) < 3): each term is ~1e-31; the sum must not
+        // underflow to zero.
+        let tail = binomial_cdf_below(26, 0.96, 3);
+        assert!(tail > 0.0 && tail < 1e-29, "tail {tail}");
+    }
+
+    #[test]
+    fn mean_matched_binomial_has_requested_mean() {
+        let pmf = binomial_with_mean(90, 30.0);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        assert!((mean - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn pmf_rejects_bad_p() {
+        let _ = binomial_pmf(5, 1.5, 2);
+    }
+}

@@ -1,0 +1,456 @@
+//! Sparse finite Markov chains and stationary-distribution computation.
+//!
+//! The paper computes stationary distributions "numerically by multiplying
+//! the transition matrix by itself until it converges" (Section 6.2). We use
+//! the mathematically equivalent vector power iteration `p ← pP`, exploiting
+//! the sparsity of the degree chain (each state has a handful of successors).
+
+use sandf_graph::total_variation;
+
+/// A row-stochastic sparse transition structure over `0..len()` states.
+#[derive(Clone, Debug)]
+pub struct SparseChain {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+/// Error from stationary-distribution computation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ChainError {
+    /// A row's probabilities do not sum to 1 (within tolerance), or an entry
+    /// is negative / non-finite.
+    NotStochastic {
+        /// The offending row.
+        row: usize,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// Power iteration did not converge within the iteration budget.
+    NoConvergence {
+        /// Total-variation distance between the last two iterates.
+        residual: f64,
+    },
+}
+
+impl core::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Self::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, not 1")
+            }
+            Self::NoConvergence { residual } => {
+                write!(f, "power iteration stalled at residual {residual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl SparseChain {
+    /// Creates a chain from per-state successor lists. Entries with zero
+    /// probability are dropped; duplicate successors are merged.
+    #[must_use]
+    pub fn new(mut rows: Vec<Vec<(usize, f64)>>) -> Self {
+        for row in &mut rows {
+            row.retain(|&(_, p)| p != 0.0);
+            row.sort_unstable_by_key(|&(j, _)| j);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for &(j, p) in row.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == j => last.1 += p,
+                    _ => merged.push((j, p)),
+                }
+            }
+            *row = merged;
+        }
+        Self { rows }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chain has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The successors of `state` as `(state, probability)` pairs.
+    #[must_use]
+    pub fn row(&self, state: usize) -> &[(usize, f64)] {
+        &self.rows[state]
+    }
+
+    /// Validates that every row is a probability distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NotStochastic`] naming the first offending row.
+    pub fn check_stochastic(&self, tol: f64) -> Result<(), ChainError> {
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut sum = 0.0;
+            for &(j, p) in row {
+                if !(0.0..=1.0 + tol).contains(&p) || !p.is_finite() || j >= self.rows.len() {
+                    return Err(ChainError::NotStochastic { row: i, sum: p });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > tol {
+                return Err(ChainError::NotStochastic { row: i, sum });
+            }
+        }
+        Ok(())
+    }
+
+    /// One step of the evolution `p ← pP`.
+    #[must_use]
+    pub fn step_distribution(&self, p: &[f64]) -> Vec<f64> {
+        let mut next = vec![0.0; self.rows.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mass = p[i];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(j, prob) in row {
+                next[j] += mass * prob;
+            }
+        }
+        next
+    }
+
+    /// Computes the stationary distribution by power iteration from `init`,
+    /// declaring convergence when the total-variation distance between
+    /// consecutive iterates drops below `tol`.
+    ///
+    /// For an ergodic chain this converges to the unique `π` with `πP = π`
+    /// (the fundamental theorem of Section 3.2). For a reducible chain it
+    /// converges to a stationary distribution reachable from `init`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NoConvergence`] after `max_iters` steps, or
+    /// [`ChainError::NotStochastic`] if `init`'s length mismatches.
+    pub fn stationary_from(
+        &self,
+        init: &[f64],
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<Vec<f64>, ChainError> {
+        if init.len() != self.rows.len() {
+            return Err(ChainError::NotStochastic { row: usize::MAX, sum: init.len() as f64 });
+        }
+        let mut p = init.to_vec();
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iters {
+            let next = self.step_distribution(&p);
+            residual = total_variation(&p, &next);
+            p = next;
+            if residual < tol {
+                // Renormalize to wash out accumulated rounding.
+                let sum: f64 = p.iter().sum();
+                if sum > 0.0 {
+                    for x in &mut p {
+                        *x /= sum;
+                    }
+                }
+                return Ok(p);
+            }
+        }
+        Err(ChainError::NoConvergence { residual })
+    }
+
+    /// Computes the stationary distribution from the uniform initial
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`stationary_from`](Self::stationary_from).
+    pub fn stationary(&self, tol: f64, max_iters: usize) -> Result<Vec<f64>, ChainError> {
+        let n = self.rows.len().max(1);
+        let init = vec![1.0 / n as f64; self.rows.len()];
+        self.stationary_from(&init, tol, max_iters)
+    }
+
+    /// Estimates the modulus of the second-largest eigenvalue `|λ₂|` by
+    /// power iteration on the mass-free subspace (`Σᵢ vᵢ = 0`, the
+    /// complement of the stationary direction for a stochastic matrix).
+    ///
+    /// The *spectral gap* `1 − |λ₂|` governs mixing: distributions converge
+    /// to `π` like `|λ₂|ᵗ`. This is the sharp quantity the conductance
+    /// bound of Lemma 7.14 lower-bounds via Cheeger's inequality
+    /// (`gap ≥ Φ²/2`), so comparing the two on small chains shows exactly
+    /// how conservative the paper's Section 7.5 machinery is.
+    ///
+    /// Returns `None` for chains with fewer than 2 states or when the
+    /// iterate collapses to zero (e.g. a rank-one chain, `λ₂ = 0`).
+    #[must_use]
+    pub fn second_eigenvalue_modulus(&self, iterations: usize) -> Option<f64> {
+        let n = self.rows.len();
+        if n < 2 {
+            return None;
+        }
+        // A deterministic, generic start vector (a structured vector like
+        // ±1 alternation can be exactly orthogonal to the subdominant
+        // eigenvector on symmetric chains), projected to zero sum.
+        let mut v: Vec<f64> = (0..n).map(|i| ((i as f64) + 1.0).sin()).collect();
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x -= total / n as f64;
+        }
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut rate = 0.0;
+        let mut current = norm(&v);
+        if current == 0.0 {
+            return None;
+        }
+        for x in &mut v {
+            *x /= current;
+        }
+        for _ in 0..iterations {
+            let mut next = self.step_distribution(&v);
+            // Rounding reintroduces a component along the eigenvalue-1
+            // direction; re-project onto the zero-sum subspace (which holds
+            // every non-unit eigenvector) each step or the estimate drifts
+            // to 1.
+            let mean: f64 = next.iter().sum::<f64>() / next.len() as f64;
+            for x in &mut next {
+                *x -= mean;
+            }
+            current = norm(&next);
+            if current < 1e-300 {
+                return Some(0.0);
+            }
+            v = next;
+            rate = current;
+            for x in &mut v {
+                *x /= current;
+            }
+        }
+        Some(rate.clamp(0.0, 1.0))
+    }
+
+    /// A mixing-time estimate from the spectral gap:
+    /// `t_mix(ε) ≈ ln(1/(ε·π_min)) / (1 − |λ₂|)`.
+    ///
+    /// Returns `None` when the gap cannot be estimated or is zero.
+    #[must_use]
+    pub fn mixing_time_estimate(&self, pi: &[f64], epsilon: f64) -> Option<f64> {
+        let lambda = self.second_eigenvalue_modulus(3000)?;
+        let gap = 1.0 - lambda;
+        if gap <= 0.0 {
+            return None;
+        }
+        let pi_min = pi.iter().copied().filter(|&p| p > 0.0).fold(f64::INFINITY, f64::min);
+        if !pi_min.is_finite() {
+            return None;
+        }
+        Some((1.0 / (epsilon * pi_min)).ln() / gap)
+    }
+
+    /// Number of strongly connected components (Tarjan) — irreducibility
+    /// means exactly one (Section 3.2). Zero-probability edges are already
+    /// dropped at construction.
+    #[must_use]
+    pub fn strongly_connected_components(&self) -> usize {
+        // Iterative Tarjan to survive deep chains.
+        let n = self.rows.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components = 0usize;
+        let mut call: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut edge)) = call.last_mut() {
+                if *edge < self.rows[v].len() {
+                    let w = self.rows[v][*edge].0;
+                    *edge += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        components += 1;
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            if w == v {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p: f64, q: f64) -> SparseChain {
+        SparseChain::new(vec![vec![(0, 1.0 - p), (1, p)], vec![(0, q), (1, 1.0 - q)]])
+    }
+
+    #[test]
+    fn two_state_stationary_is_analytic() {
+        let chain = two_state(0.3, 0.1);
+        chain.check_stochastic(1e-12).unwrap();
+        let pi = chain.stationary(1e-14, 100_000).unwrap();
+        // π = (q, p) / (p + q).
+        assert!((pi[0] - 0.25).abs() < 1e-10);
+        assert!((pi[1] - 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn doubly_stochastic_chain_is_uniform() {
+        // A symmetric random walk on a 4-cycle with holding probability.
+        let rows = (0..4)
+            .map(|i| {
+                vec![
+                    (i, 0.5),
+                    ((i + 1) % 4, 0.25),
+                    ((i + 3) % 4, 0.25),
+                ]
+            })
+            .collect();
+        let chain = SparseChain::new(rows);
+        let pi = chain.stationary(1e-14, 100_000).unwrap();
+        for &x in &pi {
+            assert!((x - 0.25).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn detects_non_stochastic_rows() {
+        let chain = SparseChain::new(vec![vec![(0, 0.5)]]);
+        assert!(matches!(
+            chain.check_stochastic(1e-9),
+            Err(ChainError::NotStochastic { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn merges_duplicate_successors() {
+        let chain = SparseChain::new(vec![vec![(0, 0.25), (0, 0.75)]]);
+        assert_eq!(chain.row(0), &[(0, 1.0)]);
+        chain.check_stochastic(1e-12).unwrap();
+    }
+
+    #[test]
+    fn drops_zero_probability_edges() {
+        let chain = SparseChain::new(vec![vec![(0, 1.0), (1, 0.0)], vec![(1, 1.0)]]);
+        assert_eq!(chain.row(0), &[(0, 1.0)]);
+        // Two absorbing states → two SCCs.
+        assert_eq!(chain.strongly_connected_components(), 2);
+    }
+
+    #[test]
+    fn scc_of_irreducible_chain_is_one() {
+        assert_eq!(two_state(0.3, 0.1).strongly_connected_components(), 1);
+    }
+
+    #[test]
+    fn scc_handles_long_paths() {
+        // A directed cycle of 1000 states: one SCC.
+        let n = 1000;
+        let rows = (0..n).map(|i| vec![((i + 1) % n, 1.0)]).collect();
+        let chain = SparseChain::new(rows);
+        assert_eq!(chain.strongly_connected_components(), 1);
+    }
+
+    #[test]
+    fn periodic_chain_reports_no_convergence() {
+        // A deterministic 2-cycle never converges from a point mass.
+        let chain = SparseChain::new(vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
+        let err = chain.stationary_from(&[1.0, 0.0], 1e-12, 1000).unwrap_err();
+        assert!(matches!(err, ChainError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn reducible_chain_converges_to_reachable_component() {
+        // State 1 is absorbing; state 0 leaks into it.
+        let chain = SparseChain::new(vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]]);
+        let pi = chain.stationary_from(&[1.0, 0.0], 1e-13, 10_000).unwrap();
+        assert!(pi[1] > 0.999_999);
+    }
+
+    #[test]
+    fn step_distribution_conserves_mass() {
+        let chain = two_state(0.2, 0.4);
+        let p = chain.step_distribution(&[0.6, 0.4]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_eigenvalue_of_two_state_chain_is_exact() {
+        // λ₂ = 1 − p − q for the 2-state chain.
+        for (p, q) in [(0.3, 0.1), (0.5, 0.5), (0.05, 0.2)] {
+            let chain = two_state(p, q);
+            let lambda = chain.second_eigenvalue_modulus(2000).unwrap();
+            let expected = (1.0 - p - q).abs();
+            assert!(
+                (lambda - expected).abs() < 1e-6,
+                "p={p} q={q}: λ₂ {lambda} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_eigenvalue_of_lazy_cycle() {
+        // Lazy symmetric walk on an n-cycle: eigenvalues
+        // (1 + cos(2πk/n))/2, so λ₂ = (1 + cos(2π/n))/2.
+        for n in [4usize, 6, 8] {
+            let rows = (0..n)
+                .map(|i| vec![(i, 0.5), ((i + 1) % n, 0.25), ((i + n - 1) % n, 0.25)])
+                .collect();
+            let chain = SparseChain::new(rows);
+            let lambda = chain.second_eigenvalue_modulus(6000).unwrap();
+            let expected = (1.0 + (2.0 * std::f64::consts::PI / n as f64).cos()) / 2.0;
+            assert!((lambda - expected).abs() < 1e-6, "n={n}: λ₂ {lambda} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn mixing_time_scales_with_the_gap() {
+        let fast = two_state(0.5, 0.5); // gap 1
+        let slow = two_state(0.05, 0.05); // gap 0.1
+        let pi = [0.5, 0.5];
+        let t_fast = fast.mixing_time_estimate(&pi, 0.01).unwrap();
+        let t_slow = slow.mixing_time_estimate(&pi, 0.01).unwrap();
+        assert!(t_slow > 5.0 * t_fast, "fast {t_fast}, slow {t_slow}");
+    }
+
+    #[test]
+    fn spectral_helpers_reject_degenerate_chains() {
+        let chain = SparseChain::new(vec![vec![(0, 1.0)]]);
+        assert_eq!(chain.second_eigenvalue_modulus(100), None);
+    }
+}

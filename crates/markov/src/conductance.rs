@@ -1,0 +1,99 @@
+//! Temporal independence (Section 7.5): the expected-conductance bound of
+//! Lemma 7.14 and the `τ_ε` convergence-time bound of Lemma 7.15.
+
+/// Lemma 7.14: a lower bound on the expected conductance of the global MC
+/// graph, `Φ(G) ≥ d_E(d_E − 1)·α / (2·s(s − 1))`, valid for `s ≪ √n`.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ d_E ≤ s` and `0 < α ≤ 1`.
+#[must_use]
+pub fn expected_conductance_bound(d_e: f64, alpha: f64, s: usize) -> f64 {
+    assert!(s >= 2, "view size must be at least 2");
+    assert!((2.0..=s as f64).contains(&d_e), "expected outdegree must be in [2, s]");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    d_e * (d_e - 1.0) * alpha / (2.0 * (s * (s - 1)) as f64)
+}
+
+/// Lemma 7.15: the bound on the number of global transformations needed to
+/// become `ε`-independent of a *random* (steady-state) starting graph:
+///
+/// ```text
+/// τ_ε(G) ≤ 16·s²(s−1)² / (d_E²(d_E−1)²·α²) · (n·s·ln n + ln(4/ε)).
+/// ```
+#[must_use]
+pub fn tau_epsilon_bound(n: usize, s: usize, d_e: f64, alpha: f64, epsilon: f64) -> f64 {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    let phi = expected_conductance_bound(d_e, alpha, s);
+    let entropy = (n * s) as f64 * (n as f64).ln() + (4.0 / epsilon).ln();
+    4.0 / (phi * phi) * entropy
+}
+
+/// The same bound expressed as *actions initiated per node*: `τ_ε / n`.
+/// For zero loss and `α = 1` this is `O(s·log n)` — constant-size views
+/// reach temporal independence in `O(log n)` per-node actions, logarithmic
+/// views in `O(log² n)` (the paper's closing remark of Section 7.5).
+#[must_use]
+pub fn actions_per_node_bound(n: usize, s: usize, d_e: f64, alpha: f64, epsilon: f64) -> f64 {
+    tau_epsilon_bound(n, s, d_e, alpha, epsilon) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_matches_formula() {
+        let phi = expected_conductance_bound(30.0, 0.96, 40);
+        let expected = 30.0 * 29.0 * 0.96 / (2.0 * 40.0 * 39.0);
+        assert!((phi - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_grows_with_alpha_and_degree() {
+        let base = expected_conductance_bound(20.0, 0.9, 40);
+        assert!(expected_conductance_bound(30.0, 0.9, 40) > base);
+        assert!(expected_conductance_bound(20.0, 0.95, 40) > base);
+        assert!(expected_conductance_bound(20.0, 0.9, 60) < base);
+    }
+
+    #[test]
+    fn tau_matches_expanded_formula() {
+        let (n, s, d_e, alpha, eps) = (1000usize, 40usize, 30.0, 1.0, 0.01);
+        let tau = tau_epsilon_bound(n, s, d_e, alpha, eps);
+        let lead = 16.0 * (s * s * (s - 1) * (s - 1)) as f64
+            / (d_e * d_e * (d_e - 1.0) * (d_e - 1.0) * alpha * alpha);
+        let entropy = (n * s) as f64 * (n as f64).ln() + (4.0 / eps).ln();
+        assert!((tau - lead * entropy).abs() / tau < 1e-12);
+    }
+
+    #[test]
+    fn per_node_actions_scale_as_s_log_n() {
+        // Doubling ln n should roughly double the per-node bound (the ln 4/ε
+        // term is negligible at this scale).
+        let s = 40;
+        let a1 = actions_per_node_bound(1_000, s, 30.0, 1.0, 0.01);
+        let a2 = actions_per_node_bound(1_000_000, s, 30.0, 1.0, 0.01);
+        let ratio = a2 / a1;
+        assert!(
+            (1.9..=2.1).contains(&ratio),
+            "ln(10^6)/ln(10^3) = 2, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn loss_increases_tau_by_a_constant_factor() {
+        // α = 0.96 (1 % loss and δ) vs α = 1: τ grows by 1/α² ≈ 1.085.
+        let t_lossless = tau_epsilon_bound(1000, 40, 30.0, 1.0, 0.01);
+        let t_lossy = tau_epsilon_bound(1000, 40, 30.0, 0.96, 0.01);
+        let ratio = t_lossy / t_lossless;
+        assert!((ratio - 1.0 / (0.96 * 0.96)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = expected_conductance_bound(30.0, 0.0, 40);
+    }
+}

@@ -1,0 +1,178 @@
+//! Join/leave dynamics (Section 6.5): the id-instance decay bound for
+//! departed nodes (Lemmas 6.9/6.10, Figure 6.4) and the integration bounds
+//! for joiners (Lemmas 6.11–6.13, Corollary 6.14).
+
+/// The per-round survival factor of Lemma 6.9: an id instance survives one
+/// round with probability at most `1 − (1 − ℓ − δ)·d_L / s²`.
+#[must_use]
+pub fn survival_factor(loss: f64, delta: f64, d_l: usize, s: usize) -> f64 {
+    assert!(s >= 2, "view size must be at least 2");
+    1.0 - (1.0 - loss - delta) * d_l as f64 / (s * s) as f64
+}
+
+/// The Figure 6.4 curve: the upper bound on the probability that an id
+/// instance of a left/failed node remains in the system `i` rounds after
+/// the departure, for `i = 1..=rounds`.
+#[must_use]
+pub fn leave_survival_bound(loss: f64, delta: f64, d_l: usize, s: usize, rounds: usize) -> Vec<f64> {
+    let factor = survival_factor(loss, delta, d_l, s);
+    let mut out = Vec::with_capacity(rounds);
+    let mut p = 1.0;
+    for _ in 0..rounds {
+        p *= factor;
+        out.push(p);
+    }
+    out
+}
+
+/// The number of rounds until the survival bound first drops below `target`
+/// (e.g. 0.5 for the paper's "after merely 70 rounds, fewer than 50 % ...
+/// remain"). Returns `None` if the factor is 1 (no decay, `d_L = 0`).
+#[must_use]
+pub fn rounds_until_survival_below(
+    loss: f64,
+    delta: f64,
+    d_l: usize,
+    s: usize,
+    target: f64,
+) -> Option<usize> {
+    let factor = survival_factor(loss, delta, d_l, s);
+    if factor >= 1.0 || target <= 0.0 || target >= 1.0 {
+        return None;
+    }
+    // factor^i < target ⇔ i > ln(target)/ln(factor).
+    Some((target.ln() / factor.ln()).ceil() as usize)
+}
+
+/// Lemma 6.11: a lower bound on the expected creation rate `Δ` of new id
+/// instances by an average (veteran) node per round, given the expected
+/// indegree `D_in`.
+#[must_use]
+pub fn veteran_creation_rate(loss: f64, delta: f64, d_l: usize, s: usize, d_in: f64) -> f64 {
+    (1.0 - loss - delta) * d_l as f64 / (s * s) as f64 * d_in
+}
+
+/// Lemma 6.12: a lower bound on the creation rate of a newly joined node
+/// (whose outdegree starts at `d_L`): `(d_L/s)² · Δ`.
+#[must_use]
+pub fn joiner_creation_rate(loss: f64, delta: f64, d_l: usize, s: usize, d_in: f64) -> f64 {
+    let ratio = d_l as f64 / s as f64;
+    ratio * ratio * veteran_creation_rate(loss, delta, d_l, s, d_in)
+}
+
+/// Lemma 6.13's horizon: within `s² / ((1 − ℓ − δ)·d_L)` rounds a joiner is
+/// expected to create at least `(d_L/s)² · D_in` id instances.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct JoinBound {
+    /// The round horizon `s² / ((1−ℓ−δ)·d_L)`.
+    pub rounds: f64,
+    /// The expected instances created by then: `(d_L/s)² · D_in`.
+    pub expected_instances: f64,
+}
+
+/// Computes the Lemma 6.13 join-integration bound.
+///
+/// # Panics
+///
+/// Panics if `d_L = 0` (a joiner that duplicates nothing creates no
+/// instances on this bound's terms) or `ℓ + δ ≥ 1`.
+#[must_use]
+pub fn join_integration_bound(loss: f64, delta: f64, d_l: usize, s: usize, d_in: f64) -> JoinBound {
+    assert!(d_l > 0, "the join bound requires d_L > 0");
+    assert!(loss + delta < 1.0, "the join bound requires l + delta < 1");
+    let ratio = d_l as f64 / s as f64;
+    JoinBound {
+        rounds: (s * s) as f64 / ((1.0 - loss - delta) * d_l as f64),
+        expected_instances: ratio * ratio * d_in,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: usize = 40;
+    const D_L: usize = 18;
+    const DELTA: f64 = 0.01;
+
+    #[test]
+    fn survival_factor_matches_formula() {
+        let f = survival_factor(0.0, DELTA, D_L, S);
+        assert!((f - (1.0 - 0.99 * 18.0 / 1600.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure_6_4_anchor_point() {
+        // "after merely 70 rounds, fewer than 50 % of the id instances of a
+        // left/failed node are expected to remain" — for every loss rate
+        // shown.
+        for loss in [0.0, 0.01, 0.05, 0.1] {
+            let rounds = rounds_until_survival_below(loss, DELTA, D_L, S, 0.5).unwrap();
+            assert!(
+                (55..=75).contains(&rounds),
+                "ℓ={loss}: 50% point at {rounds} rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_is_nearly_loss_insensitive() {
+        // Figure 6.4's visual: the four curves are almost indistinguishable.
+        let low = leave_survival_bound(0.0, DELTA, D_L, S, 500);
+        let high = leave_survival_bound(0.1, DELTA, D_L, S, 500);
+        for (a, b) in low.iter().zip(&high) {
+            assert!((a - b).abs() < 0.06, "curves diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn survival_curve_is_decreasing_geometric() {
+        let curve = leave_survival_bound(0.01, DELTA, D_L, S, 100);
+        assert_eq!(curve.len(), 100);
+        for w in curve.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        let f = survival_factor(0.01, DELTA, D_L, S);
+        assert!((curve[0] - f).abs() < 1e-12);
+        assert!((curve[9] - f.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_decay_without_duplication_floor() {
+        assert_eq!(survival_factor(0.0, 0.0, 0, S), 1.0);
+        assert_eq!(rounds_until_survival_below(0.0, 0.0, 0, S, 0.5), None);
+    }
+
+    #[test]
+    fn creation_rates_scale_as_lemmas_6_11_and_6_12() {
+        let d_in = 28.0;
+        let veteran = veteran_creation_rate(0.01, DELTA, D_L, S, d_in);
+        let joiner = joiner_creation_rate(0.01, DELTA, D_L, S, d_in);
+        let ratio = (D_L as f64 / S as f64).powi(2);
+        assert!((joiner - ratio * veteran).abs() < 1e-12);
+        assert!(veteran > 0.0 && joiner < veteran);
+    }
+
+    #[test]
+    fn corollary_6_14_shape() {
+        // For s/d_L = 2 and ℓ+δ ≪ 1: after ~2s rounds the joiner creates at
+        // least D_in/4 instances.
+        let s = 40;
+        let d_l = 20;
+        let d_in = 30.0;
+        let bound = join_integration_bound(0.0, 0.001, d_l, s, d_in);
+        assert!((bound.expected_instances - d_in / 4.0).abs() < 1e-9);
+        assert!(
+            (bound.rounds - 2.0 * s as f64).abs() / (2.0 * s as f64) < 0.01,
+            "horizon {} vs 2s = {}",
+            bound.rounds,
+            2 * s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "d_L > 0")]
+    fn join_bound_requires_positive_dl() {
+        let _ = join_integration_bound(0.0, 0.0, 0, S, 10.0);
+    }
+}

@@ -1,0 +1,643 @@
+//! The two-dimensional degree Markov chain of Section 6.2 (Figure 6.2).
+//!
+//! The chain tracks the joint evolution of a single node's outdegree `d` and
+//! indegree `d_in` under the protocol, given the system-wide degree
+//! distribution. As in the paper, there is a fixed-point loop: "the degree
+//! distributions can be learned from the stationary distribution of the MC,
+//! but the transition probabilities, in turn, depend on the degree
+//! distributions", so we iterate — compute the stationary distribution,
+//! refresh the aggregate quantities, rebuild the chain — until the two agree.
+//!
+//! ## Transition structure
+//!
+//! One round means every node initiates one action in expectation. Three
+//! event families touch the tracked node `u` (all rates per round):
+//!
+//! 1. **`u` initiates** (rate 1). With probability `d(d−1)/(s(s−1))` both
+//!    selected slots are nonempty. The send duplicates iff `d = d_L`;
+//!    otherwise `d` drops by 2. The receiver stores (giving `u` a new
+//!    in-neighbor, `d_in + 1`) iff the message is delivered (prob `1 − ℓ`)
+//!    and the target is not full.
+//! 2. **an in-edge of `u` is chosen as a message target** (rate `d_in·t`,
+//!    where `t` is the per-round selection rate of one particular edge).
+//!    The holder removes the edge unless it duplicates (`d_in − 1`); `u`
+//!    receives the message (prob `1 − ℓ`) and stores two ids (`d + 2`)
+//!    unless its view is full.
+//! 3. **an in-edge of `u` is chosen as a message payload** (rate `d_in·t`).
+//!    The instance moves: removed from the holder unless duplicated, and a
+//!    new in-edge of `u` appears at the target if delivered and not full.
+//!
+//! ## Closure approximations (documented deviations)
+//!
+//! The paper does not spell out its transition probabilities; ours use the
+//! following standard size-biasing arguments, cross-validated against both
+//! the Eq. (6.1) analytical law and large simulations (see the workspace
+//! integration tests and `EXPERIMENTS.md`):
+//!
+//! * message *targets* are out-neighbors, i.e. nodes weighted by indegree —
+//!   the probability that a target is full is
+//!   `q_full = E[d_in·1{d=s}] / E[d_in]`;
+//! * the *holder* of a particular edge is outdegree-size-biased, and the
+//!   edge is selected with probability `(d−1)/(s(s−1))` per round given the
+//!   holder has outdegree `d`, so `t = E[d(d−1)] / (E[d]·s(s−1))`;
+//! * conditioned on a particular edge being selected, the holder duplicates
+//!   with probability `dup_edge = d_L(d_L−1)·P(d=d_L) / E[d(d−1)]`;
+//! * self-edges are ignored (they carry negligible stationary mass);
+//! * sum degrees are capped at `3s`, exactly the paper's truncation:
+//!   transitions that would exceed the cap become self-loops.
+
+use sandf_core::SfConfig;
+use sandf_graph::total_variation;
+use serde::{Deserialize, Serialize};
+
+use crate::chain::{ChainError, SparseChain};
+
+/// Parameters of the degree chain.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DegreeMcParams {
+    /// Protocol configuration (`s`, `d_L`).
+    pub config: SfConfig,
+    /// Uniform message-loss rate `ℓ`.
+    pub loss: f64,
+    /// Sum-degree truncation (the paper uses `3s`; states with
+    /// `d + 2·d_in` above this are removed and inbound edges become
+    /// self-loops).
+    pub sum_degree_cap: usize,
+    /// The initial state `(d, d_in)` of the fixed-point iteration. For the
+    /// Section 6.1 regime pick a state on the target sum-degree line (e.g.
+    /// `(d_m/3, d_m/3)`).
+    pub initial_state: (usize, usize),
+}
+
+impl DegreeMcParams {
+    /// Sensible defaults: cap `3s`, initial state in the middle of the band.
+    #[must_use]
+    pub fn new(config: SfConfig, loss: f64) -> Self {
+        let s = config.view_size();
+        let d_l = config.lower_threshold();
+        let d0 = ((d_l + (s - d_l) * 3 / 4) & !1).max(d_l);
+        Self { config, loss, sum_degree_cap: 3 * s, initial_state: (d0, d0 / 2) }
+    }
+
+    /// Sets the initial state (must be a legal state).
+    #[must_use]
+    pub fn with_initial_state(mut self, d: usize, d_in: usize) -> Self {
+        self.initial_state = (d, d_in);
+        self
+    }
+}
+
+/// Aggregate quantities the transitions depend on, recomputed each
+/// fixed-point iteration.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+struct Aggregates {
+    /// `E[d]`.
+    e_d: f64,
+    /// `E[d(d−1)]`.
+    e_d2: f64,
+    /// `E[d_in]`.
+    e_din: f64,
+    /// Probability a message target (indegree-biased) is full.
+    q_full: f64,
+    /// Probability a selected edge's holder duplicates.
+    dup_edge: f64,
+    /// Per-round selection rate of one particular edge.
+    t: f64,
+}
+
+/// The solved degree chain: stationary joint law of `(d, d_in)` plus the
+/// derived event probabilities.
+#[derive(Clone, Debug)]
+pub struct DegreeMc {
+    params: DegreeMcParams,
+    states: Vec<(usize, usize)>,
+    stationary: Vec<f64>,
+    aggregates: Aggregates,
+    fixed_point_iterations: usize,
+}
+
+/// Error from solving the degree chain.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DegreeMcError {
+    /// The inner power iteration failed.
+    Chain(ChainError),
+    /// The outer fixed point did not converge.
+    NoFixedPoint {
+        /// TV distance between the last two outdegree marginals.
+        residual: f64,
+    },
+    /// The requested initial state is not in the state space.
+    BadInitialState {
+        /// The offending `(d, d_in)`.
+        state: (usize, usize),
+    },
+}
+
+impl core::fmt::Display for DegreeMcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Self::Chain(e) => write!(f, "degree chain: {e}"),
+            Self::NoFixedPoint { residual } => {
+                write!(f, "degree-distribution fixed point stalled at {residual}")
+            }
+            Self::BadInitialState { state } => {
+                write!(f, "initial state ({}, {}) is outside the state space", state.0, state.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegreeMcError {}
+
+impl From<ChainError> for DegreeMcError {
+    fn from(e: ChainError) -> Self {
+        Self::Chain(e)
+    }
+}
+
+impl DegreeMc {
+    /// Solves the chain: builds the state space, then runs the fixed-point
+    /// loop (stationary distribution ↔ aggregates) to convergence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegreeMcError`] if the initial state is illegal or either
+    /// iteration fails to converge.
+    pub fn solve(params: DegreeMcParams) -> Result<Self, DegreeMcError> {
+        let s = params.config.view_size();
+        let d_l = params.config.lower_threshold();
+        let cap = params.sum_degree_cap;
+
+        let mut states = Vec::new();
+        for d in (d_l..=s).step_by(2) {
+            let din_max = (cap.saturating_sub(d)) / 2;
+            for din in 0..=din_max {
+                states.push((d, din));
+            }
+        }
+        let index = |d: usize, din: usize| -> Option<usize> {
+            if d < d_l || d > s || !d.is_multiple_of(2) {
+                return None;
+            }
+            if d + 2 * din > cap {
+                return None;
+            }
+            // Offset of the (d, din) state: sum of block sizes before d.
+            let mut offset = 0;
+            for dd in (d_l..d).step_by(2) {
+                offset += (cap - dd) / 2 + 1;
+            }
+            Some(offset + din)
+        };
+
+        let init_idx = index(params.initial_state.0, params.initial_state.1)
+            .ok_or(DegreeMcError::BadInitialState { state: params.initial_state })?;
+
+        let mut p = vec![0.0; states.len()];
+        p[init_idx] = 1.0;
+
+        // The outer tolerance must sit above what the inner iteration can
+        // deliver: the inner loop stops on a successive-iterate residual, so
+        // the returned distribution is only accurate to roughly the inner
+        // tolerance times the chain's mixing factor. The aggregate update is
+        // damped — the raw map oscillates (a chain built with a small
+        // duplication probability produces a stationary law with a large
+        // one, and vice versa), and averaging breaks the 2-cycle.
+        const OUTER_TOL: f64 = 1e-8;
+        const INNER_TOL: f64 = 1e-13;
+        const MAX_OUTER: usize = 2_000;
+        const MAX_INNER: usize = 400_000;
+        const DAMPING: f64 = 0.5;
+
+        let mut aggregates = compute_aggregates(&states, &p, s, d_l);
+        let mut last_residual = f64::INFINITY;
+        for outer in 0..MAX_OUTER {
+            let chain = build_chain(&states, &index, &aggregates, &params);
+            chain.check_stochastic(1e-9)?;
+            let next = chain.stationary_from(&p, INNER_TOL, MAX_INNER)?;
+            let fresh = compute_aggregates(&states, &next, s, d_l);
+            let dist_residual = total_variation(&p, &next);
+            let agg_residual = aggregates.distance(&fresh);
+            last_residual = dist_residual.max(agg_residual);
+            p = next;
+            aggregates = aggregates.blend(&fresh, DAMPING);
+            if last_residual < OUTER_TOL {
+                return Ok(Self {
+                    params,
+                    states,
+                    stationary: p,
+                    aggregates,
+                    fixed_point_iterations: outer + 1,
+                });
+            }
+        }
+        Err(DegreeMcError::NoFixedPoint { residual: last_residual })
+    }
+
+    /// The solved parameters.
+    #[must_use]
+    pub fn params(&self) -> &DegreeMcParams {
+        &self.params
+    }
+
+    /// The states `(d, d_in)` in index order.
+    #[must_use]
+    pub fn states(&self) -> &[(usize, usize)] {
+        &self.states
+    }
+
+    /// The stationary joint distribution (aligned with [`states`](Self::states)).
+    #[must_use]
+    pub fn stationary(&self) -> &[f64] {
+        &self.stationary
+    }
+
+    /// Number of outer fixed-point iterations used.
+    #[must_use]
+    pub fn fixed_point_iterations(&self) -> usize {
+        self.fixed_point_iterations
+    }
+
+    /// The stationary outdegree marginal, indexed by outdegree.
+    #[must_use]
+    pub fn out_pmf(&self) -> Vec<f64> {
+        let mut pmf = vec![0.0; self.params.config.view_size() + 1];
+        for (&(d, _), &p) in self.states.iter().zip(&self.stationary) {
+            pmf[d] += p;
+        }
+        pmf
+    }
+
+    /// The stationary indegree marginal, indexed by indegree.
+    #[must_use]
+    pub fn in_pmf(&self) -> Vec<f64> {
+        let max_din = self.states.iter().map(|&(_, din)| din).max().unwrap_or(0);
+        let mut pmf = vec![0.0; max_din + 1];
+        for (&(_, din), &p) in self.states.iter().zip(&self.stationary) {
+            pmf[din] += p;
+        }
+        pmf
+    }
+
+    /// Expected outdegree `d_E` in the steady state.
+    #[must_use]
+    pub fn mean_out(&self) -> f64 {
+        moment(&self.out_pmf(), 1)
+    }
+
+    /// Expected indegree in the steady state.
+    #[must_use]
+    pub fn mean_in(&self) -> f64 {
+        moment(&self.in_pmf(), 1)
+    }
+
+    /// Outdegree standard deviation.
+    #[must_use]
+    pub fn std_out(&self) -> f64 {
+        std_of(&self.out_pmf())
+    }
+
+    /// Indegree standard deviation.
+    #[must_use]
+    pub fn std_in(&self) -> f64 {
+        std_of(&self.in_pmf())
+    }
+
+    /// The Pearson correlation between outdegree and indegree in the
+    /// stationary joint law.
+    ///
+    /// With `ℓ = 0` and `d_L = 0` the sum degree `d + 2·d_in` is conserved
+    /// (Lemma 6.2), so the correlation is exactly −1; loss and the
+    /// duplication/deletion mechanisms soften it. Returns `None` when
+    /// either marginal is degenerate.
+    #[must_use]
+    pub fn degree_correlation(&self) -> Option<f64> {
+        let mut e_d = 0.0;
+        let mut e_din = 0.0;
+        for (&(d, din), &p) in self.states.iter().zip(&self.stationary) {
+            e_d += p * d as f64;
+            e_din += p * din as f64;
+        }
+        let mut cov = 0.0;
+        let mut var_d = 0.0;
+        let mut var_din = 0.0;
+        for (&(d, din), &p) in self.states.iter().zip(&self.stationary) {
+            let xd = d as f64 - e_d;
+            let xi = din as f64 - e_din;
+            cov += p * xd * xi;
+            var_d += p * xd * xd;
+            var_din += p * xi * xi;
+        }
+        let denom = (var_d * var_din).sqrt();
+        (denom > 1e-12).then(|| cov / denom)
+    }
+
+    /// The steady-state duplication probability per non-self-loop action
+    /// (Lemma 6.7 bounds this within `[ℓ, ℓ + δ]`).
+    #[must_use]
+    pub fn duplication_probability(&self) -> f64 {
+        self.aggregates.dup_edge
+    }
+
+    /// The steady-state deletion probability per non-self-loop action: the
+    /// message is delivered (`1 − ℓ`) to a full target (`q_full`).
+    #[must_use]
+    pub fn deletion_probability(&self) -> f64 {
+        (1.0 - self.params.loss) * self.aggregates.q_full
+    }
+}
+
+fn moment(pmf: &[f64], k: i32) -> f64 {
+    pmf.iter().enumerate().map(|(v, &p)| (v as f64).powi(k) * p).sum()
+}
+
+fn std_of(pmf: &[f64]) -> f64 {
+    let mean = moment(pmf, 1);
+    let m2 = moment(pmf, 2);
+    (m2 - mean * mean).max(0.0).sqrt()
+}
+
+impl Aggregates {
+    /// Damped update: `self·(1−w) + fresh·w`.
+    fn blend(&self, fresh: &Self, w: f64) -> Self {
+        let mix = |a: f64, b: f64| a * (1.0 - w) + b * w;
+        Self {
+            e_d: mix(self.e_d, fresh.e_d),
+            e_d2: mix(self.e_d2, fresh.e_d2),
+            e_din: mix(self.e_din, fresh.e_din),
+            q_full: mix(self.q_full, fresh.q_full),
+            dup_edge: mix(self.dup_edge, fresh.dup_edge),
+            t: mix(self.t, fresh.t),
+        }
+    }
+
+    /// Largest relative field difference, used as the outer residual.
+    fn distance(&self, other: &Self) -> f64 {
+        let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+        rel(self.e_d, other.e_d)
+            .max(rel(self.e_d2, other.e_d2))
+            .max(rel(self.e_din, other.e_din))
+            .max((self.q_full - other.q_full).abs())
+            .max((self.dup_edge - other.dup_edge).abs())
+            .max(rel(self.t, other.t))
+    }
+}
+
+fn compute_aggregates(states: &[(usize, usize)], p: &[f64], s: usize, d_l: usize) -> Aggregates {
+    let mut e_d = 0.0;
+    let mut e_d2 = 0.0;
+    let mut e_din = 0.0;
+    let mut full_din_mass = 0.0;
+    let mut dup_mass = 0.0;
+    for (&(d, din), &prob) in states.iter().zip(p) {
+        let df = d as f64;
+        e_d += prob * df;
+        e_d2 += prob * df * (df - 1.0);
+        e_din += prob * din as f64;
+        if d == s {
+            full_din_mass += prob * din as f64;
+        }
+        if d == d_l && d_l >= 2 {
+            dup_mass += prob * df * (df - 1.0);
+        }
+    }
+    let q_full = if e_din > 0.0 { full_din_mass / e_din } else { 0.0 };
+    let dup_edge = if e_d2 > 0.0 { dup_mass / e_d2 } else { 0.0 };
+    let t = if e_d > 0.0 { e_d2 / (e_d * (s * (s - 1)) as f64) } else { 0.0 };
+    Aggregates { e_d, e_d2, e_din, q_full, dup_edge, t }
+}
+
+fn build_chain(
+    states: &[(usize, usize)],
+    index: &dyn Fn(usize, usize) -> Option<usize>,
+    agg: &Aggregates,
+    params: &DegreeMcParams,
+) -> SparseChain {
+    let s = params.config.view_size();
+    let d_l = params.config.lower_threshold();
+    let loss = params.loss;
+    let pair_norm = (s * (s - 1)) as f64;
+    let din_max_global = states.iter().map(|&(_, din)| din).max().unwrap_or(0) as f64;
+    // Uniformization constant: an upper bound on any state's total event
+    // rate (initiate: 1; 2·d_in edge selections at rate t each).
+    let lambda = 1.0 + 2.0 * din_max_global * agg.t + 1e-9;
+
+    let deliver_ok = (1.0 - loss) * (1.0 - agg.q_full);
+
+    let rows: Vec<Vec<(usize, f64)>> = states
+        .iter()
+        .enumerate()
+        .map(|(i, &(d, din))| {
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(8);
+            let mut leaving = 0.0;
+            let mut push = |target: Option<usize>, rate: f64| {
+                if rate <= 0.0 {
+                    return;
+                }
+                // Out-of-space targets become self-loops (the paper's cap
+                // treatment), i.e. simply not leaving.
+                if let Some(j) = target {
+                    if j != i {
+                        row.push((j, rate / lambda));
+                        leaving += rate / lambda;
+                    }
+                }
+            };
+
+            // Event 1: u initiates.
+            let act = (d * d.saturating_sub(1)) as f64 / pair_norm;
+            if act > 0.0 {
+                let dup = d <= d_l;
+                if dup {
+                    push(index(d, din + 1), act * deliver_ok);
+                } else {
+                    push(index(d - 2, din + 1), act * deliver_ok);
+                    push(index(d - 2, din), act * (1.0 - deliver_ok));
+                }
+            }
+
+            // Events 2 and 3: each of u's d_in in-edges is selected as a
+            // message target or payload at rate t.
+            if din > 0 {
+                let rate = din as f64 * agg.t;
+                let dup = agg.dup_edge;
+                // Event 2: edge is the message target; u receives.
+                let receives = 1.0 - loss;
+                let stores = d < s;
+                // (no dup, delivered): d_in−1, d+2 (if room).
+                let d_after = if stores { d + 2 } else { d };
+                push(index(d_after, din - 1), rate * (1.0 - dup) * receives);
+                // (no dup, lost): d_in−1.
+                push(index(d, din - 1), rate * (1.0 - dup) * loss);
+                // (dup, delivered): d+2 (if room), d_in unchanged.
+                if stores {
+                    push(index(d + 2, din), rate * dup * receives);
+                }
+                // (dup, lost): no change.
+
+                // Event 3: edge is the payload; the instance moves.
+                // (no dup, recreated elsewhere): net zero.
+                // (no dup, lost or deleted): d_in−1.
+                push(index(d, din - 1), rate * (1.0 - dup) * (1.0 - deliver_ok));
+                // (dup, recreated): d_in+1.
+                push(index(d, din + 1), rate * dup * deliver_ok);
+                // (dup, lost): no change.
+            }
+
+            row.push((i, (1.0 - leaving).max(0.0)));
+            row
+        })
+        .collect();
+    SparseChain::new(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(s: usize, d_l: usize, loss: f64) -> DegreeMc {
+        let config = SfConfig::new(s, d_l).unwrap();
+        DegreeMc::solve(DegreeMcParams::new(config, loss)).unwrap()
+    }
+
+    #[test]
+    fn stationary_is_a_distribution() {
+        let mc = solve(16, 6, 0.01);
+        let sum: f64 = mc.stationary().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(mc.stationary().iter().all(|&p| p >= 0.0));
+        assert!(mc.fixed_point_iterations() >= 1);
+    }
+
+    #[test]
+    fn outdegree_stays_in_the_legal_band() {
+        let mc = solve(16, 6, 0.05);
+        let pmf = mc.out_pmf();
+        for (d, &p) in pmf.iter().enumerate() {
+            if p > 1e-12 {
+                assert!((6..=16).contains(&d) && d % 2 == 0, "illegal outdegree {d}");
+            }
+        }
+        let mean = mc.mean_out();
+        assert!(mean > 6.0 && mean < 16.0, "mean {mean}");
+    }
+
+    #[test]
+    fn loss_compensation_identity_holds() {
+        // Lemma 6.6: dup = ℓ + del in the steady state. The chain should
+        // satisfy this approximately (it is not imposed, it emerges).
+        for loss in [0.01, 0.05, 0.1] {
+            let mc = solve(16, 6, loss);
+            let dup = mc.duplication_probability();
+            let del = mc.deletion_probability();
+            assert!(
+                (dup - (loss + del)).abs() < 0.03,
+                "ℓ={loss}: dup {dup} vs ℓ+del {}",
+                loss + del
+            );
+        }
+    }
+
+    #[test]
+    fn expected_outdegree_decreases_with_loss() {
+        // Lemma 6.4.
+        let means: Vec<f64> = [0.0, 0.01, 0.05, 0.1]
+            .iter()
+            .map(|&l| solve(16, 6, l).mean_out())
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[1] < w[0] + 1e-6, "means should decrease: {means:?}");
+        }
+        // ... but stay well above d_L (Section 6.4's observation).
+        assert!(means[3] > 6.5, "mean at 10% loss {}", means[3]);
+    }
+
+    #[test]
+    fn deletion_probability_decreases_with_loss() {
+        // Observation 6.5.
+        let dels: Vec<f64> = [0.0, 0.05, 0.1]
+            .iter()
+            .map(|&l| solve(16, 6, l).deletion_probability())
+            .collect();
+        assert!(dels[1] <= dels[0] + 1e-9, "{dels:?}");
+        assert!(dels[2] <= dels[1] + 1e-9, "{dels:?}");
+    }
+
+    #[test]
+    fn duplication_within_lemma_6_7_band() {
+        // ℓ ≤ dup ≤ ℓ + δ with δ the no-loss duplication probability.
+        let delta = solve(16, 6, 0.0).duplication_probability();
+        for loss in [0.02, 0.05] {
+            let dup = solve(16, 6, loss).duplication_probability();
+            assert!(dup >= loss - 0.02, "ℓ={loss}: dup {dup}");
+            assert!(dup <= loss + delta + 0.03, "ℓ={loss}: dup {dup} δ={delta}");
+        }
+    }
+
+    #[test]
+    fn marginals_are_normalized() {
+        let mc = solve(12, 4, 0.02);
+        assert!((mc.out_pmf().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((mc.in_pmf().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(mc.std_out() > 0.0);
+        assert!(mc.std_in() > 0.0);
+    }
+
+    #[test]
+    fn degrees_are_perfectly_anticorrelated_on_the_conserved_line() {
+        // Lemma 6.2: with ℓ = 0 and d_L = 0, d = d_m − 2·d_in exactly.
+        let config = SfConfig::lossless(12).unwrap();
+        let params = DegreeMcParams::new(config, 0.0).with_initial_state(4, 4);
+        let mc = DegreeMc::solve(params).unwrap();
+        let corr = mc.degree_correlation().unwrap();
+        assert!(corr < -0.999, "correlation {corr}");
+    }
+
+    #[test]
+    fn loss_softens_the_anticorrelation() {
+        // With an active duplication floor the conservation coupling is
+        // already partial (≈ −0.25 here); loss decouples the degrees almost
+        // entirely (the measured value even drifts slightly positive).
+        let lossless = solve(16, 6, 0.0).degree_correlation().unwrap();
+        let lossy = solve(16, 6, 0.1).degree_correlation().unwrap();
+        assert!(lossless < -0.1, "lossless correlation {lossless}");
+        assert!(lossy > lossless, "loss should weaken the coupling");
+        assert!(lossy.abs() < 0.15, "lossy correlation {lossy}");
+    }
+
+    #[test]
+    fn rejects_bad_initial_state() {
+        let config = SfConfig::new(12, 4).unwrap();
+        let params = DegreeMcParams::new(config, 0.0).with_initial_state(5, 0);
+        assert!(matches!(
+            DegreeMc::solve(params),
+            Err(DegreeMcError::BadInitialState { .. })
+        ));
+        let params = DegreeMcParams::new(config, 0.0).with_initial_state(12, 100);
+        assert!(matches!(
+            DegreeMc::solve(params),
+            Err(DegreeMcError::BadInitialState { .. })
+        ));
+    }
+
+    #[test]
+    fn lossless_dl_zero_concentrates_near_initial_sum_degree() {
+        // With ℓ = 0 and d_L = 0 the chain (like the protocol, Lemma 6.2)
+        // essentially conserves d + 2·d_in; starting from (4, 4) the mass
+        // stays on the d_s = 12 line.
+        let config = SfConfig::lossless(12).unwrap();
+        let params = DegreeMcParams::new(config, 0.0).with_initial_state(4, 4);
+        let mc = DegreeMc::solve(params).unwrap();
+        let on_line: f64 = mc
+            .states()
+            .iter()
+            .zip(mc.stationary())
+            .filter(|&(&(d, din), _)| d + 2 * din == 12)
+            .map(|(_, &p)| p)
+            .sum();
+        assert!(on_line > 0.999, "mass on the sum-degree line: {on_line}");
+        // Lemma 6.3: E[d] = E[d_in] = d_m/3 = 4.
+        assert!((mc.mean_out() - 4.0).abs() < 0.4, "mean out {}", mc.mean_out());
+        assert!((mc.mean_in() - 4.0).abs() < 0.2, "mean in {}", mc.mean_in());
+    }
+}

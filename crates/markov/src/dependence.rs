@@ -1,0 +1,184 @@
+//! Spatial independence analysis (Section 7.4): the dependence Markov chain
+//! of Figure 7.1, the `α ≥ 1 − 2(ℓ + δ)` bound of Lemma 7.9, and the
+//! connectivity condition at the end of Section 7.4.
+
+use crate::binomial::binomial_cdf_below;
+
+/// The two-state dependence Markov chain (Figure 7.1) tracking whether a
+/// nonempty view entry is independent or dependent.
+///
+/// Per non-self-loop transformation (Lemma 7.9's proof):
+///
+/// * independent → dependent with probability at most `(1 + ½)(ℓ + δ)` —
+///   the entry is sent with duplication (≤ `ℓ + δ`, Lemma 6.7) or a
+///   previously duplicated copy returns (at most half the creation rate,
+///   Lemma 7.8);
+/// * dependent → independent with probability at least `(1 − β)(1 − (ℓ+δ))
+///   = ⅚·(1 − (ℓ+δ))` — the entry is sent without duplication to a node
+///   other than the action initiator (`β ≤ ⅙` bounds self-edges).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DependenceChain {
+    to_dependent: f64,
+    to_independent: f64,
+}
+
+/// Error for rates outside the analysis' validity range.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RateError {
+    /// The offending combined rate `ℓ + δ`.
+    pub combined: f64,
+}
+
+impl core::fmt::Display for RateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "combined rate l+delta = {} must be in [0, 1)", self.combined)
+    }
+}
+
+impl std::error::Error for RateError {}
+
+impl DependenceChain {
+    /// Builds the chain for loss rate `ℓ` and duplication budget `δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RateError`] unless `0 ≤ ℓ + δ < 1`.
+    pub fn new(loss: f64, delta: f64) -> Result<Self, RateError> {
+        let combined = loss + delta;
+        if !(0.0..1.0).contains(&combined) || !combined.is_finite() || loss < 0.0 || delta < 0.0 {
+            return Err(RateError { combined });
+        }
+        Ok(Self {
+            to_dependent: 1.5 * combined,
+            to_independent: (5.0 / 6.0) * (1.0 - combined),
+        })
+    }
+
+    /// The independent → dependent transition probability bound.
+    #[must_use]
+    pub fn to_dependent(&self) -> f64 {
+        self.to_dependent
+    }
+
+    /// The dependent → independent transition probability bound.
+    #[must_use]
+    pub fn to_independent(&self) -> f64 {
+        self.to_independent
+    }
+
+    /// The stationary dependent fraction of the two-state chain:
+    /// `p_d / (p_d + p_i)` — the paper evaluates this to
+    /// `(ℓ+δ) / (5/9 + 4/9·(ℓ+δ)) ≤ 2(ℓ+δ)`.
+    #[must_use]
+    pub fn stationary_dependent_fraction(&self) -> f64 {
+        let denom = self.to_dependent + self.to_independent;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.to_dependent / denom
+    }
+}
+
+/// The closed-form dependent-fraction bound from Lemma 7.9's final display:
+/// `(ℓ+δ) / (5/9 + 4/9·(ℓ+δ))`.
+#[must_use]
+pub fn dependent_fraction_bound(loss: f64, delta: f64) -> f64 {
+    let x = loss + delta;
+    x / (5.0 / 9.0 + 4.0 / 9.0 * x)
+}
+
+/// Lemma 7.9's headline bound on the expected independent fraction:
+/// `α ≥ 1 − 2(ℓ + δ)` (clamped at 0).
+#[must_use]
+pub fn alpha_lower_bound(loss: f64, delta: f64) -> f64 {
+    (1.0 - 2.0 * (loss + delta)).max(0.0)
+}
+
+/// The Section 7.4 connectivity condition: the minimal even `d_L` such that
+/// a node with `d_L` out-neighbors, each independent with probability `α`,
+/// has fewer than three independent out-neighbors with probability at most
+/// `ε` — i.e. `P(Bin(d_L, α) < 3) ≤ ε`.
+///
+/// The paper's example: `ℓ = δ = 1 %` (so `α = 0.96`) and `ε = 10⁻³⁰`
+/// require `d_L ≥ 26`.
+///
+/// Returns `None` when even `d_L = max_d_l` cannot achieve `ε` (e.g. `α`
+/// too small).
+#[must_use]
+pub fn min_dl_for_connectivity(alpha: f64, epsilon: f64, max_d_l: usize) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    (4..=max_d_l)
+        .step_by(2)
+        .find(|&d_l| binomial_cdf_below(d_l as u64, alpha, 3) <= epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_matches_closed_form() {
+        for (l, d) in [(0.0, 0.01), (0.01, 0.01), (0.05, 0.01), (0.1, 0.02)] {
+            let chain = DependenceChain::new(l, d).unwrap();
+            let closed = dependent_fraction_bound(l, d);
+            assert!(
+                (chain.stationary_dependent_fraction() - closed).abs() < 1e-12,
+                "l={l} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_is_below_twice_the_rate() {
+        // The final inequality of Lemma 7.9.
+        for x in [0.001, 0.01, 0.02, 0.05, 0.1, 0.2] {
+            let bound = dependent_fraction_bound(x, 0.0);
+            assert!(bound <= 2.0 * x + 1e-12, "x={x}: {bound}");
+        }
+    }
+
+    #[test]
+    fn alpha_bound_examples() {
+        // ℓ = δ = 1 % → α ≥ 0.96 ("grows about twice as fast as the loss
+        // rate").
+        assert!((alpha_lower_bound(0.01, 0.01) - 0.96).abs() < 1e-12);
+        assert_eq!(alpha_lower_bound(0.6, 0.0), 0.0);
+        assert_eq!(alpha_lower_bound(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_rates_mean_full_independence() {
+        let chain = DependenceChain::new(0.0, 0.0).unwrap();
+        assert_eq!(chain.stationary_dependent_fraction(), 0.0);
+        assert_eq!(chain.to_dependent(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(DependenceChain::new(0.9, 0.2).is_err());
+        assert!(DependenceChain::new(-0.1, 0.0).is_err());
+        assert!(DependenceChain::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn connectivity_example_from_the_paper() {
+        // "for ℓ = δ = 1 % and ε = 10⁻³⁰, d_L should be set to at least 26."
+        let alpha = alpha_lower_bound(0.01, 0.01);
+        let d_l = min_dl_for_connectivity(alpha, 1e-30, 100).unwrap();
+        assert_eq!(d_l, 26);
+    }
+
+    #[test]
+    fn connectivity_threshold_shrinks_with_looser_epsilon() {
+        let alpha = 0.96;
+        let strict = min_dl_for_connectivity(alpha, 1e-30, 100).unwrap();
+        let loose = min_dl_for_connectivity(alpha, 1e-10, 100).unwrap();
+        assert!(loose < strict);
+    }
+
+    #[test]
+    fn connectivity_returns_none_when_unachievable() {
+        assert_eq!(min_dl_for_connectivity(0.96, 1e-300, 10), None);
+    }
+}

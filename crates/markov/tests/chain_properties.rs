@@ -1,0 +1,85 @@
+//! Property tests of the Markov-chain machinery against randomly generated
+//! chains.
+
+use proptest::prelude::*;
+use sandf_markov::{AnalyticalDegrees, SparseChain};
+
+/// Builds a random irreducible-ish lazy chain over `n` states from raw
+/// weights: each state keeps probability ½ and spreads ½ over successors
+/// (including a forced cycle edge for irreducibility).
+fn lazy_chain(n: usize, weights: &[u8]) -> SparseChain {
+    let rows = (0..n)
+        .map(|i| {
+            let mut targets: Vec<(usize, f64)> = vec![((i + 1) % n, 1.0)];
+            for k in 0..3 {
+                let w = weights[(i * 3 + k) % weights.len()];
+                if w > 0 {
+                    targets.push(((i + 1 + w as usize) % n, f64::from(w)));
+                }
+            }
+            let total: f64 = targets.iter().map(|&(_, w)| w).sum();
+            let mut row: Vec<(usize, f64)> = targets
+                .into_iter()
+                .map(|(j, w)| (j, 0.5 * w / total))
+                .collect();
+            row.push((i, 0.5));
+            row
+        })
+        .collect();
+    SparseChain::new(rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated chains are stochastic, and their stationary distribution
+    /// is an actual fixed point of the evolution.
+    #[test]
+    fn stationary_is_a_fixed_point(
+        n in 2usize..12,
+        weights in proptest::collection::vec(any::<u8>(), 36),
+    ) {
+        let chain = lazy_chain(n, &weights);
+        chain.check_stochastic(1e-9).unwrap();
+        let pi = chain.stationary(1e-13, 500_000).unwrap();
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let next = chain.step_distribution(&pi);
+        for (a, b) in pi.iter().zip(&next) {
+            prop_assert!((a - b).abs() < 1e-8, "not a fixed point: {a} vs {b}");
+        }
+    }
+
+    /// The second eigenvalue estimate is a genuine contraction rate: it
+    /// never exceeds 1, and the lazy construction keeps it below 1 strictly.
+    #[test]
+    fn spectral_estimate_is_a_rate(
+        n in 3usize..10,
+        weights in proptest::collection::vec(1u8..=9, 36),
+    ) {
+        let chain = lazy_chain(n, &weights);
+        let lambda = chain.second_eigenvalue_modulus(4000).unwrap();
+        prop_assert!((0.0..=1.0).contains(&lambda));
+        // Lazy chains (holding probability ½) have eigenvalues in [0, 1],
+        // and irreducibility keeps λ₂ < 1.
+        prop_assert!(lambda < 1.0 - 1e-6, "λ₂ = {lambda}");
+    }
+
+    /// The Eq. (6.1) law is a probability distribution whose mean
+    /// approaches d_m/3 (Lemma 6.3) — the approximation error shrinks like
+    /// 1/d_m (at d_m = 6 it is still ~8%), so test the regime the paper
+    /// uses it in.
+    #[test]
+    fn analytical_law_is_sane(half_dm in 8usize..80) {
+        let d_m = 2 * half_dm;
+        let law = AnalyticalDegrees::new(d_m).unwrap();
+        let sum: f64 = law.out_pmf().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let expected = d_m as f64 / 3.0;
+        prop_assert!(
+            (law.mean_out() - expected).abs() / expected < 0.04,
+            "d_m={d_m}: mean {}",
+            law.mean_out()
+        );
+        prop_assert!(law.var_out() > 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Wire codec for S&F messages.
+//!
+//! A message `[u, w]` is 17 bytes: the sender id, the payload id (both
+//! big-endian `u64`), and one flags byte carrying the dependence-label bit.
+//! S&F's entire protocol state fits in this single datagram type — no
+//! sessions, no retransmission, no bookkeeping (Section 5: "after it sends
+//! a message, it forgets about it").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sandf_core::{Message, NodeId};
+
+/// Encoded message length in bytes.
+pub const WIRE_LEN: usize = 17;
+
+const FLAG_DEPENDENT: u8 = 0b0000_0001;
+
+/// Error from decoding a datagram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The datagram is not exactly [`WIRE_LEN`] bytes.
+    BadLength {
+        /// Received length.
+        len: usize,
+    },
+    /// The flags byte has bits outside the defined set.
+    BadFlags {
+        /// Received flags byte.
+        flags: u8,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Self::BadLength { len } => write!(f, "datagram length {len}, expected {WIRE_LEN}"),
+            Self::BadFlags { flags } => write!(f, "unknown flag bits in {flags:#010b}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message into its 17-byte wire form.
+#[must_use]
+pub fn encode(message: Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(WIRE_LEN);
+    buf.put_u64(message.sender.as_u64());
+    buf.put_u64(message.payload.as_u64());
+    buf.put_u8(if message.dependent { FLAG_DEPENDENT } else { 0 });
+    buf.freeze()
+}
+
+/// Decodes a datagram produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] for a wrong length or undefined flag bits.
+pub fn decode(mut datagram: &[u8]) -> Result<Message, WireError> {
+    if datagram.len() != WIRE_LEN {
+        return Err(WireError::BadLength { len: datagram.len() });
+    }
+    let sender = NodeId::new(datagram.get_u64());
+    let payload = NodeId::new(datagram.get_u64());
+    let flags = datagram.get_u8();
+    if flags & !FLAG_DEPENDENT != 0 {
+        return Err(WireError::BadFlags { flags });
+    }
+    Ok(Message::new(sender, payload, flags & FLAG_DEPENDENT != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for dependent in [false, true] {
+            let msg = Message::new(NodeId::new(7), NodeId::new(u64::MAX), dependent);
+            let bytes = encode(msg);
+            assert_eq!(bytes.len(), WIRE_LEN);
+            assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        assert_eq!(decode(&[0u8; 16]), Err(WireError::BadLength { len: 16 }));
+        assert_eq!(decode(&[0u8; 18]), Err(WireError::BadLength { len: 18 }));
+        assert_eq!(decode(&[]), Err(WireError::BadLength { len: 0 }));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let mut bytes = encode(Message::new(NodeId::new(1), NodeId::new(2), false)).to_vec();
+        bytes[16] = 0b1000_0000;
+        assert_eq!(decode(&bytes), Err(WireError::BadFlags { flags: 0b1000_0000 }));
+    }
+
+    #[test]
+    fn encoding_is_big_endian() {
+        let bytes = encode(Message::new(NodeId::new(1), NodeId::new(256), true));
+        assert_eq!(bytes[7], 1);
+        assert_eq!(bytes[14], 1);
+        assert_eq!(bytes[16], 1);
+    }
+}

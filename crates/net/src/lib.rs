@@ -1,0 +1,43 @@
+//! # sandf-net — transports for running S&F on real channels
+//!
+//! The paper's network model (Section 4.1) is best-effort datagrams with
+//! uniform i.i.d. loss and no delivery feedback. This crate provides that
+//! model as a [`Transport`] trait with two implementations:
+//!
+//! * [`InMemoryNetwork`] — crossbeam channels between threads with a
+//!   seeded, injectable loss process (real concurrency, controlled loss);
+//! * [`UdpTransport`] — actual UDP sockets over loopback or a LAN (real
+//!   loss, real reordering).
+//!
+//! The 17-byte wire [`codec`] is total: S&F has exactly one message type
+//! and needs no connection state, which is the "practical, no bookkeeping"
+//! half of the paper's thesis.
+//!
+//! ## Example
+//!
+//! ```
+//! use sandf_core::{Message, NodeId};
+//! use sandf_net::{InMemoryNetwork, Transport};
+//!
+//! let net = InMemoryNetwork::new(0.0, 7);
+//! let mut alice = net.endpoint(NodeId::new(0));
+//! let mut bob = net.endpoint(NodeId::new(1));
+//!
+//! alice.send(NodeId::new(1), Message::new(NodeId::new(0), NodeId::new(9), false))?;
+//! assert!(bob.try_recv()?.is_some());
+//! # Ok::<(), sandf_net::TransportError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod lossy;
+mod memory;
+mod transport;
+mod udp;
+
+pub use lossy::LossyTransport;
+pub use memory::{InMemoryNetwork, InMemoryTransport};
+pub use transport::{Transport, TransportError};
+pub use udp::{AddressBook, UdpTransport};

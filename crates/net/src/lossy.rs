@@ -1,0 +1,136 @@
+//! A loss-injecting transport decorator.
+//!
+//! Wraps any [`Transport`] and drops each outgoing message independently
+//! with probability `ℓ` — the Section 4.1 loss model layered onto an
+//! otherwise reliable channel (e.g. UDP over loopback, which in practice
+//! loses nothing). Drops happen on the *send* side, which is
+//! indistinguishable from network loss to a protocol that gets no delivery
+//! feedback.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::{Message, NodeId};
+
+use crate::transport::{Transport, TransportError};
+
+/// A transport that loses a fraction of outgoing messages.
+#[derive(Debug)]
+pub struct LossyTransport<T> {
+    inner: T,
+    rate: f64,
+    rng: StdRng,
+    dropped: u64,
+    sent: u64,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner`, dropping each message with probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    #[must_use]
+    pub fn new(inner: T, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        Self { inner, rate, rng: StdRng::seed_from_u64(seed), dropped: 0, sent: 0 }
+    }
+
+    /// The wrapped transport.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Messages handed to `send` so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages dropped by the injector so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+
+    fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        self.sent += 1;
+        if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
+            self.dropped += 1;
+            return Ok(());
+        }
+        self.inner.send(to, message)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        self.inner.try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::memory::InMemoryNetwork;
+
+    use super::*;
+
+    fn msg(k: u64) -> Message {
+        Message::new(NodeId::new(0), NodeId::new(k), false)
+    }
+
+    #[test]
+    fn zero_rate_passes_everything_through() {
+        let net = InMemoryNetwork::new(0.0, 1);
+        let mut tx = LossyTransport::new(net.endpoint(NodeId::new(0)), 0.0, 2);
+        let mut rx = net.endpoint(NodeId::new(1));
+        for k in 0..50 {
+            tx.send(NodeId::new(1), msg(k)).unwrap();
+        }
+        let mut received = 0;
+        while rx.try_recv().unwrap().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 50);
+        assert_eq!(tx.dropped(), 0);
+    }
+
+    #[test]
+    fn unit_rate_drops_everything() {
+        let net = InMemoryNetwork::new(0.0, 3);
+        let mut tx = LossyTransport::new(net.endpoint(NodeId::new(0)), 1.0, 4);
+        let mut rx = net.endpoint(NodeId::new(1));
+        for k in 0..50 {
+            tx.send(NodeId::new(1), msg(k)).unwrap();
+        }
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert_eq!(tx.dropped(), 50);
+        assert_eq!(tx.sent(), 50);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let net = InMemoryNetwork::new(0.0, 5);
+        let mut tx = LossyTransport::new(net.endpoint(NodeId::new(0)), 0.3, 6);
+        let _rx = net.endpoint(NodeId::new(1));
+        for k in 0..20_000 {
+            tx.send(NodeId::new(1), msg(k)).unwrap();
+        }
+        let rate = tx.dropped() as f64 / tx.sent() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical {rate}");
+    }
+
+    #[test]
+    fn receive_path_is_untouched() {
+        let net = InMemoryNetwork::new(0.0, 7);
+        let mut a = net.endpoint(NodeId::new(0));
+        let mut b = LossyTransport::new(net.endpoint(NodeId::new(1)), 1.0, 8);
+        a.send(NodeId::new(1), msg(9)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(msg(9)));
+        assert_eq!(b.local_id(), NodeId::new(1));
+    }
+}

@@ -1,0 +1,227 @@
+//! An in-process network of crossbeam channels with injectable uniform
+//! loss — a real concurrent transport (threads, interleaving, races) with a
+//! controlled Section 4.1 loss model.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::{Message, NodeId};
+
+use crate::transport::{Transport, TransportError};
+
+#[derive(Debug)]
+struct Shared {
+    inboxes: RwLock<HashMap<NodeId, Sender<Message>>>,
+    /// Loss decisions are centralized so the network-wide loss process is a
+    /// single seeded i.i.d. sequence.
+    loss: Mutex<LossState>,
+}
+
+#[derive(Debug)]
+struct LossState {
+    rate: f64,
+    rng: StdRng,
+    dropped: u64,
+    sent: u64,
+}
+
+/// A hub for an in-memory lossy network. Clone-cheap handle.
+#[derive(Clone, Debug)]
+pub struct InMemoryNetwork {
+    shared: Arc<Shared>,
+}
+
+impl InMemoryNetwork {
+    /// Creates a network dropping each message independently with
+    /// probability `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss ≤ 1`.
+    #[must_use]
+    pub fn new(loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Self {
+            shared: Arc::new(Shared {
+                inboxes: RwLock::new(HashMap::new()),
+                loss: Mutex::new(LossState {
+                    rate: loss,
+                    rng: StdRng::seed_from_u64(seed),
+                    dropped: 0,
+                    sent: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Registers a node and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    #[must_use]
+    pub fn endpoint(&self, id: NodeId) -> InMemoryTransport {
+        let (tx, rx) = unbounded();
+        let mut inboxes = self.shared.inboxes.write().expect("inbox registry poisoned");
+        let prev = inboxes.insert(id, tx);
+        assert!(prev.is_none(), "node {id} registered twice");
+        InMemoryTransport { id, shared: Arc::clone(&self.shared), inbox: rx }
+    }
+
+    /// Unregisters a node (its endpoint keeps draining already-queued
+    /// messages; new sends to it become unknown-peer errors).
+    pub fn disconnect(&self, id: NodeId) {
+        self.shared
+            .inboxes
+            .write()
+            .expect("inbox registry poisoned")
+            .remove(&id);
+    }
+
+    /// Total messages handed to the network so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.shared.loss.lock().expect("loss state poisoned").sent
+    }
+
+    /// Messages dropped by the loss process so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shared.loss.lock().expect("loss state poisoned").dropped
+    }
+}
+
+/// One node's endpoint on an [`InMemoryNetwork`].
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    id: NodeId,
+    shared: Arc<Shared>,
+    inbox: Receiver<Message>,
+}
+
+impl Transport for InMemoryTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        {
+            let mut loss = self.shared.loss.lock().expect("loss state poisoned");
+            loss.sent += 1;
+            let rate = loss.rate;
+            if rate > 0.0 && loss.rng.gen_bool(rate) {
+                loss.dropped += 1;
+                return Ok(()); // lost in transit; sender cannot tell
+            }
+        }
+        let inboxes = self.shared.inboxes.read().expect("inbox registry poisoned");
+        match inboxes.get(&to) {
+            // A send to a departed node is indistinguishable from loss.
+            None => Ok(()),
+            Some(tx) => {
+                // A closed inbox means the peer dropped its endpoint.
+                let _ = tx.send(message);
+                Ok(())
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(a: u64, b: u64) -> Message {
+        Message::new(NodeId::new(a), NodeId::new(b), false)
+    }
+
+    #[test]
+    fn delivers_between_endpoints() {
+        let net = InMemoryNetwork::new(0.0, 1);
+        let mut a = net.endpoint(NodeId::new(0));
+        let mut b = net.endpoint(NodeId::new(1));
+        a.send(NodeId::new(1), msg(0, 5)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(msg(0, 5)));
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(net.sent(), 1);
+        assert_eq!(net.dropped(), 0);
+    }
+
+    #[test]
+    fn loss_rate_one_drops_everything() {
+        let net = InMemoryNetwork::new(1.0, 2);
+        let mut a = net.endpoint(NodeId::new(0));
+        let mut b = net.endpoint(NodeId::new(1));
+        for k in 0..100 {
+            a.send(NodeId::new(1), msg(0, k)).unwrap();
+        }
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(net.dropped(), 100);
+    }
+
+    #[test]
+    fn empirical_loss_matches_rate() {
+        let net = InMemoryNetwork::new(0.2, 3);
+        let mut a = net.endpoint(NodeId::new(0));
+        let _b = net.endpoint(NodeId::new(1));
+        for k in 0..10_000 {
+            a.send(NodeId::new(1), msg(0, k)).unwrap();
+        }
+        let rate = net.dropped() as f64 / net.sent() as f64;
+        assert!((rate - 0.2).abs() < 0.02, "empirical loss {rate}");
+    }
+
+    #[test]
+    fn send_to_departed_peer_is_silent() {
+        let net = InMemoryNetwork::new(0.0, 4);
+        let mut a = net.endpoint(NodeId::new(0));
+        let b = net.endpoint(NodeId::new(1));
+        net.disconnect(NodeId::new(1));
+        drop(b);
+        assert_eq!(a.send(NodeId::new(1), msg(0, 1)), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let net = InMemoryNetwork::new(0.0, 5);
+        let _a = net.endpoint(NodeId::new(0));
+        let _b = net.endpoint(NodeId::new(0));
+    }
+
+    #[test]
+    fn concurrent_senders_are_safe() {
+        let net = InMemoryNetwork::new(0.0, 6);
+        let mut rx = net.endpoint(NodeId::new(99));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut ep = net.endpoint(NodeId::new(t));
+                    for k in 0..250 {
+                        ep.send(NodeId::new(99), msg(t, k)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while rx.try_recv().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+}

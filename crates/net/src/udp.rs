@@ -1,0 +1,195 @@
+//! A UDP transport: S&F over real sockets.
+//!
+//! UDP *is* the paper's network model — unordered, unreliable datagrams
+//! with no delivery feedback — so the protocol runs on it without any
+//! additional machinery. Peers are resolved through a shared
+//! [`AddressBook`] (in a real deployment this would be seeded the same way
+//! bootstrap views are).
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::{Arc, RwLock};
+
+use sandf_core::{Message, NodeId};
+
+use crate::codec::{decode, encode, WIRE_LEN};
+use crate::transport::{Transport, TransportError};
+
+/// A shared map from node ids to socket addresses.
+#[derive(Clone, Debug, Default)]
+pub struct AddressBook {
+    map: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+}
+
+impl AddressBook {
+    /// Creates an empty address book.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or updates) a peer's address.
+    pub fn register(&self, id: NodeId, addr: SocketAddr) {
+        self.map.write().expect("address book poisoned").insert(id, addr);
+    }
+
+    /// Resolves a peer.
+    #[must_use]
+    pub fn resolve(&self, id: NodeId) -> Option<SocketAddr> {
+        self.map.read().expect("address book poisoned").get(&id).copied()
+    }
+
+    /// Removes a peer.
+    pub fn remove(&self, id: NodeId) {
+        self.map.write().expect("address book poisoned").remove(&id);
+    }
+
+    /// Number of registered peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("address book poisoned").len()
+    }
+
+    /// Whether the book is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A nonblocking UDP endpoint.
+#[derive(Debug)]
+pub struct UdpTransport {
+    id: NodeId,
+    socket: UdpSocket,
+    book: AddressBook,
+    buf: [u8; WIRE_LEN + 16],
+}
+
+impl UdpTransport {
+    /// Binds a loopback socket on an ephemeral port and registers it in the
+    /// address book.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn bind_loopback(id: NodeId, book: &AddressBook) -> Result<Self, TransportError> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        socket.set_nonblocking(true).map_err(io_err)?;
+        let addr = socket.local_addr().map_err(io_err)?;
+        book.register(id, addr);
+        Ok(Self { id, socket, book: book.clone(), buf: [0u8; WIRE_LEN + 16] })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if the socket is in a bad state.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        self.socket.local_addr().map_err(io_err)
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io { message: e.to_string() }
+}
+
+impl Transport for UdpTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        let Some(addr) = self.book.resolve(to) else {
+            // A vanished peer is indistinguishable from loss to S&F.
+            return Ok(());
+        };
+        match self.socket.send_to(&encode(message), addr) {
+            Ok(_) => Ok(()),
+            // Full buffers are loss, which the protocol tolerates.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        loop {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((len, _)) => match decode(&self.buf[..len]) {
+                    Ok(msg) => return Ok(Some(msg)),
+                    // Malformed datagrams are dropped, like line noise.
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sends_and_receives_over_loopback() {
+        let book = AddressBook::new();
+        let mut a = UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap();
+        let mut b = UdpTransport::bind_loopback(NodeId::new(1), &book).unwrap();
+        assert_eq!(book.len(), 2);
+
+        let msg = Message::new(NodeId::new(0), NodeId::new(7), true);
+        a.send(NodeId::new(1), msg).unwrap();
+
+        // UDP over loopback is effectively reliable, but give it a moment.
+        let mut got = None;
+        for _ in 0..200 {
+            if let Some(m) = b.try_recv().unwrap() {
+                got = Some(m);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, Some(msg));
+    }
+
+    #[test]
+    fn unknown_peer_is_treated_as_loss() {
+        let book = AddressBook::new();
+        let mut a = UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap();
+        assert_eq!(a.send(NodeId::new(42), Message::new(NodeId::new(0), NodeId::new(1), false)), Ok(()));
+    }
+
+    #[test]
+    fn malformed_datagrams_are_skipped() {
+        let book = AddressBook::new();
+        let mut b = UdpTransport::bind_loopback(NodeId::new(1), &book).unwrap();
+        let addr = b.local_addr().unwrap();
+        let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        raw.send_to(&[1, 2, 3], addr).unwrap();
+        let msg = Message::new(NodeId::new(9), NodeId::new(8), false);
+        raw.send_to(&encode(msg), addr).unwrap();
+        let mut got = None;
+        for _ in 0..200 {
+            if let Some(m) = b.try_recv().unwrap() {
+                got = Some(m);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, Some(msg), "the well-formed datagram must survive");
+    }
+
+    #[test]
+    fn address_book_updates() {
+        let book = AddressBook::new();
+        assert!(book.is_empty());
+        let addr: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        book.register(NodeId::new(1), addr);
+        assert_eq!(book.resolve(NodeId::new(1)), Some(addr));
+        book.remove(NodeId::new(1));
+        assert_eq!(book.resolve(NodeId::new(1)), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Property tests of the wire codec: total decode, exact roundtrip.
+
+use proptest::prelude::*;
+use sandf_core::{Message, NodeId};
+use sandf_net::codec::{decode, encode, WIRE_LEN};
+
+proptest! {
+    /// Every message roundtrips bit-exactly.
+    #[test]
+    fn roundtrip(sender in any::<u64>(), payload in any::<u64>(), dependent in any::<bool>()) {
+        let msg = Message::new(NodeId::new(sender), NodeId::new(payload), dependent);
+        let bytes = encode(msg);
+        prop_assert_eq!(bytes.len(), WIRE_LEN);
+        prop_assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    /// Decoding arbitrary bytes never panics, and succeeds only for
+    /// well-formed datagrams.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        match decode(&bytes) {
+            Ok(msg) => {
+                prop_assert_eq!(bytes.len(), WIRE_LEN);
+                // A successful decode must re-encode to the same bytes.
+                let reencoded = encode(msg);
+                prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+            }
+            Err(_) => {
+                // Errors are expected for wrong lengths or bad flags.
+            }
+        }
+    }
+
+    /// Any 17-byte datagram with a clean flags byte decodes.
+    #[test]
+    fn clean_flag_datagrams_decode(head in proptest::collection::vec(any::<u8>(), 16), flag in 0u8..=1) {
+        let mut bytes = head;
+        bytes.push(flag);
+        let msg = decode(&bytes).unwrap();
+        prop_assert_eq!(msg.dependent, flag == 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! A whole-cluster harness: `n` threaded nodes over a lossy in-memory
+//! network.
+
+use std::time::Duration;
+
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_graph::MembershipGraph;
+use sandf_net::{AddressBook, InMemoryNetwork, LossyTransport, TransportError, UdpTransport};
+
+use crate::node::{NodeHandle, RuntimeConfig};
+
+/// Parameters for launching a cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Protocol parameters.
+    pub protocol: SfConfig,
+    /// Uniform message-loss rate of the in-memory network.
+    pub loss: f64,
+    /// Per-node action interval.
+    pub tick: Duration,
+    /// Base RNG seed (node `i` gets `seed + i + 1`; the network gets
+    /// `seed`).
+    pub seed: u64,
+    /// Initial outdegree of the circulant bootstrap topology (even).
+    pub initial_out_degree: usize,
+}
+
+/// A running cluster of threaded S&F nodes.
+///
+/// Execution is genuinely concurrent, so runs are *not* bit-reproducible
+/// like the `sandf-sim` simulator — this harness exists to demonstrate the
+/// protocol end-to-end on a real (if in-process) network, including under
+/// loss.
+#[derive(Debug)]
+pub struct Cluster {
+    handles: Vec<NodeHandle>,
+    net: ClusterNet,
+    config: ClusterConfig,
+    next_id: u64,
+    churn_rng: StdRng,
+}
+
+/// The substrate a cluster runs over.
+#[derive(Debug)]
+enum ClusterNet {
+    Memory(InMemoryNetwork),
+    Udp {
+        book: AddressBook,
+        loss: f64,
+    },
+}
+
+impl Cluster {
+    /// Launches the cluster with a circulant bootstrap topology (node `i`
+    /// initially knows `i+1 … i+d0 mod n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (odd or oversized initial outdegree,
+    /// `n` too small, loss outside `[0, 1]`).
+    #[must_use]
+    pub fn launch(config: ClusterConfig) -> Self {
+        assert!(config.n >= 3, "cluster needs at least 3 nodes");
+        assert!(config.initial_out_degree.is_multiple_of(2), "initial outdegree must be even");
+        assert!(config.initial_out_degree < config.n, "initial outdegree too large");
+        let network = InMemoryNetwork::new(config.loss, config.seed);
+        let handles = (0..config.n as u64)
+            .map(|i| {
+                let bootstrap: Vec<NodeId> = (1..=config.initial_out_degree as u64)
+                    .map(|k| NodeId::new((i + k) % config.n as u64))
+                    .collect();
+                let node = SfNode::with_view(NodeId::new(i), config.protocol, &bootstrap)
+                    .expect("circulant bootstrap satisfies the joining rule");
+                let transport = network.endpoint(NodeId::new(i));
+                NodeHandle::spawn(node, transport, RuntimeConfig {
+                    tick: config.tick,
+                    seed: config.seed + i + 1,
+                })
+            })
+            .collect();
+        Self {
+            handles,
+            net: ClusterNet::Memory(network),
+            next_id: config.n as u64,
+            churn_rng: StdRng::seed_from_u64(config.seed ^ 0x5f5f_5f5f),
+            config,
+        }
+    }
+
+    /// Launches the cluster over real UDP loopback sockets. Loopback itself
+    /// is effectively lossless, so the configured loss rate is injected on
+    /// the send path ([`LossyTransport`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if a socket cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same parameter conditions as [`launch`](Self::launch).
+    pub fn launch_udp(config: ClusterConfig) -> Result<Self, TransportError> {
+        assert!(config.n >= 3, "cluster needs at least 3 nodes");
+        assert!(config.initial_out_degree.is_multiple_of(2), "initial outdegree must be even");
+        assert!(config.initial_out_degree < config.n, "initial outdegree too large");
+        let book = AddressBook::new();
+        let mut handles = Vec::with_capacity(config.n);
+        for i in 0..config.n as u64 {
+            let bootstrap: Vec<NodeId> = (1..=config.initial_out_degree as u64)
+                .map(|k| NodeId::new((i + k) % config.n as u64))
+                .collect();
+            let node = SfNode::with_view(NodeId::new(i), config.protocol, &bootstrap)
+                .expect("circulant bootstrap satisfies the joining rule");
+            let udp = UdpTransport::bind_loopback(NodeId::new(i), &book)?;
+            let transport = LossyTransport::new(udp, config.loss, config.seed + 7 * i);
+            handles.push(NodeHandle::spawn(node, transport, RuntimeConfig {
+                tick: config.tick,
+                seed: config.seed + i + 1,
+            }));
+        }
+        Ok(Self {
+            handles,
+            net: ClusterNet::Udp { book, loss: config.loss },
+            next_id: config.n as u64,
+            churn_rng: StdRng::seed_from_u64(config.seed ^ 0x5f5f_5f5f),
+            config,
+        })
+    }
+
+    /// Admits a new node at runtime, bootstrapped with `d_L` ids copied
+    /// from a random live node's snapshot (the Section 5 joining rule).
+    /// Returns the joiner's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if a UDP socket cannot be bound; the
+    /// in-memory substrate never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty or no sponsor has `d_L` live ids.
+    pub fn join(&mut self) -> Result<NodeId, TransportError> {
+        assert!(!self.handles.is_empty(), "cannot join an empty cluster");
+        let sponsor_idx = self.churn_rng.gen_range(0..self.handles.len());
+        let snapshot = self.handles[sponsor_idx].snapshot();
+        let mut pool: Vec<NodeId> = snapshot.view().ids().collect();
+        pool.shuffle(&mut self.churn_rng);
+        let d_l = self.config.protocol.lower_threshold();
+        assert!(pool.len() >= d_l, "sponsor has too few ids to satisfy the joining rule");
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+
+        let id = NodeId::new(self.next_id);
+        self.next_id += 1;
+        let node = SfNode::with_view(id, self.config.protocol, &bootstrap)
+            .expect("bootstrap satisfies the joining rule");
+        let runtime = RuntimeConfig { tick: self.config.tick, seed: self.config.seed + id.as_u64() + 1 };
+        let handle = match &self.net {
+            ClusterNet::Memory(network) => NodeHandle::spawn(node, network.endpoint(id), runtime),
+            ClusterNet::Udp { book, loss } => {
+                let udp = UdpTransport::bind_loopback(id, book)?;
+                let transport = LossyTransport::new(udp, *loss, self.config.seed + 7 * id.as_u64());
+                NodeHandle::spawn(node, transport, runtime)
+            }
+        };
+        self.handles.push(handle);
+        Ok(id)
+    }
+
+    /// Crashes the node with the given id (stops its thread and removes it
+    /// from the network). Its id lingers in other views until the protocol
+    /// purges it (Section 6.5.2). Returns the final state, or `None` if the
+    /// id is not running here.
+    pub fn kill(&mut self, id: NodeId) -> Option<SfNode> {
+        let pos = self.handles.iter().position(|h| h.id() == id)?;
+        let handle = self.handles.swap_remove(pos);
+        match &self.net {
+            ClusterNet::Memory(network) => network.disconnect(id),
+            ClusterNet::Udp { book, .. } => book.remove(id),
+        }
+        Some(handle.stop())
+    }
+
+    /// The ids of the currently running nodes.
+    #[must_use]
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.handles.iter().map(NodeHandle::id).collect()
+    }
+
+    /// Lets the cluster run for the given wall-clock duration.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// The underlying in-memory network (for loss counters), if this
+    /// cluster runs on one.
+    #[must_use]
+    pub fn network(&self) -> Option<&InMemoryNetwork> {
+        match &self.net {
+            ClusterNet::Memory(network) => Some(network),
+            ClusterNet::Udp { .. } => None,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Consistent-per-node snapshots of all protocol states.
+    #[must_use]
+    pub fn snapshot_nodes(&self) -> Vec<SfNode> {
+        self.handles.iter().map(NodeHandle::snapshot).collect()
+    }
+
+    /// A membership-graph snapshot of the running cluster.
+    #[must_use]
+    pub fn snapshot_graph(&self) -> MembershipGraph {
+        MembershipGraph::from_nodes(&self.snapshot_nodes())
+    }
+
+    /// Stops every node and returns the final protocol states.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<SfNode> {
+        self.handles.into_iter().map(NodeHandle::stop).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(loss: f64) -> ClusterConfig {
+        ClusterConfig {
+            n: 16,
+            protocol: SfConfig::new(12, 4).unwrap(),
+            loss,
+            tick: Duration::from_millis(1),
+            seed: 7,
+            initial_out_degree: 4,
+        }
+    }
+
+    #[test]
+    fn cluster_runs_and_stays_connected() {
+        let cluster = Cluster::launch(config(0.0));
+        cluster.run_for(Duration::from_millis(300));
+        let graph = cluster.snapshot_graph();
+        assert_eq!(graph.node_count(), 16);
+        assert!(graph.is_weakly_connected(), "cluster partitioned");
+        let nodes = cluster.shutdown();
+        let total_actions: u64 = nodes.iter().map(|n| n.stats().initiated).sum();
+        assert!(total_actions > 16 * 50, "only {total_actions} actions");
+        for node in &nodes {
+            assert_eq!(node.out_degree() % 2, 0);
+            assert!(node.out_degree() >= 4);
+            assert!(node.out_degree() <= 12);
+        }
+    }
+
+    #[test]
+    fn cluster_survives_heavy_loss() {
+        let cluster = Cluster::launch(config(0.2));
+        cluster.run_for(Duration::from_millis(300));
+        let network = cluster.network().expect("memory cluster");
+        let dropped = network.dropped();
+        let sent = network.sent();
+        assert!(dropped > 0, "loss process never fired");
+        let rate = dropped as f64 / sent as f64;
+        assert!((rate - 0.2).abs() < 0.07, "observed loss {rate}");
+        let nodes = cluster.shutdown();
+        // The duplication floor must have kept every node in the band.
+        for node in &nodes {
+            assert!(node.out_degree() >= 4, "node fell below d_L");
+        }
+        let duplications: u64 = nodes.iter().map(|n| n.stats().duplications).sum();
+        assert!(duplications > 0, "loss compensation never kicked in");
+    }
+
+    #[test]
+    fn snapshots_do_not_disturb_the_run() {
+        let cluster = Cluster::launch(config(0.05));
+        for _ in 0..10 {
+            let _ = cluster.snapshot_graph();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 16);
+    }
+
+    #[test]
+    fn runtime_churn_join_and_kill() {
+        let mut cluster = Cluster::launch(config(0.02));
+        cluster.run_for(Duration::from_millis(200));
+        let joiner = cluster.join().expect("memory join cannot fail");
+        assert_eq!(cluster.len(), 17);
+        let victim = cluster.ids()[0];
+        let final_state = cluster.kill(victim).expect("victim was running");
+        assert_eq!(final_state.id(), victim);
+        assert_eq!(cluster.len(), 16);
+        assert!(cluster.kill(victim).is_none(), "double kill must be None");
+        cluster.run_for(Duration::from_millis(300));
+        // The joiner integrates: someone should know it by now.
+        let graph = cluster.snapshot_graph();
+        let joiner_in = graph.in_degree(joiner).unwrap_or(0);
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 16);
+        assert!(
+            joiner_in > 0 || nodes.iter().any(|n| n.view().contains(joiner)),
+            "joiner never got represented"
+        );
+    }
+
+    #[test]
+    fn udp_cluster_end_to_end() {
+        let cluster = Cluster::launch_udp(ClusterConfig {
+            n: 8,
+            protocol: SfConfig::new(12, 4).unwrap(),
+            loss: 0.05,
+            tick: Duration::from_millis(2),
+            seed: 77,
+            initial_out_degree: 4,
+        })
+        .expect("loopback sockets bind");
+        cluster.run_for(Duration::from_millis(500));
+        assert!(cluster.network().is_none(), "udp cluster has no memory hub");
+        let nodes = cluster.shutdown();
+        let graph = MembershipGraph::from_nodes(&nodes);
+        assert!(graph.is_weakly_connected(), "udp cluster partitioned");
+        let stored: u64 = nodes.iter().map(|n| n.stats().stored).sum();
+        assert!(stored > 0, "no UDP datagram was ever delivered");
+        for node in &nodes {
+            assert_eq!(node.out_degree() % 2, 0);
+            assert!(node.out_degree() >= 4 && node.out_degree() <= 12);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # sandf-runtime — S&F end-to-end on real threads and transports
+//!
+//! The paper argues S&F is "practical, in that it can be implemented in
+//! fault-prone networks without any bookkeeping" (Section 1). This crate is
+//! that implementation: each node is a thread that drains its transport
+//! (receive steps) and fires an action on a periodic tick (the loose
+//! synchronization assumed in Section 4.1), over any
+//! [`sandf_net::Transport`] — in-memory lossy channels or UDP.
+//!
+//! Unlike the `sandf-sim` simulator, execution here is genuinely
+//! concurrent: messages interleave, ticks drift, and losses come from the
+//! transport. The protocol's invariants (Observation 5.1) and convergence
+//! behavior must — and, per the tests, do — survive that.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use sandf_core::SfConfig;
+//! use sandf_runtime::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::launch(ClusterConfig {
+//!     n: 32,
+//!     protocol: SfConfig::new(16, 6)?,
+//!     loss: 0.05,
+//!     tick: Duration::from_millis(5),
+//!     seed: 42,
+//!     initial_out_degree: 6,
+//! });
+//! cluster.run_for(Duration::from_secs(1));
+//! assert!(cluster.snapshot_graph().is_weakly_connected());
+//! let _final_states = cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod node;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use node::{NodeHandle, RuntimeConfig};

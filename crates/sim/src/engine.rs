@@ -1,0 +1,744 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine implements the paper's execution model (Section 5): "a central
+//! entity repeatedly selects a random node, invokes its
+//! `S&F-InitiateAction()` method, and waits for the completion of
+//! `S&F-Receive` by the receiving node (in case a message was sent)". A
+//! *round* is the period during which each node is expected to initiate
+//! exactly one action — i.e. `n` random steps. The practical variant where
+//! every node fires once per round in a random permutation is also provided
+//! ([`Simulation::round_permuted`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sandf_core::{
+    InitiateOutcome, JoinError, Message, NodeId, NodeStats, ReceiveOutcome, SfConfig, SfNode,
+};
+use sandf_graph::{DependenceReport, MembershipGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::loss::LossModel;
+
+/// System-wide event counters, the simulator-side complement of
+/// [`NodeStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total initiate steps executed.
+    pub actions: u64,
+    /// Actions that were self-loop transformations.
+    pub self_loops: u64,
+    /// Messages produced.
+    pub sent: u64,
+    /// Messages dropped by the loss model.
+    pub lost: u64,
+    /// Messages addressed to a node that already left or failed.
+    pub dead_letters: u64,
+    /// Messages delivered and stored by the receiver.
+    pub stored: u64,
+    /// Messages delivered but deleted (receiver's view was full).
+    pub deleted: u64,
+    /// Sends that duplicated instead of clearing (`d(u) = d_L`).
+    pub duplications: u64,
+}
+
+impl SimStats {
+    /// Empirical duplication probability over non-self-loop actions, the
+    /// quantity bounded by Lemma 6.7 (`ℓ ≤ dup ≤ ℓ + δ`).
+    #[must_use]
+    pub fn duplication_rate(&self) -> Option<f64> {
+        (self.sent > 0).then(|| self.duplications as f64 / self.sent as f64)
+    }
+
+    /// Empirical deletion probability over non-self-loop actions.
+    #[must_use]
+    pub fn deletion_rate(&self) -> Option<f64> {
+        (self.sent > 0).then(|| self.deleted as f64 / self.sent as f64)
+    }
+
+    /// Empirical loss rate over sent messages (includes dead letters, which
+    /// are losses from the protocol's perspective).
+    #[must_use]
+    pub fn loss_rate(&self) -> Option<f64> {
+        (self.sent > 0).then(|| (self.lost + self.dead_letters) as f64 / self.sent as f64)
+    }
+}
+
+/// What happened during one simulation step, for observers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepEvent {
+    /// The initiator selected an empty slot; nothing was sent.
+    SelfLoop,
+    /// A message was produced but dropped by the loss model.
+    Lost {
+        /// The intended receiver.
+        to: NodeId,
+        /// The dropped message.
+        message: Message,
+        /// Whether the send duplicated.
+        duplicated: bool,
+    },
+    /// A message was addressed to a node that is no longer live.
+    DeadLetter {
+        /// The departed receiver.
+        to: NodeId,
+        /// The undeliverable message.
+        message: Message,
+        /// Whether the send duplicated.
+        duplicated: bool,
+    },
+    /// A message was delivered.
+    Delivered {
+        /// The receiver.
+        to: NodeId,
+        /// The delivered message.
+        message: Message,
+        /// Whether the send duplicated.
+        duplicated: bool,
+        /// Whether the receiver deleted the ids (full view).
+        deleted: bool,
+    },
+    /// A message was queued for later delivery (delayed simulations only).
+    InFlight {
+        /// The receiver.
+        to: NodeId,
+        /// The queued message.
+        message: Message,
+        /// Whether the send duplicated.
+        duplicated: bool,
+        /// The global step at which delivery is scheduled.
+        deliver_at: u64,
+    },
+}
+
+/// A report of one step: who initiated and what happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepReport {
+    /// The initiating node.
+    pub initiator: NodeId,
+    /// The step's outcome.
+    pub event: StepEvent,
+}
+
+/// Message-delay model: how long a sent message stays in flight.
+///
+/// The paper's model breaks actions into single-node *steps* precisely so
+/// that messages may be delayed and actions may overlap in time
+/// (Section 4.1: "we allow communication to be asynchronous"). With
+/// [`DelayModel::Immediate`] the receive step executes right after the send
+/// (the central-entity execution of Section 5); with
+/// [`DelayModel::UniformSteps`] each message is delivered a uniformly
+/// random number of *global steps* later, so arbitrary actions interleave
+/// with in-flight messages — the asynchrony the protocol claims to
+/// tolerate, and the `delay` tests verify it does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DelayModel {
+    /// The receive step runs immediately after the send step.
+    Immediate,
+    /// Each delivered message arrives `1..=max` global steps after the
+    /// send, sampled uniformly.
+    UniformSteps {
+        /// The largest possible delay, in steps.
+        max: u64,
+    },
+}
+
+/// A deterministic, seeded simulation of an S&F system under message loss.
+///
+/// # Examples
+///
+/// ```
+/// use sandf_core::SfConfig;
+/// use sandf_sim::{topology, Simulation, UniformLoss};
+///
+/// let config = SfConfig::new(16, 6)?;
+/// let nodes = topology::circulant(64, config, 8);
+/// let mut sim = Simulation::new(nodes, UniformLoss::new(0.01)?, 42);
+/// sim.run_rounds(50);
+/// assert!(sim.graph().is_weakly_connected());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation<L> {
+    config: SfConfig,
+    nodes: HashMap<NodeId, SfNode>,
+    live: Vec<NodeId>,
+    loss: L,
+    delay: DelayModel,
+    /// Global step counter (drives in-flight delivery times).
+    now: u64,
+    /// Messages in flight, keyed by delivery step.
+    in_flight: BTreeMap<u64, Vec<(NodeId, Message)>>,
+    rng: StdRng,
+    stats: SimStats,
+    next_id: u64,
+}
+
+impl<L: LossModel> Simulation<L> {
+    /// Creates a simulation over the given nodes with a seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, contains duplicate ids, or mixes
+    /// configurations.
+    #[must_use]
+    pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "simulation needs at least one node");
+        let config = nodes[0].config();
+        assert!(
+            nodes.iter().all(|n| n.config() == config),
+            "all nodes must share one configuration"
+        );
+        let live: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
+        let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let map: HashMap<NodeId, SfNode> = nodes.into_iter().map(|n| (n.id(), n)).collect();
+        assert_eq!(map.len(), live.len(), "duplicate node ids");
+        Self {
+            config,
+            nodes: map,
+            live,
+            loss,
+            delay: DelayModel::Immediate,
+            now: 0,
+            in_flight: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            next_id,
+        }
+    }
+
+    /// Creates a simulation with a message-delay model, so actions overlap
+    /// in time (the asynchronous regime of Section 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`new`](Self::new), or when the
+    /// delay bound is zero.
+    #[must_use]
+    pub fn with_delay(nodes: Vec<SfNode>, loss: L, delay: DelayModel, seed: u64) -> Self {
+        if let DelayModel::UniformSteps { max } = delay {
+            assert!(max > 0, "delay bound must be positive");
+        }
+        let mut sim = Self::new(nodes, loss, seed);
+        sim.delay = delay;
+        sim
+    }
+
+    /// Number of messages currently in flight (always 0 under
+    /// [`DelayModel::Immediate`]).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.values().map(Vec::len).sum()
+    }
+
+    /// Delivers every in-flight message whose delivery time has arrived.
+    fn deliver_due(&mut self) {
+        while let Some((&at, _)) = self.in_flight.first_key_value() {
+            if at > self.now {
+                break;
+            }
+            let (_, batch) = self.in_flight.pop_first().expect("checked nonempty");
+            for (to, message) in batch {
+                self.deliver(to, message);
+            }
+        }
+    }
+
+    /// Executes the receive step at `to` (or counts a dead letter).
+    fn deliver(&mut self, to: NodeId, message: Message) -> StepEvent {
+        match self.nodes.get_mut(&to) {
+            None => {
+                self.stats.dead_letters += 1;
+                StepEvent::DeadLetter { to, message, duplicated: message.dependent }
+            }
+            Some(receiver) => {
+                let deleted =
+                    matches!(receiver.receive(message, &mut self.rng), ReceiveOutcome::Deleted);
+                if deleted {
+                    self.stats.deleted += 1;
+                } else {
+                    self.stats.stored += 1;
+                }
+                StepEvent::Delivered { to, message, duplicated: message.dependent, deleted }
+            }
+        }
+    }
+
+    /// The shared protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> SfConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no node is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The ids of the live nodes (unspecified order).
+    #[must_use]
+    pub fn live_ids(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// A live node by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&SfNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Iterates over the live nodes (unspecified order).
+    pub fn nodes(&self) -> impl Iterator<Item = &SfNode> {
+        self.nodes.values()
+    }
+
+    /// Accumulated system-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Resets system-wide and per-node counters (e.g. after burn-in).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        for node in self.nodes.values_mut() {
+            node.reset_stats();
+        }
+    }
+
+    /// Sum of all per-node counters.
+    #[must_use]
+    pub fn aggregate_node_stats(&self) -> NodeStats {
+        let mut total = NodeStats::new();
+        for node in self.nodes.values() {
+            total.merge(node.stats());
+        }
+        total
+    }
+
+    /// Executes one step by a uniformly random live node (the paper's
+    /// central-entity model).
+    pub fn step(&mut self) -> StepReport {
+        let initiator = self.live[self.rng.gen_range(0..self.live.len())];
+        self.step_node(initiator)
+    }
+
+    /// Executes one step by a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiator` is not live.
+    pub fn step_node(&mut self, initiator: NodeId) -> StepReport {
+        self.now += 1;
+        self.deliver_due();
+        self.stats.actions += 1;
+        let node = self.nodes.get_mut(&initiator).expect("initiator must be live");
+        let outcome = node.initiate(&mut self.rng);
+        let event = match outcome {
+            InitiateOutcome::SelfLoop => {
+                self.stats.self_loops += 1;
+                StepEvent::SelfLoop
+            }
+            InitiateOutcome::Sent { to, message, duplicated, .. } => {
+                self.stats.sent += 1;
+                if duplicated {
+                    self.stats.duplications += 1;
+                }
+                if self.loss.is_lost_to(to, &mut self.rng) {
+                    self.stats.lost += 1;
+                    StepEvent::Lost { to, message, duplicated }
+                } else {
+                    match self.delay {
+                        DelayModel::Immediate => self.deliver(to, message),
+                        DelayModel::UniformSteps { max } => {
+                            let deliver_at = self.now + self.rng.gen_range(1..=max);
+                            self.in_flight.entry(deliver_at).or_default().push((to, message));
+                            StepEvent::InFlight { to, message, duplicated, deliver_at }
+                        }
+                    }
+                }
+            }
+        };
+        StepReport { initiator, event }
+    }
+
+    /// Delivers every message still in flight (advancing virtual time past
+    /// the last scheduled delivery) — call before taking an
+    /// end-of-experiment snapshot of a delayed simulation.
+    pub fn settle(&mut self) {
+        if let Some((&last, _)) = self.in_flight.last_key_value() {
+            self.now = self.now.max(last);
+            self.deliver_due();
+        }
+    }
+
+    /// Executes one round: `n` steps by uniformly random nodes, so that each
+    /// node initiates once in expectation (Section 6.5's round definition).
+    pub fn round(&mut self) {
+        for _ in 0..self.live.len() {
+            self.step();
+        }
+    }
+
+    /// Executes one round in which every live node initiates exactly once,
+    /// in a fresh random order — the practical deployment pattern where
+    /// every node runs a periodic timer.
+    pub fn round_permuted(&mut self) {
+        let mut order = self.live.clone();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            if self.nodes.contains_key(&id) {
+                self.step_node(id);
+            }
+        }
+    }
+
+    /// Runs `rounds` central-entity rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// Adds a new node bootstrapped with `d_L` ids copied from a random
+    /// position in `sponsor`'s view (the paper's joining rule, Section 5;
+    /// the joiner starts with "the minimal possible outdegree `d_L` and
+    /// indegree 0", Section 6.5). Returns the joiner's fresh id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::TooFewIds`] if the sponsor's view holds fewer
+    /// than `d_L` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sponsor` is not live.
+    pub fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        let d_l = self.config.lower_threshold();
+        let sponsor_node = self.nodes.get(&sponsor).expect("sponsor must be live");
+        let mut pool: Vec<NodeId> = sponsor_node.view().ids().collect();
+        if pool.len() < d_l {
+            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l });
+        }
+        pool.shuffle(&mut self.rng);
+        // An even bootstrap of exactly d_L ids (d_L is even by construction);
+        // with d_L = 0 the joiner starts empty and integrates via receives.
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+        self.join_with(&bootstrap)
+    }
+
+    /// Adds a new node bootstrapped with the given ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JoinError`] from [`SfNode::with_view`].
+    pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
+        let id = NodeId::new(self.next_id);
+        let node = SfNode::with_view(id, self.config, bootstrap)?;
+        self.next_id += 1;
+        self.nodes.insert(id, node);
+        self.live.push(id);
+        Ok(id)
+    }
+
+    /// Removes a node (a *leave* or *crash* — the paper treats them alike:
+    /// the node simply stops participating, Section 5). Its id lingers in
+    /// other views until the normal course of the protocol purges it
+    /// (Section 6.5.2). Returns the removed node.
+    pub fn leave(&mut self, id: NodeId) -> Option<SfNode> {
+        let node = self.nodes.remove(&id)?;
+        let pos = self.live.iter().position(|&x| x == id).expect("live list out of sync");
+        self.live.swap_remove(pos);
+        Some(node)
+    }
+
+    /// Total multiplicity of `id` across all live views — the number of "id
+    /// instances" tracked by the Section 6.5 decay analysis.
+    #[must_use]
+    pub fn count_id_instances(&self, id: NodeId) -> usize {
+        self.nodes.values().map(|n| n.view().multiplicity(id)).sum()
+    }
+
+    /// Snapshots the membership graph.
+    #[must_use]
+    pub fn graph(&self) -> MembershipGraph {
+        // Iterate in live order for a deterministic snapshot.
+        MembershipGraph::from_views(self.live.iter().map(|id| {
+            let node = &self.nodes[id];
+            (*id, node.view().ids().collect())
+        }))
+    }
+
+    /// Measures spatial dependence across all live views (Property M4).
+    #[must_use]
+    pub fn dependence(&self) -> DependenceReport {
+        DependenceReport::measure(self.nodes.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::loss::UniformLoss;
+    use crate::topology;
+
+    use super::*;
+
+    fn config() -> SfConfig {
+        SfConfig::new(12, 4).unwrap()
+    }
+
+    fn small_sim(seed: u64) -> Simulation<UniformLoss> {
+        let nodes = topology::circulant(24, config(), 4);
+        Simulation::new(nodes, UniformLoss::none(), seed)
+    }
+
+    #[test]
+    fn steps_preserve_total_counts() {
+        let mut sim = small_sim(1);
+        for _ in 0..500 {
+            sim.step();
+        }
+        let s = sim.stats();
+        assert_eq!(s.actions, 500);
+        assert_eq!(s.actions, s.self_loops + s.sent);
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    }
+
+    #[test]
+    fn lossless_run_conserves_edges_with_dl_zero() {
+        // Lemma 6.2: with ℓ = 0 and d_L = 0, sum degrees (hence total edge
+        // count) are invariant.
+        let config = SfConfig::lossless(12).unwrap();
+        let nodes = topology::circulant(24, config, 4);
+        let mut sim = Simulation::new(nodes, UniformLoss::none(), 5);
+        let before = sim.graph().edge_count();
+        sim.run_rounds(50);
+        assert_eq!(sim.graph().edge_count(), before);
+    }
+
+    #[test]
+    fn loss_shrinks_edges_without_duplication_floor() {
+        // Without duplications (d_L = 0) and positive loss, ids drain away —
+        // the failure mode S&F's threshold exists to prevent (Section 5).
+        let config = SfConfig::lossless(12).unwrap();
+        let nodes = topology::circulant(24, config, 4);
+        let mut sim = Simulation::new(nodes, UniformLoss::new(0.2).unwrap(), 5);
+        let before = sim.graph().edge_count();
+        sim.run_rounds(100);
+        assert!(sim.graph().edge_count() < before / 2);
+    }
+
+    #[test]
+    fn duplication_floor_keeps_system_alive_under_loss() {
+        let nodes = topology::circulant(24, config(), 6);
+        let mut sim = Simulation::new(nodes, UniformLoss::new(0.2).unwrap(), 5);
+        sim.run_rounds(200);
+        let g = sim.graph();
+        let d_l = config().lower_threshold();
+        assert!(g.out_degrees().iter().all(|&d| d >= d_l));
+        assert!(sim.stats().duplications > 0);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let mut a = small_sim(33);
+        let mut b = small_sim(33);
+        a.run_rounds(20);
+        b.run_rounds(20);
+        assert_eq!(a.stats(), b.stats());
+        let ga = a.graph();
+        let gb = b.graph();
+        for &id in ga.ids() {
+            assert_eq!(ga.out_degree(id), gb.out_degree(id));
+            assert_eq!(ga.in_degree(id), gb.in_degree(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = small_sim(1);
+        let mut b = small_sim(2);
+        a.run_rounds(20);
+        b.run_rounds(20);
+        assert_ne!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn join_via_copies_dl_ids() {
+        let mut sim = small_sim(7);
+        sim.run_rounds(10);
+        let sponsor = sim.live_ids()[0];
+        let joiner = sim.join_via(sponsor).unwrap();
+        let node = sim.node(joiner).unwrap();
+        assert_eq!(node.out_degree(), config().lower_threshold());
+        assert_eq!(sim.len(), 25);
+        // The joiner's ids all point at previously existing nodes.
+        assert!(node.view().ids().all(|id| id != joiner));
+    }
+
+    #[test]
+    fn leave_makes_id_decay() {
+        let mut sim = small_sim(9);
+        sim.run_rounds(20);
+        let victim = sim.live_ids()[3];
+        let instances_before = sim.count_id_instances(victim);
+        assert!(instances_before > 0);
+        sim.leave(victim);
+        assert_eq!(sim.len(), 23);
+        sim.run_rounds(400);
+        let instances_after = sim.count_id_instances(victim);
+        assert!(
+            instances_after < instances_before,
+            "dead id should decay: {instances_before} -> {instances_after}"
+        );
+    }
+
+    #[test]
+    fn permuted_round_touches_every_node() {
+        let mut sim = small_sim(11);
+        sim.round_permuted();
+        for node in sim.nodes() {
+            assert_eq!(node.stats().initiated, 1);
+        }
+    }
+
+    #[test]
+    fn dead_letters_are_counted() {
+        let mut sim = small_sim(13);
+        let victim = sim.live_ids()[0];
+        sim.leave(victim);
+        sim.run_rounds(50);
+        assert!(sim.stats().dead_letters > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_node_set() {
+        let _ = Simulation::new(Vec::new(), UniformLoss::none(), 0);
+    }
+
+    #[test]
+    fn delayed_messages_conserve_the_ledger() {
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::with_delay(
+            nodes,
+            UniformLoss::new(0.05).unwrap(),
+            DelayModel::UniformSteps { max: 40 },
+            3,
+        );
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        let s = sim.stats();
+        assert_eq!(
+            s.sent,
+            s.lost + s.dead_letters + s.stored + s.deleted + sim.in_flight() as u64,
+            "message ledger out of balance"
+        );
+        assert!(sim.in_flight() > 0, "no message was ever in flight");
+        sim.settle();
+        assert_eq!(sim.in_flight(), 0);
+        let s = sim.stats();
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    }
+
+    #[test]
+    fn invariants_hold_under_heavy_delay() {
+        // Observation 5.1 must survive arbitrarily interleaved actions —
+        // the non-atomicity claim of Section 4.
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::with_delay(
+            nodes,
+            UniformLoss::new(0.1).unwrap(),
+            DelayModel::UniformSteps { max: 200 },
+            7,
+        );
+        for _ in 0..5_000 {
+            sim.step();
+            for node in sim.nodes() {
+                let d = node.out_degree();
+                assert_eq!(d % 2, 0);
+                assert!((4..=12).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_and_immediate_steady_states_agree() {
+        // The asynchrony claim, quantitatively: delays must not move the
+        // steady-state degree statistics.
+        let mean_out = |delay: DelayModel| {
+            let nodes = topology::circulant(128, config(), 8);
+            let mut sim = Simulation::with_delay(
+                nodes,
+                UniformLoss::new(0.02).unwrap(),
+                delay,
+                11,
+            );
+            for _ in 0..128 * 400 {
+                sim.step();
+            }
+            sim.settle();
+            let graph = sim.graph();
+            graph.out_degrees().iter().sum::<usize>() as f64 / 128.0
+        };
+        let immediate = mean_out(DelayModel::Immediate);
+        let delayed = mean_out(DelayModel::UniformSteps { max: 64 });
+        assert!(
+            (immediate - delayed).abs() < 0.6,
+            "asynchrony shifted the steady state: {immediate} vs {delayed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delay bound")]
+    fn zero_delay_bound_is_rejected() {
+        let nodes = topology::circulant(8, config(), 4);
+        let _ = Simulation::with_delay(
+            nodes,
+            UniformLoss::none(),
+            DelayModel::UniformSteps { max: 0 },
+            0,
+        );
+    }
+
+    #[test]
+    fn targeted_loss_starves_only_the_victim() {
+        use crate::loss::TargetedLoss;
+        let victim = NodeId::new(0);
+        let mut loss = TargetedLoss::new(0.0).unwrap();
+        loss.set_target(victim, 0.95).unwrap();
+        let nodes = topology::circulant(64, SfConfig::new(16, 6).unwrap(), 8);
+        let mut sim = Simulation::new(nodes, loss, 17);
+        sim.run_rounds(300);
+        let graph = sim.graph();
+        // The duplication floor keeps the victim alive and the overlay whole.
+        assert!(graph.is_weakly_connected());
+        let victim_out = graph.out_degree(victim).unwrap();
+        assert!(victim_out >= 6, "victim fell below d_L: {victim_out}");
+        // Everyone else is essentially loss-free.
+        let mean: f64 = graph.out_degrees().iter().sum::<usize>() as f64 / 64.0;
+        assert!(
+            victim_out as f64 <= mean,
+            "starved victim should not exceed the population mean"
+        );
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut sim = small_sim(15);
+        sim.run_rounds(5);
+        sim.reset_stats();
+        assert_eq!(sim.stats(), &SimStats::default());
+        assert_eq!(sim.aggregate_node_stats().initiated, 0);
+    }
+}

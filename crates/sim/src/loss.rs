@@ -1,0 +1,353 @@
+//! Message-loss models (Section 4.1).
+//!
+//! The paper analyzes *uniform i.i.d. loss*: every message is lost with the
+//! same probability `ℓ`, independently of all other messages, and the sender
+//! cannot detect the loss. [`UniformLoss`] implements exactly that model.
+//! Because nonuniform loss "occurs in practice" (the paper cites Tölgyesi &
+//! Jelasity) but is out of the paper's analytical scope, we also provide a
+//! [`GilbertElliott`] bursty-loss model as an ablation: experiments can check
+//! how far the i.i.d. assumption carries.
+
+use rand::Rng;
+use sandf_core::NodeId;
+
+/// Decides the fate of each sent message.
+///
+/// Implementations may keep state (e.g. a burst channel state); the decision
+/// must depend only on that state, the destination, and the supplied RNG,
+/// never on message contents — the paper's model gives the adversary no
+/// content visibility.
+pub trait LossModel {
+    /// Returns `true` if the next message is lost.
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool;
+
+    /// Returns `true` if the next message *to the given destination* is
+    /// lost. The default ignores the destination (the paper's uniform
+    /// model); spatially heterogeneous models ([`TargetedLoss`]) override
+    /// it.
+    fn is_lost_to<R: Rng + ?Sized>(&mut self, _to: NodeId, rng: &mut R) -> bool {
+        self.is_lost(rng)
+    }
+
+    /// The long-run average loss rate of this model, used by analyses that
+    /// need a scalar `ℓ` (e.g. comparing against Lemma 6.7 bounds).
+    fn average_rate(&self) -> f64;
+}
+
+/// Uniform i.i.d. loss with probability `ℓ` (the paper's model).
+///
+/// # Examples
+///
+/// ```
+/// use sandf_sim::{LossModel, UniformLoss};
+///
+/// let model = UniformLoss::new(0.01)?;
+/// assert_eq!(model.average_rate(), 0.01);
+/// # Ok::<(), sandf_sim::LossRateError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct UniformLoss {
+    rate: f64,
+}
+
+/// Error returned for loss rates outside `[0, 1]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LossRateError {
+    /// The offending rate.
+    pub rate: f64,
+}
+
+impl core::fmt::Display for LossRateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "loss rate {} is outside [0, 1]", self.rate)
+    }
+}
+
+impl std::error::Error for LossRateError {}
+
+impl UniformLoss {
+    /// Creates a uniform loss model with rate `ℓ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossRateError`] unless `0 ≤ ℓ ≤ 1` and `ℓ` is finite.
+    pub fn new(rate: f64) -> Result<Self, LossRateError> {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(LossRateError { rate });
+        }
+        Ok(Self { rate })
+    }
+
+    /// A lossless channel (`ℓ = 0`).
+    #[must_use]
+    pub fn none() -> Self {
+        Self { rate: 0.0 }
+    }
+}
+
+impl LossModel for UniformLoss {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.rate > 0.0 && rng.gen_bool(self.rate)
+    }
+
+    fn average_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Two-state Gilbert–Elliott bursty loss: the channel alternates between a
+/// *good* and a *bad* state with given transition probabilities, and loses
+/// messages at a state-dependent rate. Used as an ablation of the paper's
+/// i.i.d. assumption — its long-run average rate is comparable to a
+/// [`UniformLoss`] of the same magnitude, but losses arrive in bursts.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GilbertElliott {
+    to_bad: f64,
+    to_good: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates a Gilbert–Elliott channel starting in the good state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossRateError`] if any probability lies outside `[0, 1]`.
+    pub fn new(
+        to_bad: f64,
+        to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Result<Self, LossRateError> {
+        for &p in &[to_bad, to_good, loss_good, loss_bad] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(LossRateError { rate: p });
+            }
+        }
+        Ok(Self { to_bad, to_good, loss_good, loss_bad, in_bad: false })
+    }
+
+    /// Whether the channel is currently in the bad (bursty) state.
+    #[must_use]
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        // Advance the channel state, then sample the loss for this message.
+        let flip = if self.in_bad { self.to_good } else { self.to_bad };
+        if flip > 0.0 && rng.gen_bool(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        let rate = if self.in_bad { self.loss_bad } else { self.loss_good };
+        rate > 0.0 && rng.gen_bool(rate)
+    }
+
+    fn average_rate(&self) -> f64 {
+        // Stationary split of the two-state chain.
+        let denom = self.to_bad + self.to_good;
+        if denom == 0.0 {
+            // The chain never leaves its initial (good) state.
+            return self.loss_good;
+        }
+        let p_bad = self.to_bad / denom;
+        (1.0 - p_bad) * self.loss_good + p_bad * self.loss_bad
+    }
+}
+
+/// Spatially heterogeneous loss: a base rate for everyone, with per-node
+/// overrides on the *inbound* path (messages addressed to those nodes).
+///
+/// The paper restricts its analysis to uniform loss and notes that
+/// "nonuniform loss occurs in practice … [and] is more difficult to model
+/// and analyze" (Section 4.1). This model is the spatial flavor of that
+/// nonuniformity — e.g. one peer behind a terrible link — complementing the
+/// temporal flavor ([`GilbertElliott`]). The `loss_ablation` bench measures
+/// how a badly connected node fares: its indegree shrinks toward `d_L`
+/// while the rest of the system is unaffected.
+#[derive(Clone, Debug)]
+pub struct TargetedLoss {
+    base: UniformLoss,
+    overrides: Vec<(NodeId, f64)>,
+}
+
+impl TargetedLoss {
+    /// Creates a targeted model with the given base rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossRateError`] for a base rate outside `[0, 1]`.
+    pub fn new(base_rate: f64) -> Result<Self, LossRateError> {
+        Ok(Self { base: UniformLoss::new(base_rate)?, overrides: Vec::new() })
+    }
+
+    /// Sets the inbound loss rate for one node (replacing any previous
+    /// override).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossRateError`] for a rate outside `[0, 1]`.
+    pub fn set_target(&mut self, node: NodeId, rate: f64) -> Result<(), LossRateError> {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(LossRateError { rate });
+        }
+        self.overrides.retain(|&(id, _)| id != node);
+        self.overrides.push((node, rate));
+        Ok(())
+    }
+
+    fn rate_for(&self, to: NodeId) -> f64 {
+        self.overrides
+            .iter()
+            .find(|&&(id, _)| id == to)
+            .map_or(self.base.average_rate(), |&(_, rate)| rate)
+    }
+}
+
+impl LossModel for TargetedLoss {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.base.is_lost(rng)
+    }
+
+    fn is_lost_to<R: Rng + ?Sized>(&mut self, to: NodeId, rng: &mut R) -> bool {
+        let rate = self.rate_for(to);
+        rate > 0.0 && rng.gen_bool(rate)
+    }
+
+    fn average_rate(&self) -> f64 {
+        self.base.average_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn uniform_rejects_out_of_range() {
+        assert!(UniformLoss::new(-0.1).is_err());
+        assert!(UniformLoss::new(1.1).is_err());
+        assert!(UniformLoss::new(f64::NAN).is_err());
+        assert!(UniformLoss::new(0.0).is_ok());
+        assert!(UniformLoss::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_zero_never_loses() {
+        let mut model = UniformLoss::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !model.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn uniform_one_always_loses() {
+        let mut model = UniformLoss::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| model.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn uniform_empirical_rate_matches() {
+        let mut model = UniformLoss::new(0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let losses = (0..200_000).filter(|_| model.is_lost(&mut rng)).count();
+        let rate = losses as f64 / 200_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "empirical {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_average_rate() {
+        let model = GilbertElliott::new(0.1, 0.3, 0.0, 0.2).unwrap();
+        // p_bad = 0.1 / 0.4 = 0.25; rate = 0.25 · 0.2 = 0.05.
+        assert!((model.average_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_empirical_rate_matches_average() {
+        let mut model = GilbertElliott::new(0.05, 0.2, 0.001, 0.25).unwrap();
+        let expected = model.average_rate();
+        let mut rng = StdRng::seed_from_u64(7);
+        let losses = (0..400_000).filter(|_| model.is_lost(&mut rng)).count();
+        let rate = losses as f64 / 400_000.0;
+        assert!((rate - expected).abs() < 0.01, "empirical {rate} vs {expected}");
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts() {
+        // With sticky states, losses should cluster: the variance of the gap
+        // between losses exceeds the geometric model's.
+        let mut model = GilbertElliott::new(0.01, 0.05, 0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut consecutive = 0u32;
+        let mut max_run = 0u32;
+        for _ in 0..100_000 {
+            if model.is_lost(&mut rng) {
+                consecutive += 1;
+                max_run = max_run.max(consecutive);
+            } else {
+                consecutive = 0;
+            }
+        }
+        assert!(max_run >= 3, "expected bursty losses, max run {max_run}");
+    }
+
+    #[test]
+    fn gilbert_elliott_frozen_chain_average() {
+        let model = GilbertElliott::new(0.0, 0.0, 0.02, 0.9).unwrap();
+        assert_eq!(model.average_rate(), 0.02);
+    }
+
+    #[test]
+    fn targeted_loss_uses_overrides() {
+        let mut model = TargetedLoss::new(0.0).unwrap();
+        model.set_target(NodeId::new(7), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| model.is_lost_to(NodeId::new(7), &mut rng)));
+        assert!((0..100).all(|_| !model.is_lost_to(NodeId::new(8), &mut rng)));
+        assert!(!model.is_lost(&mut rng));
+        assert_eq!(model.average_rate(), 0.0);
+    }
+
+    #[test]
+    fn targeted_loss_overrides_replace() {
+        let mut model = TargetedLoss::new(0.1).unwrap();
+        model.set_target(NodeId::new(1), 0.9).unwrap();
+        model.set_target(NodeId::new(1), 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..200).all(|_| !model.is_lost_to(NodeId::new(1), &mut rng)));
+    }
+
+    #[test]
+    fn targeted_loss_rejects_bad_rates() {
+        assert!(TargetedLoss::new(1.5).is_err());
+        let mut model = TargetedLoss::new(0.0).unwrap();
+        assert!(model.set_target(NodeId::new(1), -0.1).is_err());
+    }
+
+    #[test]
+    fn default_is_lost_to_matches_is_lost() {
+        let mut a = UniformLoss::new(0.3).unwrap();
+        let mut b = UniformLoss::new(0.3).unwrap();
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for k in 0..1000 {
+            assert_eq!(
+                a.is_lost(&mut ra),
+                b.is_lost_to(NodeId::new(k), &mut rb)
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_rejects_bad_probabilities() {
+        assert!(GilbertElliott::new(1.5, 0.0, 0.0, 0.0).is_err());
+        assert!(GilbertElliott::new(0.0, 0.0, 0.0, f64::INFINITY).is_err());
+    }
+}

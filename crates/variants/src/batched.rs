@@ -1,0 +1,247 @@
+//! Variant 3 (Section 5, optimization 3): "more than two ids could be sent
+//! in a message."
+//!
+//! Each action selects `1 + b` distinct slots (a target plus `b` payloads,
+//! `b` odd so outdegree parity survives), ships all payloads in one
+//! message, and clears the selected slots unless that would push the
+//! outdegree below `d_L` (then everything is duplicated). The receiver
+//! stores all `1 + b` ids when it has room, otherwise deletes them all —
+//! a direct generalization of Figure 5.1 that amortizes per-message
+//! overhead at the cost of coarser (±(b+1)) degree moves and bigger losses
+//! per dropped message.
+
+use rand::seq::index::sample;
+use rand::Rng;
+use sandf_core::{Entry, NodeId, SfConfig};
+
+use crate::traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};
+
+/// An S&F node sending `b` payload ids per message.
+#[derive(Clone, Debug)]
+pub struct BatchedNode {
+    id: NodeId,
+    config: SfConfig,
+    batch: usize,
+    slots: Vec<Option<Entry>>,
+    occupied: usize,
+    stats: VariantStats,
+}
+
+impl BatchedNode {
+    /// Creates a node with batch size `b` (payload ids per message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is even (parity, Observation 5.1), `b + 1 > s − d_L`
+    /// (no legal non-duplicating send would exist), or the bootstrap
+    /// violates the joining rule.
+    #[must_use]
+    pub fn new(id: NodeId, config: SfConfig, batch: usize, bootstrap: &[NodeId]) -> Self {
+        assert!(batch % 2 == 1, "batch size must be odd to preserve parity");
+        assert!(
+            batch < config.view_size() - config.lower_threshold(),
+            "batch too large for the degree band"
+        );
+        assert!(bootstrap.len() >= config.lower_threshold(), "too few bootstrap ids");
+        assert!(bootstrap.len() <= config.view_size(), "too many bootstrap ids");
+        assert!(bootstrap.len().is_multiple_of(2), "bootstrap must be even");
+        let mut slots = vec![None; config.view_size()];
+        for (slot, &id) in slots.iter_mut().zip(bootstrap) {
+            *slot = Some(Entry::dependent(id));
+        }
+        Self { id, config, batch, slots, occupied: bootstrap.len(), stats: VariantStats::default() }
+    }
+
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl SfVariant for BatchedNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn out_degree(&self) -> usize {
+        self.occupied
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.slots.iter().flatten().map(|e| e.id).collect()
+    }
+
+    fn dependent_entries(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| e.dependent || e.id == self.id)
+            .count()
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {
+        self.stats.initiated += 1;
+        let picks = sample(rng, self.slots.len(), self.batch + 1).into_vec();
+        let entries: Option<Vec<Entry>> =
+            picks.iter().map(|&k| self.slots[k]).collect();
+        let Some(entries) = entries else {
+            self.stats.self_loops += 1;
+            return None;
+        };
+        let target = entries[0];
+        // Clearing 1 + b entries must not cross d_L.
+        let duplicated = self.occupied < self.config.lower_threshold() + self.batch + 1;
+        if duplicated {
+            self.stats.compensations += 1;
+        } else {
+            for &k in &picks {
+                self.slots[k] = None;
+            }
+            self.occupied -= self.batch + 1;
+        }
+        self.stats.sent += 1;
+        Some(VariantOutgoing {
+            to: target.id,
+            message: VariantMessage {
+                sender: self.id,
+                // Figure 7.1 tag algebra: duplication labels the transmitted
+                // instances dependent, a clean send cleanses them.
+                payloads: entries[1..].iter().map(|e| (e.id, duplicated)).collect(),
+                sender_dependent: duplicated,
+            },
+        })
+    }
+
+    fn receive<R: Rng + ?Sized>(&mut self, message: VariantMessage, rng: &mut R) {
+        let arriving = 1 + message.payloads.len();
+        if self.slots.len() - self.occupied < arriving {
+            self.stats.displaced += 1;
+            return;
+        }
+        let empties: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(k, _)| k)
+            .collect();
+        let chosen = sample(rng, empties.len(), arriving).into_vec();
+        let mut entries = Vec::with_capacity(arriving);
+        entries.push(Entry { id: message.sender, dependent: message.sender_dependent });
+        entries.extend(
+            message
+                .payloads
+                .iter()
+                .map(|&(id, dependent)| Entry { id, dependent }),
+        );
+        for (&slot_pick, entry) in chosen.iter().zip(entries) {
+            self.slots[empties[slot_pick]] = Some(entry);
+        }
+        self.occupied += arriving;
+        self.stats.stored += 1;
+    }
+
+    fn stats(&self) -> VariantStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn node(batch: usize) -> BatchedNode {
+        let config = SfConfig::new(16, 2).unwrap();
+        let ids: Vec<NodeId> = (1..=10).map(id).collect();
+        BatchedNode::new(id(0), config, batch, &ids)
+    }
+
+    #[test]
+    fn sends_batch_payloads() {
+        let mut n = node(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = loop {
+            if let Some(o) = n.initiate(&mut rng) {
+                break o;
+            }
+        };
+        assert_eq!(out.message.payloads.len(), 3);
+        assert_eq!(n.out_degree(), 6, "cleared 4 entries");
+    }
+
+    #[test]
+    fn duplicates_near_the_threshold() {
+        let config = SfConfig::new(16, 2).unwrap();
+        let ids: Vec<NodeId> = (1..=4).map(id).collect();
+        let mut n = BatchedNode::new(id(0), config, 3, &ids);
+        let mut rng = StdRng::seed_from_u64(2);
+        // occupied = 4 < d_L + b + 1 = 6: must duplicate.
+        let out = loop {
+            if let Some(o) = n.initiate(&mut rng) {
+                break o;
+            }
+        };
+        assert!(out.message.sender_dependent);
+        assert_eq!(n.out_degree(), 4);
+    }
+
+    #[test]
+    fn receive_is_all_or_nothing() {
+        let config = SfConfig::new(8, 0).unwrap();
+        let ids: Vec<NodeId> = (1..=6).map(id).collect();
+        let mut n = BatchedNode::new(id(0), config, 3, &ids);
+        let mut rng = StdRng::seed_from_u64(3);
+        // 2 empty slots < 4 arriving ids: delete all.
+        n.receive(
+            VariantMessage {
+                sender: id(50),
+                payloads: vec![(id(51), false), (id(52), false), (id(53), false)],
+                sender_dependent: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(n.out_degree(), 6);
+        assert_eq!(n.stats().displaced, 1);
+    }
+
+    #[test]
+    fn band_and_parity_invariants() {
+        let mut n = node(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for k in 0..2_000u64 {
+            if k % 3 == 0 {
+                n.receive(
+                    VariantMessage {
+                        sender: id(100 + k),
+                        payloads: vec![
+                            (id(200 + k), false),
+                            (id(300 + k), false),
+                            (id(400 + k), false),
+                        ],
+                        sender_dependent: false,
+                    },
+                    &mut rng,
+                );
+            } else {
+                n.initiate(&mut rng);
+            }
+            assert!(n.out_degree() >= 2 && n.out_degree() <= 16);
+            assert_eq!(n.out_degree() % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_batch() {
+        let config = SfConfig::new(16, 2).unwrap();
+        let _ = BatchedNode::new(id(0), config, 2, &[id(1), id(2)]);
+    }
+}

@@ -1,0 +1,223 @@
+//! A seeded lossy harness driving any [`SfVariant`] population, with the
+//! metrics the ablation bench reports.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::NodeId;
+use sandf_graph::{DegreeStats, MembershipGraph};
+
+use crate::traits::{SfVariant, VariantStats};
+
+/// A deterministic simulation over variant nodes (central-entity model,
+/// uniform i.i.d. loss — the same execution semantics as `sandf-sim`).
+#[derive(Clone, Debug)]
+pub struct VariantSim<V> {
+    nodes: HashMap<NodeId, V>,
+    order: Vec<NodeId>,
+    loss: f64,
+    rng: StdRng,
+}
+
+/// Snapshot metrics for the ablation comparison.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VariantMetrics {
+    /// Mean live outdegree.
+    pub mean_out: f64,
+    /// Indegree standard deviation (load balance, Property M2).
+    pub in_std: f64,
+    /// Fraction of live entries labeled dependent (tags + self-edges;
+    /// Property M4's complement).
+    pub dependent_fraction: f64,
+    /// Total live id instances.
+    pub total_ids: usize,
+    /// Aggregate event counters.
+    pub stats: VariantStats,
+    /// Whether the live membership graph is weakly connected.
+    pub connected: bool,
+}
+
+impl<V: SfVariant> VariantSim<V> {
+    /// Creates a harness over the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, ids repeat, or `loss ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(nodes: Vec<V>, loss: f64, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        let order: Vec<NodeId> = nodes.iter().map(SfVariant::id).collect();
+        let map: HashMap<NodeId, V> = nodes.into_iter().map(|n| (n.id(), n)).collect();
+        assert_eq!(map.len(), order.len(), "duplicate node ids");
+        Self { nodes: map, order, loss, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One step: a random node initiates; its message is delivered unless
+    /// lost.
+    pub fn step(&mut self) {
+        let initiator = self.order[self.rng.gen_range(0..self.order.len())];
+        let Some(out) = self
+            .nodes
+            .get_mut(&initiator)
+            .expect("order tracks the node map")
+            .initiate(&mut self.rng)
+        else {
+            return;
+        };
+        if self.loss > 0.0 && self.rng.gen_bool(self.loss) {
+            return;
+        }
+        if let Some(receiver) = self.nodes.get_mut(&out.to) {
+            receiver.receive(out.message, &mut self.rng);
+        }
+    }
+
+    /// One round: `n` steps.
+    pub fn round(&mut self) {
+        for _ in 0..self.order.len() {
+            self.step();
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// The nodes, in registration order.
+    pub fn nodes(&self) -> impl Iterator<Item = &V> {
+        self.order.iter().map(|id| &self.nodes[id])
+    }
+
+    /// Snapshot metrics.
+    #[must_use]
+    pub fn metrics(&self) -> VariantMetrics {
+        let graph = MembershipGraph::from_views(
+            self.order
+                .iter()
+                .map(|id| (*id, self.nodes[id].view_ids())),
+        );
+        let in_stats = DegreeStats::from_samples(&graph.in_degrees());
+        let out_stats = DegreeStats::from_samples(&graph.out_degrees());
+        let mut total_entries = 0usize;
+        let mut dependent = 0usize;
+        let mut stats = VariantStats::default();
+        for node in self.nodes.values() {
+            total_entries += node.out_degree();
+            dependent += node.dependent_entries();
+            let s = node.stats();
+            stats.initiated += s.initiated;
+            stats.self_loops += s.self_loops;
+            stats.sent += s.sent;
+            stats.compensations += s.compensations;
+            stats.stored += s.stored;
+            stats.displaced += s.displaced;
+        }
+        VariantMetrics {
+            mean_out: out_stats.mean,
+            in_std: in_stats.std_dev(),
+            dependent_fraction: if total_entries == 0 {
+                0.0
+            } else {
+                dependent as f64 / total_entries as f64
+            },
+            total_ids: total_entries,
+            stats,
+            connected: graph.is_weakly_connected(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sandf_core::SfConfig;
+
+    use crate::batched::BatchedNode;
+    use crate::replace::ReplaceNode;
+    use crate::undelete::UndeleteNode;
+    use crate::vanilla::VanillaNode;
+
+    use super::*;
+
+    fn bootstrap(i: usize, n: usize, k: usize) -> Vec<NodeId> {
+        (1..=k).map(|d| NodeId::new(((i + d) % n) as u64)).collect()
+    }
+
+    fn config() -> SfConfig {
+        SfConfig::new(16, 6).unwrap()
+    }
+
+    #[test]
+    fn vanilla_population_is_stable_under_loss() {
+        let n = 64;
+        let nodes: Vec<VanillaNode> = (0..n)
+            .map(|i| VanillaNode::new(NodeId::new(i as u64), config(), &bootstrap(i, n, 10)))
+            .collect();
+        let mut sim = VariantSim::new(nodes, 0.05, 1);
+        sim.run_rounds(200);
+        let m = sim.metrics();
+        assert!(m.connected);
+        assert!(m.mean_out >= 6.0);
+        assert!(m.stats.compensations > 0);
+    }
+
+    #[test]
+    fn undelete_variant_survives_loss_with_reservoir() {
+        let n = 64;
+        let nodes: Vec<UndeleteNode> = (0..n)
+            .map(|i| UndeleteNode::new(NodeId::new(i as u64), config(), &bootstrap(i, n, 10)))
+            .collect();
+        let mut sim = VariantSim::new(nodes, 0.05, 2);
+        sim.run_rounds(200);
+        let m = sim.metrics();
+        assert!(m.connected, "undelete variant partitioned");
+        assert!(m.mean_out >= 6.0);
+    }
+
+    #[test]
+    fn replace_variant_never_deletes_fresh_ids() {
+        let n = 64;
+        let nodes: Vec<ReplaceNode> = (0..n)
+            .map(|i| ReplaceNode::new(NodeId::new(i as u64), config(), &bootstrap(i, n, 10)))
+            .collect();
+        let mut sim = VariantSim::new(nodes, 0.05, 3);
+        sim.run_rounds(200);
+        let m = sim.metrics();
+        assert!(m.connected);
+        assert!(m.mean_out >= 6.0);
+    }
+
+    #[test]
+    fn batched_variant_runs_and_balances() {
+        let n = 64;
+        let config = SfConfig::new(24, 6).unwrap();
+        let nodes: Vec<BatchedNode> = (0..n)
+            .map(|i| {
+                BatchedNode::new(NodeId::new(i as u64), config, 3, &bootstrap(i, n, 12))
+            })
+            .collect();
+        let mut sim = VariantSim::new(nodes, 0.05, 4);
+        sim.run_rounds(200);
+        let m = sim.metrics();
+        assert!(m.connected);
+        assert!(m.mean_out >= 6.0);
+        assert!(m.in_std < m.mean_out, "load imbalance: {m:?}");
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let n = 16;
+        let nodes: Vec<VanillaNode> = (0..n)
+            .map(|i| VanillaNode::new(NodeId::new(i as u64), config(), &bootstrap(i, n, 6)))
+            .collect();
+        let sim = VariantSim::new(nodes, 0.0, 5);
+        let m = sim.metrics();
+        assert_eq!(m.total_ids, 16 * 6);
+        assert!((m.mean_out - 6.0).abs() < 1e-9);
+        assert!(m.dependent_fraction >= 0.99, "bootstrap entries are tagged");
+    }
+}

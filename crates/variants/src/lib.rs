@@ -1,0 +1,56 @@
+//! # sandf-variants — the paper's deferred optimizations, implemented
+//!
+//! Section 5 of Gurevich & Keidar sketches three optimizations and sets
+//! them aside because they "would make the protocol harder to analyze …
+//! leave optimizations to future work". This crate is that future work:
+//!
+//! 1. [`UndeleteNode`] — sent ids are *tombstoned*, not cleared, and
+//!    compensation *undeletes* stale entries instead of duplicating live
+//!    ones;
+//! 2. [`ReplaceNode`] — a full receiver overwrites random entries instead
+//!    of deleting arrivals;
+//! 3. [`BatchedNode`] — `b` payload ids per message (odd `b`, preserving
+//!    the Observation 5.1 parity invariant).
+//!
+//! [`VanillaNode`] adapts the analyzed baseline to the same [`SfVariant`]
+//! trait, and [`VariantSim`] runs any population under seeded uniform loss
+//! so the `variants_ablation` bench can compare degree balance, dependence,
+//! and loss-resilience across all four — quantifying exactly the trade-offs
+//! the paper chose not to analyze.
+//!
+//! ## Example
+//!
+//! ```
+//! use sandf_core::{NodeId, SfConfig};
+//! use sandf_variants::{SfVariant, UndeleteNode, VariantSim};
+//!
+//! let config = SfConfig::new(16, 6)?;
+//! let nodes: Vec<UndeleteNode> = (0..32usize)
+//!     .map(|i| {
+//!         let boot: Vec<NodeId> =
+//!             (1..=8).map(|d| NodeId::new(((i + d) % 32) as u64)).collect();
+//!         UndeleteNode::new(NodeId::new(i as u64), config, &boot)
+//!     })
+//!     .collect();
+//! let mut sim = VariantSim::new(nodes, 0.05, 7);
+//! sim.run_rounds(100);
+//! assert!(sim.metrics().connected);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batched;
+mod harness;
+mod replace;
+mod traits;
+mod undelete;
+mod vanilla;
+
+pub use batched::BatchedNode;
+pub use harness::{VariantMetrics, VariantSim};
+pub use replace::ReplaceNode;
+pub use traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};
+pub use undelete::UndeleteNode;
+pub use vanilla::VanillaNode;

@@ -1,0 +1,212 @@
+//! Variant 2 (Section 5, optimization 2): "instead of discarding received
+//! ids when the view is full, the protocol could replace some existing view
+//! entries with new ids."
+//!
+//! Everything else is vanilla S&F; only the full-view receive path changes:
+//! two uniformly random existing entries are overwritten instead of the
+//! arrivals being deleted. This keeps fresh information flowing at the cost
+//! of destroying in-view instances (whose senders believe they still
+//! exist), trading deletion-loss for a different flavor of churn.
+
+use rand::Rng;
+use sandf_core::{Entry, NodeId, SfConfig};
+
+use crate::traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};
+
+/// An S&F node that overwrites random entries when its view is full.
+#[derive(Clone, Debug)]
+pub struct ReplaceNode {
+    id: NodeId,
+    config: SfConfig,
+    slots: Vec<Option<Entry>>,
+    occupied: usize,
+    stats: VariantStats,
+}
+
+impl ReplaceNode {
+    /// Creates a node bootstrapped with the given ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap violates the joining rule.
+    #[must_use]
+    pub fn new(id: NodeId, config: SfConfig, bootstrap: &[NodeId]) -> Self {
+        assert!(bootstrap.len() >= config.lower_threshold(), "too few bootstrap ids");
+        assert!(bootstrap.len() <= config.view_size(), "too many bootstrap ids");
+        assert!(bootstrap.len().is_multiple_of(2), "bootstrap must be even (Observation 5.1)");
+        let mut slots = vec![None; config.view_size()];
+        for (slot, &id) in slots.iter_mut().zip(bootstrap) {
+            *slot = Some(Entry::dependent(id));
+        }
+        Self { id, config, slots, occupied: bootstrap.len(), stats: VariantStats::default() }
+    }
+
+    fn put<R: Rng + ?Sized>(&mut self, entry: Entry, rng: &mut R) -> bool {
+        let empties: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(k, _)| k)
+            .collect();
+        if empties.is_empty() {
+            // The replacement path: overwrite a random occupied slot.
+            let victim = rng.gen_range(0..self.slots.len());
+            self.slots[victim] = Some(entry);
+            false
+        } else {
+            let k = empties[rng.gen_range(0..empties.len())];
+            self.slots[k] = Some(entry);
+            self.occupied += 1;
+            true
+        }
+    }
+}
+
+impl SfVariant for ReplaceNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn out_degree(&self) -> usize {
+        self.occupied
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.slots.iter().flatten().map(|e| e.id).collect()
+    }
+
+    fn dependent_entries(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| e.dependent || e.id == self.id)
+            .count()
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {
+        self.stats.initiated += 1;
+        let s = self.slots.len();
+        let i = rng.gen_range(0..s);
+        let mut j = rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (Some(target), Some(payload)) = (self.slots[i], self.slots[j]) else {
+            self.stats.self_loops += 1;
+            return None;
+        };
+        let duplicated = self.occupied <= self.config.lower_threshold();
+        if duplicated {
+            self.stats.compensations += 1;
+        } else {
+            self.slots[i] = None;
+            self.slots[j] = None;
+            self.occupied -= 2;
+        }
+        self.stats.sent += 1;
+        Some(VariantOutgoing {
+            to: target.id,
+            message: VariantMessage {
+                sender: self.id,
+                payloads: vec![(payload.id, duplicated)],
+                sender_dependent: duplicated,
+            },
+        })
+    }
+
+    fn receive<R: Rng + ?Sized>(&mut self, message: VariantMessage, rng: &mut R) {
+        let mut all_fresh = true;
+        let sender = Entry { id: message.sender, dependent: message.sender_dependent };
+        all_fresh &= self.put(sender, rng);
+        for (id, dependent) in message.payloads {
+            all_fresh &= self.put(Entry { id, dependent }, rng);
+        }
+        if all_fresh {
+            self.stats.stored += 1;
+        } else {
+            self.stats.displaced += 1;
+        }
+    }
+
+    fn stats(&self) -> VariantStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn full_node() -> ReplaceNode {
+        let config = SfConfig::new(6, 0).unwrap();
+        let ids: Vec<NodeId> = (1..=6).map(id).collect();
+        ReplaceNode::new(id(0), config, &ids)
+    }
+
+    #[test]
+    fn full_view_replaces_instead_of_deleting() {
+        let mut n = full_node();
+        let mut rng = StdRng::seed_from_u64(1);
+        n.receive(
+            VariantMessage {
+                sender: id(50),
+                payloads: vec![(id(51), false)],
+                sender_dependent: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(n.out_degree(), 6, "view stays full");
+        let ids = n.view_ids();
+        assert!(ids.contains(&id(50)) && ids.contains(&id(51)), "arrivals were stored");
+        assert_eq!(n.stats().displaced, 1);
+    }
+
+    #[test]
+    fn initiate_matches_vanilla_semantics() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let mut n = ReplaceNode::new(id(0), config, &[id(1), id(2), id(3), id(4)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = n.initiate(&mut rng).unwrap();
+        assert_eq!(n.out_degree(), 2);
+        assert!(!out.message.sender_dependent);
+        // At d_L the next send duplicates.
+        let out = loop {
+            if let Some(o) = n.initiate(&mut rng) {
+                break o;
+            }
+        };
+        assert!(out.message.sender_dependent);
+        assert_eq!(n.out_degree(), 2);
+    }
+
+    #[test]
+    fn band_invariant_holds() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let mut n = ReplaceNode::new(id(0), config, &[id(1), id(2), id(3), id(4)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..2_000u64 {
+            if k % 2 == 0 {
+                n.receive(
+                    VariantMessage {
+                        sender: id(100 + k),
+                        payloads: vec![(id(200 + k), false)],
+                        sender_dependent: false,
+                    },
+                    &mut rng,
+                );
+            } else {
+                n.initiate(&mut rng);
+            }
+            assert!(n.out_degree() >= 2 && n.out_degree() <= 8);
+            assert_eq!(n.out_degree() % 2, 0);
+        }
+    }
+}

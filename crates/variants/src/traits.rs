@@ -1,0 +1,94 @@
+//! The common driving interface for S&F variants.
+
+use rand::Rng;
+use sandf_core::NodeId;
+
+/// A variant message: the sender's id plus one or more payload ids. The
+/// original protocol always sends exactly one payload; the batched variant
+/// (Section 5, optimization 3: "more than two ids could be sent in a
+/// message") sends several.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VariantMessage {
+    /// The initiator's id (the reinforcement component).
+    pub sender: NodeId,
+    /// The forwarded ids (the mixing component), tagged with their
+    /// dependence labels.
+    pub payloads: Vec<(NodeId, bool)>,
+    /// Whether the sender's id instance is labeled dependent.
+    pub sender_dependent: bool,
+}
+
+/// An addressed outgoing variant message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VariantOutgoing {
+    /// The destination.
+    pub to: NodeId,
+    /// The message.
+    pub message: VariantMessage,
+}
+
+/// Statistics shared by all variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VariantStats {
+    /// Actions initiated.
+    pub initiated: u64,
+    /// Self-loop actions (an unusable slot selected).
+    pub self_loops: u64,
+    /// Messages produced.
+    pub sent: u64,
+    /// Compensation events: duplications (vanilla/batched), undeletions
+    /// (undelete variant).
+    pub compensations: u64,
+    /// Receives that stored the ids.
+    pub stored: u64,
+    /// Receives that discarded ids (full view) or overwrote entries
+    /// (replace variant).
+    pub displaced: u64,
+}
+
+/// An S&F-family protocol node driven by the [`VariantSim`](crate::VariantSim)
+/// harness.
+pub trait SfVariant {
+    /// The node's id.
+    fn id(&self) -> NodeId;
+
+    /// The *live* outdegree (tombstoned entries excluded).
+    fn out_degree(&self) -> usize;
+
+    /// The live view ids, with multiplicity.
+    fn view_ids(&self) -> Vec<NodeId>;
+
+    /// Dependent live entries under the Section 2 labeling (tags +
+    /// self-edges; the harness adds the duplicate rule).
+    fn dependent_entries(&self) -> usize;
+
+    /// Executes one initiate step.
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing>;
+
+    /// Executes one receive step.
+    fn receive<R: Rng + ?Sized>(&mut self, message: VariantMessage, rng: &mut R);
+
+    /// Accumulated statistics.
+    fn stats(&self) -> VariantStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_holds_payloads() {
+        let m = VariantMessage {
+            sender: NodeId::new(1),
+            payloads: vec![(NodeId::new(2), false), (NodeId::new(3), true)],
+            sender_dependent: false,
+        };
+        assert_eq!(m.payloads.len(), 2);
+        assert_eq!(m.clone(), m);
+    }
+
+    #[test]
+    fn stats_default_to_zero() {
+        assert_eq!(VariantStats::default().initiated, 0);
+    }
+}

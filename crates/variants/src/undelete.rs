@@ -1,0 +1,344 @@
+//! Variant 1 (Section 5, optimization 1): "instead of removing sent ids
+//! from the view, the protocol could only mark them for deletion and could
+//! then use undeletion instead of duplication."
+//!
+//! Sent entries become *tombstones*: invisible to the protocol, but kept as
+//! a reservoir. When the live outdegree is at `d_L` and the vanilla
+//! protocol would duplicate live entries (creating fresh dependence with an
+//! immediate neighbor), this variant *undeletes* two tombstoned entries
+//! instead — recycling stale ids rather than copying live ones. Tombstones
+//! are also reclaimed as storage when a message arrives and no empty slot
+//! is left.
+
+use rand::Rng;
+use sandf_core::{Entry, NodeId, SfConfig};
+
+use crate::traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    Empty,
+    Live(Entry),
+    Tombstone(Entry),
+}
+
+/// An S&F node with tombstoned sends and undeletion-based compensation.
+#[derive(Clone, Debug)]
+pub struct UndeleteNode {
+    id: NodeId,
+    config: SfConfig,
+    slots: Vec<Slot>,
+    live: usize,
+    stats: VariantStats,
+}
+
+impl UndeleteNode {
+    /// Creates a node bootstrapped with the given ids (all live, tagged
+    /// dependent per the joining convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap violates the joining rule (`d_L ≤ |ids| ≤
+    /// s`, even).
+    #[must_use]
+    pub fn new(id: NodeId, config: SfConfig, bootstrap: &[NodeId]) -> Self {
+        assert!(bootstrap.len() >= config.lower_threshold(), "too few bootstrap ids");
+        assert!(bootstrap.len() <= config.view_size(), "too many bootstrap ids");
+        assert!(bootstrap.len().is_multiple_of(2), "bootstrap must be even (Observation 5.1)");
+        let mut slots = vec![Slot::Empty; config.view_size()];
+        for (slot, &id) in slots.iter_mut().zip(bootstrap) {
+            *slot = Slot::Live(Entry::dependent(id));
+        }
+        Self { id, config, slots, live: bootstrap.len(), stats: VariantStats::default() }
+    }
+
+    fn tombstone(&mut self, index: usize) -> Entry {
+        let Slot::Live(entry) = self.slots[index] else {
+            panic!("tombstoning a non-live slot");
+        };
+        self.slots[index] = Slot::Tombstone(entry);
+        self.live -= 1;
+        entry
+    }
+
+    /// Restores one tombstone chosen uniformly at random, excluding the
+    /// given indices. Returns whether an undeletion happened.
+    fn undelete_one<R: Rng + ?Sized>(&mut self, rng: &mut R, exclude: (usize, usize)) -> bool {
+        let candidates: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(k, s)| {
+                matches!(s, Slot::Tombstone(_)) && k != exclude.0 && k != exclude.1
+            })
+            .map(|(k, _)| k)
+            .collect();
+        let pick = if candidates.is_empty() {
+            // Reservoir exhausted beyond the just-sent entries: fall back
+            // to undeleting one of those (= plain duplication).
+            let fallback: Vec<usize> = [exclude.0, exclude.1]
+                .into_iter()
+                .filter(|&k| matches!(self.slots[k], Slot::Tombstone(_)))
+                .collect();
+            if fallback.is_empty() {
+                return false;
+            }
+            fallback[rng.gen_range(0..fallback.len())]
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        let Slot::Tombstone(mut entry) = self.slots[pick] else { unreachable!() };
+        // An undeleted instance is a stale copy of an id that was sent
+        // away: label it dependent (Section 2 accounting).
+        entry.dependent = true;
+        self.slots[pick] = Slot::Live(entry);
+        self.live += 1;
+        true
+    }
+
+    fn store<R: Rng + ?Sized>(&mut self, entry: Entry, rng: &mut R) -> bool {
+        // Prefer empty slots; reclaim a tombstone when none remain.
+        let empties: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Empty))
+            .map(|(k, _)| k)
+            .collect();
+        let target = if empties.is_empty() {
+            let tombs: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Slot::Tombstone(_)))
+                .map(|(k, _)| k)
+                .collect();
+            if tombs.is_empty() {
+                return false; // fully live: delete, as vanilla S&F would
+            }
+            tombs[rng.gen_range(0..tombs.len())]
+        } else {
+            empties[rng.gen_range(0..empties.len())]
+        };
+        self.slots[target] = Slot::Live(entry);
+        self.live += 1;
+        true
+    }
+
+    /// Number of tombstoned slots (the undeletion reservoir).
+    #[must_use]
+    pub fn tombstones(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Tombstone(_))).count()
+    }
+}
+
+impl SfVariant for UndeleteNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn out_degree(&self) -> usize {
+        self.live
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Live(e) => Some(e.id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn dependent_entries(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Live(e) if e.dependent || e.id == self.id))
+            .count()
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {
+        self.stats.initiated += 1;
+        let s = self.slots.len();
+        let i = rng.gen_range(0..s);
+        let mut j = rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (Slot::Live(target), Slot::Live(payload)) = (self.slots[i], self.slots[j]) else {
+            self.stats.self_loops += 1;
+            return None;
+        };
+        let compensate = self.live <= self.config.lower_threshold();
+        self.tombstone(i);
+        self.tombstone(j);
+        if compensate {
+            self.stats.compensations += 1;
+            // Restore the live degree from the reservoir.
+            let first = self.undelete_one(rng, (i, j));
+            let second = self.undelete_one(rng, (i, j));
+            debug_assert!(first && second, "the just-sent entries guarantee fallbacks");
+        }
+        self.stats.sent += 1;
+        // Figure 7.1 tag algebra, as in the core protocol: a send without
+        // compensation cleanses the transmitted instance; a compensated
+        // send labels it dependent (the tombstoned copy may be undeleted).
+        Some(VariantOutgoing {
+            to: target.id,
+            message: VariantMessage {
+                sender: self.id,
+                payloads: vec![(payload.id, compensate)],
+                sender_dependent: compensate,
+            },
+        })
+    }
+
+    fn receive<R: Rng + ?Sized>(&mut self, message: VariantMessage, rng: &mut R) {
+        let mut any_stored = false;
+        let sender_entry = Entry { id: message.sender, dependent: message.sender_dependent };
+        if self.store(sender_entry, rng) {
+            any_stored = true;
+        }
+        for (id, dependent) in message.payloads {
+            if self.store(Entry { id, dependent }, rng) {
+                any_stored = true;
+            }
+        }
+        if any_stored {
+            self.stats.stored += 1;
+        } else {
+            self.stats.displaced += 1;
+        }
+    }
+
+    fn stats(&self) -> VariantStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn node(bootstrap: &[u64]) -> UndeleteNode {
+        let config = SfConfig::new(10, 2).unwrap();
+        let ids: Vec<NodeId> = bootstrap.iter().map(|&r| id(r)).collect();
+        UndeleteNode::new(id(0), config, &ids)
+    }
+
+    fn send_until_some<R: rand::Rng>(n: &mut UndeleteNode, rng: &mut R) -> VariantOutgoing {
+        loop {
+            if let Some(out) = n.initiate(rng) {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn send_tombstones_instead_of_clearing() {
+        let mut n = node(&[1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = send_until_some(&mut n, &mut rng);
+        assert_eq!(n.out_degree(), 2);
+        assert_eq!(n.tombstones(), 2, "sent entries are retained as tombstones");
+        assert!(!out.message.sender_dependent, "no compensation above d_L");
+    }
+
+    #[test]
+    fn compensation_undeletes_from_the_reservoir() {
+        let mut n = node(&[1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        // First send drops to d = 2 = d_L and leaves 2 tombstones.
+        send_until_some(&mut n, &mut rng);
+        // Second successful send must compensate: live degree stays 2.
+        let out = loop {
+            if let Some(out) = n.initiate(&mut rng) {
+                break out;
+            }
+        };
+        assert_eq!(n.out_degree(), 2, "undeletion restored the live degree");
+        assert!(out.message.sender_dependent);
+        assert_eq!(n.stats().compensations, 1);
+    }
+
+    #[test]
+    fn live_degree_respects_the_band() {
+        let config = SfConfig::new(10, 2).unwrap();
+        let ids: Vec<NodeId> = (1..=6).map(id).collect();
+        let mut n = UndeleteNode::new(id(0), config, &ids);
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..2_000u64 {
+            if k % 3 == 0 {
+                n.receive(
+                    VariantMessage {
+                        sender: id(100 + k),
+                        payloads: vec![(id(200 + k), false)],
+                        sender_dependent: false,
+                    },
+                    &mut rng,
+                );
+            } else {
+                n.initiate(&mut rng);
+            }
+            assert!(n.out_degree() >= 2, "fell below d_L at step {k}");
+            assert!(n.out_degree() <= 10);
+            assert_eq!(n.out_degree() % 2, 0, "odd live degree at step {k}");
+        }
+    }
+
+    #[test]
+    fn receive_reclaims_tombstones_before_deleting() {
+        let config = SfConfig::new(6, 0).unwrap();
+        let ids: Vec<NodeId> = (1..=6).map(id).collect();
+        let mut n = UndeleteNode::new(id(0), config, &ids);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Fill: all six slots live. One send → 4 live, 2 tombstones.
+        n.initiate(&mut rng).unwrap();
+        assert_eq!(n.tombstones(), 2);
+        // Receive reclaims the tombstones.
+        n.receive(
+            VariantMessage {
+                sender: id(50),
+                payloads: vec![(id(51), false)],
+                sender_dependent: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(n.out_degree(), 6);
+        assert_eq!(n.tombstones(), 0);
+        // Now fully live: a further receive is deleted.
+        n.receive(
+            VariantMessage {
+                sender: id(60),
+                payloads: vec![(id(61), false)],
+                sender_dependent: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(n.out_degree(), 6);
+        assert_eq!(n.stats().displaced, 1);
+    }
+
+    #[test]
+    fn undeleted_entries_are_tagged_dependent() {
+        let mut n = node(&[1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(5);
+        n.initiate(&mut rng).unwrap();
+        loop {
+            if n.initiate(&mut rng).is_some() {
+                break;
+            }
+        }
+        // After compensation the restored entries carry the dependent tag
+        // (bootstrap entries were dependent already, so all live are).
+        assert_eq!(n.dependent_entries(), n.out_degree());
+    }
+}

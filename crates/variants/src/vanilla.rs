@@ -1,0 +1,124 @@
+//! Vanilla S&F behind the [`SfVariant`] trait, so the ablation harness can
+//! compare the optimizations against the analyzed baseline.
+
+use rand::Rng;
+use sandf_core::{InitiateOutcome, Message, NodeId, SfConfig, SfNode};
+
+use crate::traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};
+
+/// The unmodified Figure 5.1 protocol as a variant.
+#[derive(Clone, Debug)]
+pub struct VanillaNode {
+    node: SfNode,
+}
+
+impl VanillaNode {
+    /// Creates a vanilla node bootstrapped with the given ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap violates the joining rule.
+    #[must_use]
+    pub fn new(id: NodeId, config: SfConfig, bootstrap: &[NodeId]) -> Self {
+        Self {
+            node: SfNode::with_view(id, config, bootstrap)
+                .expect("bootstrap violates the joining rule"),
+        }
+    }
+
+    /// The wrapped core node.
+    #[must_use]
+    pub fn inner(&self) -> &SfNode {
+        &self.node
+    }
+}
+
+impl SfVariant for VanillaNode {
+    fn id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    fn out_degree(&self) -> usize {
+        self.node.out_degree()
+    }
+
+    fn view_ids(&self) -> Vec<NodeId> {
+        self.node.view().ids().collect()
+    }
+
+    fn dependent_entries(&self) -> usize {
+        self.node.view().dependent_entries(self.node.id())
+    }
+
+    fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {
+        match self.node.initiate(rng) {
+            InitiateOutcome::SelfLoop => None,
+            InitiateOutcome::Sent { to, message, duplicated, .. } => Some(VariantOutgoing {
+                to,
+                message: VariantMessage {
+                    sender: message.sender,
+                    payloads: vec![(message.payload, message.dependent)],
+                    sender_dependent: duplicated,
+                },
+            }),
+        }
+    }
+
+    fn receive<R: Rng + ?Sized>(&mut self, message: VariantMessage, rng: &mut R) {
+        // Vanilla S&F carries exactly one payload; extra payloads from a
+        // mixed-variant experiment are ignored rather than mis-stored.
+        if let Some(&(payload, dependent)) = message.payloads.first() {
+            self.node.receive(Message::new(message.sender, payload, dependent), rng);
+        }
+    }
+
+    fn stats(&self) -> VariantStats {
+        let s = self.node.stats();
+        VariantStats {
+            initiated: s.initiated,
+            self_loops: s.self_loops,
+            sent: s.sent,
+            compensations: s.duplications,
+            stored: s.stored,
+            displaced: s.deletions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn adapter_mirrors_core_behavior() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let ids: Vec<NodeId> = (1..=4).map(NodeId::new).collect();
+        let mut n = VanillaNode::new(NodeId::new(0), config, &ids);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = n.initiate(&mut rng).unwrap();
+        assert_eq!(out.message.payloads.len(), 1);
+        assert_eq!(n.out_degree(), 2);
+        assert_eq!(n.stats().sent, 1);
+    }
+
+    #[test]
+    fn receive_round_trip() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let ids: Vec<NodeId> = (1..=2).map(NodeId::new).collect();
+        let mut n = VanillaNode::new(NodeId::new(0), config, &ids);
+        let mut rng = StdRng::seed_from_u64(2);
+        n.receive(
+            VariantMessage {
+                sender: NodeId::new(9),
+                payloads: vec![(NodeId::new(8), true)],
+                sender_dependent: true,
+            },
+            &mut rng,
+        );
+        assert_eq!(n.out_degree(), 4);
+        assert!(n.view_ids().contains(&NodeId::new(9)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Parameter tuning, end to end: from an application requirement to
+//! validated protocol parameters.
+//!
+//! Walks the full Section 6.3 / 7.4 pipeline: pick a target expected
+//! outdegree and a duplication budget, derive `(d_L, s)`, check the
+//! connectivity condition for the expected loss, then validate the choice
+//! with both the degree Markov chain and a simulation.
+//!
+//! Run with: `cargo run --release --example parameter_tuning`
+
+use sandf::markov::{alpha_lower_bound, min_dl_for_connectivity};
+use sandf::sim::experiment::{steady_state_degrees, ExperimentParams};
+use sandf::{select_thresholds, DegreeMc, DegreeMcParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Application requirement: roughly 30 gossip partners per node, at
+    // most ~1% of actions wasted on duplications/deletions, deployed on a
+    // network with up to 2% message loss.
+    let d_hat = 30;
+    let delta = 0.01;
+    let expected_loss = 0.02;
+
+    println!("requirement: E[d] ≈ {d_hat}, budget δ = {delta}, loss ≤ {expected_loss}");
+
+    // Step 1 — Section 6.3: thresholds from the analytical law.
+    let sel = select_thresholds(d_hat, delta)?;
+    println!(
+        "section 6.3 gives d_L = {}, s = {} (P_dup {:.4}, P_del {:.4})",
+        sel.d_l, sel.s, sel.duplication_probability, sel.deletion_probability
+    );
+
+    // Step 2 — Section 7.4: is d_L large enough to keep the overlay
+    // connected at this loss rate?
+    let alpha = alpha_lower_bound(expected_loss, delta);
+    let needed = min_dl_for_connectivity(alpha, 1e-30, 200)
+        .ok_or("connectivity condition unachievable")?;
+    println!(
+        "section 7.4 connectivity (α ≥ {alpha:.3}, ε = 1e-30) needs d_L ≥ {needed}"
+    );
+    let d_l = sel.d_l.max(needed);
+    let config = sandf::SfConfig::new(sel.s, d_l)?;
+    println!("chosen configuration: d_L = {d_l}, s = {}", config.view_size());
+
+    // Step 3 — validate with the degree Markov chain.
+    let mc = DegreeMc::solve(DegreeMcParams::new(config, expected_loss))?;
+    println!(
+        "degree MC at ℓ = {expected_loss}: E[d] = {:.2}, indegree {:.2} ± {:.2}, dup {:.4}",
+        mc.mean_out(),
+        mc.mean_in(),
+        mc.std_in(),
+        mc.duplication_probability()
+    );
+
+    // Step 4 — validate with an independent simulation.
+    let sim = steady_state_degrees(
+        &ExperimentParams {
+            n: 1500,
+            config,
+            loss: expected_loss,
+            burn_in: 300,
+            seed: 2026,
+        },
+        20,
+        5,
+    );
+    println!(
+        "simulation (n = 1500): E[d] = {:.2}, indegree {:.2} ± {:.2}",
+        sim.out_degrees.mean(),
+        sim.in_degrees.mean(),
+        sim.in_degrees.variance().sqrt()
+    );
+
+    let gap = (mc.mean_out() - sim.out_degrees.mean()).abs();
+    println!("chain/simulation agreement on E[d]: |Δ| = {gap:.2}");
+    assert!(gap < 1.0, "analysis and simulation disagree");
+    println!("configuration validated ✓");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # sandf — Send & Forget gossip-based membership under message loss
+//!
+//! A full Rust implementation and reproduction of Maxim Gurevich and Idit
+//! Keidar, *Correctness of Gossip-Based Membership Under Message Loss*
+//! (PODC 2009; SIAM J. Comput. 39(8), 2010).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the S&F protocol state machine ([`SfNode`], [`SfConfig`],
+//!   [`LocalView`]);
+//! * [`graph`] — membership-multigraph analytics (degrees, connectivity,
+//!   dependence labeling, overlap);
+//! * [`sim`] — the deterministic lossy-network simulator with churn and
+//!   ready-made experiment runners;
+//! * [`markov`] — the paper's analysis as executable numerics (degree MC,
+//!   Eq. 6.1, threshold selection, dependence MC, decay and conductance
+//!   bounds, exact tiny-system enumeration);
+//! * [`baselines`] — push-only, shuffle, and push-pull comparison
+//!   protocols behind one trait;
+//! * [`net`] — lossy in-memory and UDP transports with the 17-byte wire
+//!   codec;
+//! * [`runtime`] — a threaded per-node runtime and cluster harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sandf::{SfConfig, Simulation, UniformLoss};
+//! use sandf::sim::topology;
+//!
+//! // Parameters from the paper's running example (Section 6.3).
+//! let config = SfConfig::new(40, 18)?;
+//! let nodes = topology::circulant(200, config, 30);
+//! let mut sim = Simulation::new(nodes, UniformLoss::new(0.01)?, 42);
+//! sim.run_rounds(100);
+//!
+//! assert!(sim.graph().is_weakly_connected());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and `crates/bench`
+//! for the binaries regenerating every figure and table of the paper's
+//! evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sandf_baselines as baselines;
+pub use sandf_core as core;
+pub use sandf_graph as graph;
+pub use sandf_markov as markov;
+pub use sandf_net as net;
+pub use sandf_runtime as runtime;
+pub use sandf_sim as sim;
+
+pub use sandf_core::{
+    ConfigError, Entry, InitiateOutcome, JoinError, LocalView, Message, NodeId, NodeStats,
+    ReceiveOutcome, SfConfig, SfNode,
+};
+pub use sandf_graph::{DegreeStats, DependenceReport, Histogram, MembershipGraph};
+pub use sandf_markov::{select_thresholds, AnalyticalDegrees, DegreeMc, DegreeMcParams};
+pub use sandf_sim::{GilbertElliott, LossModel, SimStats, Simulation, UniformLoss};

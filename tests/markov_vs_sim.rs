@@ -1,0 +1,73 @@
+//! Cross-validation: the Section 6.2 degree Markov chain and the
+//! discrete-event simulator must agree on the steady-state degree laws —
+//! they are entirely independent implementations of the same system.
+
+use sandf::graph::total_variation;
+use sandf::sim::experiment::{steady_state_degrees, ExperimentParams};
+use sandf::{DegreeMc, DegreeMcParams, SfConfig};
+
+fn compare(loss: f64, seed: u64) -> (f64, f64, f64) {
+    let config = SfConfig::new(16, 6).expect("legal");
+    let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).expect("chain converges");
+    let sim = steady_state_degrees(
+        &ExperimentParams { n: 800, config, loss, burn_in: 300, seed },
+        40,
+        5,
+    );
+    let tv_out = total_variation(&mc.out_pmf(), &sim.out_degrees.pmf());
+    let mean_gap = (mc.mean_out() - sim.out_degrees.mean()).abs();
+    let std_gap = (mc.std_in() - sim.in_degrees.variance().sqrt()).abs();
+    (tv_out, mean_gap, std_gap)
+}
+
+#[test]
+fn degree_mc_matches_simulation_lossless() {
+    let (tv, mean_gap, std_gap) = compare(0.0, 1);
+    assert!(tv < 0.08, "outdegree TV {tv}");
+    assert!(mean_gap < 0.5, "mean gap {mean_gap}");
+    assert!(std_gap < 0.8, "indegree std gap {std_gap}");
+}
+
+#[test]
+fn degree_mc_matches_simulation_at_5pct_loss() {
+    let (tv, mean_gap, std_gap) = compare(0.05, 2);
+    assert!(tv < 0.08, "outdegree TV {tv}");
+    assert!(mean_gap < 0.5, "mean gap {mean_gap}");
+    assert!(std_gap < 0.8, "indegree std gap {std_gap}");
+}
+
+#[test]
+fn both_predict_mean_outdegree_decreasing_in_loss() {
+    // Lemma 6.4, confirmed by two independent methods.
+    let config = SfConfig::new(16, 6).expect("legal");
+    let mut last_mc = f64::INFINITY;
+    let mut last_sim = f64::INFINITY;
+    for (k, loss) in [0.0, 0.05, 0.15].into_iter().enumerate() {
+        let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).expect("converges");
+        let sim = steady_state_degrees(
+            &ExperimentParams { n: 400, config, loss, burn_in: 250, seed: 30 + k as u64 },
+            25,
+            4,
+        );
+        assert!(mc.mean_out() < last_mc, "MC mean not decreasing at ℓ={loss}");
+        assert!(
+            sim.out_degrees.mean() < last_sim + 0.2,
+            "sim mean not decreasing at ℓ={loss}"
+        );
+        last_mc = mc.mean_out();
+        last_sim = sim.out_degrees.mean();
+    }
+}
+
+#[test]
+fn analytical_law_matches_degree_mc_on_the_sum_degree_line() {
+    // Section 6.1 vs Section 6.2 on Figure 6.1's setting, scaled down:
+    // s = 24, d_L = 0, ℓ = 0, d_s = 24.
+    let config = SfConfig::lossless(24).expect("legal");
+    let params = DegreeMcParams::new(config, 0.0).with_initial_state(8, 8);
+    let mc = DegreeMc::solve(params).expect("converges");
+    let law = sandf::AnalyticalDegrees::new(24).expect("even");
+    let tv = total_variation(&mc.out_pmf(), law.out_pmf());
+    assert!(tv < 0.12, "analytical vs MC outdegree TV {tv}");
+    assert!((mc.mean_out() - 8.0).abs() < 0.2, "Lemma 6.3: mean {}", mc.mean_out());
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the protocol's structural invariants
+//! (Observation 5.1, Lemma 6.2) under arbitrary action interleavings and
+//! loss patterns.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sandf::core::InitiateOutcome;
+use sandf::{MembershipGraph, Message, NodeId, SfConfig, SfNode};
+
+/// One externally scheduled event.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Node `initiator % n` initiates; the message is delivered unless
+    /// `lost`.
+    Act { initiator: u8, lost: bool },
+    /// Deliver a stale/forged message (adversarial reordering is legal for
+    /// a transport that never duplicates — but even duplication must not
+    /// break the invariants, so we inject arbitrary messages).
+    Inject { to: u8, sender: u8, payload: u8 },
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (any::<u8>(), any::<bool>()).prop_map(|(initiator, lost)| Event::Act { initiator, lost }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(to, sender, payload)| Event::Inject { to, sender, payload }),
+    ]
+}
+
+fn build_system(n: usize, config: SfConfig, d0: usize) -> Vec<SfNode> {
+    (0..n as u64)
+        .map(|i| {
+            let bootstrap: Vec<NodeId> =
+                (1..=d0 as u64).map(|k| NodeId::new((i + k) % n as u64)).collect();
+            SfNode::with_view(NodeId::new(i), config, &bootstrap).expect("legal bootstrap")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Observation 5.1: outdegrees stay even and inside [d_L, s] no matter
+    /// how actions, losses, and injected messages interleave.
+    #[test]
+    fn observation_5_1_holds_under_arbitrary_schedules(
+        events in vec(arb_event(), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let n = 8usize;
+        let config = SfConfig::new(12, 4).expect("legal");
+        let mut nodes = build_system(n, config, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for event in events {
+            match event {
+                Event::Act { initiator, lost } => {
+                    let i = initiator as usize % n;
+                    let outcome = nodes[i].initiate(&mut rng);
+                    if let InitiateOutcome::Sent { to, message, .. } = outcome {
+                        if !lost {
+                            let j = to.index() % n;
+                            nodes[j].receive(message, &mut rng);
+                        }
+                    }
+                }
+                Event::Inject { to, sender, payload } => {
+                    let j = to as usize % n;
+                    let msg = Message::new(
+                        NodeId::new(u64::from(sender) % n as u64),
+                        NodeId::new(u64::from(payload) % n as u64),
+                        false,
+                    );
+                    nodes[j].receive(msg, &mut rng);
+                }
+            }
+            for node in &nodes {
+                let d = node.out_degree();
+                prop_assert_eq!(d % 2, 0, "odd outdegree at {}", node.id());
+                prop_assert!(d >= config.lower_threshold());
+                prop_assert!(d <= config.view_size());
+            }
+        }
+    }
+
+    /// Lemma 6.2: with no loss and d_L = 0, every node's sum degree
+    /// d(u) + 2·d_in(u) is invariant under any action schedule.
+    #[test]
+    fn lemma_6_2_sum_degree_invariant(
+        initiators in vec(any::<u8>(), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let n = 8usize;
+        let config = SfConfig::lossless(12).expect("legal");
+        let mut nodes = build_system(n, config, 4);
+        let before = MembershipGraph::from_nodes(&nodes).sum_degrees();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for initiator in initiators {
+            let i = initiator as usize % n;
+            let outcome = nodes[i].initiate(&mut rng);
+            if let InitiateOutcome::Sent { to, message, .. } = outcome {
+                let j = to.index() % n;
+                nodes[j].receive(message, &mut rng);
+            }
+        }
+        let after = MembershipGraph::from_nodes(&nodes).sum_degrees();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Total edge conservation identity: every non-self-loop action without
+    /// loss moves exactly zero or ±2 edges; the ledger
+    /// `edges = initial − 2·(non-dup sends) + 2·(stores)` always balances.
+    #[test]
+    fn edge_ledger_balances(
+        initiators in vec(any::<u8>(), 1..300),
+        losses in vec(any::<bool>(), 300),
+        seed in any::<u64>(),
+    ) {
+        let n = 6usize;
+        let config = SfConfig::new(10, 2).expect("legal");
+        let mut nodes = build_system(n, config, 4);
+        let initial_edges = MembershipGraph::from_nodes(&nodes).edge_count() as i64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut removed = 0i64;
+        let mut added = 0i64;
+
+        for (k, initiator) in initiators.iter().enumerate() {
+            let i = *initiator as usize % n;
+            let outcome = nodes[i].initiate(&mut rng);
+            if let InitiateOutcome::Sent { to, message, duplicated, .. } = outcome {
+                if !duplicated {
+                    removed += 2;
+                }
+                if !losses[k % losses.len()] {
+                    let j = to.index() % n;
+                    if !nodes[j].receive(message, &mut rng).is_deleted() {
+                        added += 2;
+                    }
+                }
+            }
+        }
+        let final_edges = MembershipGraph::from_nodes(&nodes).edge_count() as i64;
+        prop_assert_eq!(final_edges, initial_edges - removed + added);
+    }
+
+    /// The dependence tag algebra: a view never reports more dependent
+    /// entries than total entries, whatever happened to it.
+    #[test]
+    fn dependence_report_is_well_formed(
+        initiators in vec(any::<u8>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let n = 6usize;
+        let config = SfConfig::new(10, 4).expect("legal");
+        let mut nodes = build_system(n, config, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for initiator in initiators {
+            let i = initiator as usize % n;
+            if let InitiateOutcome::Sent { to, message, .. } = nodes[i].initiate(&mut rng) {
+                let j = to.index() % n;
+                nodes[j].receive(message, &mut rng);
+            }
+        }
+        let report = sandf::DependenceReport::measure(&nodes);
+        prop_assert!(report.dependent_entries <= report.total_entries);
+        prop_assert!(report.self_edges <= report.dependent_entries);
+        let alpha = report.independent_fraction();
+        prop_assert!((0.0..=1.0).contains(&alpha));
+    }
+}
