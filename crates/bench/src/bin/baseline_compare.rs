@@ -2,77 +2,22 @@
 //! ids) vs. push-pull and push-only (keep sent ids), all under identical
 //! uniform loss. The paper's claim: shuffles drain ids under loss, while
 //! S&F compensates with duplications and keeps dependence at `O(ℓ + δ)`.
+//!
+//! Runs on the replicated-sweep executor: each protocol × loss cell is
+//! replicated with independent deterministic seeds, and the `ids_q1..q4`
+//! columns track the id population at the quarter marks of the run with
+//! 95% CIs.
 
-use sandf_baselines::{
-    BaselineHarness, GossipProtocol, PushOnlyNode, PushPullNode, SfAdapter, ShuffleNode,
-};
-use sandf_bench::{fmt, header, note};
-use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_bench::{note, sweeps};
 
-const N: usize = 256;
-const ROUNDS: usize = 400;
-const CHECKPOINT: usize = 40;
-
-fn bootstrap(i: usize, k: usize) -> Vec<NodeId> {
-    (1..=k).map(|d| NodeId::new(((i + d) % N) as u64)).collect()
-}
-
-fn run<P: GossipProtocol>(mut harness: BaselineHarness<P>, label: &str, loss: f64) {
-    let mut checkpoints = Vec::new();
-    for _ in 0..(ROUNDS / CHECKPOINT) {
-        harness.run_rounds(CHECKPOINT);
-        checkpoints.push(harness.metrics());
-    }
-    let last = checkpoints.last().expect("at least one checkpoint");
-    print!("{label}\t{}", fmt(loss));
-    for m in &checkpoints {
-        print!("\t{}", m.total_ids);
-    }
-    println!(
-        "\t{}\t{}\t{}",
-        last.empty_views,
-        fmt(last.mean_out_degree),
-        fmt(last.in_degree_variance)
-    );
-}
+const REPLICATES: usize = 4;
 
 fn main() {
-    note("Section 3.1 baseline contrast, n=256, 400 rounds, checkpoints every 40 rounds");
-    let mut cols = vec!["protocol".to_string(), "loss".to_string()];
-    for k in 1..=(ROUNDS / CHECKPOINT) {
-        cols.push(format!("ids@r{}", k * CHECKPOINT));
-    }
-    cols.extend(["empty_views".into(), "mean_out".into(), "in_var".into()]);
-    header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
-
-    let config = SfConfig::new(16, 6).expect("legal config");
-    for &loss in &[0.0, 0.05, 0.1] {
-        let sf: Vec<SfAdapter> = (0..N)
-            .map(|i| {
-                SfAdapter::new(
-                    SfNode::with_view(NodeId::new(i as u64), config, &bootstrap(i, 8))
-                        .expect("bootstrap is legal"),
-                )
-            })
-            .collect();
-        run(BaselineHarness::new(sf, loss, 1), "sandf", loss);
-
-        let shuffle: Vec<ShuffleNode> = (0..N)
-            .map(|i| ShuffleNode::new(NodeId::new(i as u64), 16, 3, &bootstrap(i, 8)))
-            .collect();
-        run(BaselineHarness::new(shuffle, loss, 2), "shuffle", loss);
-
-        let push_pull: Vec<PushPullNode> = (0..N)
-            .map(|i| PushPullNode::new(NodeId::new(i as u64), 16, 3, &bootstrap(i, 8)))
-            .collect();
-        run(BaselineHarness::new(push_pull, loss, 3), "push_pull", loss);
-
-        let push_only: Vec<PushOnlyNode> = (0..N)
-            .map(|i| PushOnlyNode::new(NodeId::new(i as u64), 16, &bootstrap(i, 8)))
-            .collect();
-        run(BaselineHarness::new(push_only, loss, 4), "push_only", loss);
-    }
-
+    note(&format!(
+        "Section 3.1 baseline contrast, n=256, 400 rounds, id population at quarter marks, \
+         {REPLICATES} replicates"
+    ));
+    print!("{}", sweeps::baseline_table(256, 400, REPLICATES, 1));
     println!();
     note("expected shape: shuffle's id population collapses under loss (empty views appear);");
     note("sandf holds its population via duplications; push_pull/push_only saturate at capacity");

@@ -6,42 +6,20 @@
 //! overlay. Dead ids decay at `≈ (1−ℓ−δ)·d_L/s²` per round, so the
 //! sustainable replacement interval should scale like `s²/d_L` divided by
 //! the per-leave stale influx — the sweep exposes exactly that boundary.
+//!
+//! Each interval is replicated on the sweep executor; the columns report
+//! the end-state mean ± 95% CI across replicates.
 
-use sandf_bench::{fmt, header, note};
-use sandf_core::SfConfig;
-use sandf_sim::experiment::{continuous_churn, ExperimentParams};
+use sandf_bench::{note, sweeps};
+
+const REPLICATES: usize = 4;
 
 fn main() {
-    note("continuous churn sweep: one node replaced every k rounds, n=256, s=16, d_L=6, l=1%");
-    header(&[
-        "churn_interval",
-        "round",
-        "components",
-        "mean_in_degree",
-        "in_degree_std",
-        "stale_fraction",
-    ]);
-    let config = SfConfig::new(16, 6).expect("legal");
-    for (k, &interval) in [1usize, 2, 4, 8, 16].iter().enumerate() {
-        let params = ExperimentParams {
-            n: 256,
-            config,
-            loss: 0.01,
-            burn_in: 200,
-            seed: 90 + k as u64,
-        };
-        let points = continuous_churn(&params, interval, 400, 100);
-        for p in &points {
-            println!(
-                "{interval}\t{}\t{}\t{}\t{}\t{}",
-                p.round,
-                p.components,
-                fmt(p.mean_in_degree),
-                fmt(p.in_degree_std),
-                fmt(p.stale_fraction),
-            );
-        }
-    }
+    note(&format!(
+        "continuous churn sweep: one node replaced every k rounds, n=256, s=16, d_L=6, l=1%, \
+         400 rounds, {REPLICATES} replicates"
+    ));
+    print!("{}", sweeps::churn_table(256, 200, 400, REPLICATES, 90));
     println!();
     note("expected shape: long intervals (>= 8 rounds) hold stale fractions low and stay whole;");
     note("per-round churn at n=256 accumulates stale entries faster than d_L/s^2 decay clears them");

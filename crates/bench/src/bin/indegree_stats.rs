@@ -1,45 +1,19 @@
 //! §6.4 in-text table — "The average indegrees and their standard
 //! deviations are 28 ± 3.4, 27 ± 3.6, 24 ± 4.1, 23 ± 4.3 for
 //! ℓ = 0, 0.01, 0.05, 0.1" (`d_L = 18`, `s = 40`).
+//!
+//! Runs on the replicated-sweep executor: every loss rate is simulated
+//! `REPLICATES` times with independent deterministic seeds, so the
+//! `sim_in_*` columns come with 95% confidence intervals.
 
-use sandf_bench::{fmt, header, note};
-use sandf_core::SfConfig;
-use sandf_markov::{DegreeMc, DegreeMcParams};
-use sandf_sim::experiment::{steady_state_degrees, ExperimentParams};
+use sandf_bench::sweeps::SampleScale;
+use sandf_bench::{note, sweeps};
 
-const LOSSES: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
-const PAPER_MEAN: [f64; 4] = [28.0, 27.0, 24.0, 23.0];
-const PAPER_STD: [f64; 4] = [3.4, 3.6, 4.1, 4.3];
+const REPLICATES: usize = 4;
 
 fn main() {
-    note("Section 6.4 indegree table, d_L=18, s=40");
-    header(&[
-        "loss",
-        "paper_mean",
-        "paper_std",
-        "mc_mean",
-        "mc_std",
-        "sim_mean",
-        "sim_std",
-    ]);
-    let config = SfConfig::new(40, 18).expect("paper parameters");
-    for (k, &loss) in LOSSES.iter().enumerate() {
-        let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).expect("chain converges");
-        let sim = steady_state_degrees(
-            &ExperimentParams { n: 1000, config, loss, burn_in: 400, seed: 77 + k as u64 },
-            30,
-            5,
-        );
-        println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            fmt(loss),
-            fmt(PAPER_MEAN[k]),
-            fmt(PAPER_STD[k]),
-            fmt(mc.mean_in()),
-            fmt(mc.std_in()),
-            fmt(sim.in_degrees.mean()),
-            fmt(sim.in_degrees.variance().sqrt()),
-        );
-    }
+    note(&format!("Section 6.4 indegree table, d_L=18, s=40, {REPLICATES} replicates"));
+    let scale = SampleScale { n: 1000, burn_in: 400, samples: 30, sample_every: 5 };
+    print!("{}", sweeps::indegree_table(scale, REPLICATES, 77));
     note("expected shape: means decrease with loss; stds grow slightly");
 }

@@ -6,96 +6,26 @@
 //! uniform channel is applied to identical systems; if the steady-state
 //! degree statistics and dependence agree, the i.i.d. analysis transfers —
 //! the paper conjectures as much when it notes nonuniform loss "is more
-//! difficult to model and analyze".
+//! difficult to model and analyze". Both sections run on the
+//! replicated-sweep executor, so every column carries a 95% CI.
 
-use sandf_bench::{fmt, header, note};
-use sandf_core::{NodeId, SfConfig};
-use sandf_graph::DegreeStats;
-use sandf_sim::{topology, GilbertElliott, LossModel, Simulation, TargetedLoss, UniformLoss};
+use sandf_bench::{note, sweeps};
 
-struct Row {
-    mean_out: f64,
-    in_std: f64,
-    dependent: f64,
-    dup_rate: f64,
-    connected: bool,
-}
-
-fn run<L: LossModel>(loss: L, seed: u64) -> Row {
-    let config = SfConfig::new(40, 18).expect("paper parameters");
-    let nodes = topology::circulant(600, config, 30);
-    let mut sim = Simulation::new(nodes, loss, seed);
-    sim.run_rounds(400);
-    sim.reset_stats();
-    sim.run_rounds(300);
-    let graph = sim.graph();
-    Row {
-        mean_out: DegreeStats::from_samples(&graph.out_degrees()).mean,
-        in_std: DegreeStats::from_samples(&graph.in_degrees()).std_dev(),
-        dependent: 1.0 - sim.dependence().independent_fraction(),
-        dup_rate: sim.stats().duplication_rate().unwrap_or(0.0),
-        connected: graph.is_weakly_connected(),
-    }
-}
-
-fn print_row(label: &str, avg_rate: f64, r: &Row) {
-    println!(
-        "{label}\t{}\t{}\t{}\t{}\t{}\t{}",
-        fmt(avg_rate),
-        fmt(r.mean_out),
-        fmt(r.in_std),
-        fmt(r.dependent),
-        fmt(r.dup_rate),
-        r.connected,
-    );
-}
+const REPLICATES: usize = 4;
 
 fn main() {
-    note("uniform vs Gilbert-Elliott loss at matched average rates, n=600, d_L=18, s=40");
-    header(&[
-        "model", "avg_rate", "mean_out", "in_std", "dependent_frac", "dup_rate", "connected",
-    ]);
-    for (k, &rate) in [0.01, 0.05, 0.1].iter().enumerate() {
-        let seed = 400 + k as u64;
-        let uniform = run(UniformLoss::new(rate).expect("valid"), seed);
-        print_row("uniform", rate, &uniform);
-
-        // Bursty channel: bad state loses 50% of messages; dwell times are
-        // tuned so the stationary average matches `rate`.
-        // avg = p_bad · 0.5 with p_bad = to_bad/(to_bad + to_good).
-        let to_good = 0.05;
-        let p_bad = rate / 0.5;
-        let to_bad = to_good * p_bad / (1.0 - p_bad);
-        let ge = GilbertElliott::new(to_bad, to_good, 0.0, 0.5).expect("valid");
-        let measured_avg = ge.average_rate();
-        let bursty = run(ge, seed + 10);
-        print_row("gilbert_elliott", measured_avg, &bursty);
-    }
+    note(&format!(
+        "uniform vs Gilbert-Elliott loss at matched average rates, n=600, d_L=18, s=40, \
+         {REPLICATES} replicates"
+    ));
+    print!("{}", sweeps::loss_ablation_table(600, 400, 300, REPLICATES, 400));
     println!();
     note("expected shape: matched averages give closely matching steady-state statistics —");
     note("the i.i.d. analysis transfers to bursty loss at these burst scales");
 
     println!();
     note("spatially targeted loss: one victim node with heavy inbound loss, base 1%");
-    header(&["victim_inbound_loss", "victim_in", "victim_out", "pop_mean_in", "connected"]);
-    let config = SfConfig::new(40, 18).expect("paper parameters");
-    for (k, &rate) in [0.01f64, 0.25, 0.5, 0.9].iter().enumerate() {
-        let victim = NodeId::new(0);
-        let mut loss = TargetedLoss::new(0.01).expect("valid base");
-        loss.set_target(victim, rate).expect("valid override");
-        let nodes = topology::circulant(600, config, 30);
-        let mut sim = Simulation::new(nodes, loss, 700 + k as u64);
-        sim.run_rounds(500);
-        let graph = sim.graph();
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            fmt(rate),
-            graph.in_degree(victim).unwrap_or(0),
-            graph.out_degree(victim).unwrap_or(0),
-            fmt(DegreeStats::from_samples(&graph.in_degrees()).mean),
-            graph.is_weakly_connected(),
-        );
-    }
+    print!("{}", sweeps::targeted_loss_table(600, 500, REPLICATES, 700));
     note("expected shape: the victim's outdegree erodes toward d_L as its inbound refills are");
     note("lost, but its duplication floor keeps it participating and the overlay stays whole");
 }

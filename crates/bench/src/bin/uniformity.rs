@@ -1,29 +1,22 @@
 //! Lemma 7.6 / Property M3 — uniformity: over a long steady-state run,
 //! every id should be equally represented in other nodes' views.
+//!
+//! Replicated on the sweep executor: the χ² statistics are means over
+//! independent runs with 95% CIs, which separates residual sample
+//! correlation (stable across replicates) from run-to-run noise.
 
-use sandf_bench::{fmt, header, note};
-use sandf_core::SfConfig;
-use sandf_sim::experiment::{uniformity, ExperimentParams};
+use sandf_bench::sweeps::SampleScale;
+use sandf_bench::{note, sweeps};
+
+const REPLICATES: usize = 4;
 
 fn main() {
-    note("Lemma 7.6: uniform representation of ids in views (n=256, d_L=18, s=40)");
-    let config = SfConfig::new(40, 18).expect("paper parameters");
-    header(&["loss", "chi_square", "dof", "chi2_over_dof", "max_min_ratio"]);
-    for (k, &loss) in [0.0, 0.01, 0.05].iter().enumerate() {
-        let report = uniformity(
-            &ExperimentParams { n: 256, config, loss, burn_in: 300, seed: 60 + k as u64 },
-            120,
-            40,
-        );
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            fmt(loss),
-            fmt(report.chi_square),
-            report.degrees_of_freedom,
-            fmt(report.chi_square / report.degrees_of_freedom as f64),
-            fmt(report.max_min_ratio),
-        );
-    }
+    note(&format!(
+        "Lemma 7.6: uniform representation of ids in views (n=256, d_L=18, s=40, \
+         {REPLICATES} replicates)"
+    ));
+    let scale = SampleScale { n: 256, burn_in: 300, samples: 120, sample_every: 40 };
+    print!("{}", sweeps::uniformity_table(scale, REPLICATES, 60));
     note("expected shape: chi2/dof of order 1-10 (residual sample correlation), max/min close to 1");
     note("contrast: a biased protocol (e.g. permanent star hub) scores chi2/dof in the hundreds");
 }

@@ -21,9 +21,32 @@
 //! All binaries print TSV to stdout (self-describing headers, `#`-prefixed
 //! commentary) and take no arguments; seeds are fixed so output is
 //! reproducible.
+//!
+//! ## The replicated-sweep executor
+//!
+//! Stochastic experiments run on the [`sweep`] executor: a [`sweep::SweepSpec`]
+//! declares a parameter grid × a replicate count, a thread pool fans the
+//! `(cell, replicate)` tasks out, and each task's RNG seed is the stable
+//! hash `FNV1a64("<base_seed>/<cell key>/<replicate>")` — so tables are
+//! **bit-identical regardless of thread count or execution order**, and
+//! editing the grid never perturbs other cells' random streams. Results
+//! aggregate through [`sweep::Summary`] (mean, sample std, 95% CI, min,
+//! max), and [`sweep::SweepResults::to_tsv`] emits `<metric>_mean` /
+//! `<metric>_ci95` columns.
+//!
+//! The measurement cores of `indegree_stats`, `loss_ablation`,
+//! `thresholds`, `baseline_compare`, `churn_sweep`, and `uniformity` live
+//! in [`sweeps`] as library functions with explicit scale parameters; the
+//! binaries call them at paper scale, the integration tests at toy scale
+//! (see `tests/golden_indegree.rs` and `tests/sweep_determinism.rs`).
+//! `EXPERIMENTS.md` documents the seeding scheme, the CI formula, and how
+//! to add a sweep. Thread count can be pinned with `SANDF_SWEEP_THREADS`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sweep;
+pub mod sweeps;
 
 /// Prints a `#`-prefixed commentary line.
 pub fn note(text: &str) {

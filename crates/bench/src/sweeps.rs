@@ -1,0 +1,592 @@
+//! The paper-evaluation sweeps as library functions.
+//!
+//! Each function here is the measurement core of one bench binary, hoisted
+//! out of `src/bin/` and rebuilt on the [`crate::sweep`] executor: a
+//! parameter grid becomes a [`SweepSpec`], every cell runs `replicates`
+//! independent replicates (each seeded from the stable cell/replicate
+//! hash), and the returned TSV gains `<metric>_mean` / `<metric>_ci95`
+//! columns in place of the old single-run point estimates.
+//!
+//! Keeping the logic in the library has a second payoff: the integration
+//! tests drive the *same* code paths as the binaries — the golden-output
+//! smoke test and the determinism regression test call these functions at
+//! reduced scale rather than re-implementing the experiments.
+//!
+//! All functions take an explicit scale (`n`, rounds, `replicates`,
+//! `base_seed`) so tests can run them small while the binaries run them at
+//! paper scale.
+
+use rand::RngCore;
+use sandf_baselines::{
+    BaselineHarness, GossipProtocol, PushOnlyNode, PushPullNode, SfAdapter, ShuffleNode,
+};
+use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_graph::DegreeStats;
+use sandf_markov::{select_thresholds, DegreeMc, DegreeMcParams};
+use sandf_sim::experiment::{continuous_churn, steady_state_degrees, uniformity, ExperimentParams};
+use sandf_sim::{topology, GilbertElliott, LossModel, Simulation, TargetedLoss, UniformLoss};
+
+use crate::fmt;
+use crate::sweep::{SweepCell, SweepSpec};
+
+/// The paper's running configuration (`s = 40`, `d_L = 18`; Section 6.4).
+#[must_use]
+pub fn paper_config() -> SfConfig {
+    SfConfig::new(40, 18).expect("paper parameters are legal")
+}
+
+/// The initial outdegree the experiment runners use: two thirds of the way
+/// from `d_L` to `s`, clamped to the system size, even.
+#[must_use]
+pub fn initial_degree(config: SfConfig, n: usize) -> usize {
+    let s = config.view_size();
+    let d_l = config.lower_threshold();
+    let mid = d_l + (s - d_l) * 2 / 3;
+    mid.min(n.saturating_sub(2)).max(2) & !1
+}
+
+// ---------------------------------------------------------------------------
+// indegree_stats — §6.4 in-text table
+// ---------------------------------------------------------------------------
+
+/// Scale of a steady-state sampling experiment: system size, burn-in, and
+/// the post-burn-in sampling schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleScale {
+    /// System size `n`.
+    pub n: usize,
+    /// Rounds to run before the first sample.
+    pub burn_in: usize,
+    /// Number of samples per replicate.
+    pub samples: usize,
+    /// Rounds between samples.
+    pub sample_every: usize,
+}
+
+/// One loss rate of the §6.4 indegree table, with the paper's reported
+/// numbers (where available) and the degree-MC prediction carried along as
+/// key columns.
+pub struct IndegreeCell {
+    /// Uniform loss rate `ℓ`.
+    pub loss: f64,
+    /// Paper-reported (mean, std) indegree, if the paper reports this cell.
+    pub paper: Option<(f64, f64)>,
+    /// Degree-MC predicted mean indegree.
+    pub mc_mean: f64,
+    /// Degree-MC predicted indegree standard deviation.
+    pub mc_std: f64,
+}
+
+impl SweepCell for IndegreeCell {
+    fn key(&self) -> String {
+        format!("loss={}", self.loss)
+    }
+}
+
+/// The indegree sweep for an arbitrary configuration: per loss rate, the
+/// degree-MC prediction next to replicated simulation means with 95% CIs.
+/// `paper` pairs up with `losses` positionally; cells the paper does not
+/// report show `-` in the paper columns.
+#[must_use]
+pub fn indegree_table_for(
+    config: SfConfig,
+    losses: &[f64],
+    paper: &[Option<(f64, f64)>],
+    scale: SampleScale,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    assert_eq!(losses.len(), paper.len(), "one paper entry (or None) per loss rate");
+    let cells: Vec<IndegreeCell> = losses
+        .iter()
+        .zip(paper)
+        .map(|(&loss, &paper)| {
+            let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).expect("chain converges");
+            IndegreeCell { loss, paper, mc_mean: mc.mean_in(), mc_std: mc.std_in() }
+        })
+        .collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(&["sim_in_mean", "sim_in_std"], |cell, rng| {
+        let params = ExperimentParams {
+            n: scale.n,
+            config,
+            loss: cell.loss,
+            burn_in: scale.burn_in,
+            seed: rng.next_u64(),
+        };
+        let dist = steady_state_degrees(&params, scale.samples, scale.sample_every);
+        vec![dist.in_degrees.mean(), dist.in_degrees.variance().sqrt()]
+    });
+    results.to_tsv(&["loss", "paper_mean", "paper_std", "mc_mean", "mc_std"], |c| {
+        let (paper_mean, paper_std) = match c.paper {
+            Some((mean, std)) => (fmt(mean), fmt(std)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        vec![fmt(c.loss), paper_mean, paper_std, fmt(c.mc_mean), fmt(c.mc_std)]
+    })
+}
+
+/// §6.4 — "The average indegrees and their standard deviations are
+/// 28 ± 3.4, 27 ± 3.6, 24 ± 4.1, 23 ± 4.3 for ℓ = 0, 0.01, 0.05, 0.1"
+/// (`d_L = 18`, `s = 40`). Replicated simulation means with 95% CIs, next
+/// to the paper's numbers and the degree-MC prediction.
+#[must_use]
+pub fn indegree_table(scale: SampleScale, replicates: usize, base_seed: u64) -> String {
+    indegree_table_for(
+        paper_config(),
+        &[0.0, 0.01, 0.05, 0.1],
+        &[Some((28.0, 3.4)), Some((27.0, 3.6)), Some((24.0, 4.1)), Some((23.0, 4.3))],
+        scale,
+        replicates,
+        base_seed,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// loss_ablation — uniform vs bursty vs targeted loss
+// ---------------------------------------------------------------------------
+
+/// The loss process behind one ablation cell.
+enum Channel {
+    Uniform { rate: f64 },
+    Bursty { to_bad: f64, to_good: f64, loss_bad: f64 },
+}
+
+/// One cell of the loss-model ablation: a channel at a long-run average
+/// rate.
+pub struct ChannelCell {
+    /// Channel family name (`uniform` or `gilbert_elliott`).
+    pub model: &'static str,
+    /// Long-run average loss rate of the channel.
+    pub avg_rate: f64,
+    channel: Channel,
+}
+
+impl SweepCell for ChannelCell {
+    fn key(&self) -> String {
+        format!("{}/rate={}", self.model, self.avg_rate)
+    }
+}
+
+fn channel_metrics<L: LossModel>(
+    n: usize,
+    config: SfConfig,
+    loss: L,
+    burn_in: usize,
+    measure: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let nodes = topology::circulant(n, config, initial_degree(config, n));
+    let sim = Simulation::new(nodes, loss, seed).run_replicate(burn_in, measure);
+    let graph = sim.graph();
+    vec![
+        DegreeStats::from_samples(&graph.out_degrees()).mean,
+        DegreeStats::from_samples(&graph.in_degrees()).std_dev(),
+        1.0 - sim.dependence().independent_fraction(),
+        sim.stats().duplication_rate().unwrap_or(0.0),
+        f64::from(u8::from(graph.is_weakly_connected())),
+    ]
+}
+
+/// Loss-model ablation (DESIGN.md B4): a uniform channel vs a
+/// Gilbert–Elliott bursty channel with the same long-run average rate, on
+/// identical systems. If the replicated steady-state statistics agree, the
+/// paper's i.i.d.-loss analysis transfers to bursty loss.
+#[must_use]
+pub fn loss_ablation_table(
+    n: usize,
+    burn_in: usize,
+    measure: usize,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let config = paper_config();
+    let mut cells = Vec::new();
+    for &rate in &[0.01, 0.05, 0.1] {
+        cells.push(ChannelCell {
+            model: "uniform",
+            avg_rate: rate,
+            channel: Channel::Uniform { rate },
+        });
+        // Bursty channel: the bad state loses 50% of messages; dwell times
+        // are tuned so the stationary average matches `rate`:
+        // avg = p_bad · 0.5 with p_bad = to_bad/(to_bad + to_good).
+        let to_good = 0.05;
+        let p_bad = rate / 0.5;
+        let to_bad = to_good * p_bad / (1.0 - p_bad);
+        let ge = GilbertElliott::new(to_bad, to_good, 0.0, 0.5).expect("valid channel");
+        cells.push(ChannelCell {
+            model: "gilbert_elliott",
+            avg_rate: ge.average_rate(),
+            channel: Channel::Bursty { to_bad, to_good, loss_bad: 0.5 },
+        });
+    }
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(
+        &["mean_out", "in_std", "dependent_frac", "dup_rate", "connected"],
+        |cell, rng| {
+            let seed = rng.next_u64();
+            match cell.channel {
+                Channel::Uniform { rate } => {
+                    let loss = UniformLoss::new(rate).expect("valid rate");
+                    channel_metrics(n, config, loss, burn_in, measure, seed)
+                }
+                Channel::Bursty { to_bad, to_good, loss_bad } => {
+                    let loss =
+                        GilbertElliott::new(to_bad, to_good, 0.0, loss_bad).expect("valid channel");
+                    channel_metrics(n, config, loss, burn_in, measure, seed)
+                }
+            }
+        },
+    );
+    results.to_tsv(&["model", "avg_rate"], |c| vec![c.model.to_string(), fmt(c.avg_rate)])
+}
+
+/// One victim-loss rate of the targeted-loss table.
+pub struct TargetedCell {
+    /// Inbound loss rate applied to the victim node.
+    pub victim_rate: f64,
+}
+
+impl SweepCell for TargetedCell {
+    fn key(&self) -> String {
+        format!("victim={}", self.victim_rate)
+    }
+}
+
+/// Spatially targeted loss: one victim node suffers heavy inbound loss over
+/// a 1% base rate. The victim's outdegree erodes toward `d_L`, but the
+/// duplication floor keeps it participating and the overlay whole.
+#[must_use]
+pub fn targeted_loss_table(n: usize, rounds: usize, replicates: usize, base_seed: u64) -> String {
+    let config = paper_config();
+    let cells: Vec<TargetedCell> =
+        [0.01, 0.25, 0.5, 0.9].iter().map(|&victim_rate| TargetedCell { victim_rate }).collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(
+        &["victim_in", "victim_out", "pop_mean_in", "connected"],
+        |cell, rng| {
+            let victim = NodeId::new(0);
+            let mut loss = TargetedLoss::new(0.01).expect("valid base");
+            loss.set_target(victim, cell.victim_rate).expect("valid override");
+            let nodes = topology::circulant(n, config, initial_degree(config, n));
+            let mut sim = Simulation::new(nodes, loss, rng.next_u64());
+            sim.run_rounds(rounds);
+            let graph = sim.graph();
+            vec![
+                graph.in_degree(victim).unwrap_or(0) as f64,
+                graph.out_degree(victim).unwrap_or(0) as f64,
+                DegreeStats::from_samples(&graph.in_degrees()).mean,
+                f64::from(u8::from(graph.is_weakly_connected())),
+            ]
+        },
+    );
+    results.to_tsv(&["victim_inbound_loss"], |c| vec![fmt(c.victim_rate)])
+}
+
+// ---------------------------------------------------------------------------
+// thresholds — §6.3 selection validated against replicated simulation
+// ---------------------------------------------------------------------------
+
+/// One threshold selection (`d̂ → (d_L, s)`) to validate by simulation.
+pub struct ThresholdCell {
+    /// The target expected outdegree `d̂`.
+    pub d_hat: usize,
+    /// The selected lower threshold `d_L`.
+    pub d_l: usize,
+    /// The selected view size `s`.
+    pub s: usize,
+    /// Analytic duplication-probability bound at selection time.
+    pub p_dup: f64,
+    /// Analytic deletion-probability bound at selection time.
+    pub p_del: f64,
+    config: SfConfig,
+}
+
+impl SweepCell for ThresholdCell {
+    fn key(&self) -> String {
+        format!("d_hat={}", self.d_hat)
+    }
+}
+
+/// §6.3 validation: for each `d̂ → (d_L, s)` selection (δ = 1%), replicated
+/// simulations at loss 1% measure the realized duplication/deletion rates
+/// and mean outdegree next to the analytic bounds the selection promised.
+#[must_use]
+pub fn threshold_validation_table(
+    n: usize,
+    burn_in: usize,
+    measure: usize,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let cells: Vec<ThresholdCell> = [10usize, 20, 30]
+        .iter()
+        .map(|&d_hat| {
+            let sel = select_thresholds(d_hat, 0.01).expect("valid inputs");
+            ThresholdCell {
+                d_hat,
+                d_l: sel.d_l,
+                s: sel.s,
+                p_dup: sel.duplication_probability,
+                p_del: sel.deletion_probability,
+                config: sel.to_config().expect("selection gap is wide enough"),
+            }
+        })
+        .collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(&["dup_rate", "del_rate", "mean_out"], |cell, rng| {
+        let nodes = topology::circulant(n, cell.config, initial_degree(cell.config, n));
+        let loss = UniformLoss::new(0.01).expect("valid rate");
+        let sim = Simulation::new(nodes, loss, rng.next_u64()).run_replicate(burn_in, measure);
+        let stats = sim.stats();
+        vec![
+            stats.duplication_rate().unwrap_or(0.0),
+            stats.deletion_rate().unwrap_or(0.0),
+            DegreeStats::from_samples(&sim.graph().out_degrees()).mean,
+        ]
+    });
+    results.to_tsv(&["d_hat", "d_L", "s", "P_dup", "P_del"], |c| {
+        vec![
+            c.d_hat.to_string(),
+            c.d_l.to_string(),
+            c.s.to_string(),
+            fmt(c.p_dup),
+            fmt(c.p_del),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------------
+// baseline_compare — §3.1 protocol taxonomy under loss
+// ---------------------------------------------------------------------------
+
+/// One protocol × loss-rate cell of the §3.1 baseline contrast.
+pub struct BaselineCell {
+    /// Protocol family (`sandf`, `shuffle`, `push_pull`, `push_only`).
+    pub protocol: &'static str,
+    /// Uniform message-loss rate.
+    pub loss: f64,
+}
+
+impl SweepCell for BaselineCell {
+    fn key(&self) -> String {
+        format!("{}/loss={}", self.protocol, self.loss)
+    }
+}
+
+fn baseline_bootstrap(i: usize, k: usize, n: usize) -> Vec<NodeId> {
+    (1..=k).map(|d| NodeId::new(((i + d) % n) as u64)).collect()
+}
+
+fn baseline_metrics<P: GossipProtocol>(mut harness: BaselineHarness<P>, rounds: usize) -> Vec<f64> {
+    let quarter = (rounds / 4).max(1);
+    let mut values = Vec::with_capacity(7);
+    for _ in 0..4 {
+        harness.run_rounds(quarter);
+        values.push(harness.metrics().total_ids as f64);
+    }
+    let last = harness.metrics();
+    values.push(last.empty_views as f64);
+    values.push(last.mean_out_degree);
+    values.push(last.in_degree_variance);
+    values
+}
+
+/// §3.1 — S&F vs shuffle vs push-pull vs push-only under identical uniform
+/// loss, replicated. `ids_q1..q4` track the id population at the quarter
+/// marks of the run: shuffles drain, S&F compensates, push variants
+/// saturate.
+#[must_use]
+pub fn baseline_table(n: usize, rounds: usize, replicates: usize, base_seed: u64) -> String {
+    let config = SfConfig::new(16, 6).expect("legal config");
+    let mut cells = Vec::new();
+    for &loss in &[0.0, 0.05, 0.1] {
+        for protocol in ["sandf", "shuffle", "push_pull", "push_only"] {
+            cells.push(BaselineCell { protocol, loss });
+        }
+    }
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(
+        &["ids_q1", "ids_q2", "ids_q3", "ids_q4", "empty_views", "mean_out", "in_var"],
+        |cell, rng| {
+            let seed = rng.next_u64();
+            match cell.protocol {
+                "sandf" => {
+                    let nodes: Vec<SfAdapter> = (0..n)
+                        .map(|i| {
+                            SfAdapter::new(
+                                SfNode::with_view(
+                                    NodeId::new(i as u64),
+                                    config,
+                                    &baseline_bootstrap(i, 8, n),
+                                )
+                                .expect("bootstrap is legal"),
+                            )
+                        })
+                        .collect();
+                    baseline_metrics(BaselineHarness::new(nodes, cell.loss, seed), rounds)
+                }
+                "shuffle" => {
+                    let nodes: Vec<ShuffleNode> = (0..n)
+                        .map(|i| {
+                            ShuffleNode::new(
+                                NodeId::new(i as u64),
+                                16,
+                                3,
+                                &baseline_bootstrap(i, 8, n),
+                            )
+                        })
+                        .collect();
+                    baseline_metrics(BaselineHarness::new(nodes, cell.loss, seed), rounds)
+                }
+                "push_pull" => {
+                    let nodes: Vec<PushPullNode> = (0..n)
+                        .map(|i| {
+                            PushPullNode::new(
+                                NodeId::new(i as u64),
+                                16,
+                                3,
+                                &baseline_bootstrap(i, 8, n),
+                            )
+                        })
+                        .collect();
+                    baseline_metrics(BaselineHarness::new(nodes, cell.loss, seed), rounds)
+                }
+                _ => {
+                    let nodes: Vec<PushOnlyNode> = (0..n)
+                        .map(|i| {
+                            PushOnlyNode::new(NodeId::new(i as u64), 16, &baseline_bootstrap(i, 8, n))
+                        })
+                        .collect();
+                    baseline_metrics(BaselineHarness::new(nodes, cell.loss, seed), rounds)
+                }
+            }
+        },
+    );
+    results.to_tsv(&["protocol", "loss"], |c| vec![c.protocol.to_string(), fmt(c.loss)])
+}
+
+// ---------------------------------------------------------------------------
+// churn_sweep — sustainable-churn boundary
+// ---------------------------------------------------------------------------
+
+/// One replacement interval of the continuous-churn sweep.
+pub struct ChurnCell {
+    /// Rounds between leave/join replacement events.
+    pub interval: usize,
+}
+
+impl SweepCell for ChurnCell {
+    fn key(&self) -> String {
+        format!("interval={}", self.interval)
+    }
+}
+
+/// Sustainable-churn sweep (DESIGN.md B3): one node replaced every
+/// `interval` rounds; after `rounds` rounds of ongoing churn the final
+/// connectivity, load balance, and stale-id fraction are measured per
+/// replicate.
+#[must_use]
+pub fn churn_table(
+    n: usize,
+    burn_in: usize,
+    rounds: usize,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let config = SfConfig::new(16, 6).expect("legal config");
+    let cells: Vec<ChurnCell> =
+        [1usize, 2, 4, 8, 16].iter().map(|&interval| ChurnCell { interval }).collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(
+        &["components", "mean_in_degree", "in_degree_std", "stale_fraction"],
+        |cell, rng| {
+            let params =
+                ExperimentParams { n, config, loss: 0.01, burn_in, seed: rng.next_u64() };
+            // A single checkpoint at the end: the sweep aggregates final
+            // state across replicates rather than one run's trajectory.
+            let points = continuous_churn(&params, cell.interval, rounds, rounds);
+            let p = points.last().expect("at least one checkpoint");
+            vec![p.components as f64, p.mean_in_degree, p.in_degree_std, p.stale_fraction]
+        },
+    );
+    results.to_tsv(&["churn_interval"], |c| vec![c.interval.to_string()])
+}
+
+// ---------------------------------------------------------------------------
+// uniformity — Lemma 7.6 / Property M3
+// ---------------------------------------------------------------------------
+
+/// One loss rate of the uniformity experiment.
+pub struct UniformityCell {
+    /// Uniform loss rate `ℓ`.
+    pub loss: f64,
+}
+
+impl SweepCell for UniformityCell {
+    fn key(&self) -> String {
+        format!("loss={}", self.loss)
+    }
+}
+
+/// Lemma 7.6 — uniform representation of ids in views over a long
+/// steady-state run, replicated: χ², χ²/dof, and the max/min representation
+/// ratio per loss rate.
+#[must_use]
+pub fn uniformity_table(scale: SampleScale, replicates: usize, base_seed: u64) -> String {
+    let config = paper_config();
+    let cells: Vec<UniformityCell> =
+        [0.0, 0.01, 0.05].iter().map(|&loss| UniformityCell { loss }).collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(&["chi_square", "chi2_over_dof", "max_min_ratio"], |cell, rng| {
+        let params = ExperimentParams {
+            n: scale.n,
+            config,
+            loss: cell.loss,
+            burn_in: scale.burn_in,
+            seed: rng.next_u64(),
+        };
+        let report = uniformity(&params, scale.samples, scale.sample_every);
+        vec![
+            report.chi_square,
+            report.chi_square / report.degrees_of_freedom.max(1) as f64,
+            report.max_min_ratio,
+        ]
+    });
+    results.to_tsv(&["loss"], |c| vec![fmt(c.loss)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tiny-scale smoke runs of each table: shape checks only — the golden
+    // and determinism integration tests pin exact bytes.
+
+    #[test]
+    fn threshold_validation_has_one_row_per_d_hat() {
+        let tsv = threshold_validation_table(48, 10, 10, 2, 1);
+        assert_eq!(tsv.lines().count(), 4);
+        assert!(tsv.starts_with("d_hat\td_L\ts\tP_dup\tP_del\tdup_rate_mean\t"));
+    }
+
+    #[test]
+    fn baseline_table_covers_the_protocol_grid() {
+        let tsv = baseline_table(24, 20, 2, 5);
+        // Header + 4 protocols × 3 loss rates.
+        assert_eq!(tsv.lines().count(), 13);
+        for protocol in ["sandf", "shuffle", "push_pull", "push_only"] {
+            assert_eq!(
+                tsv.lines().filter(|l| l.starts_with(&format!("{protocol}\t"))).count(),
+                3
+            );
+        }
+    }
+
+    #[test]
+    fn churn_table_has_one_row_per_interval() {
+        let tsv = churn_table(32, 10, 20, 2, 9);
+        assert_eq!(tsv.lines().count(), 6);
+    }
+}

@@ -1,0 +1,33 @@
+//! Golden-output smoke test of the refactored `indegree_stats` path.
+//!
+//! Runs the §6.4 indegree sweep at toy scale (n = 32, s = 16, d_L = 6,
+//! 2 replicates — the paper-scale degree MC is too slow for a debug-mode
+//! test) and compares the TSV byte-for-byte against a recorded snapshot.
+//! This pins three things at once: the sweep executor's seeding scheme
+//! (`FNV1a64("<base>/<cell key>/<replicate>")`), the vendored RNG's
+//! streams, and the table-emission format. Any intentional change to one
+//! of those shows up as a readable TSV diff here rather than as silent
+//! drift in every experiment.
+
+use sandf_bench::sweeps::{indegree_table_for, SampleScale};
+use sandf_core::SfConfig;
+
+const GOLDEN: &str = "\
+loss\tpaper_mean\tpaper_std\tmc_mean\tmc_std\tsim_in_mean_mean\tsim_in_mean_ci95\tsim_in_std_mean\tsim_in_std_ci95
+0\t-\t-\t10.163279\t2.642995\t10.484375\t0.061250\t1.966430\t0.237989
+0.050000\t-\t-\t9.350590\t2.983136\t9.843750\t0.612500\t2.475867\t0.449937
+0.100000\t-\t-\t8.745782\t3.190417\t8.789062\t0.076563\t2.501988\t0.339333
+";
+
+#[test]
+fn indegree_table_matches_golden_snapshot() {
+    let config = SfConfig::new(16, 6).expect("legal config");
+    let scale = SampleScale { n: 32, burn_in: 50, samples: 4, sample_every: 2 };
+    let actual = indegree_table_for(config, &[0.0, 0.05, 0.1], &[None, None, None], scale, 2, 7);
+    assert_eq!(
+        actual, GOLDEN,
+        "indegree TSV drifted from the snapshot; if the change is intentional \
+         (new seeding scheme, RNG, or format), update GOLDEN from the actual \
+         output above"
+    );
+}

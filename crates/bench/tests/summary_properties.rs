@@ -1,0 +1,80 @@
+//! Property tests of the sweep executor's `Summary` aggregation layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sandf_bench::sweep::Summary;
+
+/// Sample values in a tame range: large enough to exercise signs and
+/// magnitudes, small enough that permutation-summation error stays within
+/// the tolerance below.
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-1_000_000i64..1_000_000).prop_map(|k| k as f64 / 1000.0), 1..64)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Summaries are permutation-invariant up to floating-point summation
+    /// error: the statistics describe the sample *set*, not its order.
+    #[test]
+    fn permutation_invariant(samples in arb_samples(), seed in any::<u64>()) {
+        let reference = Summary::from_samples(&samples);
+        let mut shuffled = samples;
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let permuted = Summary::from_samples(&shuffled);
+        prop_assert_eq!(reference.count, permuted.count);
+        prop_assert!(close(reference.mean, permuted.mean));
+        prop_assert!(close(reference.std_dev, permuted.std_dev));
+        prop_assert!(close(reference.ci95, permuted.ci95));
+        prop_assert_eq!(reference.min, permuted.min);
+        prop_assert_eq!(reference.max, permuted.max);
+    }
+
+    /// A singleton sample IS its summary: mean = min = max = the sample,
+    /// and there is no spread to report.
+    #[test]
+    fn singleton_is_exact(x in -1_000_000i64..1_000_000) {
+        let x = x as f64 / 1000.0;
+        let s = Summary::from_samples(&[x]);
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.mean, x);
+        prop_assert_eq!(s.min, x);
+        prop_assert_eq!(s.max, x);
+        prop_assert_eq!(s.std_dev, 0.0);
+        prop_assert_eq!(s.ci95, 0.0);
+    }
+
+    /// Constant samples have zero spread regardless of count, and the mean
+    /// reproduces the constant exactly (no accumulation drift).
+    #[test]
+    fn constant_samples_have_zero_spread(x in -1_000_000i64..1_000_000, count in 1usize..64) {
+        let x = x as f64 / 1000.0;
+        let samples = vec![x; count];
+        let s = Summary::from_samples(&samples);
+        prop_assert_eq!(s.count, count);
+        prop_assert!(close(s.mean, x));
+        prop_assert!(close(s.std_dev, 0.0));
+        prop_assert!(close(s.ci95, 0.0));
+        prop_assert_eq!(s.min, x);
+        prop_assert_eq!(s.max, x);
+    }
+
+    /// Structural invariants on arbitrary samples: min ≤ mean ≤ max, the
+    /// spread statistics are non-negative, and ci95 < std for n ≥ 2 (the
+    /// 1.96/√n factor shrinks below 1 from n = 4 on; for n ∈ {2, 3} it
+    /// stays below 1.96/√2).
+    #[test]
+    fn ordering_invariants(samples in arb_samples()) {
+        let s = Summary::from_samples(&samples);
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.max);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.ci95 >= 0.0);
+        prop_assert!(close(s.ci95, 1.96 * s.std_dev / (s.count as f64).sqrt()) || s.count < 2);
+    }
+}

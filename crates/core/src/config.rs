@@ -1,6 +1,5 @@
 //! Protocol configuration: view size `s` and lower degree threshold `d_L`.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 
@@ -30,7 +29,7 @@ use crate::error::ConfigError;
 /// assert_eq!(config.lower_threshold(), 18);
 /// # Ok::<(), sandf_core::ConfigError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SfConfig {
     s: usize,
     d_l: usize,

@@ -1,13 +1,12 @@
 //! Outcomes of the two protocol steps, with enough detail for external
 //! observers (simulators, provenance trackers) to mirror every state change.
 
-use serde::{Deserialize, Serialize};
 
 use crate::id::NodeId;
 use crate::message::Message;
 
 /// Outcome of `S&F-InitiateAction` (Figure 5.1, left).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InitiateOutcome {
     /// One of the two selected slots was empty; views are unchanged. The
     /// paper calls the corresponding graph transformation a *self-loop
@@ -46,7 +45,7 @@ impl InitiateOutcome {
 }
 
 /// Outcome of `S&F-Receive` (Figure 5.1, right).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReceiveOutcome {
     /// Both received ids were stored into empty slots.
     Stored {

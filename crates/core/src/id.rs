@@ -2,7 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An opaque node identifier.
 ///
@@ -21,9 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.as_u64(), 7);
 /// assert_eq!(a.to_string(), "n7");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(u64);
 
 impl NodeId {

@@ -1,6 +1,5 @@
 //! The single message type of the S&F protocol.
 
-use serde::{Deserialize, Serialize};
 
 use crate::id::NodeId;
 
@@ -16,7 +15,7 @@ use crate::id::NodeId;
 /// *duplication*, in which case the transmitted id instances are labeled
 /// dependent (the sender kept the representative copies). It never influences
 /// protocol behavior.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Message {
     /// The initiator's own id (`u`).
     pub sender: NodeId,

@@ -1,6 +1,5 @@
 //! Per-node event counters.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters of protocol events at a single node.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// steady state the duplication probability equals the loss rate plus the
 /// deletion probability (Lemma 6.6), and lies in `[ℓ, ℓ + δ]` (Lemma 6.7).
 /// The simulator aggregates these counters across nodes to verify both.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct NodeStats {
     /// Actions initiated (calls to `initiate`).
     pub initiated: u64,

@@ -1,7 +1,6 @@
 //! The S&F node state machine (Figure 5.1).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::config::SfConfig;
 use crate::error::JoinError;
@@ -42,7 +41,7 @@ use crate::view::{Entry, LocalView};
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SfNode {
     id: NodeId,
     config: SfConfig,

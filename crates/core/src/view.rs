@@ -1,7 +1,6 @@
 //! Local views: fixed arrays of `s` id slots (Section 2).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::id::NodeId;
 
@@ -15,7 +14,7 @@ use crate::id::NodeId;
 /// independent again when it is sent without duplication. The tag never
 /// influences protocol behavior — it exists purely so experiments can count
 /// dependent entries without instrumenting the protocol externally.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Entry {
     /// The stored node id.
     pub id: NodeId,
@@ -56,7 +55,7 @@ impl Entry {
 /// assert_eq!(view.out_degree(), 2);
 /// assert!(view.contains(NodeId::new(1)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LocalView {
     slots: Vec<Option<Entry>>,
     occupied: usize,

@@ -3,7 +3,6 @@
 use std::collections::HashMap;
 
 use sandf_core::{NodeId, SfNode};
-use serde::{Deserialize, Serialize};
 
 /// Breakdown of dependent view entries across a set of nodes.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The expected fraction of *independent* entries is the paper's `α`;
 /// Lemma 7.9 bounds it from below by `1 − 2(ℓ + δ)`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct DependenceReport {
     /// Total nonempty view entries inspected.
     pub total_entries: usize,

@@ -1,6 +1,5 @@
 //! Descriptive statistics and distribution helpers used across experiments.
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a sample of non-negative integers (degrees).
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(stats.min, 2);
 /// assert_eq!(stats.max, 9);
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct DegreeStats {
     /// Sample mean.
     pub mean: f64,
@@ -65,7 +64,7 @@ impl DegreeStats {
 ///
 /// Used to compare simulated degree distributions against the paper's degree
 /// Markov chain and against binomial references (Figures 6.1 and 6.3).
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

@@ -48,12 +48,11 @@
 
 use sandf_core::SfConfig;
 use sandf_graph::total_variation;
-use serde::{Deserialize, Serialize};
 
 use crate::chain::{ChainError, SparseChain};
 
 /// Parameters of the degree chain.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DegreeMcParams {
     /// Protocol configuration (`s`, `d_L`).
     pub config: SfConfig,

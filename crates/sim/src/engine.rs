@@ -18,13 +18,12 @@ use sandf_core::{
     InitiateOutcome, JoinError, Message, NodeId, NodeStats, ReceiveOutcome, SfConfig, SfNode,
 };
 use sandf_graph::{DependenceReport, MembershipGraph};
-use serde::{Deserialize, Serialize};
 
 use crate::loss::LossModel;
 
 /// System-wide event counters, the simulator-side complement of
 /// [`NodeStats`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SimStats {
     /// Total initiate steps executed.
     pub actions: u64,
@@ -409,6 +408,22 @@ impl<L: LossModel> Simulation<L> {
         }
     }
 
+    /// Runs one measurement replicate: `burn_in` rounds to reach the steady
+    /// state, a stats reset, then `measure` measured rounds. Returns the
+    /// simulation for inspection, so a worker thread can do
+    /// `sim.run_replicate(b, m)` and read graphs/stats off the result.
+    ///
+    /// `Simulation` owns all of its state (no interior sharing), so this is
+    /// safe to call from sweep worker threads — see the `simulation_is_send`
+    /// test.
+    #[must_use]
+    pub fn run_replicate(mut self, burn_in: usize, measure: usize) -> Self {
+        self.run_rounds(burn_in);
+        self.reset_stats();
+        self.run_rounds(measure);
+        self
+    }
+
     /// Adds a new node bootstrapped with `d_L` ids copied from a random
     /// position in `sponsor`'s view (the paper's joining rule, Section 5;
     /// the joiner starts with "the minimal possible outdegree `d_L` and
@@ -502,6 +517,18 @@ mod tests {
     }
 
     #[test]
+    fn simulation_is_send() {
+        // Sweep workers move simulations across threads; a non-Send field
+        // sneaking in (an Rc, a raw pointer) should fail this at compile
+        // time rather than at the executor.
+        fn assert_send<T: Send>(_: &T) {}
+        let sim = small_sim(1);
+        assert_send(&sim);
+        let sim = sim.run_replicate(5, 5);
+        assert!(sim.stats().actions > 0);
+    }
+
+    #[test]
     fn steps_preserve_total_counts() {
         let mut sim = small_sim(1);
         for _ in 0..500 {
@@ -534,7 +561,11 @@ mod tests {
         let mut sim = Simulation::new(nodes, UniformLoss::new(0.2).unwrap(), 5);
         let before = sim.graph().edge_count();
         sim.run_rounds(100);
-        assert!(sim.graph().edge_count() < before / 2);
+        let mid = sim.graph().edge_count();
+        assert!(mid < before, "drain must start: {before} -> {mid}");
+        sim.run_rounds(200);
+        let after = sim.graph().edge_count();
+        assert!(after < before / 2, "drain must continue: {before} -> {after}");
     }
 
     #[test]

@@ -31,6 +31,24 @@ impl ExperimentParams {
         Simulation::new(nodes, loss, self.seed)
     }
 
+    /// Returns a copy with the seed replaced — the hook sweep executors use
+    /// to give each replicate of one parameter cell its own stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the simulation these parameters describe (circulant bootstrap
+    /// at the default initial degree, uniform loss, seeded RNG), without
+    /// running it. The result is owned and `Send`, so callers may move it
+    /// onto a worker thread and drive it there — e.g. via
+    /// [`Simulation::run_replicate`].
+    #[must_use]
+    pub fn build_simulation(&self) -> Simulation<UniformLoss> {
+        self.build(self.default_initial_degree())
+    }
+
     /// A sensible initial outdegree: two thirds of the way from `d_L` to `s`
     /// (even), so the system starts inside the legal band.
     fn default_initial_degree(&self) -> usize {

@@ -165,7 +165,11 @@ mod tests {
         );
         assert_eq!(n.out_degree(), 6, "view stays full");
         let ids = n.view_ids();
-        assert!(ids.contains(&id(50)) && ids.contains(&id(51)), "arrivals were stored");
+        // The second arrival can legally evict the first (victims are
+        // uniform over all slots), but the last one stored always survives
+        // and at least one original entry must have been overwritten.
+        assert!(ids.contains(&id(51)), "last arrival was stored");
+        assert!((1..=6).any(|raw| !ids.contains(&id(raw))), "an original entry was replaced");
         assert_eq!(n.stats().displaced, 1);
     }
 
@@ -174,7 +178,13 @@ mod tests {
         let config = SfConfig::new(8, 2).unwrap();
         let mut n = ReplaceNode::new(id(0), config, &[id(1), id(2), id(3), id(4)]);
         let mut rng = StdRng::seed_from_u64(2);
-        let out = n.initiate(&mut rng).unwrap();
+        // Initiation picks slots uniformly and returns None on an empty
+        // pick; retry until a send actually happens.
+        let out = loop {
+            if let Some(o) = n.initiate(&mut rng) {
+                break o;
+            }
+        };
         assert_eq!(n.out_degree(), 2);
         assert!(!out.message.sender_dependent);
         // At d_L the next send duplicates.

@@ -331,7 +331,13 @@ mod tests {
     fn undeleted_entries_are_tagged_dependent() {
         let mut n = node(&[1, 2, 3, 4]);
         let mut rng = StdRng::seed_from_u64(5);
-        n.initiate(&mut rng).unwrap();
+        // Retry past empty-slot picks: the first success deletes down to
+        // d_L, the second compensates by undeleting.
+        loop {
+            if n.initiate(&mut rng).is_some() {
+                break;
+            }
+        }
         loop {
             if n.initiate(&mut rng).is_some() {
                 break;

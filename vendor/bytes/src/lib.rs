@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: [`Bytes`], [`BytesMut`], and big-endian [`Buf`]/[`BufMut`]
+//! accessors, backed by plain `Vec<u8>` (no refcounted views — the wire
+//! codec only builds and parses 17-byte datagrams).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// An immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into an owned buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(data.to_vec())
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self(Vec::with_capacity(capacity))
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl core::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read access over a byte source; big-endian accessors advance the
+/// cursor. Implemented for `&[u8]` exactly like the upstream crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Advances past `count` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` bytes remain.
+    fn advance(&mut self, count: usize);
+
+    /// A view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(word)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        *self = &self[count..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write access onto a byte sink; big-endian appenders.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_roundtrips_big_endian() {
+        let mut buf = BytesMut::with_capacity(17);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_u64(u64::MAX);
+        buf.put_u8(0x7f);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 17);
+        assert_eq!(frozen[0], 0x01);
+        assert_eq!(frozen[7], 0x08);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(cursor.get_u64(), u64::MAX);
+        assert_eq!(cursor.get_u8(), 0x7f);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_narrows_the_view() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor.chunk(), &[3, 4]);
+        assert_eq!(cursor.remaining(), 2);
+    }
+}

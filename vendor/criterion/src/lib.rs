@@ -1,0 +1,191 @@
+//! Offline stand-in for the subset of `criterion` this workspace's
+//! micro-benchmarks use. It keeps the authoring API (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! throughput annotations) and swaps the statistics engine for a simple
+//! calibrated wall-clock loop: each benchmark is auto-scaled to a target
+//! measurement time, then reported as `ns/iter` mean ± std over fixed
+//! sample batches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const TARGET_BATCH: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 8;
+
+/// Per-iteration work annotation, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over the measured samples.
+    mean_ns: f64,
+    /// Standard deviation of per-sample ns/iter.
+    std_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the batch size. The routine is run
+    /// until one batch takes at least [`TARGET_BATCH`], then measured
+    /// [`SAMPLES`] times at that batch size.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_BATCH || batch >= 1 << 28 {
+                break;
+            }
+            // Jump straight toward the target rather than doubling blindly.
+            let scale = (TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch.saturating_mul(scale as u64)).clamp(batch + 1, 1 << 28);
+        }
+        let mut per_iter = [0f64; SAMPLES];
+        for sample in &mut per_iter {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        let mean = per_iter.iter().sum::<f64>() / SAMPLES as f64;
+        let var =
+            per_iter.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / SAMPLES as f64;
+        self.mean_ns = mean;
+        self.std_ns = var.sqrt();
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / bencher.mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / bencher.mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} {:>12.1} ns/iter (± {:.1}){rate}",
+        bencher.mean_ns, bencher.std_ns
+    );
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0, std_ns: 0.0 };
+        let mut f = f;
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0, std_ns: 0.0 };
+        let mut f = f;
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.0), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut bencher = Bencher { mean_ns: 0.0, std_ns: 0.0 };
+        bencher.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
+        assert!(bencher.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 16).0, "solve/16");
+        assert_eq!(BenchmarkId::from_parameter(100).0, "100");
+    }
+}

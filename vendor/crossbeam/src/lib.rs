@@ -1,0 +1,37 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! unbounded MPSC channels, delegated to `std::sync::mpsc` (whose
+//! `Sender`/`Receiver`/`TryRecvError` types have the identical shape the
+//! in-memory transport relies on).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels; mirrors `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded MPSC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn cloneable_senders_fan_in() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// A length specification for [`vec`]: an exact size, `lo..hi`, or
+/// `lo..=hi`; mirrors `proptest::collection::SizeRange`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self { lo: exact, hi: exact }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from a [`SizeRange`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `size`; mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use crate::test_rng;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = test_rng("exact_size_is_exact");
+        let strategy = vec(any::<u8>(), 36);
+        for _ in 0..50 {
+            assert_eq!(strategy.sample(&mut rng).len(), 36);
+        }
+    }
+
+    #[test]
+    fn ranged_sizes_cover_bounds() {
+        let mut rng = test_rng("ranged_sizes_cover_bounds");
+        let strategy = vec(any::<bool>(), 0..4);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            let v = strategy.sample(&mut rng);
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lengths 0..4 not all reached");
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace patches `rand` to this path crate (see the root
+//! `Cargo.toml`).
+//!
+//! The API mirrors `rand` 0.8 exactly for the parts that exist:
+//! [`Rng`], [`SeedableRng`], [`rngs::StdRng`], [`seq::SliceRandom`],
+//! [`seq::index::sample`], and [`thread_rng`]. The generator behind
+//! [`rngs::StdRng`] differs (xoshiro256++ instead of ChaCha12) — streams
+//! are still deterministic per seed, high quality, and portable, but they
+//! are *different* streams than upstream `rand` would produce, so any
+//! seed-sensitive expectation baked into tests was re-validated against
+//! this generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of uniformly random 64-bit words, the base trait every
+/// generator implements.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to the full
+    /// state space (SplitMix64, as recommended by the xoshiro authors).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Builds a generator from unpredictable process-local entropy
+    /// (address-space and clock bits). Not cryptographically secure.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let unique = COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    nanos ^ unique.rotate_left(17) ^ (std::process::id() as u64) << 32
+}
+
+/// Sampling helpers layered on any [`RngCore`]; mirrors `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 random mantissa bits, the standard unit-interval construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample itself; mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty(&self) -> bool;
+}
+
+/// Unbiased uniform integer in `[0, span)` by Lemire's multiply-shift
+/// rejection method.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            fn is_empty(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            fn is_empty(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Returns a process-local generator seeded from ambient entropy; mirrors
+/// `rand::thread_rng` closely enough for examples and doc tests. Unlike
+/// upstream it returns a fresh owned generator per call.
+#[must_use]
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u64..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn fill_bytes_fills_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Sequence sampling: shuffles, choices, and index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices; mirrors `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns one uniformly chosen mutable element, or `None` if empty.
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.len());
+            Some(&mut self[i])
+        }
+    }
+}
+
+/// Index sampling without replacement; mirrors `rand::seq::index`.
+pub mod index {
+    use super::RngCore;
+    use crate::Rng;
+
+    /// A set of sampled indices.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consumes the set into a plain vector.
+        #[must_use]
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no index was sampled.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly over
+    /// subsets, by a partial Fisher–Yates pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} of {length}");
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([5u8].choose(&mut rng) == Some(&5));
+    }
+
+    #[test]
+    fn sampled_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let picks = index::sample(&mut rng, 20, 7).into_vec();
+            assert_eq!(picks.len(), 7);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicate index sampled");
+            assert!(picks.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_all_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut all = index::sample(&mut rng, 6, 6).into_vec();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+}
