@@ -118,11 +118,8 @@ impl<P: GossipProtocol> BaselineHarness<P> {
             }
         }
         let mean_in = in_degrees.iter().sum::<usize>() as f64 / n as f64;
-        let in_degree_variance = in_degrees
-            .iter()
-            .map(|&d| (d as f64 - mean_in).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let in_degree_variance =
+            in_degrees.iter().map(|&d| (d as f64 - mean_in).powi(2)).sum::<f64>() / n as f64;
 
         HarnessMetrics { total_ids, empty_views, mean_out_degree, in_degree_variance }
     }
@@ -139,13 +136,7 @@ mod tests {
     use super::*;
 
     fn ring_bootstrap(n: usize, k: usize) -> Vec<Vec<NodeId>> {
-        (0..n)
-            .map(|i| {
-                (1..=k)
-                    .map(|d| NodeId::new(((i + d) % n) as u64))
-                    .collect()
-            })
-            .collect()
+        (0..n).map(|i| (1..=k).map(|d| NodeId::new(((i + d) % n) as u64)).collect()).collect()
     }
 
     #[test]
@@ -164,10 +155,7 @@ mod tests {
         };
         let lossless = make(1, 0.0);
         let lossy = make(1, 0.1);
-        assert!(
-            lossy * 2 < lossless,
-            "shuffle should drain under loss: {lossless} vs {lossy}"
-        );
+        assert!(lossy * 2 < lossless, "shuffle should drain under loss: {lossless} vs {lossy}");
     }
 
     #[test]
@@ -178,7 +166,9 @@ mod tests {
         let nodes: Vec<SfAdapter> = boots
             .iter()
             .enumerate()
-            .map(|(i, b)| SfAdapter::new(SfNode::with_view(NodeId::new(i as u64), config, b).unwrap()))
+            .map(|(i, b)| {
+                SfAdapter::new(SfNode::with_view(NodeId::new(i as u64), config, b).unwrap())
+            })
             .collect();
         let mut h = BaselineHarness::new(nodes, 0.1, 1);
         let before = h.metrics().total_ids;

@@ -56,10 +56,7 @@ impl GossipProtocol for PushOnlyNode {
     fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Outgoing> {
         let &target = self.view.choose(rng)?;
         let &extra = self.view.choose(rng)?;
-        Some(Outgoing {
-            to: target,
-            message: ProtocolMessage::Push { ids: vec![self.id, extra] },
-        })
+        Some(Outgoing { to: target, message: ProtocolMessage::Push { ids: vec![self.id, extra] } })
     }
 
     fn receive<R: Rng + ?Sized>(

@@ -61,10 +61,7 @@ impl GossipProtocol for PushPullNode {
         let &target = self.view.choose(rng)?;
         // Push our own id (reinforcement) and request a pull (mixing); the
         // harness delivers the reply separately, subject to loss.
-        Some(Outgoing {
-            to: target,
-            message: ProtocolMessage::Push { ids: vec![self.id] },
-        })
+        Some(Outgoing { to: target, message: ProtocolMessage::Push { ids: vec![self.id] } })
     }
 
     fn receive<R: Rng + ?Sized>(
@@ -119,9 +116,7 @@ mod tests {
         let mut b = PushPullNode::new(id(1), 8, 2, &[id(3), id(4), id(5)]);
         let mut rng = StdRng::seed_from_u64(2);
         let before = b.out_degree();
-        let reply = b
-            .receive(id(0), ProtocolMessage::Push { ids: vec![id(0)] }, &mut rng)
-            .unwrap();
+        let reply = b.receive(id(0), ProtocolMessage::Push { ids: vec![id(0)] }, &mut rng).unwrap();
         // Reinforcement stored; reply ids are copies, view may only grow.
         assert!(b.out_degree() >= before);
         let ProtocolMessage::PullReply { ids } = reply.message else { panic!("wrong variant") };
@@ -143,11 +138,8 @@ mod tests {
     fn pull_reply_is_absorbed() {
         let mut a = PushPullNode::new(id(0), 8, 2, &[id(1)]);
         let mut rng = StdRng::seed_from_u64(4);
-        let none = a.receive(
-            id(1),
-            ProtocolMessage::PullReply { ids: vec![id(7), id(8)] },
-            &mut rng,
-        );
+        let none =
+            a.receive(id(1), ProtocolMessage::PullReply { ids: vec![id(7), id(8)] }, &mut rng);
         assert!(none.is_none());
         assert_eq!(a.out_degree(), 3);
     }

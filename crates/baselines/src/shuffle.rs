@@ -95,7 +95,10 @@ impl GossipProtocol for ShuffleNode {
             ProtocolMessage::ShuffleRequest { ids } => {
                 let reply_ids = self.take_random(self.gossip_size, rng);
                 self.absorb(ids);
-                Some(Outgoing { to: from, message: ProtocolMessage::ShuffleReply { ids: reply_ids } })
+                Some(Outgoing {
+                    to: from,
+                    message: ProtocolMessage::ShuffleReply { ids: reply_ids },
+                })
             }
             ProtocolMessage::ShuffleReply { ids } => {
                 self.absorb(ids);
@@ -124,9 +127,7 @@ mod tests {
         let out = node.initiate(&mut rng).unwrap();
         // Target + one more id left the view; own id joined the request.
         assert_eq!(node.out_degree(), 1);
-        let ProtocolMessage::ShuffleRequest { ids } = out.message else {
-            panic!("wrong variant")
-        };
+        let ProtocolMessage::ShuffleRequest { ids } = out.message else { panic!("wrong variant") };
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&id(0)));
     }

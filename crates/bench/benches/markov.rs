@@ -15,9 +15,7 @@ fn bench_degree_mc_small(c: &mut Criterion) {
     let config = SfConfig::new(16, 6).expect("legal");
     c.bench_function("markov/degree_mc_solve_s16", |b| {
         b.iter(|| {
-            black_box(
-                DegreeMc::solve(DegreeMcParams::new(config, 0.01)).expect("converges"),
-            )
+            black_box(DegreeMc::solve(DegreeMcParams::new(config, 0.01)).expect("converges"))
         });
     });
 }

@@ -17,8 +17,8 @@ fn bench_initiate(c: &mut Criterion) {
             // Re-fill when the view drains so the bench stays in the steady
             // regime rather than measuring self-loops.
             if node.out_degree() <= config.lower_threshold() {
-                node = SfNode::with_view(NodeId::new(0), config, &bootstrap)
-                    .expect("legal bootstrap");
+                node =
+                    SfNode::with_view(NodeId::new(0), config, &bootstrap).expect("legal bootstrap");
             }
             black_box(node.initiate(&mut rng))
         });
@@ -35,8 +35,8 @@ fn bench_receive(c: &mut Criterion) {
             SfNode::with_view(NodeId::new(0), config, &bootstrap).expect("legal bootstrap");
         b.iter(|| {
             if node.out_degree() >= config.view_size() {
-                node = SfNode::with_view(NodeId::new(0), config, &bootstrap)
-                    .expect("legal bootstrap");
+                node =
+                    SfNode::with_view(NodeId::new(0), config, &bootstrap).expect("legal bootstrap");
             }
             black_box(node.receive(message, &mut rng))
         });

@@ -13,8 +13,7 @@ fn bench_rounds(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let nodes = topology::circulant(n, config, 30);
-            let mut sim =
-                Simulation::new(nodes, UniformLoss::new(0.01).expect("valid"), 1);
+            let mut sim = Simulation::new(nodes, UniformLoss::new(0.01).expect("valid"), 1);
             sim.run_rounds(20); // warm into the steady state
             b.iter(|| {
                 sim.round();

@@ -22,5 +22,7 @@ fn main() {
     print!("{}", sweeps::churn_table(256, 200, 400, REPLICATES, 90));
     println!();
     note("expected shape: long intervals (>= 8 rounds) hold stale fractions low and stay whole;");
-    note("per-round churn at n=256 accumulates stale entries faster than d_L/s^2 decay clears them");
+    note(
+        "per-round churn at n=256 accumulates stale entries faster than d_L/s^2 decay clears them",
+    );
 }

@@ -27,26 +27,11 @@ fn main() {
     note("Lemma 7.5 / A.2: exact global-MC enumeration for tiny systems");
     note("tv_uniform = TV(stationary, uniform over ALL states);");
     note("tv_simple = TV(stationary conditioned on simple states, uniform) — the finite-n form of Lemma 7.5");
-    header(&[
-        "system",
-        "s",
-        "loss",
-        "states",
-        "simple_states",
-        "sccs",
-        "tv_uniform",
-        "tv_simple",
-    ]);
+    header(&["system", "s", "loss", "states", "simple_states", "sccs", "tv_uniform", "tv_simple"]);
     // n = 3, d_s(u) = 6 each.
     report("triangle_n3", vec![vec![1, 2], vec![0, 2], vec![0, 1]], 6, 0, 0.0);
     // n = 4, d_s(u) = 6 each — 885 states, 9 of them simple.
-    report(
-        "square_n4",
-        vec![vec![1, 2], vec![2, 3], vec![3, 0], vec![0, 1]],
-        6,
-        0,
-        0.0,
-    );
+    report("square_n4", vec![vec![1, 2], vec![2, 3], vec![3, 0], vec![0, 1]], 6, 0, 0.0);
     // Lossy variant (Lemma 7.1 strong connectivity), smaller views.
     report("triangle_n3_lossy", vec![vec![1, 2], vec![0, 2], vec![0, 1]], 4, 2, 0.1);
 

@@ -9,11 +9,7 @@ use sandf_markov::{AnalyticalDegrees, DegreeMc, DegreeMcParams};
 
 fn moments(pmf: &[f64]) -> (f64, f64) {
     let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
-    let var: f64 = pmf
-        .iter()
-        .enumerate()
-        .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
-        .sum();
+    let var: f64 = pmf.iter().enumerate().map(|(k, &p)| (k as f64 - mean).powi(2) * p).sum();
     (mean, var)
 }
 
@@ -82,6 +78,10 @@ fn main() {
         analytical.var_in(),
         mvi,
         bvi,
-        if analytical.var_in() < bvi && mvi < bvi { "S&F tighter, as in the paper" } else { "MISMATCH" }
+        if analytical.var_in() < bvi && mvi < bvi {
+            "S&F tighter, as in the paper"
+        } else {
+            "MISMATCH"
+        }
     ));
 }

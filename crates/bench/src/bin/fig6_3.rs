@@ -23,13 +23,8 @@ fn main() {
     note("simulating n=1000 for the empirical overlay ...");
     let mut sims = Vec::new();
     for (k, &loss) in LOSSES.iter().enumerate() {
-        let params = ExperimentParams {
-            n: 1000,
-            config,
-            loss,
-            burn_in: 400,
-            seed: 1000 + k as u64,
-        };
+        let params =
+            ExperimentParams { n: 1000, config, loss, burn_in: 400, seed: 1000 + k as u64 };
         sims.push(steady_state_degrees(&params, 30, 5));
     }
 
@@ -52,7 +47,14 @@ fn main() {
     println!();
     note("panel (b): node outdegree pmf per loss rate");
     header(&[
-        "outdegree", "mc_l0", "mc_l01", "mc_l05", "mc_l10", "sim_l0", "sim_l01", "sim_l05",
+        "outdegree",
+        "mc_l0",
+        "mc_l01",
+        "mc_l05",
+        "mc_l10",
+        "sim_l0",
+        "sim_l01",
+        "sim_l05",
         "sim_l10",
     ]);
     let mc_out: Vec<Vec<f64>> = chains.iter().map(DegreeMc::out_pmf).collect();

@@ -16,10 +16,8 @@ const ROUNDS: usize = 500;
 
 fn main() {
     note("Figure 6.4: survival of a departed node's id instances, d_L=18, s=40, delta=0.01");
-    let bounds: Vec<Vec<f64>> = LOSSES
-        .iter()
-        .map(|&l| leave_survival_bound(l, DELTA, D_L, S, ROUNDS))
-        .collect();
+    let bounds: Vec<Vec<f64>> =
+        LOSSES.iter().map(|&l| leave_survival_bound(l, DELTA, D_L, S, ROUNDS)).collect();
 
     note("simulating n=500 leavers for the empirical overlay ...");
     let config = SfConfig::new(S, D_L).expect("paper parameters");
@@ -35,8 +33,15 @@ fn main() {
         .collect();
 
     header(&[
-        "round", "bound_l0", "bound_l01", "bound_l05", "bound_l10", "sim_l0", "sim_l01",
-        "sim_l05", "sim_l10",
+        "round",
+        "bound_l0",
+        "bound_l01",
+        "bound_l05",
+        "bound_l10",
+        "sim_l0",
+        "sim_l01",
+        "sim_l05",
+        "sim_l10",
     ]);
     for i in (0..ROUNDS).step_by(10) {
         let mut row = vec![(i + 1).to_string()];

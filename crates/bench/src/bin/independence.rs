@@ -15,11 +15,7 @@ const DELTA: f64 = 0.01;
 fn measured_dependence(loss: f64, seed: u64) -> (f64, DependenceReport) {
     let config = SfConfig::new(40, 18).expect("paper parameters");
     let nodes = topology::circulant(600, config, 30);
-    let mut sim = Simulation::new(
-        nodes,
-        UniformLoss::new(loss).expect("valid rate"),
-        seed,
-    );
+    let mut sim = Simulation::new(nodes, UniformLoss::new(loss).expect("valid rate"), seed);
     sim.run_rounds(500);
     // Average the dependent fraction over several spaced snapshots.
     let mut total = 0.0;

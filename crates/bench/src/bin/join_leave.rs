@@ -39,19 +39,13 @@ fn main() {
     note("leave decay (d_L=18, s=40): simulated survival fraction vs Lemma 6.10 bound");
     let config = SfConfig::new(40, 18).expect("paper parameters");
     header(&["round", "simulated_l01", "bound_l01"]);
-    let sim = leave_decay(
-        &ExperimentParams { n: 500, config, loss: 0.01, burn_in: 300, seed: 10 },
-        300,
-    );
+    let sim =
+        leave_decay(&ExperimentParams { n: 500, config, loss: 0.01, burn_in: 300, seed: 10 }, 300);
     let bound = sandf_markov::decay::leave_survival_bound(0.01, 0.01, 18, 40, 300);
     for i in (0..300).step_by(15) {
         println!("{}\t{}\t{}", i + 1, fmt(sim[i]), fmt(bound[i]));
     }
-    let violations = sim
-        .iter()
-        .zip(&bound)
-        .filter(|(s, b)| **s > **b * 1.25 + 0.05)
-        .count();
+    let violations = sim.iter().zip(&bound).filter(|(s, b)| **s > **b * 1.25 + 0.05).count();
     note(&format!(
         "rounds where the simulation exceeds 1.25x the bound: {violations} / 300 (expect ~0; the bound is an upper bound in expectation)"
     ));

@@ -33,10 +33,7 @@ fn main() {
     ];
     for (name, initial, s, d_l, d_e, alpha) in systems {
         let mc = ExactGlobalMc::build(initial, s, d_l, 0.0, 3_000_000).expect("enumerable");
-        let lambda = mc
-            .chain()
-            .second_eigenvalue_modulus(20_000)
-            .expect("nontrivial chain");
+        let lambda = mc.chain().second_eigenvalue_modulus(20_000).expect("nontrivial chain");
         let gap = 1.0 - lambda;
         let phi = expected_conductance_bound(d_e, alpha, s);
         let cheeger = phi * phi / 2.0;
@@ -52,5 +49,7 @@ fn main() {
     }
     println!();
     note("expected shape: the exact gap exceeds the Cheeger floor by 1-3 orders of magnitude,");
-    note("matching the paper's remark that its temporal-independence bounds are deliberately loose");
+    note(
+        "matching the paper's remark that its temporal-independence bounds are deliberately loose",
+    );
 }

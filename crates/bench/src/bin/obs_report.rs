@@ -1,0 +1,56 @@
+//! Observability report: a 1000-node instrumented run rendering the full
+//! `sandf-obs` surface — Prometheus exposition, TSV metric dump, hot-path
+//! span summaries, and the structured event journal.
+//!
+//! Flags: `--toy` runs the CI-scale configuration; `--journal` prints the
+//! whole journal instead of its tail.
+
+use sandf_bench::note;
+use sandf_bench::obsrep::{obs_report, ObsReportConfig};
+
+const JOURNAL_TAIL: usize = 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--toy") {
+        ObsReportConfig::toy()
+    } else {
+        ObsReportConfig::paper()
+    };
+    let full_journal = args.iter().any(|a| a == "--journal");
+
+    note(&format!(
+        "observability report: n={}, rounds={}, loss={}, max_delay={}, seed={}",
+        config.n, config.rounds, config.loss, config.max_delay, config.seed
+    ));
+    let report = obs_report(&config);
+
+    note("---- prometheus exposition ----");
+    print!("{}", report.prometheus);
+
+    note("---- metrics tsv ----");
+    print!("{}", report.tsv);
+
+    let lines: Vec<&str> = report.journal_jsonl.lines().collect();
+    if full_journal {
+        note(&format!("---- event journal ({} events) ----", lines.len()));
+        for line in &lines {
+            println!("{line}");
+        }
+    } else {
+        note(&format!(
+            "---- event journal: last {} of {} retained events (--journal for all) ----",
+            JOURNAL_TAIL.min(lines.len()),
+            lines.len()
+        ));
+        for line in lines.iter().rev().take(JOURNAL_TAIL).rev() {
+            println!("{line}");
+        }
+    }
+
+    let s = report.stats;
+    note(&format!(
+        "sim ledger: actions={} sent={} lost={} dead_letters={} stored={} deleted={} dup={}",
+        s.actions, s.sent, s.lost, s.dead_letters, s.stored, s.deleted, s.duplications
+    ));
+}

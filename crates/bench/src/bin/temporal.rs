@@ -32,7 +32,11 @@ fn main() {
 
     println!();
     note("independent-graph baselines (what the curves should decay to)");
-    header(&["n", "baseline_jaccard", "half_life_rounds (first point below (1+baseline)/2 of start)"]);
+    header(&[
+        "n",
+        "baseline_jaccard",
+        "half_life_rounds (first point below (1+baseline)/2 of start)",
+    ]);
     for (k, &n) in SIZES.iter().enumerate() {
         let edges = (n as f64 * 11.0) as usize; // ~mean outdegree for this config
         let base = baseline_jaccard(n, edges);

@@ -4,7 +4,9 @@
 //! executor, with 95% CIs on the realized rates).
 
 use sandf_bench::{fmt, header, note, sweeps};
-use sandf_markov::{alpha_lower_bound, min_dl_for_connectivity, select_thresholds, AnalyticalDegrees};
+use sandf_markov::{
+    alpha_lower_bound, min_dl_for_connectivity, select_thresholds, AnalyticalDegrees,
+};
 
 const REPLICATES: usize = 4;
 
@@ -52,12 +54,9 @@ fn main() {
     println!();
     note("Section 7.4 connectivity condition: min d_L with P(Bin(d_L, alpha) < 3) <= eps");
     header(&["loss", "delta", "alpha", "eps", "min_d_L"]);
-    for (loss, delta, eps) in [
-        (0.01, 0.01, 1e-30),
-        (0.01, 0.01, 1e-10),
-        (0.05, 0.01, 1e-30),
-        (0.1, 0.01, 1e-30),
-    ] {
+    for (loss, delta, eps) in
+        [(0.01, 0.01, 1e-30), (0.01, 0.01, 1e-10), (0.05, 0.01, 1e-30), (0.1, 0.01, 1e-30)]
+    {
         let alpha = alpha_lower_bound(loss, delta);
         let d_l = min_dl_for_connectivity(alpha, eps, 200)
             .map_or_else(|| "-".to_string(), |d| d.to_string());

@@ -17,6 +17,8 @@ fn main() {
     ));
     let scale = SampleScale { n: 256, burn_in: 300, samples: 120, sample_every: 40 };
     print!("{}", sweeps::uniformity_table(scale, REPLICATES, 60));
-    note("expected shape: chi2/dof of order 1-10 (residual sample correlation), max/min close to 1");
+    note(
+        "expected shape: chi2/dof of order 1-10 (residual sample correlation), max/min close to 1",
+    );
     note("contrast: a biased protocol (e.g. permanent star hub) scores chi2/dof in the hundreds");
 }

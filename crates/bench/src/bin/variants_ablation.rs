@@ -78,9 +78,7 @@ fn main() {
         row("replace", loss, &run(replace, loss, seed + 20));
 
         let batched: Vec<BatchedNode> = (0..N)
-            .map(|i| {
-                BatchedNode::new(NodeId::new(i as u64), batched_config, 3, &bootstrap(i, 12))
-            })
+            .map(|i| BatchedNode::new(NodeId::new(i as u64), batched_config, 3, &bootstrap(i, 12)))
             .collect();
         row("batched_b3", loss, &run(batched, loss, seed + 30));
     }

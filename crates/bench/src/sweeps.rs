@@ -24,7 +24,9 @@ use sandf_core::{NodeId, SfConfig, SfNode};
 use sandf_graph::DegreeStats;
 use sandf_markov::{select_thresholds, DegreeMc, DegreeMcParams};
 use sandf_sim::experiment::{continuous_churn, steady_state_degrees, uniformity, ExperimentParams};
-use sandf_sim::{topology, GilbertElliott, LossModel, Simulation, TargetedLoss, UniformLoss};
+use sandf_sim::{
+    topology, DelayModel, GilbertElliott, LossModel, Simulation, TargetedLoss, UniformLoss,
+};
 
 use crate::fmt;
 use crate::sweep::{SweepCell, SweepSpec};
@@ -263,9 +265,8 @@ pub fn targeted_loss_table(n: usize, rounds: usize, replicates: usize, base_seed
     let cells: Vec<TargetedCell> =
         [0.01, 0.25, 0.5, 0.9].iter().map(|&victim_rate| TargetedCell { victim_rate }).collect();
     let spec = SweepSpec::new(cells, replicates, base_seed);
-    let results = spec.run(
-        &["victim_in", "victim_out", "pop_mean_in", "connected"],
-        |cell, rng| {
+    let results =
+        spec.run(&["victim_in", "victim_out", "pop_mean_in", "connected"], |cell, rng| {
             let victim = NodeId::new(0);
             let mut loss = TargetedLoss::new(0.01).expect("valid base");
             loss.set_target(victim, cell.victim_rate).expect("valid override");
@@ -279,8 +280,7 @@ pub fn targeted_loss_table(n: usize, rounds: usize, replicates: usize, base_seed
                 DegreeStats::from_samples(&graph.in_degrees()).mean,
                 f64::from(u8::from(graph.is_weakly_connected())),
             ]
-        },
-    );
+        });
     results.to_tsv(&["victim_inbound_loss"], |c| vec![fmt(c.victim_rate)])
 }
 
@@ -347,13 +347,7 @@ pub fn threshold_validation_table(
         ]
     });
     results.to_tsv(&["d_hat", "d_L", "s", "P_dup", "P_del"], |c| {
-        vec![
-            c.d_hat.to_string(),
-            c.d_l.to_string(),
-            c.s.to_string(),
-            fmt(c.p_dup),
-            fmt(c.p_del),
-        ]
+        vec![c.d_hat.to_string(), c.d_l.to_string(), c.s.to_string(), fmt(c.p_dup), fmt(c.p_del)]
     })
 }
 
@@ -456,7 +450,11 @@ pub fn baseline_table(n: usize, rounds: usize, replicates: usize, base_seed: u64
                 _ => {
                     let nodes: Vec<PushOnlyNode> = (0..n)
                         .map(|i| {
-                            PushOnlyNode::new(NodeId::new(i as u64), 16, &baseline_bootstrap(i, 8, n))
+                            PushOnlyNode::new(
+                                NodeId::new(i as u64),
+                                16,
+                                &baseline_bootstrap(i, 8, n),
+                            )
                         })
                         .collect();
                     baseline_metrics(BaselineHarness::new(nodes, cell.loss, seed), rounds)
@@ -502,8 +500,7 @@ pub fn churn_table(
     let results = spec.run(
         &["components", "mean_in_degree", "in_degree_std", "stale_fraction"],
         |cell, rng| {
-            let params =
-                ExperimentParams { n, config, loss: 0.01, burn_in, seed: rng.next_u64() };
+            let params = ExperimentParams { n, config, loss: 0.01, burn_in, seed: rng.next_u64() };
             // A single checkpoint at the end: the sweep aggregates final
             // state across replicates rather than one run's trajectory.
             let points = continuous_churn(&params, cell.interval, rounds, rounds);
@@ -512,6 +509,65 @@ pub fn churn_table(
         },
     );
     results.to_tsv(&["churn_interval"], |c| vec![c.interval.to_string()])
+}
+
+// ---------------------------------------------------------------------------
+// delay_ablation — §4 asynchrony / non-atomic actions
+// ---------------------------------------------------------------------------
+
+/// One message-delay bound of the asynchrony ablation (`0` = immediate
+/// delivery).
+pub struct DelayCell {
+    /// Largest per-message delay, in global steps; `0` means the central
+    /// entity's immediate-delivery execution.
+    pub max_delay: u64,
+}
+
+impl DelayCell {
+    fn model(&self) -> DelayModel {
+        if self.max_delay == 0 {
+            DelayModel::Immediate
+        } else {
+            DelayModel::UniformSteps { max: self.max_delay }
+        }
+    }
+}
+
+impl SweepCell for DelayCell {
+    fn key(&self) -> String {
+        format!("max_delay={}", self.max_delay)
+    }
+}
+
+/// Asynchrony ablation (DESIGN.md B7): the paper's model breaks actions
+/// into single-node steps so the analysis survives non-atomic, overlapping
+/// actions (Section 4). Every message is delayed up to `max_delay` global
+/// steps — by the largest setting, hundreds of other actions interleave
+/// with each in-flight message — and the replicated steady-state statistics
+/// must be flat in the delay bound.
+#[must_use]
+pub fn delay_table(n: usize, rounds: usize, replicates: usize, base_seed: u64) -> String {
+    let config = paper_config();
+    let cells: Vec<DelayCell> =
+        [0u64, 16, 64, 256, 1024].iter().map(|&max_delay| DelayCell { max_delay }).collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    let results = spec.run(&["mean_out", "in_std", "dependent_frac", "connected"], |cell, rng| {
+        let nodes = topology::circulant(n, config, initial_degree(config, n));
+        let loss = UniformLoss::new(0.02).expect("valid rate");
+        let mut sim = Simulation::with_delay(nodes, loss, cell.model(), rng.next_u64());
+        for _ in 0..n * rounds {
+            sim.step();
+        }
+        sim.settle();
+        let graph = sim.graph();
+        vec![
+            DegreeStats::from_samples(&graph.out_degrees()).mean,
+            DegreeStats::from_samples(&graph.in_degrees()).std_dev(),
+            1.0 - sim.dependence().independent_fraction(),
+            f64::from(u8::from(graph.is_weakly_connected())),
+        ]
+    });
+    results.to_tsv(&["max_delay_steps"], |c| vec![c.max_delay.to_string()])
 }
 
 // ---------------------------------------------------------------------------
@@ -577,10 +633,7 @@ mod tests {
         // Header + 4 protocols × 3 loss rates.
         assert_eq!(tsv.lines().count(), 13);
         for protocol in ["sandf", "shuffle", "push_pull", "push_only"] {
-            assert_eq!(
-                tsv.lines().filter(|l| l.starts_with(&format!("{protocol}\t"))).count(),
-                3
-            );
+            assert_eq!(tsv.lines().filter(|l| l.starts_with(&format!("{protocol}\t"))).count(), 3);
         }
     }
 
@@ -588,5 +641,15 @@ mod tests {
     fn churn_table_has_one_row_per_interval() {
         let tsv = churn_table(32, 10, 20, 2, 9);
         assert_eq!(tsv.lines().count(), 6);
+    }
+
+    #[test]
+    fn delay_table_has_one_row_per_bound() {
+        let tsv = delay_table(32, 20, 2, 11);
+        // Header + 5 delay bounds, immediate delivery first.
+        assert_eq!(tsv.lines().count(), 6);
+        assert!(tsv.starts_with("max_delay_steps\tmean_out_mean\tmean_out_ci95\t"));
+        assert!(tsv.lines().nth(1).expect("first cell").starts_with("0\t"));
+        assert!(tsv.lines().nth(5).expect("last cell").starts_with("1024\t"));
     }
 }

@@ -1,6 +1,5 @@
 //! Protocol configuration: view size `s` and lower degree threshold `d_L`.
 
-
 use crate::error::ConfigError;
 
 /// S&F protocol parameters (Section 5 of the paper).
@@ -106,10 +105,7 @@ mod tests {
 
     #[test]
     fn rejects_small_view() {
-        assert_eq!(
-            SfConfig::new(4, 0),
-            Err(ConfigError::ViewSizeTooSmall { s: 4 })
-        );
+        assert_eq!(SfConfig::new(4, 0), Err(ConfigError::ViewSizeTooSmall { s: 4 }));
     }
 
     #[test]
@@ -119,18 +115,12 @@ mod tests {
 
     #[test]
     fn rejects_odd_threshold() {
-        assert_eq!(
-            SfConfig::new(10, 3),
-            Err(ConfigError::ThresholdOdd { d_l: 3 })
-        );
+        assert_eq!(SfConfig::new(10, 3), Err(ConfigError::ThresholdOdd { d_l: 3 }));
     }
 
     #[test]
     fn rejects_threshold_above_s_minus_6() {
-        assert_eq!(
-            SfConfig::new(10, 6),
-            Err(ConfigError::ThresholdTooLarge { d_l: 6, s: 10 })
-        );
+        assert_eq!(SfConfig::new(10, 6), Err(ConfigError::ThresholdTooLarge { d_l: 6, s: 10 }));
         // s - 6 exactly is allowed.
         assert!(SfConfig::new(10, 4).is_ok());
     }

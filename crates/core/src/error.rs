@@ -118,12 +118,8 @@ mod tests {
 
     #[test]
     fn join_error_messages_mention_counts() {
-        assert!(JoinError::TooFewIds { supplied: 1, d_l: 4 }
-            .to_string()
-            .contains("d_L=4"));
-        assert!(JoinError::TooManyIds { supplied: 9, s: 8 }
-            .to_string()
-            .contains("s=8"));
+        assert!(JoinError::TooFewIds { supplied: 1, d_l: 4 }.to_string().contains("d_L=4"));
+        assert!(JoinError::TooManyIds { supplied: 9, s: 8 }.to_string().contains("s=8"));
         assert!(JoinError::OddIdCount { supplied: 3 }.to_string().contains('3'));
     }
 

@@ -1,7 +1,6 @@
 //! Outcomes of the two protocol steps, with enough detail for external
 //! observers (simulators, provenance trackers) to mirror every state change.
 
-
 use crate::id::NodeId;
 use crate::message::Message;
 

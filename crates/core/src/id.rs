@@ -2,7 +2,6 @@
 
 use core::fmt;
 
-
 /// An opaque node identifier.
 ///
 /// In the paper a node id is "for example, an IP address and port"

@@ -1,6 +1,5 @@
 //! The single message type of the S&F protocol.
 
-
 use crate::id::NodeId;
 
 /// An S&F protocol message `[u, w]` (Figure 5.1, line 6): the initiator `u`

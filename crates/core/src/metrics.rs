@@ -1,6 +1,5 @@
 //! Per-node event counters.
 
-
 /// Counters of protocol events at a single node.
 ///
 /// These are the quantities Section 6.4 relates to the loss rate: in the

@@ -58,12 +58,7 @@ impl SfNode {
     /// rule: a joiner must know at least `d_L` live ids (Section 5).
     #[must_use]
     pub fn new(id: NodeId, config: SfConfig) -> Self {
-        Self {
-            id,
-            config,
-            view: LocalView::new(config.view_size()),
-            stats: NodeStats::new(),
-        }
+        Self { id, config, view: LocalView::new(config.view_size()), stats: NodeStats::new() }
     }
 
     /// Creates a node bootstrapped with the given ids, validating the
@@ -313,9 +308,7 @@ mod tests {
                 sent => break sent,
             }
         };
-        let InitiateOutcome::Sent { duplicated, message, .. } = outcome else {
-            unreachable!()
-        };
+        let InitiateOutcome::Sent { duplicated, message, .. } = outcome else { unreachable!() };
         assert!(duplicated);
         assert!(message.dependent);
         assert_eq!(node.out_degree(), 2, "duplication keeps both entries");

@@ -230,10 +230,7 @@ impl LocalView {
     ///
     /// Not part of the S&F action set; used by churn bootstrapping and tests.
     pub fn remove_one(&mut self, id: NodeId) -> Option<Entry> {
-        let slot = self
-            .slots
-            .iter()
-            .position(|s| s.map(|e| e.id) == Some(id))?;
+        let slot = self.slots.iter().position(|s| s.map(|e| e.id) == Some(id))?;
         self.clear_slot(slot)
     }
 
@@ -243,10 +240,7 @@ impl LocalView {
     ///
     /// Panics if the slot is empty or out of range.
     pub fn set_dependent(&mut self, slot: usize, dependent: bool) {
-        self.slots[slot]
-            .as_mut()
-            .expect("cannot tag an empty slot")
-            .dependent = dependent;
+        self.slots[slot].as_mut().expect("cannot tag an empty slot").dependent = dependent;
     }
 
     /// Counts entries labeled dependent by the Section 2 rules: entries whose
@@ -254,9 +248,7 @@ impl LocalView {
     /// always considered dependent.
     #[must_use]
     pub fn dependent_entries(&self, owner: NodeId) -> usize {
-        self.entries()
-            .filter(|e| e.dependent || e.id == owner)
-            .count()
+        self.entries().filter(|e| e.dependent || e.id == owner).count()
     }
 }
 
@@ -355,10 +347,7 @@ mod tests {
                     assert_eq!(counts[i][j], 0);
                 } else {
                     let ratio = f64::from(counts[i][j]) / expected;
-                    assert!(
-                        (0.9..1.1).contains(&ratio),
-                        "pair ({i},{j}) frequency off: {ratio}"
-                    );
+                    assert!((0.9..1.1).contains(&ratio), "pair ({i},{j}) frequency off: {ratio}");
                 }
             }
         }
@@ -369,15 +358,11 @@ mod tests {
         let mut v = LocalView::new(4);
         let mut rng = StdRng::seed_from_u64(1);
         for k in 0..4 {
-            let slot = v
-                .insert_into_random_empty(&mut rng, Entry::independent(id(k)))
-                .unwrap();
+            let slot = v.insert_into_random_empty(&mut rng, Entry::independent(id(k))).unwrap();
             assert_eq!(v.entry(slot).unwrap().id, id(k));
         }
         assert!(v.is_full());
-        let rejected = v
-            .insert_into_random_empty(&mut rng, Entry::independent(id(9)))
-            .unwrap_err();
+        let rejected = v.insert_into_random_empty(&mut rng, Entry::independent(id(9))).unwrap_err();
         assert_eq!(rejected.id, id(9));
     }
 
@@ -388,9 +373,7 @@ mod tests {
         for _ in 0..30_000 {
             let mut v = LocalView::new(4);
             v.set_entry(1, Entry::independent(id(0)));
-            let slot = v
-                .insert_into_random_empty(&mut rng, Entry::independent(id(1)))
-                .unwrap();
+            let slot = v.insert_into_random_empty(&mut rng, Entry::independent(id(1))).unwrap();
             match slot {
                 0 => counts[0] += 1,
                 2 => counts[1] += 1,

@@ -181,9 +181,7 @@ mod tests {
     }
 
     fn ring(n: u64) -> MembershipGraph {
-        MembershipGraph::from_views(
-            (0..n).map(|i| (id(i), vec![id((i + 1) % n)])),
-        )
+        MembershipGraph::from_views((0..n).map(|i| (id(i), vec![id((i + 1) % n)])))
     }
 
     fn clique(n: u64) -> MembershipGraph {
@@ -232,11 +230,8 @@ mod tests {
 
     #[test]
     fn disconnected_pairs_are_reported() {
-        let g = MembershipGraph::from_views([
-            (id(0), vec![id(1)]),
-            (id(1), vec![]),
-            (id(2), vec![]),
-        ]);
+        let g =
+            MembershipGraph::from_views([(id(0), vec![id(1)]), (id(1), vec![]), (id(2), vec![])]);
         let stats = distance_stats(&g, &[0]);
         assert_eq!(stats.unreachable, 1);
         assert_eq!(stats.pairs, 1);

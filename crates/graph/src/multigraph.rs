@@ -77,11 +77,7 @@ impl MembershipGraph {
     where
         I: IntoIterator<Item = &'a SfNode>,
     {
-        Self::from_views(
-            nodes
-                .into_iter()
-                .map(|n| (n.id(), n.view().ids().collect())),
-        )
+        Self::from_views(nodes.into_iter().map(|n| (n.id(), n.view().ids().collect())))
     }
 
     /// Number of live nodes `|V|`.
@@ -138,11 +134,7 @@ impl MembershipGraph {
     /// node, in `ids()` order.
     #[must_use]
     pub fn sum_degrees(&self) -> Vec<usize> {
-        self.out_edges
-            .iter()
-            .zip(&self.in_degrees)
-            .map(|(out, &din)| out.len() + 2 * din)
-            .collect()
+        self.out_edges.iter().zip(&self.in_degrees).map(|(out, &din)| out.len() + 2 * din).collect()
     }
 
     /// The out-neighbors of `u` (live targets only, with multiplicity), or
@@ -150,13 +142,7 @@ impl MembershipGraph {
     #[must_use]
     pub fn out_neighbors(&self, u: NodeId) -> Option<Vec<NodeId>> {
         let &i = self.index.get(&u)?;
-        Some(
-            self.out_edges[i]
-                .iter()
-                .flatten()
-                .map(|&j| self.ids[j])
-                .collect(),
-        )
+        Some(self.out_edges[i].iter().flatten().map(|&j| self.ids[j]).collect())
     }
 
     /// Internal index-based adjacency (live targets), for analytics in this
@@ -323,10 +309,7 @@ mod tests {
 
     #[test]
     fn dangling_edges_are_counted_but_ignored_for_degrees() {
-        let g = MembershipGraph::from_views([
-            (id(0), vec![id(1), id(99)]),
-            (id(1), vec![]),
-        ]);
+        let g = MembershipGraph::from_views([(id(0), vec![id(1), id(99)]), (id(1), vec![])]);
         assert_eq!(g.dangling_edge_count(), 1);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.in_degree(id(1)), Some(1));
@@ -346,21 +329,15 @@ mod tests {
             (id(2), vec![id(1)]),
         ]);
         assert!(g.is_weakly_connected());
-        let g = MembershipGraph::from_views([
-            (id(0), vec![id(1)]),
-            (id(1), vec![]),
-            (id(2), vec![]),
-        ]);
+        let g =
+            MembershipGraph::from_views([(id(0), vec![id(1)]), (id(1), vec![]), (id(2), vec![])]);
         assert_eq!(g.weakly_connected_components(), 2);
         assert!(!g.is_weakly_connected());
     }
 
     #[test]
     fn dangling_edges_do_not_connect() {
-        let g = MembershipGraph::from_views([
-            (id(0), vec![id(99)]),
-            (id(1), vec![id(99)]),
-        ]);
+        let g = MembershipGraph::from_views([(id(0), vec![id(99)]), (id(1), vec![id(99)])]);
         assert_eq!(g.weakly_connected_components(), 2);
     }
 

@@ -31,9 +31,7 @@ fn edge_multiset(g: &MembershipGraph) -> HashMap<(NodeId, NodeId), usize> {
 pub fn edge_intersection(a: &MembershipGraph, b: &MembershipGraph) -> usize {
     let ea = edge_multiset(a);
     let eb = edge_multiset(b);
-    ea.iter()
-        .map(|(edge, &ma)| ma.min(eb.get(edge).copied().unwrap_or(0)))
-        .sum()
+    ea.iter().map(|(edge, &ma)| ma.min(eb.get(edge).copied().unwrap_or(0))).sum()
 }
 
 /// Jaccard similarity of the two edge multisets: `|∩| / |∪|`, in `[0, 1]`.
@@ -78,9 +76,7 @@ mod tests {
 
     fn graph(views: &[(u64, &[u64])]) -> MembershipGraph {
         MembershipGraph::from_views(
-            views
-                .iter()
-                .map(|&(u, targets)| (id(u), targets.iter().map(|&t| id(t)).collect())),
+            views.iter().map(|&(u, targets)| (id(u), targets.iter().map(|&t| id(t)).collect())),
         )
     }
 

@@ -1,6 +1,5 @@
 //! Descriptive statistics and distribution helpers used across experiments.
 
-
 /// Summary statistics of a sample of non-negative integers (degrees).
 ///
 /// Section 6.4 reports node indegrees as `mean ± std` (e.g. `28 ± 3.4` for
@@ -41,8 +40,7 @@ impl DegreeStats {
         }
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
-        let variance =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let variance = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         Self {
             mean,
             variance,
@@ -125,11 +123,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(v, &c)| v as f64 * c as f64)
-            .sum::<f64>()
+        self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum::<f64>()
             / self.total as f64
     }
 
@@ -146,6 +140,55 @@ impl Histogram {
             .map(|(v, &c)| (v as f64 - mean).powi(2) * c as f64)
             .sum::<f64>()
             / self.total as f64
+    }
+
+    /// The `q`-quantile by the nearest-rank method: the smallest recorded
+    /// value such that at least `⌈q·n⌉` observations are `≤` it. Returns
+    /// `None` for an empty histogram.
+    ///
+    /// Nearest-rank always returns an actually-observed value (on a
+    /// singleton histogram every quantile is that value), is monotone in
+    /// `q`, and depends only on the multiset of samples — the three
+    /// properties pinned by this crate's property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q ≤ 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        // ⌈q·n⌉ computed in f64 is exact here: totals are far below 2^52.
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (value, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(value);
+            }
+        }
+        // Unreachable: cumulative reaches `total ≥ rank` on the last bucket.
+        Some(self.counts.len() - 1)
+    }
+
+    /// The median (nearest-rank 0.5-quantile).
+    #[must_use]
+    pub fn p50(&self) -> Option<usize> {
+        self.quantile(0.5)
+    }
+
+    /// The nearest-rank 0.95-quantile.
+    #[must_use]
+    pub fn p95(&self) -> Option<usize> {
+        self.quantile(0.95)
+    }
+
+    /// The nearest-rank 0.99-quantile.
+    #[must_use]
+    pub fn p99(&self) -> Option<usize> {
+        self.quantile(0.99)
     }
 
     /// Merges another histogram into this one.

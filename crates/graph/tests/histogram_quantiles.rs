@@ -1,0 +1,82 @@
+//! Property tests of `Histogram`'s nearest-rank quantile helpers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sandf_graph::Histogram;
+
+fn arb_samples() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..512, 1..128)
+}
+
+proptest! {
+    /// Quantiles are monotone in `q`: a higher quantile can never return a
+    /// smaller value.
+    #[test]
+    fn monotone_in_quantile(samples in arb_samples(), a in 1u32..=100, b in 1u32..=100) {
+        let h = Histogram::from_samples(&samples);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let at_lo = h.quantile(f64::from(lo) / 100.0).expect("nonempty");
+        let at_hi = h.quantile(f64::from(hi) / 100.0).expect("nonempty");
+        prop_assert!(at_lo <= at_hi, "q{lo} = {at_lo} > q{hi} = {at_hi}");
+    }
+
+    /// On a singleton histogram every quantile is the lone sample, exactly.
+    #[test]
+    fn exact_on_singletons(x in 0usize..512, q in 1u32..=100) {
+        let h = Histogram::from_samples(&[x]);
+        prop_assert_eq!(h.quantile(f64::from(q) / 100.0), Some(x));
+        prop_assert_eq!(h.p50(), Some(x));
+        prop_assert_eq!(h.p95(), Some(x));
+        prop_assert_eq!(h.p99(), Some(x));
+    }
+
+    /// Quantiles depend only on the multiset of samples, not the order in
+    /// which they were recorded.
+    #[test]
+    fn permutation_invariant(samples in arb_samples(), seed in any::<u64>(), q in 1u32..=100) {
+        let reference = Histogram::from_samples(&samples);
+        let mut shuffled = samples;
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let permuted = Histogram::from_samples(&shuffled);
+        let q = f64::from(q) / 100.0;
+        prop_assert_eq!(reference.quantile(q), permuted.quantile(q));
+    }
+
+    /// Nearest-rank quantiles always return an actually-observed value
+    /// bounded by the sample extremes, and the 1.0-quantile IS the maximum.
+    #[test]
+    fn returns_observed_values(samples in arb_samples(), q in 1u32..=100) {
+        let h = Histogram::from_samples(&samples);
+        let value = h.quantile(f64::from(q) / 100.0).expect("nonempty");
+        prop_assert!(h.count(value) > 0, "q returned unobserved value {value}");
+        prop_assert!(value >= *samples.iter().min().expect("nonempty"));
+        prop_assert!(value <= *samples.iter().max().expect("nonempty"));
+        prop_assert_eq!(h.quantile(1.0), samples.iter().max().copied());
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p95(), None);
+    assert_eq!(h.p99(), None);
+}
+
+#[test]
+fn median_of_known_sample() {
+    // 10 samples: rank ⌈0.5·10⌉ = 5 → the 5th smallest (1-indexed).
+    let h = Histogram::from_samples(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    assert_eq!(h.p50(), Some(5));
+    assert_eq!(h.p95(), Some(10));
+    assert_eq!(h.quantile(0.1), Some(1));
+}
+
+#[test]
+#[should_panic(expected = "quantile")]
+fn zero_quantile_is_rejected() {
+    let _ = Histogram::from_samples(&[1]).quantile(0.0);
+}

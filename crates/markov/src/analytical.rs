@@ -117,11 +117,7 @@ impl AnalyticalDegrees {
     #[must_use]
     pub fn var_out(&self) -> f64 {
         let mean = self.mean_out();
-        self.out_pmf
-            .iter()
-            .enumerate()
-            .map(|(d, &p)| (d as f64 - mean).powi(2) * p)
-            .sum()
+        self.out_pmf.iter().enumerate().map(|(d, &p)| (d as f64 - mean).powi(2) * p).sum()
     }
 
     /// Indegree variance (`= var_out / 4` by the affine relation).
@@ -205,11 +201,8 @@ mod tests {
         let law = AnalyticalDegrees::new(90).unwrap();
         let binom = binomial_with_mean(90, law.mean_in());
         let mean: f64 = binom.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
-        let bin_var: f64 = binom
-            .iter()
-            .enumerate()
-            .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
-            .sum();
+        let bin_var: f64 =
+            binom.iter().enumerate().map(|(k, &p)| (k as f64 - mean).powi(2) * p).sum();
         assert!(
             law.var_in() < bin_var / 2.0,
             "S&F indegree var {} should be well below binomial var {bin_var}",
@@ -226,11 +219,8 @@ mod tests {
         let lattice_var = law.var_out() / 4.0;
         let binom = binomial_with_mean(45, law.mean_out() / 2.0);
         let mean: f64 = binom.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
-        let bin_var: f64 = binom
-            .iter()
-            .enumerate()
-            .map(|(k, &p)| (k as f64 - mean).powi(2) * p)
-            .sum();
+        let bin_var: f64 =
+            binom.iter().enumerate().map(|(k, &p)| (k as f64 - mean).powi(2) * p).sum();
         assert!(
             lattice_var < bin_var,
             "S&F lattice var {lattice_var} should be below binomial var {bin_var}"

@@ -332,15 +332,8 @@ mod tests {
     #[test]
     fn doubly_stochastic_chain_is_uniform() {
         // A symmetric random walk on a 4-cycle with holding probability.
-        let rows = (0..4)
-            .map(|i| {
-                vec![
-                    (i, 0.5),
-                    ((i + 1) % 4, 0.25),
-                    ((i + 3) % 4, 0.25),
-                ]
-            })
-            .collect();
+        let rows =
+            (0..4).map(|i| vec![(i, 0.5), ((i + 1) % 4, 0.25), ((i + 3) % 4, 0.25)]).collect();
         let chain = SparseChain::new(rows);
         let pi = chain.stationary(1e-14, 100_000).unwrap();
         for &x in &pi {
@@ -416,10 +409,7 @@ mod tests {
             let chain = two_state(p, q);
             let lambda = chain.second_eigenvalue_modulus(2000).unwrap();
             let expected = (1.0 - p - q).abs();
-            assert!(
-                (lambda - expected).abs() < 1e-6,
-                "p={p} q={q}: λ₂ {lambda} vs {expected}"
-            );
+            assert!((lambda - expected).abs() < 1e-6, "p={p} q={q}: λ₂ {lambda} vs {expected}");
         }
     }
 

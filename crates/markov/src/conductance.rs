@@ -76,10 +76,7 @@ mod tests {
         let a1 = actions_per_node_bound(1_000, s, 30.0, 1.0, 0.01);
         let a2 = actions_per_node_bound(1_000_000, s, 30.0, 1.0, 0.01);
         let ratio = a2 / a1;
-        assert!(
-            (1.9..=2.1).contains(&ratio),
-            "ln(10^6)/ln(10^3) = 2, got ratio {ratio}"
-        );
+        assert!((1.9..=2.1).contains(&ratio), "ln(10^6)/ln(10^3) = 2, got ratio {ratio}");
     }
 
     #[test]

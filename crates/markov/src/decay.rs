@@ -14,7 +14,13 @@ pub fn survival_factor(loss: f64, delta: f64, d_l: usize, s: usize) -> f64 {
 /// instance of a left/failed node remains in the system `i` rounds after
 /// the departure, for `i = 1..=rounds`.
 #[must_use]
-pub fn leave_survival_bound(loss: f64, delta: f64, d_l: usize, s: usize, rounds: usize) -> Vec<f64> {
+pub fn leave_survival_bound(
+    loss: f64,
+    delta: f64,
+    d_l: usize,
+    s: usize,
+    rounds: usize,
+) -> Vec<f64> {
     let factor = survival_factor(loss, delta, d_l, s);
     let mut out = Vec::with_capacity(rounds);
     let mut p = 1.0;
@@ -108,10 +114,7 @@ mod tests {
         // shown.
         for loss in [0.0, 0.01, 0.05, 0.1] {
             let rounds = rounds_until_survival_below(loss, DELTA, D_L, S, 0.5).unwrap();
-            assert!(
-                (55..=75).contains(&rounds),
-                "ℓ={loss}: 50% point at {rounds} rounds"
-            );
+            assert!((55..=75).contains(&rounds), "ℓ={loss}: 50% point at {rounds} rounds");
         }
     }
 

@@ -540,10 +540,8 @@ mod tests {
     #[test]
     fn expected_outdegree_decreases_with_loss() {
         // Lemma 6.4.
-        let means: Vec<f64> = [0.0, 0.01, 0.05, 0.1]
-            .iter()
-            .map(|&l| solve(16, 6, l).mean_out())
-            .collect();
+        let means: Vec<f64> =
+            [0.0, 0.01, 0.05, 0.1].iter().map(|&l| solve(16, 6, l).mean_out()).collect();
         for w in means.windows(2) {
             assert!(w[1] < w[0] + 1e-6, "means should decrease: {means:?}");
         }
@@ -554,10 +552,8 @@ mod tests {
     #[test]
     fn deletion_probability_decreases_with_loss() {
         // Observation 6.5.
-        let dels: Vec<f64> = [0.0, 0.05, 0.1]
-            .iter()
-            .map(|&l| solve(16, 6, l).deletion_probability())
-            .collect();
+        let dels: Vec<f64> =
+            [0.0, 0.05, 0.1].iter().map(|&l| solve(16, 6, l).deletion_probability()).collect();
         assert!(dels[1] <= dels[0] + 1e-9, "{dels:?}");
         assert!(dels[2] <= dels[1] + 1e-9, "{dels:?}");
     }
@@ -608,15 +604,9 @@ mod tests {
     fn rejects_bad_initial_state() {
         let config = SfConfig::new(12, 4).unwrap();
         let params = DegreeMcParams::new(config, 0.0).with_initial_state(5, 0);
-        assert!(matches!(
-            DegreeMc::solve(params),
-            Err(DegreeMcError::BadInitialState { .. })
-        ));
+        assert!(matches!(DegreeMc::solve(params), Err(DegreeMcError::BadInitialState { .. })));
         let params = DegreeMcParams::new(config, 0.0).with_initial_state(12, 100);
-        assert!(matches!(
-            DegreeMc::solve(params),
-            Err(DegreeMcError::BadInitialState { .. })
-        ));
+        assert!(matches!(DegreeMc::solve(params), Err(DegreeMcError::BadInitialState { .. })));
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl DependenceChain {
         if !(0.0..1.0).contains(&combined) || !combined.is_finite() || loss < 0.0 || delta < 0.0 {
             return Err(RateError { combined });
         }
-        Ok(Self {
-            to_dependent: 1.5 * combined,
-            to_independent: (5.0 / 6.0) * (1.0 - combined),
-        })
+        Ok(Self { to_dependent: 1.5 * combined, to_independent: (5.0 / 6.0) * (1.0 - combined) })
     }
 
     /// The independent → dependent transition probability bound.
@@ -108,9 +105,7 @@ pub fn alpha_lower_bound(loss: f64, delta: f64) -> f64 {
 pub fn min_dl_for_connectivity(alpha: f64, epsilon: f64, max_d_l: usize) -> Option<usize> {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
     assert!(epsilon > 0.0, "epsilon must be positive");
-    (4..=max_d_l)
-        .step_by(2)
-        .find(|&d_l| binomial_cdf_below(d_l as u64, alpha, 3) <= epsilon)
+    (4..=max_d_l).step_by(2).find(|&d_l| binomial_cdf_below(d_l as u64, alpha, 3) <= epsilon)
 }
 
 #[cfg(test)]
@@ -122,10 +117,7 @@ mod tests {
         for (l, d) in [(0.0, 0.01), (0.01, 0.01), (0.05, 0.01), (0.1, 0.02)] {
             let chain = DependenceChain::new(l, d).unwrap();
             let closed = dependent_fraction_bound(l, d);
-            assert!(
-                (chain.stationary_dependent_fraction() - closed).abs() < 1e-12,
-                "l={l} d={d}"
-            );
+            assert!((chain.stationary_dependent_fraction() - closed).abs() < 1e-12, "l={l} d={d}");
         }
     }
 

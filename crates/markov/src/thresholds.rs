@@ -181,22 +181,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(matches!(
-            select_thresholds(0, 0.01),
-            Err(ThresholdError::InvalidTarget { .. })
-        ));
-        assert!(matches!(
-            select_thresholds(31, 0.01),
-            Err(ThresholdError::InvalidTarget { .. })
-        ));
-        assert!(matches!(
-            select_thresholds(30, 0.0),
-            Err(ThresholdError::InvalidDelta { .. })
-        ));
-        assert!(matches!(
-            select_thresholds(30, 0.5),
-            Err(ThresholdError::InvalidDelta { .. })
-        ));
+        assert!(matches!(select_thresholds(0, 0.01), Err(ThresholdError::InvalidTarget { .. })));
+        assert!(matches!(select_thresholds(31, 0.01), Err(ThresholdError::InvalidTarget { .. })));
+        assert!(matches!(select_thresholds(30, 0.0), Err(ThresholdError::InvalidDelta { .. })));
+        assert!(matches!(select_thresholds(30, 0.5), Err(ThresholdError::InvalidDelta { .. })));
     }
 
     #[test]

@@ -18,10 +18,8 @@ fn lazy_chain(n: usize, weights: &[u8]) -> SparseChain {
                 }
             }
             let total: f64 = targets.iter().map(|&(_, w)| w).sum();
-            let mut row: Vec<(usize, f64)> = targets
-                .into_iter()
-                .map(|(j, w)| (j, 0.5 * w / total))
-                .collect();
+            let mut row: Vec<(usize, f64)> =
+                targets.into_iter().map(|(j, w)| (j, 0.5 * w / total)).collect();
             row.push((i, 0.5));
             row
         })

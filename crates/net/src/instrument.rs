@@ -1,0 +1,184 @@
+//! Transport instrumentation: `sandf-obs` counter taps and journal taps
+//! for any [`Transport`].
+//!
+//! Two layers use this module:
+//!
+//! * [`TransportMetrics`] is the shared counter triple
+//!   (`<prefix>.sent` / `<prefix>.dropped` / `<prefix>.delivered`) that the
+//!   in-memory hub ([`InMemoryNetwork::with_metrics`]) and the loss
+//!   injector ([`LossyTransport::with_metrics`]) record into;
+//! * [`InstrumentedTransport`] wraps any endpoint and counts its local
+//!   sends/receives, optionally mirroring them into an [`EventJournal`].
+//!
+//! [`InMemoryNetwork::with_metrics`]: crate::InMemoryNetwork::with_metrics
+//! [`LossyTransport::with_metrics`]: crate::LossyTransport::with_metrics
+
+use sandf_core::{Message, NodeId};
+use sandf_obs::{CounterHandle, EventJournal, JournalEvent, MetricsRegistry};
+
+use crate::transport::{Transport, TransportError};
+
+/// The counter triple every instrumented transport layer records into.
+#[derive(Clone, Debug)]
+pub struct TransportMetrics {
+    /// Messages handed to the layer's `send`.
+    pub sent: CounterHandle,
+    /// Messages the layer itself dropped (loss injection, central hub
+    /// loss). Pass-through wrappers never move this counter.
+    pub dropped: CounterHandle,
+    /// Messages the layer handed onward (hub: pushed to an inbox;
+    /// endpoint wrapper: returned from `try_recv`).
+    pub delivered: CounterHandle,
+}
+
+impl TransportMetrics {
+    /// Registers `<prefix>.sent`, `<prefix>.dropped`, and
+    /// `<prefix>.delivered` in `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            sent: registry.counter(&format!("{prefix}.sent")),
+            dropped: registry.counter(&format!("{prefix}.dropped")),
+            delivered: registry.counter(&format!("{prefix}.delivered")),
+        }
+    }
+}
+
+/// A counting (and optionally journaling) wrapper around any transport.
+///
+/// `sent` counts calls into [`Transport::send`]; `delivered` counts
+/// messages surfaced by [`Transport::try_recv`]. Drops happen inside the
+/// wrapped stack and are invisible here — instrument the dropping layer
+/// (hub or injector) for those. Journal times are the endpoint's own event
+/// index (sends + receives observed so far), never wall-clock.
+#[derive(Debug)]
+pub struct InstrumentedTransport<T> {
+    inner: T,
+    metrics: TransportMetrics,
+    journal: Option<EventJournal>,
+    events: u64,
+}
+
+impl<T: Transport> InstrumentedTransport<T> {
+    /// Wraps `inner`, recording into `metrics`.
+    #[must_use]
+    pub fn new(inner: T, metrics: TransportMetrics) -> Self {
+        Self { inner, metrics, journal: None, events: 0 }
+    }
+
+    /// Wraps `inner`, recording into `metrics` and mirroring every
+    /// send/receive into `journal`.
+    #[must_use]
+    pub fn with_journal(inner: T, metrics: TransportMetrics, journal: EventJournal) -> Self {
+        Self { inner, metrics, journal: Some(journal), events: 0 }
+    }
+
+    /// The wrapped transport.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn record(&mut self, event: JournalEvent) {
+        if let Some(journal) = &self.journal {
+            journal.record(self.events, event);
+        }
+        self.events += 1;
+    }
+}
+
+impl<T: Transport> Transport for InstrumentedTransport<T> {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+
+    fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        self.metrics.sent.inc();
+        self.record(JournalEvent::NetSent {
+            from: self.inner.local_id(),
+            to,
+            payload: message.payload,
+        });
+        self.inner.send(to, message)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        let received = self.inner.try_recv()?;
+        if let Some(message) = received {
+            self.metrics.delivered.inc();
+            self.record(JournalEvent::NetReceived {
+                to: self.inner.local_id(),
+                from: message.sender,
+                payload: message.payload,
+            });
+        }
+        Ok(received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sandf_obs::MetricsRegistry;
+
+    use crate::memory::InMemoryNetwork;
+
+    use super::*;
+
+    fn msg(k: u64) -> Message {
+        Message::new(NodeId::new(0), NodeId::new(k), false)
+    }
+
+    #[test]
+    fn counts_sends_and_receives() {
+        let registry = MetricsRegistry::new();
+        let net = InMemoryNetwork::new(0.0, 1);
+        let metrics = TransportMetrics::register(&registry, "net.endpoint");
+        let mut a = InstrumentedTransport::new(net.endpoint(NodeId::new(0)), metrics.clone());
+        let mut b = InstrumentedTransport::new(net.endpoint(NodeId::new(1)), metrics);
+        for k in 0..10 {
+            a.send(NodeId::new(1), msg(k)).unwrap();
+        }
+        let mut received = 0;
+        while b.try_recv().unwrap().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 10);
+        assert_eq!(registry.counter_value("net.endpoint.sent"), Some(10));
+        assert_eq!(registry.counter_value("net.endpoint.delivered"), Some(10));
+        assert_eq!(registry.counter_value("net.endpoint.dropped"), Some(0));
+    }
+
+    #[test]
+    fn journal_tap_sees_both_directions() {
+        let registry = MetricsRegistry::new();
+        let net = InMemoryNetwork::new(0.0, 2);
+        let journal = EventJournal::new(64);
+        let metrics = TransportMetrics::register(&registry, "net.endpoint");
+        let mut a = InstrumentedTransport::with_journal(
+            net.endpoint(NodeId::new(0)),
+            metrics.clone(),
+            journal.clone(),
+        );
+        let mut b = InstrumentedTransport::with_journal(
+            net.endpoint(NodeId::new(1)),
+            metrics,
+            journal.clone(),
+        );
+        a.send(NodeId::new(1), msg(7)).unwrap();
+        let _ = b.try_recv().unwrap();
+        let kinds: Vec<&str> = journal.entries().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, vec!["net_sent", "net_received"]);
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op_tap() {
+        let registry = MetricsRegistry::disabled();
+        let net = InMemoryNetwork::new(0.0, 3);
+        let metrics = TransportMetrics::register(&registry, "net.endpoint");
+        let mut a = InstrumentedTransport::new(net.endpoint(NodeId::new(0)), metrics);
+        let _b = net.endpoint(NodeId::new(1));
+        a.send(NodeId::new(1), msg(1)).unwrap();
+        assert_eq!(registry.counter_value("net.endpoint.sent"), None);
+        assert!(registry.metric_names().is_empty());
+    }
+}

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+mod instrument;
 mod lossy;
 mod memory;
 mod transport;
 mod udp;
 
+pub use instrument::{InstrumentedTransport, TransportMetrics};
 pub use lossy::LossyTransport;
 pub use memory::{InMemoryNetwork, InMemoryTransport};
 pub use transport::{Transport, TransportError};

@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sandf_core::{Message, NodeId};
+use sandf_obs::MetricsRegistry;
 
+use crate::instrument::TransportMetrics;
 use crate::transport::{Transport, TransportError};
 
 /// A transport that loses a fraction of outgoing messages.
@@ -21,6 +23,7 @@ pub struct LossyTransport<T> {
     rng: StdRng,
     dropped: u64,
     sent: u64,
+    metrics: Option<TransportMetrics>,
 }
 
 impl<T: Transport> LossyTransport<T> {
@@ -32,7 +35,27 @@ impl<T: Transport> LossyTransport<T> {
     #[must_use]
     pub fn new(inner: T, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
-        Self { inner, rate, rng: StdRng::seed_from_u64(seed), dropped: 0, sent: 0 }
+        Self { inner, rate, rng: StdRng::seed_from_u64(seed), dropped: 0, sent: 0, metrics: None }
+    }
+
+    /// Wraps `inner` like [`new`](Self::new), additionally recording
+    /// `<prefix>.sent` / `<prefix>.dropped` / `<prefix>.delivered` counters
+    /// in `registry` (`delivered` counts messages that passed the injector).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    #[must_use]
+    pub fn with_metrics(
+        inner: T,
+        rate: f64,
+        seed: u64,
+        registry: &MetricsRegistry,
+        prefix: &str,
+    ) -> Self {
+        let mut lossy = Self::new(inner, rate, seed);
+        lossy.metrics = Some(TransportMetrics::register(registry, prefix));
+        lossy
     }
 
     /// The wrapped transport.
@@ -61,9 +84,18 @@ impl<T: Transport> Transport for LossyTransport<T> {
 
     fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
         self.sent += 1;
+        if let Some(m) = &self.metrics {
+            m.sent.inc();
+        }
         if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
             self.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
             return Ok(());
+        }
+        if let Some(m) = &self.metrics {
+            m.delivered.inc();
         }
         self.inner.send(to, message)
     }
@@ -122,6 +154,27 @@ mod tests {
         }
         let rate = tx.dropped() as f64 / tx.sent() as f64;
         assert!((rate - 0.3).abs() < 0.02, "empirical {rate}");
+    }
+
+    #[test]
+    fn metrics_mirror_internal_counters() {
+        use sandf_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let net = InMemoryNetwork::new(0.0, 9);
+        let mut tx = LossyTransport::with_metrics(
+            net.endpoint(NodeId::new(0)),
+            0.3,
+            10,
+            &registry,
+            "net.lossy",
+        );
+        let _rx = net.endpoint(NodeId::new(1));
+        for k in 0..2_000 {
+            tx.send(NodeId::new(1), msg(k)).unwrap();
+        }
+        assert_eq!(registry.counter_value("net.lossy.sent"), Some(tx.sent()));
+        assert_eq!(registry.counter_value("net.lossy.dropped"), Some(tx.dropped()));
+        assert_eq!(registry.counter_value("net.lossy.delivered"), Some(tx.sent() - tx.dropped()));
     }
 
     #[test]

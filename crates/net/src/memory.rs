@@ -9,7 +9,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sandf_core::{Message, NodeId};
+use sandf_obs::MetricsRegistry;
 
+use crate::instrument::TransportMetrics;
 use crate::transport::{Transport, TransportError};
 
 #[derive(Debug)]
@@ -18,6 +20,8 @@ struct Shared {
     /// Loss decisions are centralized so the network-wide loss process is a
     /// single seeded i.i.d. sequence.
     loss: Mutex<LossState>,
+    /// Hub-level `net.memory.*` counters, when built via `with_metrics`.
+    metrics: Option<TransportMetrics>,
 }
 
 #[derive(Debug)]
@@ -43,6 +47,22 @@ impl InMemoryNetwork {
     /// Panics unless `0 ≤ loss ≤ 1`.
     #[must_use]
     pub fn new(loss: f64, seed: u64) -> Self {
+        Self::build(loss, seed, None)
+    }
+
+    /// Creates a network that additionally records hub-level counters
+    /// (`net.memory.sent` / `net.memory.dropped` / `net.memory.delivered`)
+    /// in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss ≤ 1`.
+    #[must_use]
+    pub fn with_metrics(loss: f64, seed: u64, registry: &MetricsRegistry) -> Self {
+        Self::build(loss, seed, Some(TransportMetrics::register(registry, "net.memory")))
+    }
+
+    fn build(loss: f64, seed: u64, metrics: Option<TransportMetrics>) -> Self {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
         Self {
             shared: Arc::new(Shared {
@@ -53,6 +73,7 @@ impl InMemoryNetwork {
                     dropped: 0,
                     sent: 0,
                 }),
+                metrics,
             }),
         }
     }
@@ -74,11 +95,7 @@ impl InMemoryNetwork {
     /// Unregisters a node (its endpoint keeps draining already-queued
     /// messages; new sends to it become unknown-peer errors).
     pub fn disconnect(&self, id: NodeId) {
-        self.shared
-            .inboxes
-            .write()
-            .expect("inbox registry poisoned")
-            .remove(&id);
+        self.shared.inboxes.write().expect("inbox registry poisoned").remove(&id);
     }
 
     /// Total messages handed to the network so far.
@@ -108,12 +125,19 @@ impl Transport for InMemoryTransport {
     }
 
     fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        let metrics = self.shared.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.sent.inc();
+        }
         {
             let mut loss = self.shared.loss.lock().expect("loss state poisoned");
             loss.sent += 1;
             let rate = loss.rate;
             if rate > 0.0 && loss.rng.gen_bool(rate) {
                 loss.dropped += 1;
+                if let Some(m) = metrics {
+                    m.dropped.inc();
+                }
                 return Ok(()); // lost in transit; sender cannot tell
             }
         }
@@ -123,7 +147,11 @@ impl Transport for InMemoryTransport {
             None => Ok(()),
             Some(tx) => {
                 // A closed inbox means the peer dropped its endpoint.
-                let _ = tx.send(message);
+                if tx.send(message).is_ok() {
+                    if let Some(m) = metrics {
+                        m.delivered.inc();
+                    }
+                }
                 Ok(())
             }
         }
@@ -190,6 +218,29 @@ mod tests {
         net.disconnect(NodeId::new(1));
         drop(b);
         assert_eq!(a.send(NodeId::new(1), msg(0, 1)), Ok(()));
+    }
+
+    #[test]
+    fn hub_metrics_track_sent_dropped_delivered() {
+        use sandf_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let net = InMemoryNetwork::with_metrics(0.5, 11, &registry);
+        let mut a = net.endpoint(NodeId::new(0));
+        let _b = net.endpoint(NodeId::new(1));
+        for k in 0..1_000 {
+            a.send(NodeId::new(1), msg(0, k)).unwrap();
+        }
+        assert_eq!(registry.counter_value("net.memory.sent"), Some(net.sent()));
+        assert_eq!(registry.counter_value("net.memory.dropped"), Some(net.dropped()));
+        assert_eq!(
+            registry.counter_value("net.memory.delivered"),
+            Some(net.sent() - net.dropped()),
+            "every non-dropped message goes to a registered inbox here"
+        );
+        // Sends to unknown peers count as sent but not delivered.
+        a.send(NodeId::new(99), msg(0, 0)).unwrap();
+        assert_eq!(registry.counter_value("net.memory.sent"), Some(net.sent()));
+        assert!(registry.counter_value("net.memory.delivered").unwrap() < net.sent());
     }
 
     #[test]

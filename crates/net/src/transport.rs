@@ -64,9 +64,7 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        assert!(TransportError::UnknownPeer { to: NodeId::new(3) }
-            .to_string()
-            .contains("n3"));
+        assert!(TransportError::UnknownPeer { to: NodeId::new(3) }.to_string().contains("n3"));
         assert!(!TransportError::Closed.to_string().is_empty());
         assert!(TransportError::Io { message: "boom".into() }.to_string().contains("boom"));
     }

@@ -159,7 +159,10 @@ mod tests {
     fn unknown_peer_is_treated_as_loss() {
         let book = AddressBook::new();
         let mut a = UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap();
-        assert_eq!(a.send(NodeId::new(42), Message::new(NodeId::new(0), NodeId::new(1), false)), Ok(()));
+        assert_eq!(
+            a.send(NodeId::new(42), Message::new(NodeId::new(0), NodeId::new(1), false)),
+            Ok(())
+        );
     }
 
     #[test]

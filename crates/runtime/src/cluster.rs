@@ -3,14 +3,15 @@
 
 use std::time::Duration;
 
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_core::{NodeId, NodeStats, SfConfig, SfNode};
 use sandf_graph::MembershipGraph;
 use sandf_net::{AddressBook, InMemoryNetwork, LossyTransport, TransportError, UdpTransport};
+use sandf_obs::MetricsRegistry;
 
-use crate::node::{NodeHandle, RuntimeConfig};
+use crate::node::{NodeCounters, NodeHandle, RuntimeConfig};
 
 /// Parameters for launching a cluster.
 #[derive(Clone, Copy, Debug)]
@@ -43,16 +44,16 @@ pub struct Cluster {
     config: ClusterConfig,
     next_id: u64,
     churn_rng: StdRng,
+    /// Shared `runtime.node.*` counters, when launched observed. Joiners
+    /// inherit them.
+    counters: Option<NodeCounters>,
 }
 
 /// The substrate a cluster runs over.
 #[derive(Debug)]
 enum ClusterNet {
     Memory(InMemoryNetwork),
-    Udp {
-        book: AddressBook,
-        loss: f64,
-    },
+    Udp { book: AddressBook, loss: f64 },
 }
 
 impl Cluster {
@@ -65,10 +66,33 @@ impl Cluster {
     /// `n` too small, loss outside `[0, 1]`).
     #[must_use]
     pub fn launch(config: ClusterConfig) -> Self {
+        Self::launch_inner(config, None)
+    }
+
+    /// Launches the cluster like [`launch`](Self::launch), additionally
+    /// recording observability counters in `registry`: the in-memory hub's
+    /// `net.memory.*` triple and cluster-wide `runtime.node.*` counters
+    /// shared by every node (joiners included). After
+    /// [`shutdown`](Self::shutdown) the `runtime.node.*` counters equal the
+    /// summed per-node [`NodeStats`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same parameter conditions as [`launch`](Self::launch).
+    #[must_use]
+    pub fn launch_observed(config: ClusterConfig, registry: &MetricsRegistry) -> Self {
+        Self::launch_inner(config, Some(registry))
+    }
+
+    fn launch_inner(config: ClusterConfig, registry: Option<&MetricsRegistry>) -> Self {
         assert!(config.n >= 3, "cluster needs at least 3 nodes");
         assert!(config.initial_out_degree.is_multiple_of(2), "initial outdegree must be even");
         assert!(config.initial_out_degree < config.n, "initial outdegree too large");
-        let network = InMemoryNetwork::new(config.loss, config.seed);
+        let network = match registry {
+            None => InMemoryNetwork::new(config.loss, config.seed),
+            Some(r) => InMemoryNetwork::with_metrics(config.loss, config.seed, r),
+        };
+        let counters = registry.map(|r| NodeCounters::register(r, "runtime.node"));
         let handles = (0..config.n as u64)
             .map(|i| {
                 let bootstrap: Vec<NodeId> = (1..=config.initial_out_degree as u64)
@@ -77,10 +101,11 @@ impl Cluster {
                 let node = SfNode::with_view(NodeId::new(i), config.protocol, &bootstrap)
                     .expect("circulant bootstrap satisfies the joining rule");
                 let transport = network.endpoint(NodeId::new(i));
-                NodeHandle::spawn(node, transport, RuntimeConfig {
-                    tick: config.tick,
-                    seed: config.seed + i + 1,
-                })
+                let runtime = RuntimeConfig { tick: config.tick, seed: config.seed + i + 1 };
+                match &counters {
+                    None => NodeHandle::spawn(node, transport, runtime),
+                    Some(c) => NodeHandle::spawn_observed(node, transport, runtime, c.clone()),
+                }
             })
             .collect();
         Self {
@@ -89,6 +114,7 @@ impl Cluster {
             next_id: config.n as u64,
             churn_rng: StdRng::seed_from_u64(config.seed ^ 0x5f5f_5f5f),
             config,
+            counters,
         }
     }
 
@@ -117,10 +143,11 @@ impl Cluster {
                 .expect("circulant bootstrap satisfies the joining rule");
             let udp = UdpTransport::bind_loopback(NodeId::new(i), &book)?;
             let transport = LossyTransport::new(udp, config.loss, config.seed + 7 * i);
-            handles.push(NodeHandle::spawn(node, transport, RuntimeConfig {
-                tick: config.tick,
-                seed: config.seed + i + 1,
-            }));
+            handles.push(NodeHandle::spawn(
+                node,
+                transport,
+                RuntimeConfig { tick: config.tick, seed: config.seed + i + 1 },
+            ));
         }
         Ok(Self {
             handles,
@@ -128,6 +155,7 @@ impl Cluster {
             next_id: config.n as u64,
             churn_rng: StdRng::seed_from_u64(config.seed ^ 0x5f5f_5f5f),
             config,
+            counters: None,
         })
     }
 
@@ -157,9 +185,15 @@ impl Cluster {
         self.next_id += 1;
         let node = SfNode::with_view(id, self.config.protocol, &bootstrap)
             .expect("bootstrap satisfies the joining rule");
-        let runtime = RuntimeConfig { tick: self.config.tick, seed: self.config.seed + id.as_u64() + 1 };
+        let runtime =
+            RuntimeConfig { tick: self.config.tick, seed: self.config.seed + id.as_u64() + 1 };
         let handle = match &self.net {
-            ClusterNet::Memory(network) => NodeHandle::spawn(node, network.endpoint(id), runtime),
+            ClusterNet::Memory(network) => match &self.counters {
+                None => NodeHandle::spawn(node, network.endpoint(id), runtime),
+                Some(c) => {
+                    NodeHandle::spawn_observed(node, network.endpoint(id), runtime, c.clone())
+                }
+            },
             ClusterNet::Udp { book, loss } => {
                 let udp = UdpTransport::bind_loopback(id, book)?;
                 let transport = LossyTransport::new(udp, *loss, self.config.seed + 7 * id.as_u64());
@@ -221,6 +255,17 @@ impl Cluster {
     #[must_use]
     pub fn snapshot_nodes(&self) -> Vec<SfNode> {
         self.handles.iter().map(NodeHandle::snapshot).collect()
+    }
+
+    /// Sum of the running nodes' per-node counters (snapshot-based, so the
+    /// total is taken node by node while the cluster keeps running).
+    #[must_use]
+    pub fn aggregate_stats(&self) -> NodeStats {
+        let mut total = NodeStats::new();
+        for handle in &self.handles {
+            total.merge(handle.snapshot().stats());
+        }
+        total
     }
 
     /// A membership-graph snapshot of the running cluster.

@@ -40,4 +40,4 @@ mod cluster;
 mod node;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use node::{NodeHandle, RuntimeConfig};
+pub use node::{NodeCounters, NodeHandle, RuntimeConfig};

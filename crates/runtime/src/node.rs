@@ -8,8 +8,9 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sandf_core::{InitiateOutcome, NodeId, SfNode};
+use sandf_core::{InitiateOutcome, NodeId, ReceiveOutcome, SfNode};
 use sandf_net::Transport;
+use sandf_obs::{CounterHandle, MetricsRegistry};
 
 /// Per-node runtime parameters.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +27,45 @@ pub struct RuntimeConfig {
 impl Default for RuntimeConfig {
     fn default() -> Self {
         Self { tick: Duration::from_millis(10), seed: 0 }
+    }
+}
+
+/// Live `sandf-obs` counters for a node's event loop, mirroring
+/// [`sandf_core::NodeStats`] field for field. Counters update inside the
+/// node thread as events happen, so a scraper can watch a running node (or,
+/// with shared handles, a whole cluster) without taking snapshots; after
+/// the thread joins they equal the final `NodeStats` exactly.
+#[derive(Clone, Debug)]
+pub struct NodeCounters {
+    /// Initiate steps executed (`NodeStats::initiated`).
+    pub initiated: CounterHandle,
+    /// Initiations that were self-loops (`NodeStats::self_loops`).
+    pub self_loops: CounterHandle,
+    /// Messages sent (`NodeStats::sent`).
+    pub sent: CounterHandle,
+    /// Sends that duplicated (`NodeStats::duplications`).
+    pub duplications: CounterHandle,
+    /// Received messages stored (`NodeStats::stored`).
+    pub stored: CounterHandle,
+    /// Received messages deleted (`NodeStats::deletions`).
+    pub deletions: CounterHandle,
+}
+
+impl NodeCounters {
+    /// Registers `<prefix>.initiated`, `.self_loops`, `.sent`,
+    /// `.duplications`, `.stored`, and `.deletions` in `registry`. Use a
+    /// shared prefix (e.g. `runtime.node`) for cluster-wide aggregates, or
+    /// a per-node prefix (e.g. `node.3`) for individual accounting.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            initiated: registry.counter(&format!("{prefix}.initiated")),
+            self_loops: registry.counter(&format!("{prefix}.self_loops")),
+            sent: registry.counter(&format!("{prefix}.sent")),
+            duplications: registry.counter(&format!("{prefix}.duplications")),
+            stored: registry.counter(&format!("{prefix}.stored")),
+            deletions: registry.counter(&format!("{prefix}.deletions")),
+        }
     }
 }
 
@@ -46,7 +86,34 @@ pub struct NodeHandle {
 impl NodeHandle {
     /// Spawns the node's event loop on a dedicated thread.
     #[must_use]
-    pub fn spawn<T>(node: SfNode, mut transport: T, config: RuntimeConfig) -> Self
+    pub fn spawn<T>(node: SfNode, transport: T, config: RuntimeConfig) -> Self
+    where
+        T: Transport + Send + 'static,
+    {
+        Self::spawn_inner(node, transport, config, None)
+    }
+
+    /// Spawns the node's event loop with live [`NodeCounters`] updated from
+    /// inside the thread as events happen.
+    #[must_use]
+    pub fn spawn_observed<T>(
+        node: SfNode,
+        transport: T,
+        config: RuntimeConfig,
+        counters: NodeCounters,
+    ) -> Self
+    where
+        T: Transport + Send + 'static,
+    {
+        Self::spawn_inner(node, transport, config, Some(counters))
+    }
+
+    fn spawn_inner<T>(
+        node: SfNode,
+        mut transport: T,
+        config: RuntimeConfig,
+        counters: Option<NodeCounters>,
+    ) -> Self
     where
         T: Transport + Send + 'static,
     {
@@ -63,11 +130,29 @@ impl NodeHandle {
                 while !thread_shutdown.load(Ordering::Relaxed) {
                     // Receive steps: drain everything pending.
                     while let Ok(Some(message)) = transport.try_recv() {
-                        thread_state.lock().receive(message, &mut rng);
+                        let outcome = thread_state.lock().receive(message, &mut rng);
+                        if let Some(c) = &counters {
+                            match outcome {
+                                ReceiveOutcome::Stored { .. } => c.stored.inc(),
+                                ReceiveOutcome::Deleted => c.deletions.inc(),
+                            }
+                        }
                     }
                     // Initiate step on the tick.
                     if Instant::now() >= next_tick {
                         let outcome = thread_state.lock().initiate(&mut rng);
+                        if let Some(c) = &counters {
+                            c.initiated.inc();
+                            match &outcome {
+                                InitiateOutcome::SelfLoop => c.self_loops.inc(),
+                                InitiateOutcome::Sent { duplicated, .. } => {
+                                    c.sent.inc();
+                                    if *duplicated {
+                                        c.duplications.inc();
+                                    }
+                                }
+                            }
+                        }
                         if let InitiateOutcome::Sent { to, message, .. } = outcome {
                             // Send & forget: errors are indistinguishable
                             // from loss as far as the protocol cares.
@@ -137,22 +222,21 @@ mod tests {
         let net = InMemoryNetwork::new(0.0, 1);
         let a = SfNode::with_view(id(0), config, &[id(1), id(1)]).unwrap();
         let b = SfNode::with_view(id(1), config, &[id(0), id(0)]).unwrap();
-        let ha = NodeHandle::spawn(a, net.endpoint(id(0)), RuntimeConfig {
-            tick: Duration::from_millis(1),
-            seed: 10,
-        });
-        let hb = NodeHandle::spawn(b, net.endpoint(id(1)), RuntimeConfig {
-            tick: Duration::from_millis(1),
-            seed: 11,
-        });
+        let ha = NodeHandle::spawn(
+            a,
+            net.endpoint(id(0)),
+            RuntimeConfig { tick: Duration::from_millis(1), seed: 10 },
+        );
+        let hb = NodeHandle::spawn(
+            b,
+            net.endpoint(id(1)),
+            RuntimeConfig { tick: Duration::from_millis(1), seed: 11 },
+        );
         std::thread::sleep(Duration::from_millis(150));
         let fa = ha.stop();
         let fb = hb.stop();
         assert!(fa.stats().initiated > 20, "node a barely ran");
-        assert!(
-            fa.stats().stored + fb.stats().stored > 0,
-            "no message was ever delivered"
-        );
+        assert!(fa.stats().stored + fb.stats().stored > 0, "no message was ever delivered");
         // Observation 5.1 must hold at whatever instant we stopped.
         assert_eq!(fa.out_degree() % 2, 0);
         assert_eq!(fb.out_degree() % 2, 0);
@@ -165,15 +249,51 @@ mod tests {
         let net = InMemoryNetwork::new(0.0, 2);
         let a = SfNode::with_view(id(0), config, &[id(1), id(1)]).unwrap();
         let _ep1 = net.endpoint(id(1));
-        let handle = NodeHandle::spawn(a, net.endpoint(id(0)), RuntimeConfig {
-            tick: Duration::from_millis(1),
-            seed: 3,
-        });
+        let handle = NodeHandle::spawn(
+            a,
+            net.endpoint(id(0)),
+            RuntimeConfig { tick: Duration::from_millis(1), seed: 3 },
+        );
         std::thread::sleep(Duration::from_millis(50));
         let snap = handle.snapshot();
         assert_eq!(snap.id(), id(0));
         assert!(snap.stats().initiated > 0);
         drop(handle); // Drop must not hang.
+    }
+
+    #[test]
+    fn observed_counters_equal_final_stats() {
+        let config = SfConfig::new(8, 2).unwrap();
+        let net = InMemoryNetwork::new(0.0, 4);
+        let registry = MetricsRegistry::new();
+        let a = SfNode::with_view(id(0), config, &[id(1), id(1)]).unwrap();
+        let b = SfNode::with_view(id(1), config, &[id(0), id(0)]).unwrap();
+        let ha = NodeHandle::spawn_observed(
+            a,
+            net.endpoint(id(0)),
+            RuntimeConfig { tick: Duration::from_millis(1), seed: 20 },
+            NodeCounters::register(&registry, "node.0"),
+        );
+        let hb = NodeHandle::spawn_observed(
+            b,
+            net.endpoint(id(1)),
+            RuntimeConfig { tick: Duration::from_millis(1), seed: 21 },
+            NodeCounters::register(&registry, "node.1"),
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        let fa = ha.stop();
+        let fb = hb.stop();
+        for (prefix, stats) in [("node.0", fa.stats()), ("node.1", fb.stats())] {
+            let counter = |field: &str| {
+                registry.counter_value(&format!("{prefix}.{field}")).expect("registered")
+            };
+            assert_eq!(counter("initiated"), stats.initiated);
+            assert_eq!(counter("self_loops"), stats.self_loops);
+            assert_eq!(counter("sent"), stats.sent);
+            assert_eq!(counter("duplications"), stats.duplications);
+            assert_eq!(counter("stored"), stats.stored);
+            assert_eq!(counter("deletions"), stats.deletions);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ([`Simulation::round_permuted`]).
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,6 +19,7 @@ use sandf_core::{
     InitiateOutcome, JoinError, Message, NodeId, NodeStats, ReceiveOutcome, SfConfig, SfNode,
 };
 use sandf_graph::{DependenceReport, MembershipGraph};
+use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
 use crate::loss::LossModel;
 
@@ -112,13 +114,57 @@ pub enum StepEvent {
     },
 }
 
+/// Which part of the step machinery produced a [`StepReport`].
+///
+/// Under [`DelayModel::Immediate`] every report is an [`Action`]
+/// (send and receive happen in one step). Under
+/// [`DelayModel::UniformSteps`] a sent message first yields an `Action`
+/// report with [`StepEvent::InFlight`], then — steps later — a separate
+/// [`Delivery`] report with [`StepEvent::Delivered`] or
+/// [`StepEvent::DeadLetter`]. Accounting consumers must key off this phase
+/// to avoid double-counting sends.
+///
+/// [`Action`]: StepPhase::Action
+/// [`Delivery`]: StepPhase::Delivery
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepPhase {
+    /// An initiate action by the reported node.
+    Action,
+    /// A delayed message reaching its receiver; the reported initiator is
+    /// the original sender.
+    Delivery,
+}
+
 /// A report of one step: who initiated and what happened.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct StepReport {
-    /// The initiating node.
+    /// The initiating node (for [`StepPhase::Delivery`] reports, the
+    /// original sender of the delivered message).
     pub initiator: NodeId,
     /// The step's outcome.
     pub event: StepEvent,
+    /// Whether this report is an action or a delayed delivery.
+    pub phase: StepPhase,
+    /// The global step counter when the report was produced.
+    pub step: u64,
+}
+
+/// An observer of the simulation's step-event stream.
+///
+/// Register with [`Simulation::subscribe`]; the callback fires once per
+/// [`StepReport`], including the delayed-delivery reports that
+/// [`Simulation::step_node`] does not return. Subscribers run inline on the
+/// stepping thread, so keep callbacks cheap; they must be `Send` because
+/// simulations migrate across sweep worker threads.
+pub trait StepSubscriber: Send {
+    /// Called after each step (and each delayed delivery) with its report.
+    fn on_step(&mut self, report: &StepReport);
+}
+
+impl<F: FnMut(&StepReport) + Send> StepSubscriber for F {
+    fn on_step(&mut self, report: &StepReport) {
+        self(report);
+    }
 }
 
 /// Message-delay model: how long a sent message stays in flight.
@@ -159,7 +205,6 @@ pub enum DelayModel {
 /// assert!(sim.graph().is_weakly_connected());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug)]
 pub struct Simulation<L> {
     config: SfConfig,
     nodes: HashMap<NodeId, SfNode>,
@@ -173,6 +218,56 @@ pub struct Simulation<L> {
     rng: StdRng,
     stats: SimStats,
     next_id: u64,
+    /// Registered step-event observers (not carried across clones).
+    subscribers: Vec<Box<dyn StepSubscriber>>,
+    /// Hot-path span histograms, when a profiler is attached.
+    profile: Option<SimProfile>,
+}
+
+/// Span histograms for the engine's hot paths.
+#[derive(Clone, Debug)]
+struct SimProfile {
+    step: HistogramHandle,
+    deliver: HistogramHandle,
+}
+
+impl<L: Clone> Clone for Simulation<L> {
+    /// Clones the simulation state. Subscribers are **not** cloned (boxed
+    /// observers are not clonable); the clone starts with none. An attached
+    /// profiler is shared: both simulations record into the same
+    /// histograms.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            nodes: self.nodes.clone(),
+            live: self.live.clone(),
+            loss: self.loss.clone(),
+            delay: self.delay,
+            now: self.now,
+            in_flight: self.in_flight.clone(),
+            rng: self.rng.clone(),
+            stats: self.stats,
+            next_id: self.next_id,
+            subscribers: Vec::new(),
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for Simulation<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("config", &self.config)
+            .field("live", &self.live.len())
+            .field("loss", &self.loss)
+            .field("delay", &self.delay)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight.values().map(Vec::len).sum::<usize>())
+            .field("stats", &self.stats)
+            .field("subscribers", &self.subscribers.len())
+            .field("profiled", &self.profile.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<L: LossModel> Simulation<L> {
@@ -205,7 +300,47 @@ impl<L: LossModel> Simulation<L> {
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
             next_id,
+            subscribers: Vec::new(),
+            profile: None,
         }
+    }
+
+    /// Registers a step-event observer. All subsequent steps (and delayed
+    /// deliveries) are reported to it, in registration order, after the
+    /// engine's own counters update. See [`StepSubscriber`].
+    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber>) {
+        self.subscribers.push(subscriber);
+    }
+
+    /// Number of registered step-event observers.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Attaches hot-path profiling: `sim.profile.step_ns` and
+    /// `sim.profile.deliver_ns` span histograms in `registry`. With a
+    /// disabled registry the spans never read the clock.
+    pub fn attach_profiler(&mut self, registry: &MetricsRegistry) {
+        self.profile = Some(SimProfile {
+            step: registry.histogram("sim.profile.step_ns", duration_buckets()),
+            deliver: registry.histogram("sim.profile.deliver_ns", duration_buckets()),
+        });
+    }
+
+    /// Reports `report` to every subscriber. Subscribers are moved out for
+    /// the duration of the callbacks so they may call back into `self`.
+    /// Kept out of line so the subscriber-free stepping path stays compact.
+    #[cold]
+    #[inline(never)]
+    fn notify(&mut self, report: &StepReport) {
+        let mut subs = std::mem::take(&mut self.subscribers);
+        for sub in &mut subs {
+            sub.on_step(report);
+        }
+        // A subscriber may itself have registered new subscribers.
+        subs.append(&mut self.subscribers);
+        self.subscribers = subs;
     }
 
     /// Creates a simulation with a message-delay model, so actions overlap
@@ -233,20 +368,32 @@ impl<L: LossModel> Simulation<L> {
     }
 
     /// Delivers every in-flight message whose delivery time has arrived.
-    fn deliver_due(&mut self) {
+    /// When `reports` is given, each delivery appends a
+    /// [`StepPhase::Delivery`] report (the subscriber path); `None` skips
+    /// report assembly on the subscriber-free fast path.
+    fn deliver_due(&mut self, mut reports: Option<&mut Vec<StepReport>>) {
         while let Some((&at, _)) = self.in_flight.first_key_value() {
             if at > self.now {
                 break;
             }
             let (_, batch) = self.in_flight.pop_first().expect("checked nonempty");
             for (to, message) in batch {
-                self.deliver(to, message);
+                let event = self.deliver(to, message);
+                if let Some(out) = reports.as_deref_mut() {
+                    out.push(StepReport {
+                        initiator: message.sender,
+                        event,
+                        phase: StepPhase::Delivery,
+                        step: self.now,
+                    });
+                }
             }
         }
     }
 
     /// Executes the receive step at `to` (or counts a dead letter).
     fn deliver(&mut self, to: NodeId, message: Message) -> StepEvent {
+        let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.deliver));
         match self.nodes.get_mut(&to) {
             None => {
                 self.stats.dead_letters += 1;
@@ -337,8 +484,13 @@ impl<L: LossModel> Simulation<L> {
     ///
     /// Panics if `initiator` is not live.
     pub fn step_node(&mut self, initiator: NodeId) -> StepReport {
+        let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.step));
         self.now += 1;
-        self.deliver_due();
+        if self.subscribers.is_empty() {
+            self.deliver_due(None);
+        } else {
+            self.deliver_due_observed();
+        }
         self.stats.actions += 1;
         let node = self.nodes.get_mut(&initiator).expect("initiator must be live");
         let outcome = node.initiate(&mut self.rng);
@@ -367,7 +519,11 @@ impl<L: LossModel> Simulation<L> {
                 }
             }
         };
-        StepReport { initiator, event }
+        let report = StepReport { initiator, event, phase: StepPhase::Action, step: self.now };
+        if !self.subscribers.is_empty() {
+            self.notify(&report);
+        }
+        report
     }
 
     /// Delivers every message still in flight (advancing virtual time past
@@ -376,7 +532,24 @@ impl<L: LossModel> Simulation<L> {
     pub fn settle(&mut self) {
         if let Some((&last, _)) = self.in_flight.last_key_value() {
             self.now = self.now.max(last);
-            self.deliver_due();
+            if self.subscribers.is_empty() {
+                self.deliver_due(None);
+            } else {
+                self.deliver_due_observed();
+            }
+        }
+    }
+
+    /// The subscriber path of due-message delivery: collect the delivery
+    /// reports, then notify. Out of line so it costs nothing when no
+    /// subscriber is registered.
+    #[cold]
+    #[inline(never)]
+    fn deliver_due_observed(&mut self) {
+        let mut delivered = Vec::new();
+        self.deliver_due(Some(&mut delivered));
+        for report in &delivered {
+            self.notify(report);
         }
     }
 
@@ -709,12 +882,7 @@ mod tests {
         // steady-state degree statistics.
         let mean_out = |delay: DelayModel| {
             let nodes = topology::circulant(128, config(), 8);
-            let mut sim = Simulation::with_delay(
-                nodes,
-                UniformLoss::new(0.02).unwrap(),
-                delay,
-                11,
-            );
+            let mut sim = Simulation::with_delay(nodes, UniformLoss::new(0.02).unwrap(), delay, 11);
             for _ in 0..128 * 400 {
                 sim.step();
             }
@@ -758,10 +926,100 @@ mod tests {
         assert!(victim_out >= 6, "victim fell below d_L: {victim_out}");
         // Everyone else is essentially loss-free.
         let mean: f64 = graph.out_degrees().iter().sum::<usize>() as f64 / 64.0;
-        assert!(
-            victim_out as f64 <= mean,
-            "starved victim should not exceed the population mean"
+        assert!(victim_out as f64 <= mean, "starved victim should not exceed the population mean");
+    }
+
+    #[test]
+    fn subscriber_counts_match_sim_stats() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Counts {
+            actions: u64,
+            deliveries: u64,
+            self_loops: u64,
+            lost: u64,
+            delivered: u64,
+        }
+        let counts = Arc::new(Mutex::new(Counts::default()));
+        let sink = Arc::clone(&counts);
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::new(nodes, UniformLoss::new(0.1).unwrap(), 21);
+        sim.subscribe(Box::new(move |report: &StepReport| {
+            let mut c = sink.lock().unwrap();
+            match report.phase {
+                StepPhase::Action => c.actions += 1,
+                StepPhase::Delivery => c.deliveries += 1,
+            }
+            match report.event {
+                StepEvent::SelfLoop => c.self_loops += 1,
+                StepEvent::Lost { .. } => c.lost += 1,
+                StepEvent::Delivered { .. } => c.delivered += 1,
+                _ => {}
+            }
+        }));
+        for _ in 0..600 {
+            sim.step();
+        }
+        let c = counts.lock().unwrap();
+        let s = sim.stats();
+        assert_eq!(c.actions, s.actions);
+        assert_eq!(c.self_loops, s.self_loops);
+        assert_eq!(c.lost, s.lost);
+        assert_eq!(c.delivered, s.stored + s.deleted);
+        assert_eq!(c.deliveries, 0, "immediate mode never emits delivery-phase reports");
+    }
+
+    #[test]
+    fn subscriber_sees_delayed_deliveries() {
+        use std::sync::{Arc, Mutex};
+        let log: Arc<Mutex<Vec<(StepPhase, StepEvent)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::with_delay(
+            nodes,
+            UniformLoss::none(),
+            DelayModel::UniformSteps { max: 30 },
+            23,
         );
+        sim.subscribe(Box::new(move |r: &StepReport| {
+            sink.lock().unwrap().push((r.phase, r.event))
+        }));
+        for _ in 0..500 {
+            sim.step();
+        }
+        sim.settle();
+        let log = log.lock().unwrap();
+        let queued = log.iter().filter(|(_, e)| matches!(e, StepEvent::InFlight { .. })).count();
+        let delivered = log
+            .iter()
+            .filter(|(p, e)| {
+                *p == StepPhase::Delivery
+                    && matches!(e, StepEvent::Delivered { .. } | StepEvent::DeadLetter { .. })
+            })
+            .count();
+        assert!(queued > 0, "delayed mode must queue messages");
+        assert_eq!(queued, delivered, "every queued message must produce a delivery report");
+        let s = sim.stats();
+        assert_eq!(delivered as u64, s.stored + s.deleted + s.dead_letters);
+    }
+
+    #[test]
+    fn clones_do_not_carry_subscribers() {
+        let mut sim = small_sim(1);
+        sim.subscribe(Box::new(|_: &StepReport| {}));
+        assert_eq!(sim.subscriber_count(), 1);
+        assert_eq!(sim.clone().subscriber_count(), 0);
+    }
+
+    #[test]
+    fn attached_profiler_records_spans() {
+        let registry = MetricsRegistry::new();
+        let mut sim = small_sim(31);
+        sim.attach_profiler(&registry);
+        sim.run_rounds(2);
+        let hist = registry.histogram("sim.profile.step_ns", duration_buckets());
+        assert_eq!(hist.count(), sim.stats().actions);
+        assert!(registry.metric_names().contains(&"sim.profile.deliver_ns".to_string()));
     }
 
     #[test]

@@ -214,7 +214,11 @@ pub struct UniformityReport {
 /// Samples id-appearance counts over a long steady-state run and tests them
 /// against uniformity.
 #[must_use]
-pub fn uniformity(params: &ExperimentParams, samples: usize, sample_every: usize) -> UniformityReport {
+pub fn uniformity(
+    params: &ExperimentParams,
+    samples: usize,
+    sample_every: usize,
+) -> UniformityReport {
     let mut sim = params.build(params.default_initial_degree());
     sim.run_rounds(params.burn_in);
     let mut counter = OccupancyCounter::new();
@@ -293,8 +297,7 @@ pub fn continuous_churn(
         sim.round();
         if round % checkpoint_every == 0 {
             let graph = sim.graph();
-            let in_stats =
-                sandf_graph::DegreeStats::from_samples(&graph.in_degrees());
+            let in_stats = sandf_graph::DegreeStats::from_samples(&graph.in_degrees());
             let total_edges = graph.edge_count();
             let stale = graph.dangling_edge_count();
             points.push(ChurnPoint {
@@ -319,13 +322,7 @@ mod tests {
     use super::*;
 
     fn params(loss: f64, seed: u64) -> ExperimentParams {
-        ExperimentParams {
-            n: 64,
-            config: SfConfig::new(16, 6).unwrap(),
-            loss,
-            burn_in: 60,
-            seed,
-        }
+        ExperimentParams { n: 64, config: SfConfig::new(16, 6).unwrap(), loss, burn_in: 60, seed }
     }
 
     #[test]

@@ -32,10 +32,14 @@
 #![warn(missing_docs)]
 
 mod engine;
-mod loss;
 pub mod experiment;
+mod loss;
 pub mod observer;
+pub mod telemetry;
 pub mod topology;
 
-pub use engine::{DelayModel, SimStats, Simulation, StepEvent, StepReport};
+pub use engine::{
+    DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,
+};
 pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLoss};
+pub use telemetry::SimRecorder;

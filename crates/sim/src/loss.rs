@@ -338,10 +338,7 @@ mod tests {
         let mut ra = StdRng::seed_from_u64(9);
         let mut rb = StdRng::seed_from_u64(9);
         for k in 0..1000 {
-            assert_eq!(
-                a.is_lost(&mut ra),
-                b.is_lost_to(NodeId::new(k), &mut rb)
-            );
+            assert_eq!(a.is_lost(&mut ra), b.is_lost_to(NodeId::new(k), &mut rb));
         }
     }
 

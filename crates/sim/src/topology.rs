@@ -13,9 +13,7 @@ use sandf_core::{NodeId, SfConfig, SfNode};
 fn node_from_targets(id: u64, config: SfConfig, targets: &[NodeId]) -> SfNode {
     let mut node = SfNode::new(NodeId::new(id), config);
     for &t in targets {
-        node.view_mut()
-            .insert_at_first_empty(t)
-            .expect("topology builder exceeded view capacity");
+        node.view_mut().insert_at_first_empty(t).expect("topology builder exceeded view capacity");
     }
     node
 }
@@ -36,9 +34,8 @@ pub fn circulant(n: usize, config: SfConfig, d0: usize) -> Vec<SfNode> {
     assert!(d0 < n, "circulant requires d0 < n");
     (0..n as u64)
         .map(|i| {
-            let targets: Vec<NodeId> = (1..=d0 as u64)
-                .map(|k| NodeId::new((i + k) % n as u64))
-                .collect();
+            let targets: Vec<NodeId> =
+                (1..=d0 as u64).map(|k| NodeId::new((i + k) % n as u64)).collect();
             node_from_targets(i, config, &targets)
         })
         .collect()
@@ -130,11 +127,8 @@ pub fn hub_cluster(n: usize, config: SfConfig, d0: usize) -> Vec<SfNode> {
     assert!(d0 + 1 < n, "hub cluster requires d0 + 1 < n");
     (0..n as u64)
         .map(|i| {
-            let targets: Vec<NodeId> = (0..=d0 as u64)
-                .filter(|&h| h != i)
-                .take(d0)
-                .map(NodeId::new)
-                .collect();
+            let targets: Vec<NodeId> =
+                (0..=d0 as u64).filter(|&h| h != i).take(d0).map(NodeId::new).collect();
             node_from_targets(i, config, &targets)
         })
         .collect()

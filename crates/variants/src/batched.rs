@@ -73,18 +73,13 @@ impl SfVariant for BatchedNode {
     }
 
     fn dependent_entries(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|e| e.dependent || e.id == self.id)
-            .count()
+        self.slots.iter().flatten().filter(|e| e.dependent || e.id == self.id).count()
     }
 
     fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {
         self.stats.initiated += 1;
         let picks = sample(rng, self.slots.len(), self.batch + 1).into_vec();
-        let entries: Option<Vec<Entry>> =
-            picks.iter().map(|&k| self.slots[k]).collect();
+        let entries: Option<Vec<Entry>> = picks.iter().map(|&k| self.slots[k]).collect();
         let Some(entries) = entries else {
             self.stats.self_loops += 1;
             return None;
@@ -119,22 +114,12 @@ impl SfVariant for BatchedNode {
             self.stats.displaced += 1;
             return;
         }
-        let empties: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_none())
-            .map(|(k, _)| k)
-            .collect();
+        let empties: Vec<usize> =
+            self.slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(k, _)| k).collect();
         let chosen = sample(rng, empties.len(), arriving).into_vec();
         let mut entries = Vec::with_capacity(arriving);
         entries.push(Entry { id: message.sender, dependent: message.sender_dependent });
-        entries.extend(
-            message
-                .payloads
-                .iter()
-                .map(|&(id, dependent)| Entry { id, dependent }),
-        );
+        entries.extend(message.payloads.iter().map(|&(id, dependent)| Entry { id, dependent }));
         for (&slot_pick, entry) in chosen.iter().zip(entries) {
             self.slots[empties[slot_pick]] = Some(entry);
         }

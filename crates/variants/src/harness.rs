@@ -97,9 +97,7 @@ impl<V: SfVariant> VariantSim<V> {
     #[must_use]
     pub fn metrics(&self) -> VariantMetrics {
         let graph = MembershipGraph::from_views(
-            self.order
-                .iter()
-                .map(|id| (*id, self.nodes[id].view_ids())),
+            self.order.iter().map(|id| (*id, self.nodes[id].view_ids())),
         );
         let in_stats = DegreeStats::from_samples(&graph.in_degrees());
         let out_stats = DegreeStats::from_samples(&graph.out_degrees());
@@ -196,9 +194,7 @@ mod tests {
         let n = 64;
         let config = SfConfig::new(24, 6).unwrap();
         let nodes: Vec<BatchedNode> = (0..n)
-            .map(|i| {
-                BatchedNode::new(NodeId::new(i as u64), config, 3, &bootstrap(i, n, 12))
-            })
+            .map(|i| BatchedNode::new(NodeId::new(i as u64), config, 3, &bootstrap(i, n, 12)))
             .collect();
         let mut sim = VariantSim::new(nodes, 0.05, 4);
         sim.run_rounds(200);

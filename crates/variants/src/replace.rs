@@ -42,13 +42,8 @@ impl ReplaceNode {
     }
 
     fn put<R: Rng + ?Sized>(&mut self, entry: Entry, rng: &mut R) -> bool {
-        let empties: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_none())
-            .map(|(k, _)| k)
-            .collect();
+        let empties: Vec<usize> =
+            self.slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(k, _)| k).collect();
         if empties.is_empty() {
             // The replacement path: overwrite a random occupied slot.
             let victim = rng.gen_range(0..self.slots.len());
@@ -77,11 +72,7 @@ impl SfVariant for ReplaceNode {
     }
 
     fn dependent_entries(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|e| e.dependent || e.id == self.id)
-            .count()
+        self.slots.iter().flatten().filter(|e| e.dependent || e.id == self.id).count()
     }
 
     fn initiate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<VariantOutgoing> {

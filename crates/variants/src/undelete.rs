@@ -68,9 +68,7 @@ impl UndeleteNode {
             .slots
             .iter()
             .enumerate()
-            .filter(|&(k, s)| {
-                matches!(s, Slot::Tombstone(_)) && k != exclude.0 && k != exclude.1
-            })
+            .filter(|&(k, s)| matches!(s, Slot::Tombstone(_)) && k != exclude.0 && k != exclude.1)
             .map(|(k, _)| k)
             .collect();
         let pick = if candidates.is_empty() {

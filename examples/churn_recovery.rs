@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("churn applied: 30 leaves + 30 joins (n stays 300)");
 
-    let dead_instances_at_0: usize =
-        victims.iter().map(|v| sim.count_id_instances(*v)).sum();
+    let dead_instances_at_0: usize = victims.iter().map(|v| sim.count_id_instances(*v)).sum();
 
     // --- Track recovery. ---
     println!("round\tdead_id_instances\tbound\tjoiner_instances\tconnected");
@@ -43,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let dead: usize = victims.iter().map(|v| sim.count_id_instances(*v)).sum();
             let joined: usize = joiners.iter().map(|j| sim.count_id_instances(*j)).sum();
             let bound = (dead_instances_at_0 as f64 * survival[round - 1]).ceil();
-            println!(
-                "{round}\t{dead}\t{bound}\t{joined}\t{}",
-                sim.graph().is_weakly_connected()
-            );
+            println!("{round}\t{dead}\t{bound}\t{joined}\t{}", sim.graph().is_weakly_connected());
         }
     }
 
@@ -59,11 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.mean,
         stats.std_dev()
     );
-    let d_in_joiners: f64 = joiners
-        .iter()
-        .map(|j| graph.in_degree(*j).unwrap_or(0) as f64)
-        .sum::<f64>()
-        / joiners.len() as f64;
+    let d_in_joiners: f64 =
+        joiners.iter().map(|j| graph.in_degree(*j).unwrap_or(0) as f64).sum::<f64>()
+            / joiners.len() as f64;
     println!(
         "joiners' average indegree after 200 rounds: {d_in_joiners:.1} (veterans: {:.1})",
         stats.mean

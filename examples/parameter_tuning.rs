@@ -32,11 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 2 — Section 7.4: is d_L large enough to keep the overlay
     // connected at this loss rate?
     let alpha = alpha_lower_bound(expected_loss, delta);
-    let needed = min_dl_for_connectivity(alpha, 1e-30, 200)
-        .ok_or("connectivity condition unachievable")?;
-    println!(
-        "section 7.4 connectivity (α ≥ {alpha:.3}, ε = 1e-30) needs d_L ≥ {needed}"
-    );
+    let needed =
+        min_dl_for_connectivity(alpha, 1e-30, 200).ok_or("connectivity condition unachievable")?;
+    println!("section 7.4 connectivity (α ≥ {alpha:.3}, ε = 1e-30) needs d_L ≥ {needed}");
     let d_l = sel.d_l.max(needed);
     let config = sandf::SfConfig::new(sel.s, d_l)?;
     println!("chosen configuration: d_L = {d_l}, s = {}", config.view_size());
@@ -53,13 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 4 — validate with an independent simulation.
     let sim = steady_state_degrees(
-        &ExperimentParams {
-            n: 1500,
-            config,
-            loss: expected_loss,
-            burn_in: 300,
-            seed: 2026,
-        },
+        &ExperimentParams { n: 1500, config, loss: expected_loss, burn_in: 300, seed: 2026 },
         20,
         5,
     );

@@ -44,15 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // partner drawn from its *current* S&F view.
         let mut inbox: Vec<(f64, f64)> = vec![(0.0, 0.0); N];
         for i in 0..N {
-            let view: Vec<NodeId> = sim
-                .node(NodeId::new(i as u64))
-                .expect("node is live")
-                .view()
-                .ids()
-                .collect();
-            let target = view
-                .choose(&mut rng)
-                .map_or(i, |id| id.index() % N);
+            let view: Vec<NodeId> =
+                sim.node(NodeId::new(i as u64)).expect("node is live").view().ids().collect();
+            let target = view.choose(&mut rng).map_or(i, |id| id.index() % N);
             sums[i] /= 2.0;
             weights[i] /= 2.0;
             inbox[target].0 += sums[i];

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use sandf::net::{AddressBook, Transport, UdpTransport};
 use sandf::runtime::{Cluster, ClusterConfig};
-use sandf::{DegreeStats, Message, MembershipGraph, NodeId, SfConfig};
+use sandf::{DegreeStats, MembershipGraph, Message, NodeId, SfConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: a threaded cluster over a lossy in-memory network. ---
@@ -62,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(msg) = bob.try_recv()? {
             println!(
                 "bob received [{} , {}] over UDP from {}",
-                msg.sender, msg.payload, alice.local_addr()?
+                msg.sender,
+                msg.payload,
+                alice.local_addr()?
             );
             return Ok(());
         }

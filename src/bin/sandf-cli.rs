@@ -30,9 +30,7 @@ impl Flags {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected a --flag, found '{key}'"));
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| format!("flag --{name} is missing a value"))?;
+            let value = iter.next().ok_or_else(|| format!("flag --{name} is missing a value"))?;
             map.insert(name.to_string(), value.clone());
         }
         Ok(Self(map))
@@ -41,9 +39,7 @@ impl Flags {
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.0.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("invalid value '{raw}' for --{name}")),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for --{name}")),
         }
     }
 }
@@ -67,11 +63,7 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let config = SfConfig::new(s, d_l).map_err(|e| e.to_string())?;
     let d0 = ((d_l + (s - d_l) * 2 / 3) & !1).min(n - 2).max(2);
     let nodes = topology::circulant(n, config, d0);
-    let mut sim = Simulation::new(
-        nodes,
-        UniformLoss::new(loss).map_err(|e| e.to_string())?,
-        seed,
-    );
+    let mut sim = Simulation::new(nodes, UniformLoss::new(loss).map_err(|e| e.to_string())?, seed);
     sim.run_rounds(rounds);
 
     let graph = sim.graph();
@@ -101,7 +93,11 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     let config = SfConfig::new(s, d_l).map_err(|e| e.to_string())?;
     let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).map_err(|e| e.to_string())?;
     println!("degree Markov chain, s={s} d_L={d_l} loss={loss}");
-    println!("states: {}, fixed-point iterations: {}", mc.states().len(), mc.fixed_point_iterations());
+    println!(
+        "states: {}, fixed-point iterations: {}",
+        mc.states().len(),
+        mc.fixed_point_iterations()
+    );
     println!("E[out] = {:.3} ± {:.3}", mc.mean_out(), mc.std_out());
     println!("E[in]  = {:.3} ± {:.3}", mc.mean_in(), mc.std_in());
     println!("dup probability: {:.5}", mc.duplication_probability());
@@ -118,7 +114,10 @@ fn cmd_thresholds(flags: &Flags) -> Result<(), String> {
     let sel = select_thresholds(d_hat, delta).map_err(|e| e.to_string())?;
     println!("target E[d]={d_hat}, delta={delta}");
     println!("d_L = {}, s = {}", sel.d_l, sel.s);
-    println!("P(dup) = {:.5}, P(del) = {:.5}", sel.duplication_probability, sel.deletion_probability);
+    println!(
+        "P(dup) = {:.5}, P(del) = {:.5}",
+        sel.duplication_probability, sel.deletion_probability
+    );
     println!("expected outdegree of the law: {:.3}", sel.expected_out_degree);
     Ok(())
 }
@@ -176,10 +175,8 @@ mod tests {
     use super::*;
 
     fn flags(pairs: &[(&str, &str)]) -> Flags {
-        let args: Vec<String> = pairs
-            .iter()
-            .flat_map(|(k, v)| [format!("--{k}"), (*v).to_string()])
-            .collect();
+        let args: Vec<String> =
+            pairs.iter().flat_map(|(k, v)| [format!("--{k}"), (*v).to_string()]).collect();
         Flags::parse(&args).unwrap()
     }
 

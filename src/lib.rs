@@ -19,7 +19,10 @@
 //!   protocols behind one trait;
 //! * [`net`] — lossy in-memory and UDP transports with the 17-byte wire
 //!   codec;
-//! * [`runtime`] — a threaded per-node runtime and cluster harness.
+//! * [`runtime`] — a threaded per-node runtime and cluster harness;
+//! * [`obs`] — the observability subsystem (metrics registry, structured
+//!   event journal, hot-path profiling spans); see the observability
+//!   section of `EXPERIMENTS.md`.
 //!
 //! ## Quick start
 //!
@@ -49,6 +52,7 @@ pub use sandf_core as core;
 pub use sandf_graph as graph;
 pub use sandf_markov as markov;
 pub use sandf_net as net;
+pub use sandf_obs as obs;
 pub use sandf_runtime as runtime;
 pub use sandf_sim as sim;
 

@@ -7,10 +7,7 @@ use sandf::SfConfig;
 
 fn rates(loss: f64, seed: u64) -> sandf::sim::experiment::EventRates {
     let config = SfConfig::new(40, 18).expect("paper parameters");
-    steady_state_event_rates(
-        &ExperimentParams { n: 500, config, loss, burn_in: 400, seed },
-        400,
-    )
+    steady_state_event_rates(&ExperimentParams { n: 500, config, loss, burn_in: 400, seed }, 400)
 }
 
 #[test]
@@ -33,16 +30,8 @@ fn lemma_6_7_dup_within_the_band() {
     let delta = 0.01;
     for (k, loss) in [0.01, 0.05, 0.1].into_iter().enumerate() {
         let r = rates(loss, 50 + k as u64);
-        assert!(
-            r.duplication >= loss - 0.005,
-            "ℓ={loss}: dup {} below ℓ",
-            r.duplication
-        );
-        assert!(
-            r.duplication <= loss + delta + 0.005,
-            "ℓ={loss}: dup {} above ℓ+δ",
-            r.duplication
-        );
+        assert!(r.duplication >= loss - 0.005, "ℓ={loss}: dup {} below ℓ", r.duplication);
+        assert!(r.duplication <= loss + delta + 0.005, "ℓ={loss}: dup {} above ℓ+δ", r.duplication);
     }
 }
 
@@ -65,11 +54,7 @@ fn edge_population_is_stationary() {
     // blows up in the steady state.
     let config = SfConfig::new(40, 18).expect("paper parameters");
     let nodes = sandf::sim::topology::circulant(400, config, 30);
-    let mut sim = sandf::Simulation::new(
-        nodes,
-        sandf::UniformLoss::new(0.05).expect("valid"),
-        62,
-    );
+    let mut sim = sandf::Simulation::new(nodes, sandf::UniformLoss::new(0.05).expect("valid"), 62);
     sim.run_rounds(400);
     let reference = sim.graph().edge_count() as f64;
     for _ in 0..5 {

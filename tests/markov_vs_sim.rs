@@ -9,11 +9,8 @@ use sandf::{DegreeMc, DegreeMcParams, SfConfig};
 fn compare(loss: f64, seed: u64) -> (f64, f64, f64) {
     let config = SfConfig::new(16, 6).expect("legal");
     let mc = DegreeMc::solve(DegreeMcParams::new(config, loss)).expect("chain converges");
-    let sim = steady_state_degrees(
-        &ExperimentParams { n: 800, config, loss, burn_in: 300, seed },
-        40,
-        5,
-    );
+    let sim =
+        steady_state_degrees(&ExperimentParams { n: 800, config, loss, burn_in: 300, seed }, 40, 5);
     let tv_out = total_variation(&mc.out_pmf(), &sim.out_degrees.pmf());
     let mean_gap = (mc.mean_out() - sim.out_degrees.mean()).abs();
     let std_gap = (mc.std_in() - sim.in_degrees.variance().sqrt()).abs();
@@ -50,10 +47,7 @@ fn both_predict_mean_outdegree_decreasing_in_loss() {
             4,
         );
         assert!(mc.mean_out() < last_mc, "MC mean not decreasing at ℓ={loss}");
-        assert!(
-            sim.out_degrees.mean() < last_sim + 0.2,
-            "sim mean not decreasing at ℓ={loss}"
-        );
+        assert!(sim.out_degrees.mean() < last_sim + 0.2, "sim mean not decreasing at ℓ={loss}");
         last_mc = mc.mean_out();
         last_sim = sim.out_degrees.mean();
     }

@@ -24,8 +24,11 @@ enum Event {
 fn arb_event() -> impl Strategy<Value = Event> {
     prop_oneof![
         (any::<u8>(), any::<bool>()).prop_map(|(initiator, lost)| Event::Act { initiator, lost }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(to, sender, payload)| Event::Inject { to, sender, payload }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(to, sender, payload)| Event::Inject {
+            to,
+            sender,
+            payload
+        }),
     ]
 }
 

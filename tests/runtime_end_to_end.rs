@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use sandf::obs::MetricsRegistry;
 use sandf::runtime::{Cluster, ClusterConfig};
 use sandf::{DegreeStats, MembershipGraph, SfConfig};
 
@@ -43,10 +44,7 @@ fn duplication_rate_tracks_loss_in_real_time() {
     let sent: u64 = nodes.iter().map(|n| n.stats().sent).sum();
     let dups: u64 = nodes.iter().map(|n| n.stats().duplications).sum();
     let dup_rate = dups as f64 / sent as f64;
-    assert!(
-        (0.05..=0.25).contains(&dup_rate),
-        "duplication rate {dup_rate} far from ℓ=0.1"
-    );
+    assert!((0.05..=0.25).contains(&dup_rate), "duplication rate {dup_rate} far from ℓ=0.1");
 }
 
 #[test]
@@ -63,14 +61,50 @@ fn lossless_cluster_rarely_duplicates() {
 }
 
 #[test]
+fn observed_cluster_counters_aggregate_the_per_node_stats() {
+    // The sandf-obs tap on the runtime must be exact accounting, not
+    // sampling: after shutdown, each cluster-wide `runtime.node.*` counter
+    // equals the same field summed over every node's own NodeStats, and
+    // the network hub's `net.memory.sent` equals the nodes' total sends.
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::launch_observed(
+        ClusterConfig {
+            n: 24,
+            protocol: SfConfig::new(12, 4).expect("legal"),
+            loss: 0.05,
+            tick: Duration::from_millis(1),
+            seed: 5,
+            initial_out_degree: 6,
+        },
+        &registry,
+    );
+    cluster.run_for(Duration::from_millis(600));
+    let nodes = cluster.shutdown();
+
+    let counter = |name: &str| registry.counter_value(name).expect("registered");
+    let sum = |field: fn(&sandf::NodeStats) -> u64| -> u64 {
+        nodes.iter().map(|n| field(n.stats())).sum()
+    };
+    assert_eq!(counter("runtime.node.initiated"), sum(|s| s.initiated));
+    assert_eq!(counter("runtime.node.self_loops"), sum(|s| s.self_loops));
+    assert_eq!(counter("runtime.node.sent"), sum(|s| s.sent));
+    assert_eq!(counter("runtime.node.duplications"), sum(|s| s.duplications));
+    assert_eq!(counter("runtime.node.stored"), sum(|s| s.stored));
+    assert_eq!(counter("runtime.node.deletions"), sum(|s| s.deletions));
+    assert_eq!(counter("net.memory.sent"), sum(|s| s.sent), "hub sees every send");
+    assert!(
+        counter("net.memory.delivered") + counter("net.memory.dropped")
+            <= counter("net.memory.sent"),
+        "hub ledger must not overcount"
+    );
+}
+
+#[test]
 fn load_stays_balanced_under_loss() {
     let cluster = launch(0.05, 4);
     cluster.run_for(Duration::from_millis(1200));
     let graph = cluster.snapshot_graph();
     let stats = DegreeStats::from_samples(&graph.in_degrees());
-    assert!(
-        stats.std_dev() < stats.mean,
-        "indegree imbalance on the runtime: {stats:?}"
-    );
+    assert!(stats.std_dev() < stats.mean, "indegree imbalance on the runtime: {stats:?}");
     let _ = cluster.shutdown();
 }

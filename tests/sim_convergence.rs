@@ -26,10 +26,7 @@ fn hub_cluster_balances_out() {
     let n = 200;
     let sim = converged_from(topology::hub_cluster(n, config, 6), 1);
     let graph = sim.graph();
-    assert!(
-        graph.weakly_connected_components() <= 2,
-        "more than one straggler component"
-    );
+    assert!(graph.weakly_connected_components() <= 2, "more than one straggler component");
     let stats = DegreeStats::from_samples(&graph.in_degrees());
     let hub_in = graph.in_degree(sandf::NodeId::new(0)).expect("hub is live") as f64;
     assert!(
@@ -38,10 +35,7 @@ fn hub_cluster_balances_out() {
         stats.mean,
         stats.std_dev()
     );
-    assert!(
-        stats.std_dev() < stats.mean,
-        "indegree spread did not tighten: {stats:?}"
-    );
+    assert!(stats.std_dev() < stats.mean, "indegree spread did not tighten: {stats:?}");
 }
 
 #[test]

@@ -76,8 +76,7 @@ impl Bencher {
             *sample = start.elapsed().as_nanos() as f64 / batch as f64;
         }
         let mean = per_iter.iter().sum::<f64>() / SAMPLES as f64;
-        let var =
-            per_iter.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / SAMPLES as f64;
+        let var = per_iter.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / SAMPLES as f64;
         self.mean_ns = mean;
         self.std_ns = var.sqrt();
     }
@@ -93,10 +92,7 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         }
         _ => String::new(),
     };
-    println!(
-        "{name:<40} {:>12.1} ns/iter (± {:.1}){rate}",
-        bencher.mean_ns, bencher.std_ns
-    );
+    println!("{name:<40} {:>12.1} ns/iter (± {:.1}){rate}", bencher.mean_ns, bencher.std_ns);
 }
 
 /// The top-level benchmark driver.

@@ -99,10 +99,7 @@ pub fn test_rng(test_name: &str) -> TestRng {
 /// `PROPTEST_CASES` environment variable.
 #[must_use]
 pub fn effective_cases(config: &ProptestConfig) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(config.cases)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases)
 }
 
 /// Declares property tests. Mirrors `proptest::proptest!`:
