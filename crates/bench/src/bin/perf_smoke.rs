@@ -1,0 +1,85 @@
+//! Large-`n` performance smoke: drives the struct-of-arrays fast path at
+//! scale and emits the machine-readable perf-trajectory JSON.
+//!
+//! ```text
+//! perf_smoke [--nodes N] [--rounds R] [--loss F] [--seed S]
+//!            [--engine flat|classic] [--out PATH]
+//!            [--min-steps-per-sec F]
+//! ```
+//!
+//! Defaults: `--nodes 1000000 --rounds 50 --loss 0.01 --seed 42
+//! --engine flat`. The JSON report is printed to stdout and, with
+//! `--out`, also written to a file (CI uploads it as an artifact and the
+//! PR commits it as `BENCH_PR<k>.json`). With `--min-steps-per-sec` the
+//! binary exits nonzero when throughput falls below the floor, which is
+//! how CI gates perf regressions; see EXPERIMENTS.md § Performance
+//! methodology for how the floor is pinned.
+
+use std::process::ExitCode;
+
+use sandf_bench::perf::{run, PerfEngine, PerfSmokeConfig};
+use sandf_obs::MetricsRegistry;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            value.parse().map(Some).map_err(|_| format!("bad value for {flag}: {value}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match smoke(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("perf_smoke: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn smoke(args: &[String]) -> Result<ExitCode, String> {
+    let nodes = parse_flag(args, "--nodes")?.unwrap_or(1_000_000);
+    let rounds = parse_flag(args, "--rounds")?.unwrap_or(50);
+    let mut config = PerfSmokeConfig::at_scale(nodes, rounds);
+    if let Some(loss) = parse_flag(args, "--loss")? {
+        config.loss = loss;
+    }
+    if let Some(seed) = parse_flag(args, "--seed")? {
+        config.seed = seed;
+    }
+    if let Some(engine) = parse_flag::<String>(args, "--engine")? {
+        config.engine = match engine.as_str() {
+            "flat" => PerfEngine::Flat,
+            "classic" => PerfEngine::Classic,
+            other => return Err(format!("unknown engine {other:?} (flat|classic)")),
+        };
+    }
+    let out: Option<String> = parse_flag(args, "--out")?;
+    let floor: Option<f64> = parse_flag(args, "--min-steps-per-sec")?;
+
+    let registry = MetricsRegistry::new();
+    let report = run(config, &registry);
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(floor) = floor {
+        if report.steps_per_sec < floor {
+            eprintln!(
+                "perf_smoke: throughput {:.0} steps/sec is below the pinned floor {floor:.0}",
+                report.steps_per_sec
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!(
+            "perf_smoke: throughput {:.0} steps/sec clears the floor {floor:.0}",
+            report.steps_per_sec
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

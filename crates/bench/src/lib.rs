@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod obsrep;
+pub mod perf;
 pub mod sweep;
 pub mod sweeps;
 

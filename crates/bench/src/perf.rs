@@ -1,0 +1,293 @@
+//! The `perf_smoke` measurement core: one large-`n` run, one
+//! machine-readable JSON report.
+//!
+//! Every PR extends the repo's performance trajectory by committing a
+//! `BENCH_PR<k>.json` produced by the `perf_smoke` binary (see
+//! `EXPERIMENTS.md` § Performance methodology). The report carries the
+//! scale (`nodes` × `rounds`), per-phase wall-clock taken from
+//! `sandf-obs` span histograms, the end-to-end steps/sec throughput, peak
+//! RSS read from `/proc/self/status`, and the run's [`SimStats`] — the
+//! stats double as a determinism fingerprint, since the flat and classic
+//! engines must produce identical counters for identical seeds.
+//!
+//! The JSON is hand-rolled (the workspace deliberately has no serde);
+//! [`PerfReport::to_json`] emits a stable key order so diffs between PRs
+//! stay readable.
+
+use sandf_core::SfConfig;
+use sandf_obs::{duration_buckets, MetricsRegistry, SpanTimer, Stopwatch};
+use sandf_sim::{topology, FlatSimulation, SimStats, Simulation, UniformLoss};
+
+use crate::sweeps::initial_degree;
+
+/// Which engine a perf run drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PerfEngine {
+    /// The struct-of-arrays fast path ([`FlatSimulation`]) — the default.
+    Flat,
+    /// The per-node reference engine ([`Simulation`]), for comparison runs.
+    Classic,
+}
+
+impl PerfEngine {
+    /// The name used in the JSON report and on the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Flat => "flat",
+            Self::Classic => "classic",
+        }
+    }
+}
+
+/// Scale and parameters of one perf-smoke run.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfSmokeConfig {
+    /// System size `n`.
+    pub nodes: usize,
+    /// Central-entity rounds to run (`steps = nodes × rounds`).
+    pub rounds: usize,
+    /// Uniform message-loss rate.
+    pub loss: f64,
+    /// RNG seed (fixed so the stats fingerprint is comparable across PRs).
+    pub seed: u64,
+    /// Protocol configuration.
+    pub config: SfConfig,
+    /// Engine under measurement.
+    pub engine: PerfEngine,
+}
+
+impl PerfSmokeConfig {
+    /// The standard smoke scale: `s = 16`, `d_L = 6`, 1% loss, seed 42.
+    /// CI runs this at `nodes = 100_000`; the committed trajectory point
+    /// uses `nodes = 1_000_000`, `rounds = 50`.
+    #[must_use]
+    pub fn at_scale(nodes: usize, rounds: usize) -> Self {
+        Self {
+            nodes,
+            rounds,
+            loss: 0.01,
+            seed: 42,
+            config: SfConfig::new(16, 6).expect("smoke parameters are legal"),
+            engine: PerfEngine::Flat,
+        }
+    }
+}
+
+/// The measured outcome of one perf-smoke run.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// The run's parameters.
+    pub config: PerfSmokeConfig,
+    /// Wall-clock of topology + engine construction, in milliseconds.
+    pub build_ms: f64,
+    /// Wall-clock of the stepping loop, in milliseconds.
+    pub run_ms: f64,
+    /// Wall-clock of end-of-run measurement (stats aggregation), in
+    /// milliseconds.
+    pub measure_ms: f64,
+    /// Steps executed (`nodes × rounds`).
+    pub steps: u64,
+    /// Throughput of the stepping loop.
+    pub steps_per_sec: f64,
+    /// Peak resident set size, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// The run's system-wide counters — the determinism fingerprint.
+    pub stats: SimStats,
+}
+
+/// Reads peak RSS (`VmHWM`) from `/proc/self/status`. `None` off Linux or
+/// when the field is missing.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Runs one perf smoke at the given scale and returns the report.
+///
+/// Phase timings are recorded through `sandf-obs` span histograms
+/// (`perf.build_ns` / `perf.run_ns` / `perf.measure_ns` in `registry`), so
+/// an attached exporter sees the same numbers the JSON reports.
+#[must_use]
+pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
+    let build_hist = registry.histogram("perf.build_ns", duration_buckets());
+    let run_hist = registry.histogram("perf.run_ns", duration_buckets());
+    let measure_hist = registry.histogram("perf.measure_ns", duration_buckets());
+    let loss = UniformLoss::new(config.loss).expect("loss rate validated by caller");
+
+    let build_watch = Stopwatch::start();
+    let initial = initial_degree(config.config, config.nodes);
+    let (mut flat, mut classic) = {
+        let _span = SpanTimer::start(&build_hist);
+        let nodes = topology::circulant(config.nodes, config.config, initial);
+        match config.engine {
+            PerfEngine::Flat => (Some(FlatSimulation::new(nodes, loss, config.seed)), None),
+            PerfEngine::Classic => (None, Some(Simulation::new(nodes, loss, config.seed))),
+        }
+    };
+    let build_ms = ns_to_ms(build_watch.elapsed_ns());
+
+    let run_watch = Stopwatch::start();
+    {
+        let _span = SpanTimer::start(&run_hist);
+        if let Some(sim) = flat.as_mut() {
+            sim.run_rounds(config.rounds);
+        }
+        if let Some(sim) = classic.as_mut() {
+            sim.run_rounds(config.rounds);
+        }
+    }
+    let run_ns = run_watch.elapsed_ns();
+
+    let measure_watch = Stopwatch::start();
+    let stats = {
+        let _span = SpanTimer::start(&measure_hist);
+        let (stats, node_actions) = match (&flat, &classic) {
+            (Some(sim), _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
+            (_, Some(sim)) => (*sim.stats(), sim.aggregate_node_stats().initiated),
+            _ => unreachable!("exactly one engine was built"),
+        };
+        // Sanity: no initiations lost between the ledgers (departed nodes
+        // aside — this run has no churn).
+        assert_eq!(stats.actions, node_actions, "engine and node ledgers disagree");
+        stats
+    };
+    let measure_ms = ns_to_ms(measure_watch.elapsed_ns());
+
+    let steps = (config.nodes * config.rounds) as u64;
+    let steps_per_sec =
+        if run_ns == 0 { 0.0 } else { steps as f64 / (run_ns as f64 / 1_000_000_000.0) };
+
+    PerfReport {
+        config,
+        build_ms,
+        run_ms: ns_to_ms(run_ns),
+        measure_ms,
+        steps,
+        steps_per_sec,
+        peak_rss_bytes: peak_rss_bytes(),
+        stats,
+    }
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+impl PerfReport {
+    /// Serializes the report as a single JSON object with a stable key
+    /// order (hand-rolled; the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let rss = self.peak_rss_bytes.map_or_else(|| "null".to_string(), |bytes| bytes.to_string());
+        let s = self.stats;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"sandf-perf-smoke/v1\",\n",
+                "  \"nodes\": {nodes},\n",
+                "  \"rounds\": {rounds},\n",
+                "  \"config\": {{ \"s\": {s_param}, \"d_l\": {d_l} }},\n",
+                "  \"loss\": {loss},\n",
+                "  \"seed\": {seed},\n",
+                "  \"engine\": \"{engine}\",\n",
+                "  \"phases_ms\": {{ \"build\": {build:.3}, \"run\": {run:.3}, ",
+                "\"measure\": {measure:.3} }},\n",
+                "  \"steps\": {steps},\n",
+                "  \"steps_per_sec\": {sps:.1},\n",
+                "  \"peak_rss_bytes\": {rss},\n",
+                "  \"stats\": {{ \"actions\": {actions}, \"self_loops\": {self_loops}, ",
+                "\"sent\": {sent}, \"lost\": {lost}, \"dead_letters\": {dead_letters}, ",
+                "\"stored\": {stored}, \"deleted\": {deleted}, ",
+                "\"duplications\": {duplications} }}\n",
+                "}}\n",
+            ),
+            nodes = c.nodes,
+            rounds = c.rounds,
+            s_param = c.config.view_size(),
+            d_l = c.config.lower_threshold(),
+            loss = c.loss,
+            seed = c.seed,
+            engine = c.engine.name(),
+            build = self.build_ms,
+            run = self.run_ms,
+            measure = self.measure_ms,
+            steps = self.steps,
+            sps = self.steps_per_sec,
+            rss = rss,
+            actions = s.actions,
+            self_loops = s.self_loops,
+            sent = s.sent,
+            lost = s.lost,
+            dead_letters = s.dead_letters,
+            stored = s.stored,
+            deleted = s.deleted,
+            duplications = s.duplications,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(engine: PerfEngine) -> PerfReport {
+        let mut config = PerfSmokeConfig::at_scale(256, 4);
+        config.engine = engine;
+        run(config, &MetricsRegistry::new())
+    }
+
+    #[test]
+    fn report_counts_every_step() {
+        let report = tiny(PerfEngine::Flat);
+        assert_eq!(report.steps, 256 * 4);
+        assert_eq!(report.stats.actions, 256 * 4);
+        assert!(report.steps_per_sec > 0.0);
+    }
+
+    #[test]
+    fn flat_and_classic_agree_on_the_fingerprint() {
+        assert_eq!(tiny(PerfEngine::Flat).stats, tiny(PerfEngine::Classic).stats);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let json = tiny(PerfEngine::Flat).to_json();
+        for key in [
+            "\"schema\": \"sandf-perf-smoke/v1\"",
+            "\"nodes\": 256",
+            "\"rounds\": 4",
+            "\"phases_ms\"",
+            "\"steps\": 1024",
+            "\"steps_per_sec\"",
+            "\"peak_rss_bytes\"",
+            "\"stats\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn phase_spans_land_in_the_registry() {
+        let registry = MetricsRegistry::new();
+        let _ = run(PerfSmokeConfig::at_scale(128, 2), &registry);
+        for name in ["perf.build_ns", "perf.run_ns", "perf.measure_ns"] {
+            assert!(
+                registry.metric_names().contains(&name.to_string()),
+                "span {name} not registered"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
+    }
+}

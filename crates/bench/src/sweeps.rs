@@ -171,14 +171,12 @@ impl SweepCell for ChannelCell {
 }
 
 fn channel_metrics<L: LossModel>(
-    n: usize,
-    config: SfConfig,
+    nodes: Vec<SfNode>,
     loss: L,
     burn_in: usize,
     measure: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let nodes = topology::circulant(n, config, initial_degree(config, n));
     let sim = Simulation::new(nodes, loss, seed).run_replicate(burn_in, measure);
     let graph = sim.graph();
     vec![
@@ -224,6 +222,9 @@ pub fn loss_ablation_table(
         });
     }
     let spec = SweepSpec::new(cells, replicates, base_seed);
+    // The bootstrap topology is identical across cells and replicates;
+    // build it once and clone it in, instead of re-deriving it per run.
+    let nodes = topology::circulant(n, config, initial_degree(config, n));
     let results = spec.run(
         &["mean_out", "in_std", "dependent_frac", "dup_rate", "connected"],
         |cell, rng| {
@@ -231,12 +232,12 @@ pub fn loss_ablation_table(
             match cell.channel {
                 Channel::Uniform { rate } => {
                     let loss = UniformLoss::new(rate).expect("valid rate");
-                    channel_metrics(n, config, loss, burn_in, measure, seed)
+                    channel_metrics(nodes.clone(), loss, burn_in, measure, seed)
                 }
                 Channel::Bursty { to_bad, to_good, loss_bad } => {
                     let loss =
                         GilbertElliott::new(to_bad, to_good, 0.0, loss_bad).expect("valid channel");
-                    channel_metrics(n, config, loss, burn_in, measure, seed)
+                    channel_metrics(nodes.clone(), loss, burn_in, measure, seed)
                 }
             }
         },
@@ -265,13 +266,14 @@ pub fn targeted_loss_table(n: usize, rounds: usize, replicates: usize, base_seed
     let cells: Vec<TargetedCell> =
         [0.01, 0.25, 0.5, 0.9].iter().map(|&victim_rate| TargetedCell { victim_rate }).collect();
     let spec = SweepSpec::new(cells, replicates, base_seed);
+    // Same topology for every cell/replicate — construct once, clone in.
+    let nodes = topology::circulant(n, config, initial_degree(config, n));
     let results =
         spec.run(&["victim_in", "victim_out", "pop_mean_in", "connected"], |cell, rng| {
             let victim = NodeId::new(0);
             let mut loss = TargetedLoss::new(0.01).expect("valid base");
             loss.set_target(victim, cell.victim_rate).expect("valid override");
-            let nodes = topology::circulant(n, config, initial_degree(config, n));
-            let mut sim = Simulation::new(nodes, loss, rng.next_u64());
+            let mut sim = Simulation::new(nodes.clone(), loss, rng.next_u64());
             sim.run_rounds(rounds);
             let graph = sim.graph();
             vec![
@@ -334,9 +336,23 @@ pub fn threshold_validation_table(
             }
         })
         .collect();
+    // The topology differs per cell (each selection yields its own `s`),
+    // but not per replicate: build each cell's bootstrap once up front and
+    // look it up by configuration inside the replicate closure.
+    let topologies: Vec<(SfConfig, Vec<SfNode>)> = cells
+        .iter()
+        .map(|cell| {
+            (cell.config, topology::circulant(n, cell.config, initial_degree(cell.config, n)))
+        })
+        .collect();
     let spec = SweepSpec::new(cells, replicates, base_seed);
     let results = spec.run(&["dup_rate", "del_rate", "mean_out"], |cell, rng| {
-        let nodes = topology::circulant(n, cell.config, initial_degree(cell.config, n));
+        let nodes = topologies
+            .iter()
+            .find(|(config, _)| *config == cell.config)
+            .expect("every cell's topology was prepared")
+            .1
+            .clone();
         let loss = UniformLoss::new(0.01).expect("valid rate");
         let sim = Simulation::new(nodes, loss, rng.next_u64()).run_replicate(burn_in, measure);
         let stats = sim.stats();
@@ -551,10 +567,11 @@ pub fn delay_table(n: usize, rounds: usize, replicates: usize, base_seed: u64) -
     let cells: Vec<DelayCell> =
         [0u64, 16, 64, 256, 1024].iter().map(|&max_delay| DelayCell { max_delay }).collect();
     let spec = SweepSpec::new(cells, replicates, base_seed);
+    // Same topology for every cell/replicate — construct once, clone in.
+    let nodes = topology::circulant(n, config, initial_degree(config, n));
     let results = spec.run(&["mean_out", "in_std", "dependent_frac", "connected"], |cell, rng| {
-        let nodes = topology::circulant(n, config, initial_degree(config, n));
         let loss = UniformLoss::new(0.02).expect("valid rate");
-        let mut sim = Simulation::with_delay(nodes, loss, cell.model(), rng.next_u64());
+        let mut sim = Simulation::with_delay(nodes.clone(), loss, cell.model(), rng.next_u64());
         for _ in 0..n * rounds {
             sim.step();
         }

@@ -1,0 +1,133 @@
+//! PR 4 determinism regression: the struct-of-arrays fast path must be
+//! **byte-identical** to the classic engine, pinned against recorded
+//! golden outputs.
+//!
+//! For 3 seeds × {`UniformLoss`, `GilbertElliott`} the goldens record,
+//! from the classic engine (whose behavior this PR does not touch — so
+//! they are the pre-PR outputs by construction):
+//!
+//! * the `SimStats` debug rendering after a delayed, settled run,
+//! * the full `SimRecorder` obs exposition (`render_prometheus`), and
+//! * the loss-ablation sweep TSV (which also pins the hoisted-topology
+//!   sweep path: building the circulant once per cell and cloning it per
+//!   replicate must not move a byte).
+//!
+//! Every golden is then asserted twice: the classic engine must still
+//! reproduce it (guarding the goldens themselves against drift), and the
+//! flat engine must reproduce it byte-for-byte (the equivalence claim).
+//!
+//! To regenerate after an *intentional* RNG/format change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p sandf-bench --test flat_equivalence
+//! ```
+
+use std::path::PathBuf;
+
+use sandf_bench::sweeps::loss_ablation_table;
+use sandf_core::{SfConfig, SfNode};
+use sandf_obs::MetricsRegistry;
+use sandf_sim::{
+    topology, DelayModel, FlatSimulation, GilbertElliott, LossModel, SimRecorder, Simulation,
+    UniformLoss,
+};
+
+const SEEDS: [u64; 3] = [11, 42, 2009];
+const ROUNDS: usize = 30;
+
+fn config() -> SfConfig {
+    SfConfig::new(16, 6).expect("legal config")
+}
+
+fn nodes() -> Vec<SfNode> {
+    topology::circulant(64, config(), 10)
+}
+
+fn uniform() -> UniformLoss {
+    UniformLoss::new(0.05).expect("valid rate")
+}
+
+fn bursty() -> GilbertElliott {
+    GilbertElliott::new(0.05, 0.2, 0.01, 0.5).expect("valid channel")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// One scenario's artifact: final `SimStats` plus the recorder's full
+/// Prometheus exposition. Both are deterministic (counter metrics only —
+/// no wall-clock spans), so byte equality is the right bar.
+fn classic_artifact<L: LossModel>(loss: L, seed: u64) -> String {
+    let registry = MetricsRegistry::new();
+    let mut sim = Simulation::with_delay(nodes(), loss, DelayModel::UniformSteps { max: 8 }, seed);
+    sim.subscribe(Box::new(SimRecorder::new(&registry)));
+    sim.run_rounds(ROUNDS);
+    sim.settle();
+    format!("{:?}\n{}", sim.stats(), registry.render_prometheus())
+}
+
+fn flat_artifact<L: LossModel>(loss: L, seed: u64) -> String {
+    let registry = MetricsRegistry::new();
+    let mut sim =
+        FlatSimulation::with_delay(nodes(), loss, DelayModel::UniformSteps { max: 8 }, seed);
+    sim.subscribe(Box::new(SimRecorder::new(&registry)));
+    sim.run_rounds(ROUNDS);
+    sim.settle();
+    format!("{:?}\n{}", sim.stats(), registry.render_prometheus())
+}
+
+fn sweep_artifact() -> String {
+    loss_ablation_table(60, 10, 10, 2, 99)
+}
+
+/// The scenario grid: golden file name → classic/flat artifact producers.
+fn scenarios() -> Vec<(String, String, String)> {
+    let mut all = Vec::new();
+    for seed in SEEDS {
+        all.push((
+            format!("pr4_uniform_{seed}.txt"),
+            classic_artifact(uniform(), seed),
+            flat_artifact(uniform(), seed),
+        ));
+        all.push((
+            format!("pr4_gilbert_elliott_{seed}.txt"),
+            classic_artifact(bursty(), seed),
+            flat_artifact(bursty(), seed),
+        ));
+    }
+    all
+}
+
+#[test]
+fn flat_engine_matches_recorded_goldens() {
+    let update = std::env::var("UPDATE_GOLDENS").is_ok();
+    if update {
+        std::fs::create_dir_all(golden_path("")).expect("golden dir");
+    }
+    for (name, classic, flat) in scenarios() {
+        let path = golden_path(&name);
+        if update {
+            // Goldens are always written from the classic engine.
+            std::fs::write(&path, &classic).expect("write golden");
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+        assert_eq!(classic, golden, "{name}: classic engine drifted from its own golden");
+        assert_eq!(flat, golden, "{name}: flat engine is not byte-identical to the golden");
+    }
+}
+
+#[test]
+fn hoisted_sweep_tsv_matches_recorded_golden() {
+    let name = "pr4_loss_ablation.tsv";
+    let path = golden_path(name);
+    let actual = sweep_artifact();
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(golden_path("")).expect("golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(actual, golden, "{name}: sweep TSV drifted (topology hoist must not move a byte)");
+}

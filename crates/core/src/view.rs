@@ -85,6 +85,20 @@ impl LocalView {
         Self { slots, occupied: ids.len() }
     }
 
+    /// Creates a view directly from a slot array (empty slots as `None`).
+    ///
+    /// This is the bridge back from flat struct-of-arrays engines
+    /// (`sandf-sim`'s large-n fast path stores all views in one contiguous
+    /// arena and reconstitutes `LocalView`s on demand for snapshots and
+    /// measurement). The occupancy count is derived from the slots, so the
+    /// result is indistinguishable from a view that reached the same state
+    /// through protocol steps.
+    #[must_use]
+    pub fn from_slots(slots: Vec<Option<Entry>>) -> Self {
+        let occupied = slots.iter().flatten().count();
+        Self { slots, occupied }
+    }
+
     /// The view size `s` (number of slots, occupied or not).
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -402,6 +416,18 @@ mod tests {
         // Entry id(5) is a self-edge for owner 5: always dependent.
         assert_eq!(v.dependent_entries(id(5)), 2);
         assert_eq!(v.dependent_entries(id(99)), 1);
+    }
+
+    #[test]
+    fn from_slots_roundtrips_and_counts_occupancy() {
+        let mut v = LocalView::from_ids(6, &[id(1), id(2), id(2)], false);
+        v.set_dependent(1, true);
+        v.clear_slot(0);
+        let rebuilt = LocalView::from_slots(v.slots().collect());
+        assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt.out_degree(), 2);
+        assert!(rebuilt.entry(1).unwrap().dependent);
+        assert!(rebuilt.entry(0).is_none());
     }
 
     #[test]

@@ -208,6 +208,15 @@ impl HistogramHandle {
     pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
+
+    /// Exact arithmetic mean of the observations (`sum / count`; unlike the
+    /// quantiles it carries no bucket-resolution error). `None` with no
+    /// observations. The `perf_smoke` report uses this for span summaries.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.count();
+        (total > 0).then(|| self.sum() as f64 / total as f64)
+    }
 }
 
 /// One registered metric.

@@ -1,10 +1,11 @@
 //! High-level experiment runners used by the bench harness and the
 //! integration tests. Every runner is deterministic given its seed.
 
-use sandf_core::{NodeId, SfConfig};
+use sandf_core::{NodeId, SfConfig, SfNode};
 use sandf_graph::{edge_jaccard, Histogram, MembershipGraph};
 
 use crate::engine::Simulation;
+use crate::flat::FlatSimulation;
 use crate::loss::UniformLoss;
 use crate::observer::{DegreeSampler, OccupancyCounter};
 use crate::topology;
@@ -47,6 +48,37 @@ impl ExperimentParams {
     #[must_use]
     pub fn build_simulation(&self) -> Simulation<UniformLoss> {
         self.build(self.default_initial_degree())
+    }
+
+    /// Builds just the bootstrap topology these parameters describe (the
+    /// circulant at the default initial degree). Topology construction is
+    /// deterministic and seed-independent, so sweep executors can build it
+    /// **once per parameter cell** and clone it into each replicate instead
+    /// of re-deriving it per replicate — see
+    /// [`build_simulation_from`](Self::build_simulation_from).
+    #[must_use]
+    pub fn prepare_topology(&self) -> Vec<SfNode> {
+        topology::circulant(self.n, self.config, self.default_initial_degree())
+    }
+
+    /// Builds the simulation from an already-constructed topology (cloned
+    /// from a cell-level [`prepare_topology`](Self::prepare_topology) call).
+    /// Equivalent to [`build_simulation`](Self::build_simulation) when the
+    /// nodes came from the same parameters: the RNG stream depends only on
+    /// the seed, so hoisting construction cannot change results.
+    #[must_use]
+    pub fn build_simulation_from(&self, nodes: Vec<SfNode>) -> Simulation<UniformLoss> {
+        let loss = UniformLoss::new(self.loss).expect("loss rate validated by caller");
+        Simulation::new(nodes, loss, self.seed)
+    }
+
+    /// Builds the struct-of-arrays fast path over the same topology, loss,
+    /// and seed as [`build_simulation`](Self::build_simulation). The two
+    /// engines are seed-for-seed equivalent; prefer this one at large `n`.
+    #[must_use]
+    pub fn build_flat_simulation(&self) -> FlatSimulation<UniformLoss> {
+        let loss = UniformLoss::new(self.loss).expect("loss rate validated by caller");
+        FlatSimulation::new(self.prepare_topology(), loss, self.seed)
     }
 
     /// A sensible initial outdegree: two thirds of the way from `d_L` to `s`

@@ -1,0 +1,1071 @@
+//! The large-`n` fast path: a struct-of-arrays simulation engine.
+//!
+//! [`Simulation`](crate::Simulation) keeps one heap-allocated
+//! [`SfNode`] per participant behind a `HashMap`, which is the right shape
+//! for protocol-level tests but collapses under cache pressure at
+//! `n ≥ 10⁵`: every step chases a hash bucket, a node box, and a slot
+//! vector. [`FlatSimulation`] is the same machine laid out flat:
+//!
+//! * **slot arena** — all views live in one contiguous `Vec<u64>` of
+//!   `n · s` slots; node `k` owns `arena[k·s .. (k+1)·s]`, with
+//!   `u64::MAX` as the empty-slot sentinel and a parallel `Vec<bool>` for
+//!   the dependence tags;
+//! * **flat ledgers** — outdegrees and per-node [`NodeStats`] are dense
+//!   arrays indexed by the node's arena slot, not fields of a boxed node;
+//! * **ring-buffer delivery** — under [`DelayModel::UniformSteps`] the
+//!   in-flight queue is a preallocated ring of `max + 1` buckets reused
+//!   round after round, replacing the classic engine's
+//!   `BTreeMap<u64, Vec<…>>` that allocates per delivery time;
+//! * **branch-light stepping** — the subscriber-free delivery drain is a
+//!   single counter check per step, and the observed paths stay out of
+//!   line exactly as in the classic engine.
+//!
+//! # Equivalence contract
+//!
+//! The fast path is **seed-for-seed byte-identical** to the classic
+//! engine: it performs the same RNG draws in the same order with the same
+//! bounds (initiator pick, two-distinct-slot pick, loss decision, delay
+//! sampling, nth-empty-slot receive placement), so for any seed and any
+//! [`LossModel`] the two engines produce equal [`SimStats`], equal views
+//! (including dependence tags), equal membership graphs, and equal
+//! [`StepReport`] streams — which in turn makes the
+//! [`SimRecorder`](crate::SimRecorder) obs exposition byte-identical.
+//! The `flat_equals_classic_*` tests below and the golden regression in
+//! `crates/bench/tests/flat_equivalence.rs` enforce this; any change to
+//! one engine's draw sequence must be mirrored in the other.
+//!
+//! # Scope
+//!
+//! Ids are used as dense table indices (the id → node map is a flat
+//! `Vec`, not a hash map), so memory is proportional to the *largest raw
+//! id*, not the live count. The in-repo topology builders assign
+//! contiguous ids from zero and joins extend them by one, which is the
+//! intended regime. Memory for the delay ring is `O(max)` buckets.
+//!
+//! ```
+//! use sandf_core::SfConfig;
+//! use sandf_sim::{topology, FlatSimulation, UniformLoss};
+//!
+//! let config = SfConfig::new(16, 6)?;
+//! let nodes = topology::circulant(10_000, config, 8);
+//! let mut sim = FlatSimulation::new(nodes, UniformLoss::new(0.01)?, 42);
+//! sim.run_rounds(5);
+//! assert_eq!(sim.stats().actions, 50_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sandf_core::{Entry, JoinError, LocalView, Message, NodeId, NodeStats, SfConfig, SfNode};
+use sandf_graph::{DependenceReport, MembershipGraph};
+use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
+
+use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
+use crate::loss::LossModel;
+
+/// Empty-slot sentinel in the arena. Real node ids must stay below it.
+const EMPTY: u64 = u64::MAX;
+
+/// "Not live" sentinel in the id → dense-index table.
+const DEAD: u32 = u32::MAX;
+
+/// Span histograms for the engine's hot paths (same metric names as the
+/// classic engine, so profiled runs are comparable across engines).
+#[derive(Clone, Debug)]
+struct FlatProfile {
+    step: HistogramHandle,
+    deliver: HistogramHandle,
+}
+
+/// The struct-of-arrays fast path of [`Simulation`](crate::Simulation).
+///
+/// Construction, stepping, churn, and measurement mirror the classic
+/// engine's API; the module-level comment at the top of `flat.rs` spells
+/// out the storage layout and the equivalence contract.
+///
+/// All views live in one contiguous `n × s` slot arena (`u64::MAX` marks
+/// an empty slot, a parallel bit array carries the dependence tags),
+/// outdegrees and per-node [`NodeStats`] are dense arrays, and the
+/// delayed in-flight queue is a preallocated ring of `max + 1` buckets.
+/// The fast path is **seed-for-seed byte-identical** to
+/// [`Simulation`](crate::Simulation): identical RNG draws in identical
+/// order, hence identical [`SimStats`], views, report streams, and obs
+/// exposition for any seed and loss model.
+///
+/// ```
+/// use sandf_core::SfConfig;
+/// use sandf_sim::{topology, FlatSimulation, UniformLoss};
+///
+/// let config = SfConfig::new(16, 6)?;
+/// let nodes = topology::circulant(10_000, config, 8);
+/// let mut sim = FlatSimulation::new(nodes, UniformLoss::new(0.01)?, 42);
+/// sim.run_rounds(5);
+/// assert_eq!(sim.stats().actions, 50_000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct FlatSimulation<L> {
+    config: SfConfig,
+    /// View size, cached out of `config` for the hot loops.
+    s: usize,
+    /// Lower threshold, cached out of `config` for the hot loops.
+    d_l: usize,
+    /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
+    slot_ids: Vec<u64>,
+    /// Dependence tags, parallel to `slot_ids` (meaningless on `EMPTY`).
+    slot_dep: Vec<bool>,
+    /// Outdegree ledger, indexed by dense node index.
+    degree: Vec<u32>,
+    /// Per-node event counters, indexed by dense node index.
+    node_stats: Vec<NodeStats>,
+    /// Dense index → node id (grows on join, never shrinks).
+    dense_id: Vec<NodeId>,
+    /// Raw id → dense index (`DEAD` for departed or never-assigned ids).
+    index: Vec<u32>,
+    /// Live ids in the classic engine's order (insertion order with
+    /// `swap_remove` on leave) — the initiator-sampling population.
+    live: Vec<NodeId>,
+    loss: L,
+    delay: DelayModel,
+    /// Global step counter (drives in-flight delivery times).
+    now: u64,
+    /// Delivery ring: bucket `t % ring.len()` holds the messages due at
+    /// step `t`. Empty in immediate mode.
+    ring: Vec<Vec<(NodeId, Message)>>,
+    /// Messages currently in flight across all ring buckets.
+    in_flight_count: usize,
+    /// All delivery times `≤ drained_to` have been drained.
+    drained_to: u64,
+    rng: StdRng,
+    stats: SimStats,
+    next_id: u64,
+    /// Registered step-event observers (not carried across clones).
+    subscribers: Vec<Box<dyn StepSubscriber>>,
+    /// Hot-path span histograms, when a profiler is attached.
+    profile: Option<FlatProfile>,
+}
+
+impl<L: Clone> Clone for FlatSimulation<L> {
+    /// Clones the simulation state. As with the classic engine,
+    /// subscribers are **not** cloned and an attached profiler is shared.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            s: self.s,
+            d_l: self.d_l,
+            slot_ids: self.slot_ids.clone(),
+            slot_dep: self.slot_dep.clone(),
+            degree: self.degree.clone(),
+            node_stats: self.node_stats.clone(),
+            dense_id: self.dense_id.clone(),
+            index: self.index.clone(),
+            live: self.live.clone(),
+            loss: self.loss.clone(),
+            delay: self.delay,
+            now: self.now,
+            ring: self.ring.clone(),
+            in_flight_count: self.in_flight_count,
+            drained_to: self.drained_to,
+            rng: self.rng.clone(),
+            stats: self.stats,
+            next_id: self.next_id,
+            subscribers: Vec::new(),
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for FlatSimulation<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlatSimulation")
+            .field("config", &self.config)
+            .field("live", &self.live.len())
+            .field("loss", &self.loss)
+            .field("delay", &self.delay)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight_count)
+            .field("stats", &self.stats)
+            .field("subscribers", &self.subscribers.len())
+            .field("profiled", &self.profile.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: LossModel> FlatSimulation<L> {
+    /// Creates a flat simulation over the given nodes with a seeded RNG —
+    /// the drop-in counterpart of [`Simulation::new`](crate::Simulation::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, contains duplicate ids, mixes
+    /// configurations, or uses the reserved id `u64::MAX`.
+    #[must_use]
+    pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "simulation needs at least one node");
+        let config = nodes[0].config();
+        assert!(
+            nodes.iter().all(|n| n.config() == config),
+            "all nodes must share one configuration"
+        );
+        let s = config.view_size();
+        let n = nodes.len();
+        let live: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
+        let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let max_raw = live.iter().map(|id| id.index()).max().unwrap_or(0);
+        let mut index = vec![DEAD; max_raw + 1];
+        let mut slot_ids = vec![EMPTY; n * s];
+        let mut slot_dep = vec![false; n * s];
+        let mut degree = vec![0u32; n];
+        let mut node_stats = vec![NodeStats::new(); n];
+        for (k, node) in nodes.iter().enumerate() {
+            let id = node.id();
+            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
+            assert!(index[id.index()] == DEAD, "duplicate node ids");
+            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
+            let base = k * s;
+            let mut deg = 0u32;
+            for (off, slot) in node.view().slots().enumerate() {
+                if let Some(entry) = slot {
+                    slot_ids[base + off] = entry.id.as_u64();
+                    slot_dep[base + off] = entry.dependent;
+                    deg += 1;
+                }
+            }
+            degree[k] = deg;
+            node_stats[k] = *node.stats();
+        }
+        Self {
+            config,
+            s,
+            d_l: config.lower_threshold(),
+            slot_ids,
+            slot_dep,
+            degree,
+            node_stats,
+            dense_id: live.clone(),
+            index,
+            live,
+            loss,
+            delay: DelayModel::Immediate,
+            now: 0,
+            ring: Vec::new(),
+            in_flight_count: 0,
+            drained_to: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            next_id,
+            subscribers: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Creates a flat simulation with a message-delay model; the
+    /// counterpart of [`Simulation::with_delay`](crate::Simulation::with_delay).
+    /// The in-flight queue becomes a preallocated ring of `max + 1`
+    /// buckets, so steady-state stepping performs no queue allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`new`](Self::new), or when the
+    /// delay bound is zero.
+    #[must_use]
+    pub fn with_delay(nodes: Vec<SfNode>, loss: L, delay: DelayModel, seed: u64) -> Self {
+        let mut sim = Self::new(nodes, loss, seed);
+        if let DelayModel::UniformSteps { max } = delay {
+            assert!(max > 0, "delay bound must be positive");
+            let buckets = usize::try_from(max + 1).expect("delay bound exceeds address space");
+            sim.ring = vec![Vec::new(); buckets];
+        }
+        sim.delay = delay;
+        sim
+    }
+
+    /// Registers a step-event observer; semantics identical to
+    /// [`Simulation::subscribe`](crate::Simulation::subscribe).
+    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber>) {
+        self.subscribers.push(subscriber);
+    }
+
+    /// Number of registered step-event observers.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Attaches hot-path profiling under the same `sim.profile.*` span
+    /// names as the classic engine.
+    pub fn attach_profiler(&mut self, registry: &MetricsRegistry) {
+        self.profile = Some(FlatProfile {
+            step: registry.histogram("sim.profile.step_ns", duration_buckets()),
+            deliver: registry.histogram("sim.profile.deliver_ns", duration_buckets()),
+        });
+    }
+
+    /// Reports `report` to every subscriber; out of line so the
+    /// subscriber-free stepping path stays compact.
+    #[cold]
+    #[inline(never)]
+    fn notify(&mut self, report: &StepReport) {
+        let mut subs = std::mem::take(&mut self.subscribers);
+        for sub in &mut subs {
+            sub.on_step(report);
+        }
+        subs.append(&mut self.subscribers);
+        self.subscribers = subs;
+    }
+
+    /// The shared protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> SfConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no node is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The ids of the live nodes (unspecified order).
+    #[must_use]
+    pub fn live_ids(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// Number of messages currently in flight (always 0 under
+    /// [`DelayModel::Immediate`]).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight_count
+    }
+
+    /// Accumulated system-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Resets system-wide and per-node counters (e.g. after burn-in).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        for &id in &self.live {
+            let k = self.index[id.index()] as usize;
+            self.node_stats[k].reset();
+        }
+    }
+
+    /// Sum of all live nodes' per-node counters.
+    #[must_use]
+    pub fn aggregate_node_stats(&self) -> NodeStats {
+        let mut total = NodeStats::new();
+        for &id in &self.live {
+            total.merge(&self.node_stats[self.index[id.index()] as usize]);
+        }
+        total
+    }
+
+    /// The dense arena index of a live node, or `None` when departed.
+    #[inline]
+    fn dense_of(&self, id: NodeId) -> Option<usize> {
+        match self.index.get(id.index()) {
+            Some(&k) if k != DEAD => Some(k as usize),
+            _ => None,
+        }
+    }
+
+    /// A live node's outdegree, or `None` when departed.
+    #[must_use]
+    pub fn out_degree_of(&self, id: NodeId) -> Option<usize> {
+        self.dense_of(id).map(|k| self.degree[k] as usize)
+    }
+
+    /// Reconstitutes a live node's [`LocalView`] from the arena (slot
+    /// positions, ids, and dependence tags all preserved), or `None` when
+    /// departed. Intended for snapshots and tests, not hot paths.
+    #[must_use]
+    pub fn node_view(&self, id: NodeId) -> Option<LocalView> {
+        let k = self.dense_of(id)?;
+        Some(self.view_at(k))
+    }
+
+    fn view_at(&self, k: usize) -> LocalView {
+        let base = k * self.s;
+        LocalView::from_slots(
+            (base..base + self.s)
+                .map(|i| {
+                    (self.slot_ids[i] != EMPTY).then(|| Entry {
+                        id: NodeId::new(self.slot_ids[i]),
+                        dependent: self.slot_dep[i],
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// Reconstitutes every live node as an [`SfNode`], in live order.
+    /// Views carry over exactly; the per-node *counters* do not (the
+    /// rebuilt nodes start with zeroed [`NodeStats`] — read
+    /// [`aggregate_node_stats`](Self::aggregate_node_stats) from the
+    /// engine instead).
+    #[must_use]
+    pub fn to_nodes(&self) -> Vec<SfNode> {
+        self.live
+            .iter()
+            .map(|&id| {
+                let k = self.index[id.index()] as usize;
+                SfNode::from_view(id, self.config, self.view_at(k))
+            })
+            .collect()
+    }
+
+    /// Executes one step by a uniformly random live node (the paper's
+    /// central-entity model); RNG-equivalent to
+    /// [`Simulation::step`](crate::Simulation::step).
+    pub fn step(&mut self) -> StepReport {
+        let initiator = self.live[self.rng.gen_range(0..self.live.len())];
+        self.step_node(initiator)
+    }
+
+    /// Executes one step by a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiator` is not live.
+    pub fn step_node(&mut self, initiator: NodeId) -> StepReport {
+        let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.step));
+        self.now += 1;
+        if self.subscribers.is_empty() {
+            self.deliver_due(None);
+        } else {
+            self.deliver_due_observed();
+        }
+        self.stats.actions += 1;
+        let k = self.dense_of(initiator).expect("initiator must be live");
+        let event = match self.initiate_at(k) {
+            None => {
+                self.stats.self_loops += 1;
+                StepEvent::SelfLoop
+            }
+            Some((to, message, duplicated)) => {
+                self.stats.sent += 1;
+                if duplicated {
+                    self.stats.duplications += 1;
+                }
+                if self.loss.is_lost_to(to, &mut self.rng) {
+                    self.stats.lost += 1;
+                    StepEvent::Lost { to, message, duplicated }
+                } else {
+                    match self.delay {
+                        DelayModel::Immediate => self.deliver(to, message),
+                        DelayModel::UniformSteps { max } => {
+                            let deliver_at = self.now + self.rng.gen_range(1..=max);
+                            let bucket = (deliver_at % (max + 1)) as usize;
+                            self.ring[bucket].push((to, message));
+                            self.in_flight_count += 1;
+                            StepEvent::InFlight { to, message, duplicated, deliver_at }
+                        }
+                    }
+                }
+            }
+        };
+        let report = StepReport { initiator, event, phase: StepPhase::Action, step: self.now };
+        if !self.subscribers.is_empty() {
+            self.notify(&report);
+        }
+        report
+    }
+
+    /// The initiate action on the arena — the flat mirror of
+    /// [`SfNode::initiate`], consuming the identical RNG draws. Returns
+    /// `None` for a self-loop.
+    #[inline]
+    fn initiate_at(&mut self, k: usize) -> Option<(NodeId, Message, bool)> {
+        self.node_stats[k].initiated += 1;
+        let s = self.s;
+        debug_assert!(s >= 2, "view must have at least two slots");
+        let i = self.rng.gen_range(0..s);
+        let mut j = self.rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        let base = k * s;
+        let target = self.slot_ids[base + i];
+        let payload = self.slot_ids[base + j];
+        if target == EMPTY || payload == EMPTY {
+            self.node_stats[k].self_loops += 1;
+            return None;
+        }
+        let duplicated = (self.degree[k] as usize) <= self.d_l;
+        if duplicated {
+            self.node_stats[k].duplications += 1;
+        } else {
+            self.slot_ids[base + i] = EMPTY;
+            self.slot_ids[base + j] = EMPTY;
+            self.degree[k] -= 2;
+        }
+        self.node_stats[k].sent += 1;
+        let message = Message::new(self.dense_id[k], NodeId::new(payload), duplicated);
+        Some((NodeId::new(target), message, duplicated))
+    }
+
+    /// Executes the receive step at `to` (or counts a dead letter).
+    fn deliver(&mut self, to: NodeId, message: Message) -> StepEvent {
+        let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.deliver));
+        match self.dense_of(to) {
+            None => {
+                self.stats.dead_letters += 1;
+                StepEvent::DeadLetter { to, message, duplicated: message.dependent }
+            }
+            Some(k) => {
+                let deleted = self.receive_at(k, message);
+                if deleted {
+                    self.stats.deleted += 1;
+                } else {
+                    self.stats.stored += 1;
+                }
+                StepEvent::Delivered { to, message, duplicated: message.dependent, deleted }
+            }
+        }
+    }
+
+    /// The receive step on the arena — the flat mirror of
+    /// [`SfNode::receive`]. Returns whether the ids were deleted.
+    #[inline]
+    fn receive_at(&mut self, k: usize, message: Message) -> bool {
+        if self.degree[k] as usize >= self.s {
+            self.node_stats[k].deletions += 1;
+            return true;
+        }
+        self.insert_into_node(k, message.sender, message.dependent);
+        self.insert_into_node(k, message.payload, message.dependent);
+        self.node_stats[k].stored += 1;
+        false
+    }
+
+    /// Stores `id` into node `k`'s `nth` empty slot, with `nth` drawn
+    /// uniformly — the flat mirror of `LocalView::insert_into_random_empty`
+    /// (identical draw bound, identical slot-order scan).
+    #[inline]
+    fn insert_into_node(&mut self, k: usize, id: NodeId, dependent: bool) {
+        let s = self.s;
+        let base = k * s;
+        let empty = s - self.degree[k] as usize;
+        debug_assert!(empty > 0, "outdegree below s implies an empty slot");
+        let mut nth = self.rng.gen_range(0..empty);
+        for off in 0..s {
+            if self.slot_ids[base + off] == EMPTY {
+                if nth == 0 {
+                    self.slot_ids[base + off] = id.as_u64();
+                    self.slot_dep[base + off] = dependent;
+                    self.degree[k] += 1;
+                    return;
+                }
+                nth -= 1;
+            }
+        }
+        unreachable!("an empty slot was counted but not found");
+    }
+
+    /// Drains every ring bucket whose delivery time has arrived, in
+    /// increasing time order (matching the classic engine's
+    /// `BTreeMap::pop_first` drain). The subscriber-free path costs one
+    /// counter check when nothing is in flight.
+    fn deliver_due(&mut self, mut reports: Option<&mut Vec<StepReport>>) {
+        if self.in_flight_count == 0 {
+            self.drained_to = self.now;
+            return;
+        }
+        let len = self.ring.len() as u64;
+        for t in self.drained_to + 1..=self.now {
+            let bucket = (t % len) as usize;
+            if self.ring[bucket].is_empty() {
+                continue;
+            }
+            // Swap the bucket out so deliveries can mutate the engine;
+            // restore the (cleared) allocation afterward for reuse.
+            let mut batch = std::mem::take(&mut self.ring[bucket]);
+            self.in_flight_count -= batch.len();
+            for &(to, message) in &batch {
+                let event = self.deliver(to, message);
+                if let Some(out) = reports.as_deref_mut() {
+                    out.push(StepReport {
+                        initiator: message.sender,
+                        event,
+                        phase: StepPhase::Delivery,
+                        step: self.now,
+                    });
+                }
+            }
+            batch.clear();
+            self.ring[bucket] = batch;
+        }
+        self.drained_to = self.now;
+    }
+
+    /// The subscriber path of due-message delivery; out of line like the
+    /// classic engine's.
+    #[cold]
+    #[inline(never)]
+    fn deliver_due_observed(&mut self) {
+        let mut delivered = Vec::new();
+        self.deliver_due(Some(&mut delivered));
+        for report in &delivered {
+            self.notify(report);
+        }
+    }
+
+    /// Delivers every message still in flight (advancing virtual time past
+    /// the last scheduled delivery), like
+    /// [`Simulation::settle`](crate::Simulation::settle).
+    pub fn settle(&mut self) {
+        if self.in_flight_count == 0 {
+            return;
+        }
+        let len = self.ring.len() as u64;
+        // Each residue holds at most one distinct scheduled time, all in
+        // `(drained_to, drained_to + len]`; find the latest occupied one.
+        let mut last = self.now;
+        for t in self.drained_to + 1..=self.drained_to + len {
+            if !self.ring[(t % len) as usize].is_empty() {
+                last = last.max(t);
+            }
+        }
+        self.now = self.now.max(last);
+        if self.subscribers.is_empty() {
+            self.deliver_due(None);
+        } else {
+            self.deliver_due_observed();
+        }
+    }
+
+    /// Executes one round: `n` steps by uniformly random nodes.
+    pub fn round(&mut self) {
+        for _ in 0..self.live.len() {
+            self.step();
+        }
+    }
+
+    /// Executes one round in which every live node initiates exactly once,
+    /// in a fresh random order.
+    pub fn round_permuted(&mut self) {
+        let mut order = self.live.clone();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            if self.dense_of(id).is_some() {
+                self.step_node(id);
+            }
+        }
+    }
+
+    /// Runs `rounds` central-entity rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// Runs one measurement replicate: burn-in, stats reset, measurement;
+    /// see [`Simulation::run_replicate`](crate::Simulation::run_replicate).
+    #[must_use]
+    pub fn run_replicate(mut self, burn_in: usize, measure: usize) -> Self {
+        self.run_rounds(burn_in);
+        self.reset_stats();
+        self.run_rounds(measure);
+        self
+    }
+
+    /// Adds a new node bootstrapped with `d_L` ids copied from a random
+    /// position in `sponsor`'s view; RNG-equivalent to
+    /// [`Simulation::join_via`](crate::Simulation::join_via).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::TooFewIds`] if the sponsor's view holds fewer
+    /// than `d_L` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sponsor` is not live.
+    pub fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        let d_l = self.config.lower_threshold();
+        let k = self.dense_of(sponsor).expect("sponsor must be live");
+        let base = k * self.s;
+        let mut pool: Vec<NodeId> = self.slot_ids[base..base + self.s]
+            .iter()
+            .filter(|&&raw| raw != EMPTY)
+            .map(|&raw| NodeId::new(raw))
+            .collect();
+        if pool.len() < d_l {
+            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l });
+        }
+        pool.shuffle(&mut self.rng);
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+        self.join_with(&bootstrap)
+    }
+
+    /// Adds a new node bootstrapped with the given ids (tagged dependent,
+    /// filled in slot order — exactly like [`SfNode::with_view`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`JoinError`]s as [`SfNode::with_view`].
+    pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
+        if bootstrap.len() < self.d_l {
+            return Err(JoinError::TooFewIds { supplied: bootstrap.len(), d_l: self.d_l });
+        }
+        if bootstrap.len() > self.s {
+            return Err(JoinError::TooManyIds { supplied: bootstrap.len(), s: self.s });
+        }
+        if !bootstrap.len().is_multiple_of(2) {
+            return Err(JoinError::OddIdCount { supplied: bootstrap.len() });
+        }
+        let id = NodeId::new(self.next_id);
+        self.next_id += 1;
+        let k = self.dense_id.len();
+        let dense = u32::try_from(k).expect("node count exceeds the dense index space");
+        assert!(dense != DEAD, "dense index space exhausted");
+        let base = self.slot_ids.len();
+        self.slot_ids.resize(base + self.s, EMPTY);
+        self.slot_dep.resize(base + self.s, false);
+        for (off, b) in bootstrap.iter().enumerate() {
+            self.slot_ids[base + off] = b.as_u64();
+            self.slot_dep[base + off] = true;
+        }
+        self.degree.push(bootstrap.len() as u32);
+        self.node_stats.push(NodeStats::new());
+        self.dense_id.push(id);
+        let raw = id.index();
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, DEAD);
+        }
+        self.index[raw] = dense;
+        self.live.push(id);
+        Ok(id)
+    }
+
+    /// Removes a node (leave/crash). Returns the departed node rebuilt
+    /// from the arena — its view is exact, but (unlike the classic
+    /// engine's return value) its per-node counters are zeroed; the
+    /// engine-level [`stats`](Self::stats) are unaffected either way.
+    pub fn leave(&mut self, id: NodeId) -> Option<SfNode> {
+        let k = self.dense_of(id)?;
+        let node = SfNode::from_view(id, self.config, self.view_at(k));
+        self.index[id.index()] = DEAD;
+        let pos = self.live.iter().position(|&x| x == id).expect("live list out of sync");
+        self.live.swap_remove(pos);
+        Some(node)
+    }
+
+    /// Total multiplicity of `id` across all live views.
+    #[must_use]
+    pub fn count_id_instances(&self, id: NodeId) -> usize {
+        let raw = id.as_u64();
+        self.live
+            .iter()
+            .map(|&lid| {
+                let base = (self.index[lid.index()] as usize) * self.s;
+                self.slot_ids[base..base + self.s].iter().filter(|&&x| x == raw).count()
+            })
+            .sum()
+    }
+
+    /// Snapshots the membership graph (live order, like the classic
+    /// engine's snapshot).
+    #[must_use]
+    pub fn graph(&self) -> MembershipGraph {
+        MembershipGraph::from_views(self.live.iter().map(|&id| {
+            let base = (self.index[id.index()] as usize) * self.s;
+            let targets: Vec<NodeId> = self.slot_ids[base..base + self.s]
+                .iter()
+                .filter(|&&raw| raw != EMPTY)
+                .map(|&raw| NodeId::new(raw))
+                .collect();
+            (id, targets)
+        }))
+    }
+
+    /// Measures spatial dependence across all live views (Property M4).
+    /// Reconstitutes the nodes first, so this is a measurement-time
+    /// convenience, not a hot path.
+    #[must_use]
+    pub fn dependence(&self) -> DependenceReport {
+        let nodes = self.to_nodes();
+        DependenceReport::measure(nodes.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Simulation;
+    use crate::loss::{GilbertElliott, UniformLoss};
+    use crate::topology;
+
+    use super::*;
+
+    fn config() -> SfConfig {
+        SfConfig::new(12, 4).unwrap()
+    }
+
+    fn nodes() -> Vec<SfNode> {
+        topology::circulant(24, config(), 4)
+    }
+
+    /// Asserts full observable equality of the two engines: stats, live
+    /// set, per-node views (slots, ids, dependence tags), aggregates.
+    fn assert_engines_equal<L: LossModel + fmt::Debug>(
+        classic: &Simulation<L>,
+        flat: &FlatSimulation<L>,
+    ) {
+        assert_eq!(classic.stats(), flat.stats(), "SimStats diverged");
+        assert_eq!(classic.len(), flat.len(), "live count diverged");
+        assert_eq!(classic.in_flight(), flat.in_flight(), "in-flight count diverged");
+        assert_eq!(
+            classic.aggregate_node_stats(),
+            flat.aggregate_node_stats(),
+            "aggregate NodeStats diverged"
+        );
+        let mut classic_live: Vec<NodeId> = classic.live_ids().to_vec();
+        let mut flat_live: Vec<NodeId> = flat.live_ids().to_vec();
+        assert_eq!(classic_live, flat_live, "live order diverged");
+        classic_live.sort_unstable();
+        flat_live.sort_unstable();
+        for &id in &classic_live {
+            let classic_view = classic.node(id).expect("live in classic").view().clone();
+            let flat_view = flat.node_view(id).expect("live in flat");
+            assert_eq!(classic_view, flat_view, "view of {id} diverged");
+            assert_eq!(classic.node(id).unwrap().stats(), {
+                let agg = flat.node_stats[flat.dense_of(id).unwrap()];
+                &agg.clone()
+            });
+        }
+    }
+
+    #[test]
+    fn flat_equals_classic_over_uniform_loss() {
+        for seed in [1u64, 33, 2009] {
+            let mut classic = Simulation::new(nodes(), UniformLoss::new(0.1).unwrap(), seed);
+            let mut flat = FlatSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), seed);
+            for _ in 0..40 {
+                classic.round();
+                flat.round();
+                assert_engines_equal(&classic, &flat);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_equals_classic_over_bursty_loss() {
+        let loss = || GilbertElliott::new(0.05, 0.2, 0.01, 0.5).unwrap();
+        for seed in [7u64, 21] {
+            let mut classic = Simulation::new(nodes(), loss(), seed);
+            let mut flat = FlatSimulation::new(nodes(), loss(), seed);
+            classic.run_rounds(60);
+            flat.run_rounds(60);
+            assert_engines_equal(&classic, &flat);
+        }
+    }
+
+    #[test]
+    fn flat_equals_classic_under_delay_and_settle() {
+        let delay = DelayModel::UniformSteps { max: 40 };
+        for seed in [3u64, 17] {
+            let mut classic =
+                Simulation::with_delay(nodes(), UniformLoss::new(0.05).unwrap(), delay, seed);
+            let mut flat =
+                FlatSimulation::with_delay(nodes(), UniformLoss::new(0.05).unwrap(), delay, seed);
+            for _ in 0..1_500 {
+                assert_eq!(classic.step(), flat.step(), "step reports diverged");
+            }
+            assert!(flat.in_flight() > 0, "no message was ever in flight");
+            assert_engines_equal(&classic, &flat);
+            classic.settle();
+            flat.settle();
+            assert_eq!(flat.in_flight(), 0);
+            assert_engines_equal(&classic, &flat);
+        }
+    }
+
+    #[test]
+    fn flat_equals_classic_under_churn() {
+        let mut classic = Simulation::new(nodes(), UniformLoss::new(0.02).unwrap(), 11);
+        let mut flat = FlatSimulation::new(nodes(), UniformLoss::new(0.02).unwrap(), 11);
+        classic.run_rounds(10);
+        flat.run_rounds(10);
+        for round in 0..30 {
+            let victim = classic.live_ids()[round % classic.len()];
+            assert!(classic.leave(victim).is_some());
+            assert!(flat.leave(victim).is_some());
+            let sponsor = classic.live_ids()[0];
+            let a = classic.join_via(sponsor).unwrap();
+            let b = flat.join_via(sponsor).unwrap();
+            assert_eq!(a, b, "joiner ids diverged");
+            classic.round();
+            flat.round();
+            assert_engines_equal(&classic, &flat);
+        }
+        assert!(classic.stats().dead_letters > 0, "churn should produce dead letters");
+    }
+
+    #[test]
+    fn flat_equals_classic_in_permuted_rounds() {
+        let mut classic = Simulation::new(nodes(), UniformLoss::new(0.05).unwrap(), 13);
+        let mut flat = FlatSimulation::new(nodes(), UniformLoss::new(0.05).unwrap(), 13);
+        for _ in 0..20 {
+            classic.round_permuted();
+            flat.round_permuted();
+        }
+        assert_engines_equal(&classic, &flat);
+        assert_eq!(flat.aggregate_node_stats().initiated, 20 * 24);
+    }
+
+    #[test]
+    fn flat_report_stream_matches_classic() {
+        let mut classic = Simulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 5);
+        let mut flat = FlatSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 5);
+        for _ in 0..600 {
+            assert_eq!(classic.step(), flat.step());
+        }
+    }
+
+    #[test]
+    fn flat_subscriber_sees_identical_reports() {
+        use std::sync::{Arc, Mutex};
+        let collect = |steps: usize| {
+            let log: Arc<Mutex<Vec<StepReport>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&log);
+            let mut sim = FlatSimulation::with_delay(
+                nodes(),
+                UniformLoss::new(0.05).unwrap(),
+                DelayModel::UniformSteps { max: 20 },
+                23,
+            );
+            sim.subscribe(Box::new(move |r: &StepReport| sink.lock().unwrap().push(*r)));
+            for _ in 0..steps {
+                sim.step();
+            }
+            sim.settle();
+            drop(sim);
+            Arc::try_unwrap(log).map_err(|_| ()).unwrap().into_inner().unwrap()
+        };
+        let classic_log = {
+            let log: Arc<Mutex<Vec<StepReport>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&log);
+            let mut sim = Simulation::with_delay(
+                nodes(),
+                UniformLoss::new(0.05).unwrap(),
+                DelayModel::UniformSteps { max: 20 },
+                23,
+            );
+            sim.subscribe(Box::new(move |r: &StepReport| sink.lock().unwrap().push(*r)));
+            for _ in 0..400 {
+                sim.step();
+            }
+            sim.settle();
+            drop(sim);
+            Arc::try_unwrap(log).map_err(|_| ()).unwrap().into_inner().unwrap()
+        };
+        assert_eq!(collect(400), classic_log, "observed report streams diverged");
+    }
+
+    #[test]
+    fn delayed_messages_conserve_the_ledger() {
+        let mut sim = FlatSimulation::with_delay(
+            nodes(),
+            UniformLoss::new(0.05).unwrap(),
+            DelayModel::UniformSteps { max: 40 },
+            3,
+        );
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        let s = sim.stats();
+        assert_eq!(
+            s.sent,
+            s.lost + s.dead_letters + s.stored + s.deleted + sim.in_flight() as u64,
+            "message ledger out of balance"
+        );
+        sim.settle();
+        assert_eq!(sim.in_flight(), 0);
+        let s = sim.stats();
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    }
+
+    #[test]
+    fn flat_simulation_is_send_and_replicates() {
+        fn assert_send<T: Send>(_: &T) {}
+        let sim = FlatSimulation::new(nodes(), UniformLoss::none(), 1);
+        assert_send(&sim);
+        let sim = sim.run_replicate(5, 5);
+        assert_eq!(sim.stats().actions, 5 * 24);
+    }
+
+    #[test]
+    fn clones_do_not_carry_subscribers() {
+        let mut sim = FlatSimulation::new(nodes(), UniformLoss::none(), 1);
+        sim.subscribe(Box::new(|_: &StepReport| {}));
+        assert_eq!(sim.subscriber_count(), 1);
+        assert_eq!(sim.clone().subscriber_count(), 0);
+    }
+
+    #[test]
+    fn attached_profiler_records_spans() {
+        let registry = MetricsRegistry::new();
+        let mut sim = FlatSimulation::new(nodes(), UniformLoss::none(), 31);
+        sim.attach_profiler(&registry);
+        sim.run_rounds(2);
+        let hist = registry.histogram("sim.profile.step_ns", duration_buckets());
+        assert_eq!(hist.count(), sim.stats().actions);
+    }
+
+    #[test]
+    fn to_nodes_roundtrips_through_the_classic_engine() {
+        let mut flat = FlatSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 77);
+        flat.run_rounds(25);
+        // A classic engine rebuilt from the arena continues in lockstep
+        // with a flat engine given the same continuation seed.
+        let mut classic = Simulation::new(flat.to_nodes(), UniformLoss::new(0.1).unwrap(), 99);
+        let mut flat2 = FlatSimulation::new(flat.to_nodes(), UniformLoss::new(0.1).unwrap(), 99);
+        for _ in 0..200 {
+            assert_eq!(classic.step(), flat2.step());
+        }
+        assert_engines_equal(&classic, &flat2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_node_set() {
+        let _ = FlatSimulation::new(Vec::new(), UniformLoss::none(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay bound")]
+    fn zero_delay_bound_is_rejected() {
+        let _ = FlatSimulation::with_delay(
+            nodes(),
+            UniformLoss::none(),
+            DelayModel::UniformSteps { max: 0 },
+            0,
+        );
+    }
+
+    #[test]
+    fn join_with_validates_like_the_protocol() {
+        let mut sim = FlatSimulation::new(nodes(), UniformLoss::none(), 1);
+        // Same checks, same order, same payloads as `SfNode::with_view`.
+        let two: Vec<NodeId> = (0..2).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&two), Err(JoinError::TooFewIds { supplied: 2, d_l: 4 }));
+        let five: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&five), Err(JoinError::OddIdCount { supplied: 5 }));
+        let too_many: Vec<NodeId> = (0..14).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&too_many), Err(JoinError::TooManyIds { supplied: 14, s: 12 }));
+        assert!(sim.join_with(&(0..4).map(NodeId::new).collect::<Vec<_>>()).is_ok());
+    }
+}

@@ -33,6 +33,7 @@
 
 mod engine;
 pub mod experiment;
+mod flat;
 mod loss;
 pub mod observer;
 pub mod telemetry;
@@ -41,5 +42,6 @@ pub mod topology;
 pub use engine::{
     DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,
 };
+pub use flat::FlatSimulation;
 pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLoss};
 pub use telemetry::SimRecorder;

@@ -163,7 +163,7 @@ impl LossModel for GilbertElliott {
 /// overrides on the *inbound* path (messages addressed to those nodes).
 ///
 /// The paper restricts its analysis to uniform loss and notes that
-/// "nonuniform loss occurs in practice … [and] is more difficult to model
+/// "nonuniform loss occurs in practice … \[and\] is more difficult to model
 /// and analyze" (Section 4.1). This model is the spatial flavor of that
 /// nonuniformity — e.g. one peer behind a terrible link — complementing the
 /// temporal flavor ([`GilbertElliott`]). The `loss_ablation` bench measures

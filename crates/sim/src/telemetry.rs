@@ -2,7 +2,7 @@
 //!
 //! [`SimRecorder`] is a [`StepSubscriber`] that mirrors every
 //! [`StepReport`] into `sim.step.*` counters and (optionally) a structured
-//! [`EventJournal`]. Its counters are defined to track [`SimStats`] exactly
+//! [`EventJournal`]. Its counters are defined to track [`SimStats`](crate::SimStats) exactly
 //! — see the `recorder_matches_sim_stats` test — so an external scraper
 //! reading the metrics registry sees the same ledger the simulation keeps
 //! internally.

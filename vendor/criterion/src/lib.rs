@@ -50,8 +50,8 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, auto-calibrating the batch size. The routine is run
-    /// until one batch takes at least [`TARGET_BATCH`], then measured
-    /// [`SAMPLES`] times at that batch size.
+    /// until one batch takes at least `TARGET_BATCH`, then measured
+    /// `SAMPLES` times at that batch size.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         let mut batch: u64 = 1;
         loop {

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::TestRng;
 use rand::Rng;
 
-/// A length specification for [`vec`]: an exact size, `lo..hi`, or
+/// A length specification for [`vec()`](crate::collection::vec): an exact size, `lo..hi`, or
 /// `lo..=hi`; mirrors `proptest::collection::SizeRange`.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
