@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! perf_smoke [--nodes N] [--rounds R] [--loss F] [--seed S]
-//!            [--engine flat|classic] [--out PATH]
+//!            [--engine flat|classic|par] [--threads T] [--out PATH]
 //!            [--min-steps-per-sec F]
 //! ```
 //!
 //! Defaults: `--nodes 1000000 --rounds 50 --loss 0.01 --seed 42
-//! --engine flat`. The JSON report is printed to stdout and, with
+//! --engine flat --threads 1` (`--threads` only affects `--engine par`).
+//! The JSON report is printed to stdout and, with
 //! `--out`, also written to a file (CI uploads it as an artifact and the
 //! PR commits it as `BENCH_PR<k>.json`). With `--min-steps-per-sec` the
 //! binary exits nonzero when throughput falls below the floor, which is
@@ -55,8 +56,15 @@ fn smoke(args: &[String]) -> Result<ExitCode, String> {
         config.engine = match engine.as_str() {
             "flat" => PerfEngine::Flat,
             "classic" => PerfEngine::Classic,
-            other => return Err(format!("unknown engine {other:?} (flat|classic)")),
+            "par" => PerfEngine::Par,
+            other => return Err(format!("unknown engine {other:?} (flat|classic|par)")),
         };
+    }
+    if let Some(threads) = parse_flag::<usize>(args, "--threads")? {
+        if threads == 0 {
+            return Err("--threads must be positive".to_string());
+        }
+        config.threads = threads;
     }
     let out: Option<String> = parse_flag(args, "--out")?;
     let floor: Option<f64> = parse_flag(args, "--min-steps-per-sec")?;

@@ -8,7 +8,8 @@
 //! `sandf-obs` span histograms, the end-to-end steps/sec throughput, peak
 //! RSS read from `/proc/self/status`, and the run's [`SimStats`] — the
 //! stats double as a determinism fingerprint, since the flat and classic
-//! engines must produce identical counters for identical seeds.
+//! engines must produce identical counters for identical seeds, and the
+//! par engine identical counters for any thread count.
 //!
 //! The JSON is hand-rolled (the workspace deliberately has no serde);
 //! [`PerfReport::to_json`] emits a stable key order so diffs between PRs
@@ -16,7 +17,7 @@
 
 use sandf_core::SfConfig;
 use sandf_obs::{duration_buckets, MetricsRegistry, SpanTimer, Stopwatch};
-use sandf_sim::{topology, FlatSimulation, SimStats, Simulation, UniformLoss};
+use sandf_sim::{topology, FlatSimulation, ParSimulation, SimStats, Simulation, UniformLoss};
 
 use crate::sweeps::initial_degree;
 
@@ -27,6 +28,9 @@ pub enum PerfEngine {
     Flat,
     /// The per-node reference engine ([`Simulation`]), for comparison runs.
     Classic,
+    /// The sharded multi-threaded engine ([`ParSimulation`]); honours
+    /// [`PerfSmokeConfig::threads`].
+    Par,
 }
 
 impl PerfEngine {
@@ -36,6 +40,7 @@ impl PerfEngine {
         match self {
             Self::Flat => "flat",
             Self::Classic => "classic",
+            Self::Par => "par",
         }
     }
 }
@@ -55,6 +60,9 @@ pub struct PerfSmokeConfig {
     pub config: SfConfig,
     /// Engine under measurement.
     pub engine: PerfEngine,
+    /// Worker-thread count for [`PerfEngine::Par`] (ignored by the
+    /// single-threaded engines).
+    pub threads: usize,
 }
 
 impl PerfSmokeConfig {
@@ -70,6 +78,7 @@ impl PerfSmokeConfig {
             seed: 42,
             config: SfConfig::new(16, 6).expect("smoke parameters are legal"),
             engine: PerfEngine::Flat,
+            threads: 1,
         }
     }
 }
@@ -120,12 +129,17 @@ pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
 
     let build_watch = Stopwatch::start();
     let initial = initial_degree(config.config, config.nodes);
-    let (mut flat, mut classic) = {
+    let (mut flat, mut classic, mut par) = {
         let _span = SpanTimer::start(&build_hist);
         let nodes = topology::circulant(config.nodes, config.config, initial);
         match config.engine {
-            PerfEngine::Flat => (Some(FlatSimulation::new(nodes, loss, config.seed)), None),
-            PerfEngine::Classic => (None, Some(Simulation::new(nodes, loss, config.seed))),
+            PerfEngine::Flat => (Some(FlatSimulation::new(nodes, loss, config.seed)), None, None),
+            PerfEngine::Classic => (None, Some(Simulation::new(nodes, loss, config.seed)), None),
+            PerfEngine::Par => {
+                let mut sim = ParSimulation::new(nodes, loss, config.seed, config.threads);
+                sim.attach_profiler(registry);
+                (None, None, Some(sim))
+            }
         }
     };
     let build_ms = ns_to_ms(build_watch.elapsed_ns());
@@ -139,15 +153,19 @@ pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
         if let Some(sim) = classic.as_mut() {
             sim.run_rounds(config.rounds);
         }
+        if let Some(sim) = par.as_mut() {
+            sim.run_rounds(config.rounds);
+        }
     }
     let run_ns = run_watch.elapsed_ns();
 
     let measure_watch = Stopwatch::start();
     let stats = {
         let _span = SpanTimer::start(&measure_hist);
-        let (stats, node_actions) = match (&flat, &classic) {
-            (Some(sim), _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
-            (_, Some(sim)) => (*sim.stats(), sim.aggregate_node_stats().initiated),
+        let (stats, node_actions) = match (&flat, &classic, &par) {
+            (Some(sim), _, _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
+            (_, Some(sim), _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
+            (_, _, Some(sim)) => (*sim.stats(), sim.aggregate_node_stats().initiated),
             _ => unreachable!("exactly one engine was built"),
         };
         // Sanity: no initiations lost between the ledgers (departed nodes
@@ -195,6 +213,7 @@ impl PerfReport {
                 "  \"loss\": {loss},\n",
                 "  \"seed\": {seed},\n",
                 "  \"engine\": \"{engine}\",\n",
+                "  \"threads\": {threads},\n",
                 "  \"phases_ms\": {{ \"build\": {build:.3}, \"run\": {run:.3}, ",
                 "\"measure\": {measure:.3} }},\n",
                 "  \"steps\": {steps},\n",
@@ -213,6 +232,7 @@ impl PerfReport {
             loss = c.loss,
             seed = c.seed,
             engine = c.engine.name(),
+            threads = c.threads,
             build = self.build_ms,
             run = self.run_ms,
             measure = self.measure_ms,
@@ -252,6 +272,41 @@ mod tests {
     #[test]
     fn flat_and_classic_agree_on_the_fingerprint() {
         assert_eq!(tiny(PerfEngine::Flat).stats, tiny(PerfEngine::Classic).stats);
+    }
+
+    #[test]
+    fn par_fingerprint_is_thread_count_invariant() {
+        let baseline = {
+            let mut config = PerfSmokeConfig::at_scale(256, 4);
+            config.engine = PerfEngine::Par;
+            run(config, &MetricsRegistry::new())
+        };
+        assert_eq!(baseline.stats.actions, 256 * 4);
+        for threads in [2, 8] {
+            let mut config = PerfSmokeConfig::at_scale(256, 4);
+            config.engine = PerfEngine::Par;
+            config.threads = threads;
+            let report = run(config, &MetricsRegistry::new());
+            assert_eq!(report.stats, baseline.stats, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn par_run_exports_engine_phase_metrics() {
+        let registry = MetricsRegistry::new();
+        let mut config = PerfSmokeConfig::at_scale(128, 2);
+        config.engine = PerfEngine::Par;
+        config.threads = 2;
+        let _ = run(config, &registry);
+        let names = registry.metric_names();
+        for name in [
+            "sim.profile.par.action_ns",
+            "sim.profile.par.merge_ns",
+            "sim.profile.par.deliver_ns",
+            "sim.par.shard_imbalance",
+        ] {
+            assert!(names.contains(&name.to_string()), "metric {name} not registered");
+        }
     }
 
     #[test]

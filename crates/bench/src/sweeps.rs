@@ -25,7 +25,8 @@ use sandf_graph::DegreeStats;
 use sandf_markov::{select_thresholds, DegreeMc, DegreeMcParams};
 use sandf_sim::experiment::{continuous_churn, steady_state_degrees, uniformity, ExperimentParams};
 use sandf_sim::{
-    topology, DelayModel, GilbertElliott, LossModel, Simulation, TargetedLoss, UniformLoss,
+    topology, DelayModel, GilbertElliott, LossModel, ParSimulation, Simulation, TargetedLoss,
+    UniformLoss,
 };
 
 use crate::fmt;
@@ -588,6 +589,57 @@ pub fn delay_table(n: usize, rounds: usize, replicates: usize, base_seed: u64) -
 }
 
 // ---------------------------------------------------------------------------
+// par_degree — the sharded engine on the §6.4 loss grid
+// ---------------------------------------------------------------------------
+
+/// One loss rate of the parallel-engine degree sweep.
+pub struct ParDegreeCell {
+    /// Uniform loss rate `ℓ`.
+    pub loss: f64,
+}
+
+impl SweepCell for ParDegreeCell {
+    fn key(&self) -> String {
+        format!("loss={}", self.loss)
+    }
+}
+
+/// The §6.4 degree grid driven by [`ParSimulation`]: steady-state degree
+/// statistics and duplication rate per loss rate. `threads` changes
+/// wall-clock only — the engine is byte-identical for any thread count, so
+/// the returned TSV is too; the thread-count determinism regression test
+/// pins it for `threads ∈ {1, 2, 8}`.
+#[must_use]
+pub fn par_degree_table(
+    n: usize,
+    burn_in: usize,
+    measure: usize,
+    threads: usize,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let config = paper_config();
+    let cells: Vec<ParDegreeCell> =
+        [0.0, 0.01, 0.05, 0.1].iter().map(|&loss| ParDegreeCell { loss }).collect();
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    // Same topology for every cell/replicate — construct once, clone in.
+    let nodes = topology::circulant(n, config, initial_degree(config, n));
+    let results = spec.run(&["mean_out", "in_std", "dup_rate", "connected"], |cell, rng| {
+        let loss = UniformLoss::new(cell.loss).expect("valid rate");
+        let sim = ParSimulation::new(nodes.clone(), loss, rng.next_u64(), threads)
+            .run_replicate(burn_in, measure);
+        let graph = sim.graph();
+        vec![
+            DegreeStats::from_samples(&graph.out_degrees()).mean,
+            DegreeStats::from_samples(&graph.in_degrees()).std_dev(),
+            sim.stats().duplication_rate().unwrap_or(0.0),
+            f64::from(u8::from(graph.is_weakly_connected())),
+        ]
+    });
+    results.to_tsv(&["loss"], |c| vec![fmt(c.loss)])
+}
+
+// ---------------------------------------------------------------------------
 // uniformity — Lemma 7.6 / Property M3
 // ---------------------------------------------------------------------------
 
@@ -658,6 +710,15 @@ mod tests {
     fn churn_table_has_one_row_per_interval() {
         let tsv = churn_table(32, 10, 20, 2, 9);
         assert_eq!(tsv.lines().count(), 6);
+    }
+
+    #[test]
+    fn par_degree_table_is_thread_count_invariant() {
+        let single = par_degree_table(48, 10, 10, 1, 2, 7);
+        // Header + 4 loss rates.
+        assert_eq!(single.lines().count(), 5);
+        assert!(single.starts_with("loss\tmean_out_mean\tmean_out_ci95\t"));
+        assert_eq!(par_degree_table(48, 10, 10, 3, 2, 7), single);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::path::PathBuf;
 
 use sandf_bench::sweeps::loss_ablation_table;
-use sandf_core::{SfConfig, SfNode};
+use sandf_core::{NodeId, SfConfig, SfNode};
 use sandf_obs::MetricsRegistry;
 use sandf_sim::{
     topology, DelayModel, FlatSimulation, GilbertElliott, LossModel, SimRecorder, Simulation,
@@ -81,6 +81,32 @@ fn sweep_artifact() -> String {
     loss_ablation_table(60, 10, 10, 2, 99)
 }
 
+/// The combined scenario the isolated tests above do not cover: churn
+/// (`leave` + `join_via`) **and** a bursty Gilbert–Elliott channel
+/// **and** `round_permuted` scheduling, all under delayed delivery. Every
+/// epoch runs five permuted rounds, removes one of the original nodes
+/// (stranding its in-flight traffic as dead letters), and joins a
+/// replacement via a still-live sponsor; the run then settles. The two
+/// engines must stay in lockstep through all of it — same RNG draw
+/// sequence, same joiner ids, same dead letters, byte-identical artifact.
+macro_rules! churn_artifact {
+    ($engine:ident, $loss:expr, $seed:expr) => {{
+        let registry = MetricsRegistry::new();
+        let mut sim =
+            $engine::with_delay(nodes(), $loss, DelayModel::UniformSteps { max: 8 }, $seed);
+        sim.subscribe(Box::new(SimRecorder::new(&registry)));
+        for epoch in 0..4u64 {
+            for _ in 0..5 {
+                sim.round_permuted();
+            }
+            sim.leave(NodeId::new(epoch)).expect("original node is live");
+            sim.join_via(NodeId::new(epoch + 10)).expect("sponsor has enough neighbours");
+        }
+        sim.settle();
+        format!("{:?}\n{}", sim.stats(), registry.render_prometheus())
+    }};
+}
+
 /// The scenario grid: golden file name → classic/flat artifact producers.
 fn scenarios() -> Vec<(String, String, String)> {
     let mut all = Vec::new();
@@ -115,6 +141,34 @@ fn flat_engine_matches_recorded_goldens() {
             .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
         assert_eq!(classic, golden, "{name}: classic engine drifted from its own golden");
         assert_eq!(flat, golden, "{name}: flat engine is not byte-identical to the golden");
+    }
+}
+
+#[test]
+fn combined_churn_bursty_permuted_scenario_stays_in_lockstep() {
+    let update = std::env::var("UPDATE_GOLDENS").is_ok();
+    if update {
+        std::fs::create_dir_all(golden_path("")).expect("golden dir");
+    }
+    for seed in SEEDS {
+        let name = format!("pr5_churn_ge_permuted_{seed}.txt");
+        let path = golden_path(&name);
+        let classic = churn_artifact!(Simulation, bursty(), seed);
+        let flat = churn_artifact!(FlatSimulation, bursty(), seed);
+        if update {
+            // Goldens are always written from the classic engine.
+            std::fs::write(&path, &classic).expect("write golden");
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+        assert_eq!(classic, golden, "{name}: classic engine drifted from its own golden");
+        assert_eq!(flat, golden, "{name}: flat engine fell out of lockstep under combined churn");
+        // The scenario only earns its keep if churn actually strands
+        // traffic: the settled run must have seen dead letters.
+        assert!(
+            golden.contains("dead_letters: "),
+            "{name}: artifact lost the stats debug rendering"
+        );
     }
 }
 

@@ -8,6 +8,7 @@ use crate::engine::Simulation;
 use crate::flat::FlatSimulation;
 use crate::loss::UniformLoss;
 use crate::observer::{DegreeSampler, OccupancyCounter};
+use crate::par::ParSimulation;
 use crate::topology;
 
 /// Common experiment parameters.
@@ -79,6 +80,17 @@ impl ExperimentParams {
     pub fn build_flat_simulation(&self) -> FlatSimulation<UniformLoss> {
         let loss = UniformLoss::new(self.loss).expect("loss rate validated by caller");
         FlatSimulation::new(self.prepare_topology(), loss, self.seed)
+    }
+
+    /// Builds the sharded multi-threaded engine over the same topology,
+    /// loss, and seed. Results are byte-identical for any `threads`; the
+    /// engine is a round-based statistical mode distinct from (but
+    /// statistically equivalent to) the sequential engines — see the
+    /// [`ParSimulation`] docs.
+    #[must_use]
+    pub fn build_par_simulation(&self, threads: usize) -> ParSimulation<UniformLoss> {
+        let loss = UniformLoss::new(self.loss).expect("loss rate validated by caller");
+        ParSimulation::new(self.prepare_topology(), loss, self.seed, threads)
     }
 
     /// A sensible initial outdegree: two thirds of the way from `d_L` to `s`

@@ -36,6 +36,7 @@ pub mod experiment;
 mod flat;
 mod loss;
 pub mod observer;
+mod par;
 pub mod telemetry;
 pub mod topology;
 
@@ -44,4 +45,5 @@ pub use engine::{
 };
 pub use flat::FlatSimulation;
 pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLoss};
+pub use par::ParSimulation;
 pub use telemetry::SimRecorder;

@@ -1,0 +1,1459 @@
+//! The multi-threaded fast path: a sharded, round-based simulation engine.
+//!
+//! [`FlatSimulation`](crate::FlatSimulation) is bound by single-thread
+//! throughput: one RNG stream forces every step to happen in sequence. The
+//! sharded engine removes that bottleneck by changing *where randomness
+//! comes from*: instead of one stream whose draw order serializes the run,
+//! every `(node, round)` pair derives its own short-lived RNG from the
+//! simulation seed with FNV-1a — the same per-task derivation scheme the
+//! sweep executor in `sandf_bench::sweep` uses for replicate seeds. A
+//! node's behavior in a round then depends only on `(seed, node id,
+//! round)` and its own view, never on which thread ran it, so the arena
+//! can be split into `T` contiguous shards and processed concurrently
+//! while staying **byte-identical for any thread count**.
+//!
+//! Each round executes three phases:
+//!
+//! 1. **action phase (parallel)** — every live node initiates exactly
+//!    once, in dense arena order within each shard, using its private
+//!    per-`(seed, node, round)` RNG stream; outbound messages are
+//!    buffered per shard;
+//! 2. **merge phase (sequential, deterministic)** — the per-shard send
+//!    buffers are concatenated in shard order (= global dense order, for
+//!    every `T`) into the ring-buffer in-flight queue;
+//! 3. **delivery phase (parallel)** — the bucket due this round is
+//!    stably ordered by `(deliver_time, sender, slot)` (one bucket holds
+//!    exactly one delivery time; each node sends at most one message — a
+//!    single slot — per round, so ties fall back to send-round order),
+//!    dead letters are counted sequentially, and the surviving messages
+//!    are partitioned by receiver shard and applied concurrently, each
+//!    receive drawing from a per-message RNG derived from
+//!    `(seed, deliver_time, bucket position)`.
+//!
+//! # A distinct — but valid — statistical mode
+//!
+//! The classic and flat engines are seed-for-seed identical to each other
+//! and follow the paper's central-entity model: one uniformly random node
+//! steps at a time, with one global RNG. `ParSimulation` is **not**
+//! lockstep-equivalent to them — it is a round-based engine (every live
+//! node initiates exactly once per round, like
+//! [`round_permuted`](crate::FlatSimulation::round_permuted)), message
+//! delays are drawn in *rounds* rather than steps, and each sender owns a
+//! private loss channel (relevant for stateful models like
+//! [`GilbertElliott`](crate::GilbertElliott)). All protocol transitions
+//! (initiate, receive, duplication threshold, deletion-on-full) are the
+//! same machine, so steady-state statistics — degree distributions,
+//! duplication/deletion/loss rates — agree with the sequential engines
+//! within sampling error; `crates/bench/tests/par_statistics.rs` checks
+//! this against the classic engine at matched parameters.
+//!
+//! ```
+//! use sandf_core::SfConfig;
+//! use sandf_sim::{topology, ParSimulation, UniformLoss};
+//!
+//! let config = SfConfig::new(16, 6)?;
+//! let nodes = topology::circulant(10_000, config, 8);
+//! let mut eight = ParSimulation::new(nodes.clone(), UniformLoss::new(0.01)?, 42, 8);
+//! let mut one = ParSimulation::new(nodes, UniformLoss::new(0.01)?, 42, 1);
+//! eight.run_rounds(5);
+//! one.run_rounds(5);
+//! assert_eq!(eight.stats(), one.stats()); // byte-identical for any thread count
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sandf_core::{Entry, JoinError, LocalView, Message, NodeId, NodeStats, SfConfig, SfNode};
+use sandf_graph::{DependenceReport, MembershipGraph};
+use sandf_obs::{duration_buckets, GaugeHandle, HistogramHandle, MetricsRegistry, SpanTimer};
+
+use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
+use crate::loss::LossModel;
+
+/// Empty-slot sentinel in the arena. Real node ids must stay below it.
+const EMPTY: u64 = u64::MAX;
+
+/// "Not live" sentinel in the id → dense-index table.
+const DEAD: u32 = u32::MAX;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` — the same hash `sandf_bench::sweep` uses to derive
+/// per-replicate seeds, applied here to per-`(node, round)` and
+/// per-message streams.
+#[inline]
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Derives one stream seed from the simulation seed, a stream tag, and two
+/// stream coordinates, hashed as little-endian bytes (a fixed 25-byte
+/// layout: seed ‖ tag ‖ a ‖ b — no allocation on the hot path).
+#[inline]
+fn stream_seed(seed: u64, tag: u8, a: u64, b: u64) -> u64 {
+    let mut buf = [0u8; 25];
+    buf[..8].copy_from_slice(&seed.to_le_bytes());
+    buf[8] = tag;
+    buf[9..17].copy_from_slice(&a.to_le_bytes());
+    buf[17..].copy_from_slice(&b.to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// The action-phase RNG stream of `node` in `round`: tag `b'a'`.
+#[inline]
+fn action_seed(seed: u64, node: u64, round: u64) -> u64 {
+    stream_seed(seed, b'a', node, round)
+}
+
+/// The delivery RNG stream of the message at sorted bucket position `pos`
+/// delivered at time `at`: tag `b'd'`.
+#[inline]
+fn delivery_seed(seed: u64, at: u64, pos: u64) -> u64 {
+    stream_seed(seed, b'd', at, pos)
+}
+
+/// The control-plane RNG stream (sponsor-view shuffles in
+/// [`ParSimulation::join_via`]): tag `b'c'`.
+#[inline]
+fn control_seed(seed: u64) -> u64 {
+    stream_seed(seed, b'c', 0, 0)
+}
+
+/// Adds every counter of `delta` into `total`.
+fn merge_stats(total: &mut SimStats, delta: &SimStats) {
+    total.actions += delta.actions;
+    total.self_loops += delta.self_loops;
+    total.sent += delta.sent;
+    total.lost += delta.lost;
+    total.dead_letters += delta.dead_letters;
+    total.stored += delta.stored;
+    total.deleted += delta.deleted;
+    total.duplications += delta.duplications;
+}
+
+/// Per-round span histograms and the shard-balance gauge, when a profiler
+/// is attached.
+#[derive(Clone, Debug)]
+struct ParProfile {
+    action: HistogramHandle,
+    merge: HistogramHandle,
+    deliver: HistogramHandle,
+    imbalance: GaugeHandle,
+}
+
+/// Read-only context shared by all action-phase shard workers.
+#[derive(Clone, Copy)]
+struct ActionCtx<'a> {
+    s: usize,
+    d_l: usize,
+    seed: u64,
+    round: u64,
+    delay: DelayModel,
+    dense_id: &'a [NodeId],
+    index: &'a [u32],
+    observed: bool,
+}
+
+/// What one action-phase shard worker produced.
+struct ActionShardOut {
+    stats: SimStats,
+    live: u64,
+    /// Outbound messages as `(deliver_round, to, message)`, in dense order.
+    sends: Vec<(u64, NodeId, Message)>,
+    /// Action reports in dense order (`step` assigned during the merge).
+    reports: Vec<StepReport>,
+}
+
+/// Read-only context shared by all delivery-phase shard workers.
+#[derive(Clone, Copy)]
+struct DeliveryCtx {
+    s: usize,
+    seed: u64,
+    /// The delivery time of the drained bucket.
+    at: u64,
+    /// The step stamped on delivery reports (end of the current round).
+    end_step: u64,
+    observed: bool,
+}
+
+/// One delivered message, routed to its receiver shard: the sorted bucket
+/// position (drives the per-message RNG stream and the report order), the
+/// receiver's dense index and id, and the message itself.
+#[derive(Clone, Copy)]
+struct RoutedMessage {
+    pos: usize,
+    dense: usize,
+    to: NodeId,
+    message: Message,
+}
+
+/// What one delivery-phase shard worker produced.
+#[derive(Default)]
+struct DeliveryShardOut {
+    stored: u64,
+    deleted: u64,
+    /// Delivery reports keyed by sorted bucket position.
+    reports: Vec<(usize, StepReport)>,
+}
+
+/// The sharded, multi-threaded fast path of the simulation stack.
+///
+/// Same arena layout as [`FlatSimulation`](crate::FlatSimulation) (one
+/// contiguous `n × s` slot arena, dense ledgers, ring-buffer in-flight
+/// queue), driven by round-based three-phase execution — parallel actions,
+/// deterministic merge, parallel delivery — with per-`(seed, node, round)`
+/// FNV-1a-derived RNG streams. Results are **byte-identical for any thread
+/// count**; see the module docs for the scheme and for why this engine is
+/// a distinct-but-valid statistical mode relative to
+/// [`Simulation`](crate::Simulation).
+///
+/// Under [`DelayModel::UniformSteps`] the bound is interpreted in
+/// *rounds*: each message arrives `1..=max` rounds after it was sent.
+/// Under [`DelayModel::Immediate`] messages are delivered in the same
+/// round's delivery phase (after every node has acted).
+pub struct ParSimulation<L> {
+    config: SfConfig,
+    /// View size, cached out of `config` for the hot loops.
+    s: usize,
+    /// Lower threshold, cached out of `config` for the hot loops.
+    d_l: usize,
+    /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
+    slot_ids: Vec<u64>,
+    /// Dependence tags, parallel to `slot_ids` (meaningless on `EMPTY`).
+    slot_dep: Vec<bool>,
+    /// Outdegree ledger, indexed by dense node index.
+    degree: Vec<u32>,
+    /// Per-node event counters, indexed by dense node index.
+    node_stats: Vec<NodeStats>,
+    /// Dense index → node id (grows on join, never shrinks).
+    dense_id: Vec<NodeId>,
+    /// Raw id → dense index (`DEAD` for departed or never-assigned ids).
+    index: Vec<u32>,
+    /// Number of live nodes (the dense arena also carries departed ones).
+    live_count: usize,
+    /// Per-sender loss channels, indexed by dense node index. Stateful
+    /// models ([`GilbertElliott`](crate::GilbertElliott)) advance
+    /// per-sender, which keeps loss decisions shard-independent.
+    loss: Vec<L>,
+    /// Prototype channel cloned for nodes that join later.
+    loss_proto: L,
+    delay: DelayModel,
+    /// Rounds executed so far (drives RNG stream derivation).
+    round: u64,
+    /// Global action counter (one per live node per round), stamped on
+    /// reports for parity with the sequential engines.
+    step_counter: u64,
+    /// Delivery ring: bucket `t % ring.len()` holds the messages due at
+    /// round `t`. A single bucket in immediate mode.
+    ring: Vec<Vec<(NodeId, Message)>>,
+    /// Messages currently in flight across all ring buckets.
+    in_flight_count: usize,
+    seed: u64,
+    /// Control-plane RNG (join_via shuffles) — deterministic and separate
+    /// from the per-node streams.
+    ctl_rng: StdRng,
+    stats: SimStats,
+    next_id: u64,
+    threads: usize,
+    /// Shard balance of the last executed round: max shard live count over
+    /// the perfectly balanced share (1.0 = balanced).
+    last_imbalance: f64,
+    /// Registered step-event observers (not carried across clones).
+    subscribers: Vec<Box<dyn StepSubscriber>>,
+    /// Per-phase span histograms, when a profiler is attached.
+    profile: Option<ParProfile>,
+}
+
+impl<L: Clone> Clone for ParSimulation<L> {
+    /// Clones the simulation state. As with the other engines, subscribers
+    /// are **not** cloned and an attached profiler is shared.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            s: self.s,
+            d_l: self.d_l,
+            slot_ids: self.slot_ids.clone(),
+            slot_dep: self.slot_dep.clone(),
+            degree: self.degree.clone(),
+            node_stats: self.node_stats.clone(),
+            dense_id: self.dense_id.clone(),
+            index: self.index.clone(),
+            live_count: self.live_count,
+            loss: self.loss.clone(),
+            loss_proto: self.loss_proto.clone(),
+            delay: self.delay,
+            round: self.round,
+            step_counter: self.step_counter,
+            ring: self.ring.clone(),
+            in_flight_count: self.in_flight_count,
+            seed: self.seed,
+            ctl_rng: self.ctl_rng.clone(),
+            stats: self.stats,
+            next_id: self.next_id,
+            threads: self.threads,
+            last_imbalance: self.last_imbalance,
+            subscribers: Vec::new(),
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for ParSimulation<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParSimulation")
+            .field("config", &self.config)
+            .field("live", &self.live_count)
+            .field("loss", &self.loss_proto)
+            .field("delay", &self.delay)
+            .field("round", &self.round)
+            .field("threads", &self.threads)
+            .field("in_flight", &self.in_flight_count)
+            .field("stats", &self.stats)
+            .field("subscribers", &self.subscribers.len())
+            .field("profiled", &self.profile.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: LossModel + Clone + Send> ParSimulation<L> {
+    /// Creates a sharded simulation over the given nodes. `threads` is the
+    /// number of contiguous arena shards processed concurrently; it
+    /// affects wall-clock only, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, contains duplicate ids, mixes
+    /// configurations, uses the reserved id `u64::MAX`, or if `threads`
+    /// is zero.
+    #[must_use]
+    pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        assert!(!nodes.is_empty(), "simulation needs at least one node");
+        let config = nodes[0].config();
+        assert!(
+            nodes.iter().all(|n| n.config() == config),
+            "all nodes must share one configuration"
+        );
+        let s = config.view_size();
+        let n = nodes.len();
+        let dense_id: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
+        let next_id = dense_id.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let max_raw = dense_id.iter().map(|id| id.index()).max().unwrap_or(0);
+        let mut index = vec![DEAD; max_raw + 1];
+        let mut slot_ids = vec![EMPTY; n * s];
+        let mut slot_dep = vec![false; n * s];
+        let mut degree = vec![0u32; n];
+        let mut node_stats = vec![NodeStats::new(); n];
+        for (k, node) in nodes.iter().enumerate() {
+            let id = node.id();
+            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
+            assert!(index[id.index()] == DEAD, "duplicate node ids");
+            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
+            let base = k * s;
+            let mut deg = 0u32;
+            for (off, slot) in node.view().slots().enumerate() {
+                if let Some(entry) = slot {
+                    slot_ids[base + off] = entry.id.as_u64();
+                    slot_dep[base + off] = entry.dependent;
+                    deg += 1;
+                }
+            }
+            degree[k] = deg;
+            node_stats[k] = *node.stats();
+        }
+        Self {
+            config,
+            s,
+            d_l: config.lower_threshold(),
+            slot_ids,
+            slot_dep,
+            degree,
+            node_stats,
+            dense_id,
+            index,
+            live_count: n,
+            loss: vec![loss.clone(); n],
+            loss_proto: loss,
+            delay: DelayModel::Immediate,
+            round: 0,
+            step_counter: 0,
+            ring: vec![Vec::new()],
+            in_flight_count: 0,
+            seed,
+            ctl_rng: StdRng::seed_from_u64(control_seed(seed)),
+            stats: SimStats::default(),
+            next_id,
+            threads,
+            last_imbalance: 1.0,
+            subscribers: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Creates a sharded simulation with a message-delay model. Under
+    /// [`DelayModel::UniformSteps`] the bound `max` is interpreted in
+    /// **rounds** (the engine's time unit): each message arrives
+    /// `1..=max` rounds after the round that sent it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`new`](Self::new), or when the
+    /// delay bound is zero.
+    #[must_use]
+    pub fn with_delay(
+        nodes: Vec<SfNode>,
+        loss: L,
+        delay: DelayModel,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let mut sim = Self::new(nodes, loss, seed, threads);
+        if let DelayModel::UniformSteps { max } = delay {
+            assert!(max > 0, "delay bound must be positive");
+            let buckets = usize::try_from(max + 1).expect("delay bound exceeds address space");
+            sim.ring = vec![Vec::new(); buckets];
+        }
+        sim.delay = delay;
+        sim
+    }
+
+    /// Registers a step-event observer. The report stream is itself
+    /// deterministic and thread-count-independent: action reports arrive
+    /// in dense arena order, delivery reports in sorted bucket order.
+    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber>) {
+        self.subscribers.push(subscriber);
+    }
+
+    /// Number of registered step-event observers.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Attaches per-phase profiling: `sim.profile.par.{action,merge,deliver}_ns`
+    /// span histograms (one sample per round each) and the
+    /// `sim.par.shard_imbalance` gauge (max shard live count over the
+    /// balanced share; 1.0 = perfectly balanced).
+    pub fn attach_profiler(&mut self, registry: &MetricsRegistry) {
+        self.profile = Some(ParProfile {
+            action: registry.histogram("sim.profile.par.action_ns", duration_buckets()),
+            merge: registry.histogram("sim.profile.par.merge_ns", duration_buckets()),
+            deliver: registry.histogram("sim.profile.par.deliver_ns", duration_buckets()),
+            imbalance: registry.gauge("sim.par.shard_imbalance"),
+        });
+    }
+
+    /// Reports `report` to every subscriber; out of line so the
+    /// subscriber-free path stays compact.
+    #[cold]
+    #[inline(never)]
+    fn notify(&mut self, report: &StepReport) {
+        let mut subs = std::mem::take(&mut self.subscribers);
+        for sub in &mut subs {
+            sub.on_step(report);
+        }
+        subs.append(&mut self.subscribers);
+        self.subscribers = subs;
+    }
+
+    /// The shared protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> SfConfig {
+        self.config
+    }
+
+    /// The configured shard/thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the shard/thread count. Results are unaffected — this
+    /// trades wall-clock only, which is exactly the determinism contract
+    /// the `par_determinism` golden tests pin.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether no node is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// The ids of the live nodes, in dense arena order (the engine's
+    /// deterministic iteration order).
+    #[must_use]
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.dense_id
+            .iter()
+            .enumerate()
+            .filter(|&(k, id)| self.index[id.index()] == k as u32)
+            .map(|(_, &id)| id)
+            .collect()
+    }
+
+    /// Number of messages currently in flight (0 after any complete round
+    /// under [`DelayModel::Immediate`]).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight_count
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// Accumulated system-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Shard balance of the most recent round: the largest shard's live
+    /// count divided by the perfectly balanced share (1.0 = balanced; 1.0
+    /// before any round has run).
+    #[must_use]
+    pub fn shard_imbalance(&self) -> f64 {
+        self.last_imbalance
+    }
+
+    /// Resets system-wide and per-node counters (e.g. after burn-in).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        let live: Vec<usize> = self.live_dense().collect();
+        for k in live {
+            self.node_stats[k].reset();
+        }
+    }
+
+    /// Sum of all live nodes' per-node counters.
+    #[must_use]
+    pub fn aggregate_node_stats(&self) -> NodeStats {
+        let mut total = NodeStats::new();
+        for k in self.live_dense() {
+            total.merge(&self.node_stats[k]);
+        }
+        total
+    }
+
+    /// Dense indices of the live nodes, in arena order.
+    fn live_dense(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dense_id
+            .iter()
+            .enumerate()
+            .filter(|&(k, id)| self.index[id.index()] == k as u32)
+            .map(|(k, _)| k)
+    }
+
+    /// The dense arena index of a live node, or `None` when departed.
+    #[inline]
+    fn dense_of(&self, id: NodeId) -> Option<usize> {
+        match self.index.get(id.index()) {
+            Some(&k) if k != DEAD => Some(k as usize),
+            _ => None,
+        }
+    }
+
+    /// A live node's outdegree, or `None` when departed.
+    #[must_use]
+    pub fn out_degree_of(&self, id: NodeId) -> Option<usize> {
+        self.dense_of(id).map(|k| self.degree[k] as usize)
+    }
+
+    /// Reconstitutes a live node's [`LocalView`] from the arena (slot
+    /// positions, ids, and dependence tags all preserved), or `None` when
+    /// departed. Intended for snapshots and tests, not hot paths.
+    #[must_use]
+    pub fn node_view(&self, id: NodeId) -> Option<LocalView> {
+        let k = self.dense_of(id)?;
+        Some(self.view_at(k))
+    }
+
+    fn view_at(&self, k: usize) -> LocalView {
+        let base = k * self.s;
+        LocalView::from_slots(
+            (base..base + self.s)
+                .map(|i| {
+                    (self.slot_ids[i] != EMPTY).then(|| Entry {
+                        id: NodeId::new(self.slot_ids[i]),
+                        dependent: self.slot_dep[i],
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// Reconstitutes every live node as an [`SfNode`], in dense arena
+    /// order. Views carry over exactly; per-node counters are zeroed
+    /// (read [`aggregate_node_stats`](Self::aggregate_node_stats) from
+    /// the engine instead).
+    #[must_use]
+    pub fn to_nodes(&self) -> Vec<SfNode> {
+        self.live_dense()
+            .map(|k| SfNode::from_view(self.dense_id[k], self.config, self.view_at(k)))
+            .collect()
+    }
+
+    /// Executes one three-phase round: every live node initiates exactly
+    /// once (parallel, per-node RNG streams), sends are merged
+    /// deterministically into the in-flight ring, and the messages due
+    /// this round are delivered (parallel).
+    pub fn round(&mut self) {
+        let arena = self.dense_id.len();
+        let threads = self.threads.min(arena).max(1);
+        let shard_len = arena.div_ceil(threads);
+        let round = self.round;
+        let observed = !self.subscribers.is_empty();
+
+        // --- Phase 1: parallel per-shard actions. ---
+        let outs = {
+            let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.action));
+            let ctx = ActionCtx {
+                s: self.s,
+                d_l: self.d_l,
+                seed: self.seed,
+                round,
+                delay: self.delay,
+                dense_id: &self.dense_id,
+                index: &self.index,
+                observed,
+            };
+            let shards = self
+                .slot_ids
+                .chunks_mut(shard_len * self.s)
+                .zip(self.degree.chunks_mut(shard_len))
+                .zip(self.node_stats.chunks_mut(shard_len))
+                .zip(self.loss.chunks_mut(shard_len));
+            if threads == 1 {
+                shards
+                    .enumerate()
+                    .map(|(j, (((slots, degs), nstats), losses))| {
+                        run_action_shard(ctx, j * shard_len, slots, degs, nstats, losses)
+                    })
+                    .collect::<Vec<_>>()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .enumerate()
+                        .map(|(j, (((slots, degs), nstats), losses))| {
+                            scope.spawn(move || {
+                                run_action_shard(ctx, j * shard_len, slots, degs, nstats, losses)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("action shard worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+            }
+        };
+
+        // Shard balance, from the live counts the workers gathered anyway.
+        let live_total: u64 = outs.iter().map(|o| o.live).sum();
+        let max_shard = outs.iter().map(|o| o.live).max().unwrap_or(0);
+        self.last_imbalance = if live_total == 0 {
+            1.0
+        } else {
+            max_shard as f64 * outs.len() as f64 / live_total as f64
+        };
+        if let Some(profile) = &self.profile {
+            profile.imbalance.set(self.last_imbalance);
+        }
+
+        // --- Phase 2: deterministic merge, in shard (= dense) order. ---
+        let mut action_reports: Vec<StepReport> = Vec::new();
+        {
+            let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.merge));
+            let ring_len = self.ring.len() as u64;
+            for out in outs {
+                merge_stats(&mut self.stats, &out.stats);
+                for (deliver_round, to, message) in out.sends {
+                    let bucket = (deliver_round % ring_len) as usize;
+                    self.ring[bucket].push((to, message));
+                    self.in_flight_count += 1;
+                }
+                if observed {
+                    action_reports.extend(out.reports);
+                }
+            }
+        }
+        if observed {
+            let mut step = self.step_counter;
+            for report in &mut action_reports {
+                step += 1;
+                report.step = step;
+            }
+            for report in &action_reports {
+                self.notify(report);
+            }
+        }
+        self.step_counter += live_total;
+        let end_step = self.step_counter;
+
+        // --- Phase 3: deliver the bucket due this round. ---
+        {
+            let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.deliver));
+            self.deliver_bucket(round, shard_len, threads, end_step);
+        }
+        self.round += 1;
+    }
+
+    /// Drains the ring bucket due at time `at`: stably orders it by
+    /// `(deliver_time, sender, slot)` (see the module docs), counts dead
+    /// letters sequentially, and applies the surviving receives in
+    /// parallel per receiver shard.
+    fn deliver_bucket(&mut self, at: u64, shard_len: usize, threads: usize, end_step: u64) {
+        let bucket = (at % self.ring.len() as u64) as usize;
+        if self.ring[bucket].is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.ring[bucket]);
+        self.in_flight_count -= batch.len();
+        // One bucket holds exactly one delivery time, and a sender emits at
+        // most one message (one slot) per round, so a stable sort by sender
+        // realizes the (deliver_time, sender, slot) order with send-round
+        // ties resolved by insertion order — which the merge phase made
+        // thread-count-independent.
+        batch.sort_by_key(|&(_, message)| message.sender);
+        let observed = !self.subscribers.is_empty();
+
+        // Route to receiver shards; count dead letters in bucket order.
+        let shard_count = self.dense_id.len().div_ceil(shard_len);
+        let mut per_shard: Vec<Vec<RoutedMessage>> = vec![Vec::new(); shard_count];
+        let mut reports: Vec<(usize, StepReport)> = Vec::new();
+        for (pos, &(to, message)) in batch.iter().enumerate() {
+            match self.dense_of(to) {
+                None => {
+                    self.stats.dead_letters += 1;
+                    if observed {
+                        reports.push((
+                            pos,
+                            StepReport {
+                                initiator: message.sender,
+                                event: StepEvent::DeadLetter {
+                                    to,
+                                    message,
+                                    duplicated: message.dependent,
+                                },
+                                phase: StepPhase::Delivery,
+                                step: end_step,
+                            },
+                        ));
+                    }
+                }
+                Some(k) => {
+                    per_shard[k / shard_len].push(RoutedMessage { pos, dense: k, to, message })
+                }
+            }
+        }
+
+        let ctx = DeliveryCtx { s: self.s, seed: self.seed, at, end_step, observed };
+        let shards = self
+            .slot_ids
+            .chunks_mut(shard_len * self.s)
+            .zip(self.slot_dep.chunks_mut(shard_len * self.s))
+            .zip(self.degree.chunks_mut(shard_len))
+            .zip(self.node_stats.chunks_mut(shard_len))
+            .zip(per_shard.iter());
+        let outs = if threads == 1 {
+            shards
+                .enumerate()
+                .map(|(j, ((((slots, deps), degs), nstats), items))| {
+                    run_delivery_shard(ctx, j * shard_len, slots, deps, degs, nstats, items)
+                })
+                .collect::<Vec<_>>()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .enumerate()
+                    .map(|(j, ((((slots, deps), degs), nstats), items))| {
+                        scope.spawn(move || {
+                            run_delivery_shard(ctx, j * shard_len, slots, deps, degs, nstats, items)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("delivery shard worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        };
+        for out in outs {
+            self.stats.stored += out.stored;
+            self.stats.deleted += out.deleted;
+            if observed {
+                reports.extend(out.reports);
+            }
+        }
+        if observed {
+            reports.sort_by_key(|&(pos, _)| pos);
+            for (_, report) in &reports {
+                let report = *report;
+                self.notify(&report);
+            }
+        }
+        batch.clear();
+        self.ring[bucket] = batch;
+    }
+
+    /// Delivers every message still in flight, draining the remaining ring
+    /// buckets in delivery-time order (without executing further actions).
+    pub fn settle(&mut self) {
+        if self.in_flight_count == 0 {
+            return;
+        }
+        let arena = self.dense_id.len();
+        let threads = self.threads.min(arena).max(1);
+        let shard_len = arena.div_ceil(threads);
+        let end_step = self.step_counter;
+        // Pending deliveries all lie in [round, round + ring.len()): sends
+        // from round r target r..=r+max and the last executed round was
+        // round − 1.
+        for offset in 0..self.ring.len() as u64 {
+            self.deliver_bucket(self.round + offset, shard_len, threads, end_step);
+        }
+    }
+
+    /// Runs `rounds` three-phase rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// Runs one measurement replicate: burn-in, stats reset, measurement —
+    /// the parallel counterpart of
+    /// [`Simulation::run_replicate`](crate::Simulation::run_replicate).
+    #[must_use]
+    pub fn run_replicate(mut self, burn_in: usize, measure: usize) -> Self {
+        self.run_rounds(burn_in);
+        self.reset_stats();
+        self.run_rounds(measure);
+        self
+    }
+
+    /// Adds a new node bootstrapped with `d_L` ids copied from a random
+    /// position in `sponsor`'s view. The shuffle draws from the engine's
+    /// dedicated control-plane RNG stream, so churn schedules stay
+    /// deterministic and thread-count-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::TooFewIds`] if the sponsor's view holds fewer
+    /// than `d_L` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sponsor` is not live.
+    pub fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        let d_l = self.config.lower_threshold();
+        let k = self.dense_of(sponsor).expect("sponsor must be live");
+        let base = k * self.s;
+        let mut pool: Vec<NodeId> = self.slot_ids[base..base + self.s]
+            .iter()
+            .filter(|&&raw| raw != EMPTY)
+            .map(|&raw| NodeId::new(raw))
+            .collect();
+        if pool.len() < d_l {
+            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l });
+        }
+        pool.shuffle(&mut self.ctl_rng);
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+        self.join_with(&bootstrap)
+    }
+
+    /// Adds a new node bootstrapped with the given ids (tagged dependent,
+    /// filled in slot order — exactly like [`SfNode::with_view`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`JoinError`]s as [`SfNode::with_view`].
+    pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
+        if bootstrap.len() < self.d_l {
+            return Err(JoinError::TooFewIds { supplied: bootstrap.len(), d_l: self.d_l });
+        }
+        if bootstrap.len() > self.s {
+            return Err(JoinError::TooManyIds { supplied: bootstrap.len(), s: self.s });
+        }
+        if !bootstrap.len().is_multiple_of(2) {
+            return Err(JoinError::OddIdCount { supplied: bootstrap.len() });
+        }
+        let id = NodeId::new(self.next_id);
+        self.next_id += 1;
+        let k = self.dense_id.len();
+        let dense = u32::try_from(k).expect("node count exceeds the dense index space");
+        assert!(dense != DEAD, "dense index space exhausted");
+        let base = self.slot_ids.len();
+        self.slot_ids.resize(base + self.s, EMPTY);
+        self.slot_dep.resize(base + self.s, false);
+        for (off, b) in bootstrap.iter().enumerate() {
+            self.slot_ids[base + off] = b.as_u64();
+            self.slot_dep[base + off] = true;
+        }
+        self.degree.push(bootstrap.len() as u32);
+        self.node_stats.push(NodeStats::new());
+        self.dense_id.push(id);
+        self.loss.push(self.loss_proto.clone());
+        let raw = id.index();
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, DEAD);
+        }
+        self.index[raw] = dense;
+        self.live_count += 1;
+        Ok(id)
+    }
+
+    /// Removes a node (leave/crash). Returns the departed node rebuilt
+    /// from the arena with zeroed per-node counters, like
+    /// [`FlatSimulation::leave`](crate::FlatSimulation::leave).
+    pub fn leave(&mut self, id: NodeId) -> Option<SfNode> {
+        let k = self.dense_of(id)?;
+        let node = SfNode::from_view(id, self.config, self.view_at(k));
+        self.index[id.index()] = DEAD;
+        self.live_count -= 1;
+        Some(node)
+    }
+
+    /// Total multiplicity of `id` across all live views.
+    #[must_use]
+    pub fn count_id_instances(&self, id: NodeId) -> usize {
+        let raw = id.as_u64();
+        self.live_dense()
+            .map(|k| {
+                let base = k * self.s;
+                self.slot_ids[base..base + self.s].iter().filter(|&&x| x == raw).count()
+            })
+            .sum()
+    }
+
+    /// Snapshots the membership graph (dense arena order).
+    #[must_use]
+    pub fn graph(&self) -> MembershipGraph {
+        MembershipGraph::from_views(self.live_dense().map(|k| {
+            let base = k * self.s;
+            let targets: Vec<NodeId> = self.slot_ids[base..base + self.s]
+                .iter()
+                .filter(|&&raw| raw != EMPTY)
+                .map(|&raw| NodeId::new(raw))
+                .collect();
+            (self.dense_id[k], targets)
+        }))
+    }
+
+    /// Measures spatial dependence across all live views (Property M4).
+    /// Reconstitutes the nodes first, so this is a measurement-time
+    /// convenience, not a hot path.
+    #[must_use]
+    pub fn dependence(&self) -> DependenceReport {
+        let nodes = self.to_nodes();
+        DependenceReport::measure(nodes.iter())
+    }
+}
+
+/// Executes the action phase over one shard: every live node in the dense
+/// range `[lo, lo + degs.len())` initiates once with its private
+/// per-`(seed, node, round)` RNG stream. All slices are the shard's window
+/// into the global arrays; `ctx.dense_id`/`ctx.index` stay global (shared,
+/// read-only).
+fn run_action_shard<L: LossModel>(
+    ctx: ActionCtx<'_>,
+    lo: usize,
+    slots: &mut [u64],
+    degs: &mut [u32],
+    nstats: &mut [NodeStats],
+    losses: &mut [L],
+) -> ActionShardOut {
+    let s = ctx.s;
+    let mut out = ActionShardOut {
+        stats: SimStats::default(),
+        live: 0,
+        sends: Vec::new(),
+        reports: Vec::new(),
+    };
+    for r in 0..degs.len() {
+        let k = lo + r;
+        let id = ctx.dense_id[k];
+        if ctx.index[id.index()] != k as u32 {
+            continue; // departed
+        }
+        out.live += 1;
+        out.stats.actions += 1;
+        nstats[r].initiated += 1;
+        let mut rng = StdRng::seed_from_u64(action_seed(ctx.seed, id.as_u64(), ctx.round));
+        // Identical draw structure to SfNode::initiate / FlatSimulation:
+        // slot i uniform in 0..s, slot j uniform among the other s−1.
+        let i = rng.gen_range(0..s);
+        let mut j = rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        let base = r * s;
+        let target = slots[base + i];
+        let payload = slots[base + j];
+        let event = if target == EMPTY || payload == EMPTY {
+            out.stats.self_loops += 1;
+            nstats[r].self_loops += 1;
+            StepEvent::SelfLoop
+        } else {
+            let duplicated = (degs[r] as usize) <= ctx.d_l;
+            if duplicated {
+                out.stats.duplications += 1;
+                nstats[r].duplications += 1;
+            } else {
+                slots[base + i] = EMPTY;
+                slots[base + j] = EMPTY;
+                degs[r] -= 2;
+            }
+            out.stats.sent += 1;
+            nstats[r].sent += 1;
+            let to = NodeId::new(target);
+            let message = Message::new(id, NodeId::new(payload), duplicated);
+            if losses[r].is_lost_to(to, &mut rng) {
+                out.stats.lost += 1;
+                StepEvent::Lost { to, message, duplicated }
+            } else {
+                let deliver_round = match ctx.delay {
+                    DelayModel::Immediate => ctx.round,
+                    DelayModel::UniformSteps { max } => ctx.round + rng.gen_range(1..=max),
+                };
+                out.sends.push((deliver_round, to, message));
+                StepEvent::InFlight { to, message, duplicated, deliver_at: deliver_round }
+            }
+        };
+        if ctx.observed {
+            // `step` is assigned during the sequential merge, once the
+            // preceding shards' live counts are known.
+            out.reports.push(StepReport {
+                initiator: id,
+                event,
+                phase: StepPhase::Action,
+                step: 0,
+            });
+        }
+    }
+    out
+}
+
+/// Applies one shard's share of a drained delivery bucket. `items` arrive
+/// in bucket order; the per-message RNG is derived from
+/// `(seed, deliver_time, sorted bucket position)`.
+fn run_delivery_shard(
+    ctx: DeliveryCtx,
+    lo: usize,
+    slots: &mut [u64],
+    deps: &mut [bool],
+    degs: &mut [u32],
+    nstats: &mut [NodeStats],
+    items: &[RoutedMessage],
+) -> DeliveryShardOut {
+    let s = ctx.s;
+    let mut out = DeliveryShardOut::default();
+    for &RoutedMessage { pos, dense, to, message } in items {
+        let r = dense - lo;
+        let deleted = if degs[r] as usize >= s {
+            nstats[r].deletions += 1;
+            out.deleted += 1;
+            true
+        } else {
+            let mut rng = StdRng::seed_from_u64(delivery_seed(ctx.seed, ctx.at, pos as u64));
+            let base = r * s;
+            let view = &mut slots[base..base + s];
+            let dep = &mut deps[base..base + s];
+            insert_into_view(view, dep, &mut degs[r], message.sender, message.dependent, &mut rng);
+            insert_into_view(view, dep, &mut degs[r], message.payload, message.dependent, &mut rng);
+            nstats[r].stored += 1;
+            out.stored += 1;
+            false
+        };
+        if ctx.observed {
+            out.reports.push((
+                pos,
+                StepReport {
+                    initiator: message.sender,
+                    event: StepEvent::Delivered {
+                        to,
+                        message,
+                        duplicated: message.dependent,
+                        deleted,
+                    },
+                    phase: StepPhase::Delivery,
+                    step: ctx.end_step,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Stores `id` into the `nth` empty slot of one node's view window, with
+/// `nth` drawn uniformly — the same draw bound and slot-order scan as
+/// `LocalView::insert_into_random_empty` and the flat engine.
+#[inline]
+fn insert_into_view(
+    view: &mut [u64],
+    dep: &mut [bool],
+    deg: &mut u32,
+    id: NodeId,
+    dependent: bool,
+    rng: &mut StdRng,
+) {
+    let empty = view.len() - *deg as usize;
+    debug_assert!(empty > 0, "outdegree below s implies an empty slot");
+    let mut nth = rng.gen_range(0..empty);
+    for off in 0..view.len() {
+        if view[off] == EMPTY {
+            if nth == 0 {
+                view[off] = id.as_u64();
+                dep[off] = dependent;
+                *deg += 1;
+                return;
+            }
+            nth -= 1;
+        }
+    }
+    unreachable!("an empty slot was counted but not found");
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Simulation;
+    use crate::loss::{GilbertElliott, TargetedLoss, UniformLoss};
+    use crate::telemetry::SimRecorder;
+    use crate::topology;
+
+    use super::*;
+
+    fn config() -> SfConfig {
+        SfConfig::new(12, 4).unwrap()
+    }
+
+    fn nodes() -> Vec<SfNode> {
+        topology::circulant(24, config(), 4)
+    }
+
+    /// Asserts full observable equality of two par engines: stats, live
+    /// set, per-node views (slots, ids, dependence tags), aggregates.
+    fn assert_par_equal<L: LossModel + Clone + Send>(a: &ParSimulation<L>, b: &ParSimulation<L>) {
+        assert_eq!(a.stats(), b.stats(), "SimStats diverged");
+        assert_eq!(a.len(), b.len(), "live count diverged");
+        assert_eq!(a.in_flight(), b.in_flight(), "in-flight count diverged");
+        assert_eq!(a.live_ids(), b.live_ids(), "live set diverged");
+        assert_eq!(
+            a.aggregate_node_stats(),
+            b.aggregate_node_stats(),
+            "aggregate NodeStats diverged"
+        );
+        for id in a.live_ids() {
+            assert_eq!(a.node_view(id), b.node_view(id), "view of {id} diverged");
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts_uniform() {
+        let build =
+            |threads| ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 42, threads);
+        let mut one = build(1);
+        one.run_rounds(40);
+        // More shards than nodes (64 > 24) must also be byte-identical.
+        for threads in [2, 3, 8, 24, 64] {
+            let mut other = build(threads);
+            other.run_rounds(40);
+            assert_par_equal(&one, &other);
+        }
+        // And round by round, so divergence can't cancel out.
+        let mut a = build(1);
+        let mut b = build(8);
+        for _ in 0..40 {
+            a.round();
+            b.round();
+            assert_par_equal(&a, &b);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts_with_delay_churn_and_settle() {
+        let run = |threads: usize| {
+            let mut sim = ParSimulation::with_delay(
+                nodes(),
+                GilbertElliott::new(0.05, 0.2, 0.01, 0.5).unwrap(),
+                DelayModel::UniformSteps { max: 6 },
+                2009,
+                threads,
+            );
+            sim.run_rounds(10);
+            for round in 0..20 {
+                let victim = sim.live_ids()[round % sim.len()];
+                assert!(sim.leave(victim).is_some());
+                let sponsor = sim.live_ids()[0];
+                sim.join_via(sponsor).unwrap();
+                sim.round();
+            }
+            sim.settle();
+            assert_eq!(sim.in_flight(), 0);
+            sim
+        };
+        let one = run(1);
+        for threads in [2, 5, 8] {
+            let other = run(threads);
+            assert_par_equal(&one, &other);
+        }
+        assert!(one.stats().dead_letters > 0, "churn should produce dead letters");
+    }
+
+    #[test]
+    fn report_streams_are_thread_count_independent() {
+        use std::sync::{Arc, Mutex};
+        let collect = |threads: usize| {
+            let log: Arc<Mutex<Vec<StepReport>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&log);
+            let mut sim = ParSimulation::with_delay(
+                nodes(),
+                UniformLoss::new(0.05).unwrap(),
+                DelayModel::UniformSteps { max: 4 },
+                23,
+                threads,
+            );
+            sim.subscribe(Box::new(move |r: &StepReport| sink.lock().unwrap().push(*r)));
+            sim.run_rounds(30);
+            sim.settle();
+            drop(sim);
+            Arc::try_unwrap(log).map_err(|_| ()).unwrap().into_inner().unwrap()
+        };
+        let one = collect(1);
+        assert!(!one.is_empty());
+        assert_eq!(collect(2), one, "2-thread report stream diverged");
+        assert_eq!(collect(8), one, "8-thread report stream diverged");
+    }
+
+    #[test]
+    fn recorder_ledger_matches_stats() {
+        let registry = MetricsRegistry::new();
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 41, 3);
+        sim.subscribe(Box::new(SimRecorder::new(&registry)));
+        sim.run_rounds(30);
+        let s = *sim.stats();
+        let counter = |name: &str| registry.counter_value(name).unwrap();
+        assert_eq!(counter("sim.step.actions"), s.actions);
+        assert_eq!(counter("sim.step.self_loops"), s.self_loops);
+        assert_eq!(counter("sim.step.sent"), s.sent);
+        assert_eq!(counter("sim.step.lost"), s.lost);
+        assert_eq!(counter("sim.step.dead_letters"), s.dead_letters);
+        assert_eq!(counter("sim.step.stored"), s.stored);
+        assert_eq!(counter("sim.step.deleted"), s.deleted);
+        assert_eq!(counter("sim.step.duplications"), s.duplications);
+    }
+
+    #[test]
+    fn immediate_rounds_leave_nothing_in_flight() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 7, 4);
+        for _ in 0..25 {
+            sim.round();
+            assert_eq!(sim.in_flight(), 0, "immediate mode must drain every round");
+        }
+        let s = sim.stats();
+        assert_eq!(s.actions, 25 * 24);
+        assert_eq!(s.actions, s.self_loops + s.sent);
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    }
+
+    #[test]
+    fn delayed_messages_conserve_the_ledger() {
+        let mut sim = ParSimulation::with_delay(
+            nodes(),
+            UniformLoss::new(0.05).unwrap(),
+            DelayModel::UniformSteps { max: 8 },
+            3,
+            2,
+        );
+        sim.run_rounds(50);
+        let s = *sim.stats();
+        assert_eq!(
+            s.sent,
+            s.lost + s.dead_letters + s.stored + s.deleted + sim.in_flight() as u64,
+            "message ledger out of balance"
+        );
+        sim.settle();
+        assert_eq!(sim.in_flight(), 0);
+        let s = sim.stats();
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+        // Rounds executed after a settle stay consistent too.
+        sim.run_rounds(10);
+        sim.settle();
+        let s = sim.stats();
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    }
+
+    #[test]
+    fn degrees_stay_in_the_legal_band() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 9, 4);
+        for _ in 0..60 {
+            sim.round();
+            for id in sim.live_ids() {
+                let d = sim.out_degree_of(id).unwrap();
+                assert_eq!(d % 2, 0, "odd outdegree at {id}");
+                assert!((4..=12).contains(&d), "outdegree {d} outside [d_L, s]");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_rates_track_the_classic_engine() {
+        // Not lockstep — a distinct statistical mode — but the loss
+        // compensation identity (Lemma 6.6: dup ≈ ℓ + del) and the mean
+        // degree must land in the same place.
+        let nodes_big = topology::circulant(256, SfConfig::new(16, 6).unwrap(), 10);
+        let mut par = ParSimulation::new(nodes_big.clone(), UniformLoss::new(0.05).unwrap(), 5, 4)
+            .run_replicate(80, 200);
+        let mut classic = Simulation::new(nodes_big, UniformLoss::new(0.05).unwrap(), 5);
+        classic.run_rounds(80);
+        classic.reset_stats();
+        classic.run_rounds(200);
+        let (p, c) = (par.stats(), classic.stats());
+        let dup_p = p.duplication_rate().unwrap();
+        let dup_c = c.duplication_rate().unwrap();
+        assert!((dup_p - dup_c).abs() < 0.02, "duplication rates diverged: {dup_p} vs {dup_c}");
+        let mean_p = par.graph().out_degrees().iter().sum::<usize>() as f64 / 256.0;
+        let mean_c = classic.graph().out_degrees().iter().sum::<usize>() as f64 / 256.0;
+        assert!((mean_p - mean_c).abs() < 1.0, "mean degrees diverged: {mean_p} vs {mean_c}");
+        par.round(); // the moved-out engine keeps working
+    }
+
+    #[test]
+    fn profiler_records_spans_and_imbalance() {
+        let registry = MetricsRegistry::new();
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::none(), 31, 3);
+        sim.attach_profiler(&registry);
+        sim.run_rounds(4);
+        for name in
+            ["sim.profile.par.action_ns", "sim.profile.par.merge_ns", "sim.profile.par.deliver_ns"]
+        {
+            let hist = registry.histogram(name, duration_buckets());
+            assert_eq!(hist.count(), 4, "{name} should record one span per round");
+        }
+        let gauge = registry.gauge("sim.par.shard_imbalance");
+        assert!(gauge.get() >= 1.0, "imbalance gauge not recorded");
+        assert!((sim.shard_imbalance() - gauge.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_reflects_uneven_shards() {
+        // 24 nodes in 3 shards of 8; kill every live node of the last
+        // shard and the max/mean live ratio rises above 1.
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::none(), 1, 3);
+        for id in sim.live_ids().into_iter().skip(16) {
+            sim.leave(id);
+        }
+        sim.round();
+        assert!(sim.shard_imbalance() > 1.0, "imbalance {}", sim.shard_imbalance());
+    }
+
+    #[test]
+    fn join_with_validates_like_the_protocol() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::none(), 1, 2);
+        let two: Vec<NodeId> = (0..2).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&two), Err(JoinError::TooFewIds { supplied: 2, d_l: 4 }));
+        let five: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&five), Err(JoinError::OddIdCount { supplied: 5 }));
+        let too_many: Vec<NodeId> = (0..14).map(NodeId::new).collect();
+        assert_eq!(sim.join_with(&too_many), Err(JoinError::TooManyIds { supplied: 14, s: 12 }));
+        let id = sim.join_with(&(0..4).map(NodeId::new).collect::<Vec<_>>()).unwrap();
+        assert_eq!(sim.out_degree_of(id), Some(4));
+        assert_eq!(sim.len(), 25);
+    }
+
+    #[test]
+    fn targeted_loss_is_supported() {
+        let mut loss = TargetedLoss::new(0.0).unwrap();
+        loss.set_target(NodeId::new(3), 1.0).unwrap();
+        let mut sim = ParSimulation::new(nodes(), loss, 11, 4);
+        sim.run_rounds(40);
+        assert!(sim.stats().lost > 0, "targeted loss never fired");
+        // The victim's indegree should have drained relative to the mean.
+        let graph = sim.graph();
+        let in_degrees = graph.in_degrees();
+        let mean = in_degrees.iter().sum::<usize>() as f64 / in_degrees.len() as f64;
+        let victim = sim.count_id_instances(NodeId::new(3)) as f64;
+        assert!(victim < mean, "victim indegree {victim} not below mean {mean}");
+    }
+
+    #[test]
+    fn clones_do_not_carry_subscribers() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::none(), 1, 2);
+        sim.subscribe(Box::new(|_: &StepReport| {}));
+        assert_eq!(sim.subscriber_count(), 1);
+        assert_eq!(sim.clone().subscriber_count(), 0);
+    }
+
+    #[test]
+    fn to_nodes_roundtrips() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 77, 3);
+        sim.run_rounds(25);
+        let rebuilt = sim.to_nodes();
+        assert_eq!(rebuilt.len(), sim.len());
+        for node in &rebuilt {
+            assert_eq!(
+                Some(node.view().clone()),
+                sim.node_view(node.id()),
+                "rebuilt view diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn set_threads_changes_nothing_but_wall_clock() {
+        let mut a = ParSimulation::new(nodes(), UniformLoss::new(0.1).unwrap(), 13, 1);
+        let mut b = a.clone();
+        a.run_rounds(10);
+        b.set_threads(6);
+        b.run_rounds(10);
+        assert_par_equal(&a, &b);
+        assert_eq!(b.threads(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn rejects_zero_threads() {
+        let _ = ParSimulation::new(nodes(), UniformLoss::none(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_node_set() {
+        let _ = ParSimulation::new(Vec::new(), UniformLoss::none(), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay bound")]
+    fn zero_delay_bound_is_rejected() {
+        let _ = ParSimulation::with_delay(
+            nodes(),
+            UniformLoss::none(),
+            DelayModel::UniformSteps { max: 0 },
+            0,
+            1,
+        );
+    }
+}

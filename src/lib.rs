@@ -62,4 +62,6 @@ pub use sandf_core::{
 };
 pub use sandf_graph::{DegreeStats, DependenceReport, Histogram, MembershipGraph};
 pub use sandf_markov::{select_thresholds, AnalyticalDegrees, DegreeMc, DegreeMcParams};
-pub use sandf_sim::{GilbertElliott, LossModel, SimStats, Simulation, UniformLoss};
+pub use sandf_sim::{
+    FlatSimulation, GilbertElliott, LossModel, ParSimulation, SimStats, Simulation, UniformLoss,
+};

@@ -1,13 +1,19 @@
 //! Property-based tests of the protocol's structural invariants
 //! (Observation 5.1, Lemma 6.2) under arbitrary action interleavings and
-//! loss patterns.
+//! loss patterns — first at the single-node level, then at the engine
+//! level, where the same random schedules of rounds, loss rates, and
+//! churn run on all three engines (`Simulation`, `FlatSimulation`,
+//! `ParSimulation`).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sandf::core::InitiateOutcome;
-use sandf::{MembershipGraph, Message, NodeId, SfConfig, SfNode};
+use sandf::{
+    FlatSimulation, MembershipGraph, Message, NodeId, ParSimulation, SfConfig, SfNode, Simulation,
+    UniformLoss,
+};
 
 /// One externally scheduled event.
 #[derive(Clone, Debug)]
@@ -40,6 +46,110 @@ fn build_system(n: usize, config: SfConfig, d0: usize) -> Vec<SfNode> {
             SfNode::with_view(NodeId::new(i), config, &bootstrap).expect("legal bootstrap")
         })
         .collect()
+}
+
+/// System size for the engine-level schedules.
+const ENGINE_N: usize = 10;
+
+fn engine_config() -> SfConfig {
+    SfConfig::new(12, 4).expect("legal config")
+}
+
+/// One engine-level scheduled operation.
+#[derive(Clone, Debug)]
+enum EngineOp {
+    /// Run `1 + (r % 3)` full rounds.
+    Rounds(u8),
+    /// Remove a live node (skipped when the system is nearly empty).
+    Leave(u8),
+    /// Join a new node via a live sponsor (skipped if the sponsor cannot
+    /// seed a legal bootstrap view).
+    Join(u8),
+}
+
+fn arb_engine_op() -> impl Strategy<Value = EngineOp> {
+    prop_oneof![
+        any::<u8>().prop_map(EngineOp::Rounds),
+        any::<u8>().prop_map(EngineOp::Leave),
+        any::<u8>().prop_map(EngineOp::Join),
+    ]
+}
+
+/// Drives one engine through a schedule, checking after every operation:
+/// Obs. 5.1 (outdegrees even and inside `[d_L, s]`) and id provenance
+/// (every view entry names an id the system actually assigned — never a
+/// forged or corrupted id, which would expose e.g. a sentinel leak in the
+/// flat/par slot encoding). Views *can* transiently hold their owner's id
+/// — duplicate entries let a node be sent its own id — so that is
+/// deliberately not asserted; `DependenceReport` tracks it as
+/// `self_edges`. A macro rather than a generic fn because the three
+/// engines are distinct types sharing an API by convention, not by trait.
+macro_rules! obs_5_1_schedule {
+    ($sim:expr, $ops:expr, $config:expr) => {{
+        let mut sim = $sim;
+        let mut live: Vec<NodeId> = (0..ENGINE_N as u64).map(NodeId::new).collect();
+        let mut highest_assigned = ENGINE_N as u64 - 1;
+        for op in $ops {
+            match *op {
+                EngineOp::Rounds(r) => sim.run_rounds(1 + usize::from(r % 3)),
+                EngineOp::Leave(x) => {
+                    if live.len() > 3 {
+                        let id = live[usize::from(x) % live.len()];
+                        prop_assert!(sim.leave(id).is_some(), "{id} should have been live");
+                        live.retain(|&v| v != id);
+                    }
+                }
+                EngineOp::Join(x) => {
+                    let sponsor = live[usize::from(x) % live.len()];
+                    if let Ok(joiner) = sim.join_via(sponsor) {
+                        highest_assigned = highest_assigned.max(joiner.as_u64());
+                        live.push(joiner);
+                    }
+                }
+            }
+            let graph = sim.graph();
+            for d in graph.out_degrees() {
+                prop_assert_eq!(d % 2, 0, "odd outdegree");
+                prop_assert!(
+                    d >= $config.lower_threshold() && d <= $config.view_size(),
+                    "outdegree {} escaped [{}, {}]",
+                    d,
+                    $config.lower_threshold(),
+                    $config.view_size()
+                );
+            }
+            for &u in graph.ids() {
+                for v in graph.out_neighbors(u).expect("id comes from the graph") {
+                    prop_assert!(
+                        v.as_u64() <= highest_assigned,
+                        "view of {} holds {}, an id the system never assigned",
+                        u,
+                        v
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Runs one engine for a fixed number of immediate-delivery rounds and
+/// reconciles the final edge count against the engine's stats ledger:
+/// `edges = initial − 2·(sent − duplications) + 2·stored`, alongside the
+/// send ledger `actions = self_loops + sent` and
+/// `sent = lost + dead_letters + stored + deleted` (no churn here, so
+/// nothing is in flight after a round and dead letters cannot arise).
+macro_rules! id_ledger_holds {
+    ($sim:expr, $rounds:expr) => {{
+        let mut sim = $sim;
+        let initial = sim.graph().edge_count() as i64;
+        sim.run_rounds($rounds);
+        let s = *sim.stats();
+        prop_assert_eq!(s.actions, s.self_loops + s.sent);
+        prop_assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+        prop_assert_eq!(s.dead_letters, 0);
+        let expected = initial - 2 * (s.sent - s.duplications) as i64 + 2 * s.stored as i64;
+        prop_assert_eq!(sim.graph().edge_count() as i64, expected, "edge ledger out of balance");
+    }};
 }
 
 proptest! {
@@ -147,6 +257,45 @@ proptest! {
         }
         let final_edges = MembershipGraph::from_nodes(&nodes).edge_count() as i64;
         prop_assert_eq!(final_edges, initial_edges - removed + added);
+    }
+
+    /// Obs. 5.1 at the engine level: outdegrees stay even and in
+    /// `[d_L, s]`, and views only ever hold ids the system assigned,
+    /// through arbitrary schedules of rounds, loss rates, and churn on all
+    /// three engines.
+    #[test]
+    fn engines_preserve_observation_5_1_under_random_schedules(
+        ops in vec(arb_engine_op(), 1..10),
+        rate_milli in 0..500u32,
+        seed in any::<u64>(),
+    ) {
+        let config = engine_config();
+        let loss = UniformLoss::new(f64::from(rate_milli) / 1000.0).expect("valid rate");
+        let nodes = build_system(ENGINE_N, config, 6);
+        obs_5_1_schedule!(Simulation::new(nodes.clone(), loss, seed), &ops, config);
+        obs_5_1_schedule!(FlatSimulation::new(nodes.clone(), loss, seed), &ops, config);
+        obs_5_1_schedule!(ParSimulation::new(nodes, loss, seed, 2), &ops, config);
+    }
+
+    /// Id conservation at the engine level: over any schedule of rounds at
+    /// any loss rate (including zero — the lossless conservation case),
+    /// every id copy is accounted for. Each non-duplicating send removes
+    /// exactly two view entries at the initiator, each stored delivery
+    /// adds exactly two at the receiver, and nothing else moves an edge —
+    /// so the edge count reconciles against the engine's own stats ledger,
+    /// and the send ledger itself balances, on all three engines.
+    #[test]
+    fn engines_conserve_ids_against_their_ledgers(
+        rounds in 1..12usize,
+        rate_milli in 0..500u32,
+        seed in any::<u64>(),
+    ) {
+        let config = engine_config();
+        let loss = UniformLoss::new(f64::from(rate_milli) / 1000.0).expect("valid rate");
+        let nodes = build_system(ENGINE_N, config, 6);
+        id_ledger_holds!(Simulation::new(nodes.clone(), loss, seed), rounds);
+        id_ledger_holds!(FlatSimulation::new(nodes.clone(), loss, seed), rounds);
+        id_ledger_holds!(ParSimulation::new(nodes, loss, seed, 2), rounds);
     }
 
     /// The dependence tag algebra: a view never reports more dependent
