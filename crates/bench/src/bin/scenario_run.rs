@@ -1,0 +1,46 @@
+//! Adversarial fault scenarios on the replicated-sweep executor.
+//!
+//! With no arguments, runs the built-in scenario library — one scenario
+//! per fault family (partition-then-heal, persistent weak links, targeted
+//! hub loss with churn, a slow capacity cohort) — and prints each
+//! envelope table: per phase, the measured indegree statistics with 95%
+//! CIs next to the §6.2 degree-MC prediction at the phase's effective
+//! loss rate and the Lemma 6.10 stale-entry ceiling, plus an `in`/`OUT`
+//! verdict on the indegree envelope.
+//!
+//! Pass file paths to run scenario specs of your own (the grammar is
+//! documented in `sandf_bench::scenario` and EXPERIMENTS.md). Output is
+//! deterministic: seeds are fixed in the specs and both the sweep
+//! executor and the par engine are thread-count-independent.
+
+use sandf_bench::note;
+use sandf_bench::scenario::{builtin_specs, render_scenario, Scenario};
+
+/// Engine threads per replicate; the sweep already fans replicates out
+/// across cores, so the inner engine stays narrow.
+const ENGINE_THREADS: usize = 2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs: Vec<(String, String)> = if args.is_empty() {
+        builtin_specs().iter().map(|&(name, spec)| (name.to_string(), spec.to_string())).collect()
+    } else {
+        args.iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read scenario spec {path}: {e}"));
+                (path.clone(), text)
+            })
+            .collect()
+    };
+
+    note("adversarial fault scenarios: measured indegree vs the degree-MC prediction at each");
+    note("phase's effective loss rate; verdict `OUT` = outside ci95 + 1.0 — structured loss");
+    note("is *supposed* to escape the uniform envelope (detection power), uniform phases are not");
+    for (origin, text) in specs {
+        let scenario = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("invalid scenario spec from {origin}: {e}"));
+        println!();
+        print!("{}", render_scenario(&scenario, ENGINE_THREADS));
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod obsrep;
 pub mod perf;
+pub mod scenario;
 pub mod sweep;
 pub mod sweeps;
 

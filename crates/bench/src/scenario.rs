@@ -1,0 +1,1239 @@
+//! Declarative fault scenarios compiled onto the replicated-sweep executor.
+//!
+//! A *scenario* is a small text spec — a header naming the system scale and
+//! a sequence of `phase` lines naming a fault model and a duration — that
+//! compiles to a [`ScheduledFault`] (see `sandf_sim::fault`) and runs as a
+//! replicated sweep with one cell per phase. The output is a CI-banded
+//! *envelope table*: per phase, the measured indegree statistics next to
+//! the §6.2 degree-Markov-chain prediction at the phase's effective loss
+//! rate, and (for churn phases) the Lemma 6.10 departed-id decay bound.
+//!
+//! # Spec grammar
+//!
+//! One directive per line; blank lines and `#` comments are ignored.
+//!
+//! ```text
+//! scenario <name>              # required; [A-Za-z0-9_-]+
+//! n <nodes>                    # required; system size ≥ 4
+//! view <s> <d_L>               # required; the SfConfig thresholds
+//! degree <d0>                  # initial outdegree (default: 2/3 point)
+//! replicates <r>               # sweep replicates per phase (default 3)
+//! seed <u64>                   # base seed (default 42)
+//! burn_in <rounds>             # lossless warm-up rounds (default 0)
+//!
+//! phase <rounds> <fault> <args...>
+//! churn <leaves> <joins>       # optional, attaches to the phase above
+//! ```
+//!
+//! Fault models (arguments are positional):
+//!
+//! | spec | model | semantics |
+//! |---|---|---|
+//! | `uniform <rate>` | `UniformLoss` | i.i.d. loss (the paper's model) |
+//! | `bursty <to_bad> <to_good> <loss_good> <loss_bad>` | `GilbertElliott` | per-sender bursty channel |
+//! | `partition <regions> <sever> <base>` | `RegionalPartition` | cross-region loss at `sever` for the phase window, then heal |
+//! | `perlink <salt> <bad_fraction> <good_rate> <bad_rate>` | `PerLinkLoss` | persistent per-link quality |
+//! | `capacity <salt> <slow_fraction> <period> <base>` | `NodeCapacity` | slow cohort acts every `period`-th round |
+//! | `victims <count> <victim_rate> <base>` | `VictimLoss` | targeted loss on the `count` highest-indegree nodes, re-aimed at phase start |
+//!
+//! The canonical printer ([`std::fmt::Display`]) emits exactly this
+//! grammar, so `parse ∘ print ∘ parse = parse` (round-trip identity —
+//! pinned by `tests/scenario_spec.rs`).
+//!
+//! # Execution semantics
+//!
+//! Each replicate replays the scenario from round 0 on a fresh circulant
+//! topology: `burn_in` lossless rounds, then phase 0, 1, … up to and
+//! including the cell's phase, with engine statistics reset at the target
+//! phase's start — so a phase's row reports *that phase's* loss and
+//! capacity-skip rates, while its degree snapshot reflects the full
+//! history (partitions that healed, churn that integrated). Churn is
+//! applied at phase start (lowest live ids leave, joiners enter via the
+//! highest live sponsor); `victims` phases re-aim the victim set at the
+//! measured top-indegree nodes via the engines' `update_fault` hook.
+//!
+//! Replicates run on the [`ParSimulation`] engine, whose output is
+//! byte-identical for any thread count, and draw their seeds from the
+//! sweep executor's stable `(base_seed, cell, replicate)` hash — the
+//! resulting TSV is deterministic across thread counts and machines
+//! (pinned by `tests/scenario_determinism.rs`).
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+use sandf_core::{NodeId, SfConfig};
+use sandf_graph::DegreeStats;
+use sandf_markov::decay::leave_survival_bound;
+use sandf_markov::{DegreeMc, DegreeMcParams};
+use sandf_obs::MetricsRegistry;
+use sandf_sim::{
+    topology, GilbertElliott, NodeCapacity, ParSimulation, PerLinkLoss, PhaseFault,
+    RegionalPartition, ScheduledFault, UniformLoss, VictimLoss,
+};
+
+use crate::fmt;
+use crate::sweep::{fnv1a64, Summary, SweepCell, SweepSpec};
+use crate::sweeps::initial_degree;
+
+/// The envelope tolerance added to the ci95 half-width when comparing the
+/// measured mean indegree against the degree-MC prediction — the same
+/// absolute anchor `tests/par_statistics.rs` uses.
+pub const MC_MEAN_TOLERANCE: f64 = 1.0;
+
+/// The metric columns every scenario cell reports, in order.
+pub const SCENARIO_METRICS: &[&str] =
+    &["mean_in", "in_std", "loss_rate", "skipped_frac", "stale_frac", "connected"];
+
+// ---------------------------------------------------------------------------
+// The AST
+// ---------------------------------------------------------------------------
+
+/// One phase's fault model, as written in the spec (engine-independent;
+/// compiled to a [`PhaseFault`] by [`Scenario::compile`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultSpec {
+    /// `uniform <rate>` — i.i.d. loss.
+    Uniform {
+        /// Loss rate in `[0, 1]`.
+        rate: f64,
+    },
+    /// `bursty <to_bad> <to_good> <loss_good> <loss_bad>` — Gilbert–Elliott.
+    Bursty {
+        /// Good→bad transition probability.
+        to_bad: f64,
+        /// Bad→good transition probability.
+        to_good: f64,
+        /// Loss rate in the good state.
+        loss_good: f64,
+        /// Loss rate in the bad state.
+        loss_bad: f64,
+    },
+    /// `partition <regions> <sever> <base>` — regional partition for the
+    /// phase's window, healing when the phase ends.
+    Partition {
+        /// Number of regions (`id % regions`).
+        regions: u64,
+        /// Cross-region loss rate during the window (1 = hard partition).
+        sever: f64,
+        /// In-region (and post-heal) loss rate.
+        base: f64,
+    },
+    /// `perlink <salt> <bad_fraction> <good_rate> <bad_rate>` — persistent
+    /// per-link quality.
+    PerLink {
+        /// Link-map salt (XORed with the replicate salt).
+        salt: u64,
+        /// Fraction of directed links that are bad.
+        bad_fraction: f64,
+        /// Loss rate on good links.
+        good_rate: f64,
+        /// Loss rate on bad links.
+        bad_rate: f64,
+    },
+    /// `capacity <salt> <slow_fraction> <period> <base>` — heterogeneous
+    /// node capacities.
+    Capacity {
+        /// Cohort salt (XORed with the replicate salt).
+        salt: u64,
+        /// Fraction of nodes in the slow cohort.
+        slow_fraction: f64,
+        /// Slow nodes act once per this many rounds.
+        period: u64,
+        /// Uniform loss rate underneath.
+        base: f64,
+    },
+    /// `victims <count> <victim_rate> <base>` — targeted inbound loss on
+    /// the `count` highest-indegree nodes, measured at phase start.
+    Victims {
+        /// Number of top-indegree victims.
+        count: usize,
+        /// Inbound loss rate at a victim.
+        victim_rate: f64,
+        /// Loss rate everywhere else.
+        base: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The spec keyword naming this model.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Uniform { .. } => "uniform",
+            Self::Bursty { .. } => "bursty",
+            Self::Partition { .. } => "partition",
+            Self::PerLink { .. } => "perlink",
+            Self::Capacity { .. } => "capacity",
+            Self::Victims { .. } => "victims",
+        }
+    }
+
+    /// The phase's effective per-message loss rate in an `n`-node system —
+    /// the rate the degree-MC prediction is solved at. For structured
+    /// models this is the *marginal* rate of a message to a uniformly
+    /// random target; the whole point of the envelope table is that
+    /// structured loss at the same marginal rate need **not** behave like
+    /// uniform loss at that rate.
+    #[must_use]
+    pub fn effective_rate(&self, n: usize) -> f64 {
+        match *self {
+            Self::Uniform { rate } => rate,
+            Self::Bursty { to_bad, to_good, loss_good, loss_bad } => {
+                let p_bad = to_bad / (to_bad + to_good);
+                p_bad * loss_bad + (1.0 - p_bad) * loss_good
+            }
+            Self::Partition { regions, sever, base } => {
+                let cross = (regions - 1) as f64 / regions as f64;
+                cross * sever + (1.0 - cross) * base
+            }
+            Self::PerLink { bad_fraction, good_rate, bad_rate, .. } => {
+                bad_fraction * bad_rate + (1.0 - bad_fraction) * good_rate
+            }
+            Self::Capacity { base, .. } => base,
+            Self::Victims { count, victim_rate, base } => {
+                let f = (count as f64 / n as f64).min(1.0);
+                f * victim_rate + (1.0 - f) * base
+            }
+        }
+    }
+
+    /// Compiles the spec into a [`PhaseFault`] for the window
+    /// `[start, start + duration)`. `salt` decorrelates hash-derived link
+    /// maps and cohorts across replicates.
+    #[must_use]
+    pub fn build(&self, start: u64, duration: u64, salt: u64) -> PhaseFault {
+        match *self {
+            Self::Uniform { rate } => {
+                PhaseFault::Uniform(UniformLoss::new(rate).expect("validated at parse time"))
+            }
+            Self::Bursty { to_bad, to_good, loss_good, loss_bad } => PhaseFault::Bursty(
+                GilbertElliott::new(to_bad, to_good, loss_good, loss_bad)
+                    .expect("validated at parse time"),
+            ),
+            Self::Partition { regions, sever, base } => PhaseFault::Partition(
+                RegionalPartition::new(regions, start, duration, sever, base)
+                    .expect("validated at parse time"),
+            ),
+            Self::PerLink { salt: s, bad_fraction, good_rate, bad_rate } => PhaseFault::PerLink(
+                PerLinkLoss::new(s ^ salt, bad_fraction, good_rate, bad_rate)
+                    .expect("validated at parse time"),
+            ),
+            Self::Capacity { salt: s, slow_fraction, period, base } => PhaseFault::Capacity(
+                NodeCapacity::new(s ^ salt, slow_fraction, period, base)
+                    .expect("validated at parse time"),
+            ),
+            Self::Victims { victim_rate, base, .. } => PhaseFault::Victims(
+                VictimLoss::new(victim_rate, base).expect("validated at parse time"),
+            ),
+        }
+    }
+}
+
+/// Churn applied at a phase's start: the `leaves` lowest live ids depart,
+/// then `joins` new nodes enter via the highest live sponsor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnSpec {
+    /// Nodes departing at phase start.
+    pub leaves: usize,
+    /// Nodes joining at phase start.
+    pub joins: usize,
+}
+
+/// One phase of a scenario: a fault model governing `rounds` rounds, with
+/// optional churn at the boundary.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Phase {
+    /// Rounds this phase governs.
+    pub rounds: usize,
+    /// The fault model in force.
+    pub fault: FaultSpec,
+    /// Churn applied when the phase begins.
+    pub churn: Option<ChurnSpec>,
+}
+
+/// A parsed scenario: scale header plus the phase schedule.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    /// Scenario name (`[A-Za-z0-9_-]+`).
+    pub name: String,
+    /// System size.
+    pub n: usize,
+    /// View size `s`.
+    pub view_size: usize,
+    /// Lower threshold `d_L`.
+    pub lower_threshold: usize,
+    /// Initial outdegree of the circulant bootstrap topology.
+    pub degree: usize,
+    /// Sweep replicates per phase cell.
+    pub replicates: usize,
+    /// Base seed for the sweep's replicate-seed hash.
+    pub seed: u64,
+    /// Lossless warm-up rounds before phase 0.
+    pub burn_in: usize,
+    /// The phase schedule, in order.
+    pub phases: Vec<Phase>,
+}
+
+/// A parse failure: the offending line (1-based; 0 for whole-spec errors)
+/// and an actionable message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioParseError {
+    /// 1-based line number, or 0 when the spec as a whole is invalid.
+    pub line: usize,
+    /// What went wrong and what was expected.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario spec: {}", self.message)
+        } else {
+            write!(f, "scenario spec line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioParseError {
+    ScenarioParseError { line, message: message.into() }
+}
+
+/// Parses one numeric token, naming the directive and argument on failure.
+fn num<T: std::str::FromStr>(
+    line: usize,
+    directive: &str,
+    what: &str,
+    token: &str,
+) -> Result<T, ScenarioParseError> {
+    token.parse().map_err(|_| err(line, format!("`{directive}` expects {what}, got {token:?}")))
+}
+
+fn rate(line: usize, directive: &str, what: &str, token: &str) -> Result<f64, ScenarioParseError> {
+    let value: f64 = num(line, directive, what, token)?;
+    if !(0.0..=1.0).contains(&value) {
+        return Err(err(line, format!("`{directive}` {what} {value} is outside [0, 1]")));
+    }
+    Ok(value)
+}
+
+fn set_once<T>(
+    slot: &mut Option<T>,
+    value: T,
+    line: usize,
+    directive: &str,
+) -> Result<(), ScenarioParseError> {
+    if slot.is_some() {
+        return Err(err(line, format!("duplicate `{directive}` directive")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn expect_args(
+    line: usize,
+    directive: &str,
+    usage: &str,
+    args: &[&str],
+    want: usize,
+) -> Result<(), ScenarioParseError> {
+    if args.len() != want {
+        return Err(err(
+            line,
+            format!("`{directive}` takes {want} argument(s): `{usage}` (got {})", args.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_fault(line: usize, kind: &str, args: &[&str]) -> Result<FaultSpec, ScenarioParseError> {
+    match kind {
+        "uniform" => {
+            expect_args(line, "phase … uniform", "uniform <rate>", args, 1)?;
+            Ok(FaultSpec::Uniform { rate: rate(line, "uniform", "rate", args[0])? })
+        }
+        "bursty" => {
+            expect_args(
+                line,
+                "phase … bursty",
+                "bursty <to_bad> <to_good> <loss_good> <loss_bad>",
+                args,
+                4,
+            )?;
+            let to_bad = rate(line, "bursty", "to_bad", args[0])?;
+            let to_good = rate(line, "bursty", "to_good", args[1])?;
+            if to_bad + to_good <= 0.0 {
+                return Err(err(
+                    line,
+                    "`bursty` needs to_bad + to_good > 0 (a dead channel has no stationary state)",
+                ));
+            }
+            Ok(FaultSpec::Bursty {
+                to_bad,
+                to_good,
+                loss_good: rate(line, "bursty", "loss_good", args[2])?,
+                loss_bad: rate(line, "bursty", "loss_bad", args[3])?,
+            })
+        }
+        "partition" => {
+            expect_args(line, "phase … partition", "partition <regions> <sever> <base>", args, 3)?;
+            let regions: u64 = num(line, "partition", "an integer region count", args[0])?;
+            if regions < 2 {
+                return Err(err(
+                    line,
+                    format!("`partition` needs at least 2 regions, got {regions}"),
+                ));
+            }
+            Ok(FaultSpec::Partition {
+                regions,
+                sever: rate(line, "partition", "sever rate", args[1])?,
+                base: rate(line, "partition", "base rate", args[2])?,
+            })
+        }
+        "perlink" => {
+            expect_args(
+                line,
+                "phase … perlink",
+                "perlink <salt> <bad_fraction> <good_rate> <bad_rate>",
+                args,
+                4,
+            )?;
+            Ok(FaultSpec::PerLink {
+                salt: num(line, "perlink", "an integer salt", args[0])?,
+                bad_fraction: rate(line, "perlink", "bad_fraction", args[1])?,
+                good_rate: rate(line, "perlink", "good_rate", args[2])?,
+                bad_rate: rate(line, "perlink", "bad_rate", args[3])?,
+            })
+        }
+        "capacity" => {
+            expect_args(
+                line,
+                "phase … capacity",
+                "capacity <salt> <slow_fraction> <period> <base>",
+                args,
+                4,
+            )?;
+            let period: u64 = num(line, "capacity", "an integer period", args[2])?;
+            if period < 2 {
+                return Err(err(line, format!("`capacity` period must be ≥ 2, got {period}")));
+            }
+            Ok(FaultSpec::Capacity {
+                salt: num(line, "capacity", "an integer salt", args[0])?,
+                slow_fraction: rate(line, "capacity", "slow_fraction", args[1])?,
+                period,
+                base: rate(line, "capacity", "base rate", args[3])?,
+            })
+        }
+        "victims" => {
+            expect_args(line, "phase … victims", "victims <count> <victim_rate> <base>", args, 3)?;
+            let count: usize = num(line, "victims", "an integer victim count", args[0])?;
+            if count == 0 {
+                return Err(err(line, "`victims` needs at least one victim"));
+            }
+            Ok(FaultSpec::Victims {
+                count,
+                victim_rate: rate(line, "victims", "victim_rate", args[1])?,
+                base: rate(line, "victims", "base rate", args[2])?,
+            })
+        }
+        other => Err(err(
+            line,
+            format!(
+                "unknown fault model {other:?} — expected one of \
+                 uniform, bursty, partition, perlink, capacity, victims"
+            ),
+        )),
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario spec (the grammar in the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioParseError`] naming the offending line and what
+    /// was expected there.
+    pub fn parse(text: &str) -> Result<Self, ScenarioParseError> {
+        let mut name: Option<String> = None;
+        let mut n: Option<usize> = None;
+        let mut view: Option<(usize, usize)> = None;
+        let mut degree: Option<usize> = None;
+        let mut replicates: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut burn_in: Option<usize> = None;
+        let mut phases: Vec<Phase> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut tokens = content.split_whitespace();
+            let directive = tokens.next().expect("non-empty line has a first token");
+            let args: Vec<&str> = tokens.collect();
+            match directive {
+                "scenario" => {
+                    expect_args(line, "scenario", "scenario <name>", &args, 1)?;
+                    let candidate = args[0];
+                    if !candidate.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        return Err(err(
+                            line,
+                            format!("scenario name {candidate:?} may only use [A-Za-z0-9_-]"),
+                        ));
+                    }
+                    set_once(&mut name, candidate.to_string(), line, "scenario")?;
+                }
+                "n" => {
+                    expect_args(line, "n", "n <nodes>", &args, 1)?;
+                    let value: usize = num(line, "n", "an integer node count", args[0])?;
+                    if value < 4 {
+                        return Err(err(line, format!("`n` must be ≥ 4, got {value}")));
+                    }
+                    set_once(&mut n, value, line, "n")?;
+                }
+                "view" => {
+                    expect_args(line, "view", "view <s> <d_L>", &args, 2)?;
+                    let s: usize = num(line, "view", "an integer view size", args[0])?;
+                    let d_l: usize = num(line, "view", "an integer lower threshold", args[1])?;
+                    if let Err(e) = SfConfig::new(s, d_l) {
+                        return Err(err(
+                            line,
+                            format!("`view {s} {d_l}` is not a legal config: {e}"),
+                        ));
+                    }
+                    set_once(&mut view, (s, d_l), line, "view")?;
+                }
+                "degree" => {
+                    expect_args(line, "degree", "degree <d0>", &args, 1)?;
+                    let value: usize = num(line, "degree", "an integer outdegree", args[0])?;
+                    if value < 2 || !value.is_multiple_of(2) {
+                        return Err(err(
+                            line,
+                            format!("`degree` must be even and ≥ 2, got {value}"),
+                        ));
+                    }
+                    set_once(&mut degree, value, line, "degree")?;
+                }
+                "replicates" => {
+                    expect_args(line, "replicates", "replicates <r>", &args, 1)?;
+                    let value: usize = num(line, "replicates", "an integer count", args[0])?;
+                    if value == 0 {
+                        return Err(err(line, "`replicates` must be at least 1"));
+                    }
+                    set_once(&mut replicates, value, line, "replicates")?;
+                }
+                "seed" => {
+                    expect_args(line, "seed", "seed <u64>", &args, 1)?;
+                    set_once(
+                        &mut seed,
+                        num(line, "seed", "an integer seed", args[0])?,
+                        line,
+                        "seed",
+                    )?;
+                }
+                "burn_in" => {
+                    expect_args(line, "burn_in", "burn_in <rounds>", &args, 1)?;
+                    set_once(
+                        &mut burn_in,
+                        num(line, "burn_in", "an integer round count", args[0])?,
+                        line,
+                        "burn_in",
+                    )?;
+                }
+                "phase" => {
+                    if args.len() < 2 {
+                        return Err(err(
+                            line,
+                            "`phase` takes a duration and a fault model: `phase <rounds> <fault> <args...>`",
+                        ));
+                    }
+                    let rounds: usize = num(line, "phase", "an integer round count", args[0])?;
+                    if rounds == 0 {
+                        return Err(err(line, "`phase` must last at least 1 round"));
+                    }
+                    let fault = parse_fault(line, args[1], &args[2..])?;
+                    phases.push(Phase { rounds, fault, churn: None });
+                }
+                "churn" => {
+                    expect_args(line, "churn", "churn <leaves> <joins>", &args, 2)?;
+                    let Some(phase) = phases.last_mut() else {
+                        return Err(err(line, "`churn` must follow a `phase` line"));
+                    };
+                    if phase.churn.is_some() {
+                        return Err(err(line, "this phase already has a `churn` line"));
+                    }
+                    phase.churn = Some(ChurnSpec {
+                        leaves: num(line, "churn", "an integer leave count", args[0])?,
+                        joins: num(line, "churn", "an integer join count", args[1])?,
+                    });
+                }
+                other => {
+                    return Err(err(
+                        line,
+                        format!(
+                            "unknown directive {other:?} — expected one of scenario, n, view, \
+                             degree, replicates, seed, burn_in, phase, churn"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let name = name.ok_or_else(|| err(0, "missing required `scenario <name>` directive"))?;
+        let n = n.ok_or_else(|| err(0, "missing required `n <nodes>` directive"))?;
+        let (view_size, lower_threshold) =
+            view.ok_or_else(|| err(0, "missing required `view <s> <d_L>` directive"))?;
+        if phases.is_empty() {
+            return Err(err(0, "a scenario needs at least one `phase` line"));
+        }
+        let config = SfConfig::new(view_size, lower_threshold).expect("validated above");
+        let degree = degree.unwrap_or_else(|| initial_degree(config, n));
+        if degree > n.saturating_sub(2) {
+            return Err(err(0, format!("`degree {degree}` does not fit an n = {n} system")));
+        }
+        for phase in &phases {
+            if let FaultSpec::Victims { count, .. } = phase.fault {
+                if count >= n {
+                    return Err(err(
+                        0,
+                        format!("`victims {count}` must target fewer than all n = {n} nodes"),
+                    ));
+                }
+            }
+            if let Some(churn) = phase.churn {
+                if churn.leaves + 4 > n {
+                    return Err(err(
+                        0,
+                        format!(
+                            "`churn {} …` would leave fewer than 4 of n = {n} nodes",
+                            churn.leaves
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            name,
+            n,
+            view_size,
+            lower_threshold,
+            degree,
+            replicates: replicates.unwrap_or(3),
+            seed: seed.unwrap_or(42),
+            burn_in: burn_in.unwrap_or(0),
+            phases,
+        })
+    }
+
+    /// The protocol configuration the spec names.
+    #[must_use]
+    pub fn config(&self) -> SfConfig {
+        SfConfig::new(self.view_size, self.lower_threshold).expect("validated at parse time")
+    }
+
+    /// Compiles the phase schedule to a [`ScheduledFault`]: `burn_in`
+    /// lossless rounds (when nonzero), then each phase over its absolute
+    /// round window. `salt` decorrelates hash-derived maps across
+    /// replicates.
+    #[must_use]
+    pub fn compile(&self, salt: u64) -> ScheduledFault {
+        let mut schedule = Vec::with_capacity(self.phases.len() + 1);
+        let mut start = self.burn_in as u64;
+        if self.burn_in > 0 {
+            schedule.push((
+                start,
+                PhaseFault::Uniform(UniformLoss::new(0.0).expect("0 is a legal rate")),
+            ));
+        }
+        for phase in &self.phases {
+            let end = start + phase.rounds as u64;
+            schedule.push((end, phase.fault.build(start, phase.rounds as u64, salt)));
+            start = end;
+        }
+        ScheduledFault::new(schedule)
+    }
+
+    /// The index of spec phase `i` inside the compiled schedule (the
+    /// burn-in prepends a lossless phase when nonzero).
+    #[must_use]
+    pub fn schedule_index(&self, phase: usize) -> usize {
+        phase + usize::from(self.burn_in > 0)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    /// The canonical printing: parsing the output yields a `Scenario`
+    /// equal to `self`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "scenario {}", self.name)?;
+        writeln!(f, "n {}", self.n)?;
+        writeln!(f, "view {} {}", self.view_size, self.lower_threshold)?;
+        writeln!(f, "degree {}", self.degree)?;
+        writeln!(f, "replicates {}", self.replicates)?;
+        writeln!(f, "seed {}", self.seed)?;
+        writeln!(f, "burn_in {}", self.burn_in)?;
+        for phase in &self.phases {
+            writeln!(f)?;
+            write!(f, "phase {} ", phase.rounds)?;
+            match phase.fault {
+                FaultSpec::Uniform { rate } => writeln!(f, "uniform {rate}")?,
+                FaultSpec::Bursty { to_bad, to_good, loss_good, loss_bad } => {
+                    writeln!(f, "bursty {to_bad} {to_good} {loss_good} {loss_bad}")?;
+                }
+                FaultSpec::Partition { regions, sever, base } => {
+                    writeln!(f, "partition {regions} {sever} {base}")?;
+                }
+                FaultSpec::PerLink { salt, bad_fraction, good_rate, bad_rate } => {
+                    writeln!(f, "perlink {salt} {bad_fraction} {good_rate} {bad_rate}")?;
+                }
+                FaultSpec::Capacity { salt, slow_fraction, period, base } => {
+                    writeln!(f, "capacity {salt} {slow_fraction} {period} {base}")?;
+                }
+                FaultSpec::Victims { count, victim_rate, base } => {
+                    writeln!(f, "victims {count} {victim_rate} {base}")?;
+                }
+            }
+            if let Some(churn) = phase.churn {
+                writeln!(f, "churn {} {}", churn.leaves, churn.joins)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// One phase's row of the envelope table.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Phase index.
+    pub phase: usize,
+    /// Fault-model keyword.
+    pub fault: &'static str,
+    /// Rounds the phase governed.
+    pub rounds: usize,
+    /// The phase's effective (marginal) loss rate.
+    pub effective_rate: f64,
+    /// Degree-MC predicted mean indegree at the effective rate, if the
+    /// chain converges there.
+    pub mc_mean: Option<f64>,
+    /// Degree-MC predicted indegree standard deviation.
+    pub mc_std: Option<f64>,
+    /// Lemma 6.10 ceiling on the stale-entry fraction at phase end (only
+    /// for phases whose churn removed nodes).
+    pub decay_bound: Option<f64>,
+    /// Measured mean indegree across replicates.
+    pub mean_in: Summary,
+    /// Measured indegree standard deviation.
+    pub in_std: Summary,
+    /// Measured per-send loss rate during the phase.
+    pub loss_rate: Summary,
+    /// Fraction of scheduled steps skipped by capacity gating.
+    pub skipped_frac: Summary,
+    /// Fraction of view entries naming departed nodes at phase end.
+    pub stale_frac: Summary,
+    /// Fraction of replicates ending the phase weakly connected.
+    pub connected: Summary,
+}
+
+impl ScenarioOutcome {
+    /// Absolute gap between the measured mean indegree and the degree-MC
+    /// prediction (`None` when the chain did not converge).
+    #[must_use]
+    pub fn mc_gap(&self) -> Option<f64> {
+        self.mc_mean.map(|m| (self.mean_in.mean - m).abs())
+    }
+
+    /// Whether the measured mean indegree sits inside the CI band around
+    /// the degree-MC prediction: gap ≤ ci95 + `tolerance`.
+    #[must_use]
+    pub fn within_envelope(&self, tolerance: f64) -> Option<bool> {
+        self.mc_gap().map(|gap| gap <= self.mean_in.ci95 + tolerance)
+    }
+}
+
+/// The result of running one scenario: the per-phase envelope rows.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Replicates behind every row.
+    pub replicates: usize,
+    /// One row per phase, in order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl ScenarioReport {
+    /// Renders the envelope table: per phase, the key columns, the
+    /// degree-MC and Lemma 6.10 predictions, the measured
+    /// `<metric>_mean`/`<metric>_ci95` pairs, and an `in`/`OUT` verdict on
+    /// the indegree envelope at `tolerance`. Byte-stable across runs and
+    /// thread counts.
+    #[must_use]
+    pub fn to_tsv(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        let mut cols = vec![
+            "phase".to_string(),
+            "fault".to_string(),
+            "rounds".to_string(),
+            "eff_rate".to_string(),
+            "mc_mean".to_string(),
+            "mc_std".to_string(),
+            "decay_bound".to_string(),
+        ];
+        for metric in SCENARIO_METRICS {
+            cols.push(format!("{metric}_mean"));
+            cols.push(format!("{metric}_ci95"));
+        }
+        cols.push("mc_gap".to_string());
+        cols.push("verdict".to_string());
+        out.push_str(&cols.join("\t"));
+        out.push('\n');
+        let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), fmt);
+        for row in &self.outcomes {
+            let mut fields = vec![
+                row.phase.to_string(),
+                row.fault.to_string(),
+                row.rounds.to_string(),
+                fmt(row.effective_rate),
+                opt(row.mc_mean),
+                opt(row.mc_std),
+                opt(row.decay_bound),
+            ];
+            for summary in [
+                &row.mean_in,
+                &row.in_std,
+                &row.loss_rate,
+                &row.skipped_frac,
+                &row.stale_frac,
+                &row.connected,
+            ] {
+                fields.push(fmt(summary.mean));
+                fields.push(fmt(summary.ci95));
+            }
+            fields.push(opt(row.mc_gap()));
+            fields.push(match row.within_envelope(tolerance) {
+                None => "-".to_string(),
+                Some(true) => "in".to_string(),
+                Some(false) => "OUT".to_string(),
+            });
+            out.push_str(&fields.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One sweep cell: a phase of the scenario (replicates replay the run from
+/// round 0 through this phase's end).
+struct PhaseCell<'a> {
+    scenario: &'a Scenario,
+    phase: usize,
+}
+
+impl SweepCell for PhaseCell<'_> {
+    fn key(&self) -> String {
+        format!("{}/phase={}", self.scenario.name, self.phase)
+    }
+}
+
+/// Runs one replicate of `scenario` through phase `target` inclusive on the
+/// par engine, returning the [`SCENARIO_METRICS`] vector measured at the
+/// end of the target phase.
+fn run_replicate(
+    scenario: &Scenario,
+    target: usize,
+    threads: usize,
+    rng: &mut StdRng,
+    counters: &FaultCounters,
+) -> Vec<f64> {
+    let fault_salt = rng.next_u64();
+    let sim_seed = rng.next_u64();
+    let config = scenario.config();
+    let nodes = topology::circulant(scenario.n, config, scenario.degree);
+    let mut sim = ParSimulation::new(nodes, scenario.compile(fault_salt), sim_seed, threads);
+    sim.run_rounds(scenario.burn_in);
+    counters.replicates.inc();
+
+    for (p, phase) in scenario.phases.iter().enumerate().take(target + 1) {
+        if let Some(churn) = phase.churn {
+            let mut live = sim.live_ids();
+            live.sort_unstable();
+            for _ in 0..churn.leaves {
+                if live.len() <= 4 {
+                    break;
+                }
+                let id = live.remove(0);
+                sim.leave(id).expect("id came from live_ids");
+                counters.churn_leaves.inc();
+            }
+            for _ in 0..churn.joins {
+                let sponsor = *live.last().expect("at least 4 nodes stay live");
+                if let Ok(joiner) = sim.join_via(sponsor) {
+                    live.push(joiner);
+                    counters.churn_joins.inc();
+                }
+            }
+        }
+        if let FaultSpec::Victims { count, .. } = phase.fault {
+            let graph = sim.graph();
+            let mut by_degree: Vec<(usize, NodeId)> =
+                graph.ids().iter().map(|&id| (graph.in_degree(id).unwrap_or(0), id)).collect();
+            // Highest indegree first; ties broken by id for determinism.
+            by_degree.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let victims: Vec<NodeId> = by_degree.iter().take(count).map(|&(_, id)| id).collect();
+            let index = scenario.schedule_index(p);
+            sim.update_fault(|fault| {
+                if let PhaseFault::Victims(v) = fault.phase_mut(index) {
+                    v.set_victims(&victims);
+                }
+            });
+            counters.retargets.inc();
+        }
+        if p == target {
+            sim.reset_stats();
+        }
+        sim.run_rounds(phase.rounds);
+        counters.rounds.add(phase.rounds as u64);
+    }
+
+    let graph = sim.graph();
+    let stats = sim.stats();
+    let degrees = DegreeStats::from_samples(&graph.in_degrees());
+    let edges = graph.edge_count();
+    let steps = stats.actions + stats.skipped;
+    vec![
+        degrees.mean,
+        degrees.std_dev(),
+        if stats.sent == 0 { 0.0 } else { stats.lost as f64 / stats.sent as f64 },
+        if steps == 0 { 0.0 } else { stats.skipped as f64 / steps as f64 },
+        if edges == 0 { 0.0 } else { graph.dangling_edge_count() as f64 / edges as f64 },
+        f64::from(u8::from(graph.is_weakly_connected())),
+    ]
+}
+
+/// The `sim.fault.*` observability counters a scenario run maintains.
+struct FaultCounters {
+    replicates: sandf_obs::CounterHandle,
+    rounds: sandf_obs::CounterHandle,
+    churn_leaves: sandf_obs::CounterHandle,
+    churn_joins: sandf_obs::CounterHandle,
+    retargets: sandf_obs::CounterHandle,
+}
+
+impl FaultCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            replicates: registry.counter("sim.fault.replicates"),
+            rounds: registry.counter("sim.fault.rounds"),
+            churn_leaves: registry.counter("sim.fault.churn_leaves"),
+            churn_joins: registry.counter("sim.fault.churn_joins"),
+            retargets: registry.counter("sim.fault.victim_retargets"),
+        }
+    }
+}
+
+/// The Lemma 6.10 stale-fraction ceiling for a phase: each departed id had
+/// at most `s` live instances at departure, each surviving `rounds` rounds
+/// with probability at most the per-round survival factor compounded — so
+/// the expected stale entries are bounded by `leaves · s · bound` over a
+/// floor of `n · d_L / 2` remaining entries.
+fn decay_ceiling(scenario: &Scenario, phase: &Phase) -> Option<f64> {
+    let leaves = phase.churn.map_or(0, |c| c.leaves);
+    if leaves == 0 {
+        return None;
+    }
+    let loss = phase.fault.effective_rate(scenario.n);
+    // δ = 0: omitting the duplication correction only weakens (raises) the
+    // ceiling, keeping it sound.
+    if loss >= 1.0 {
+        return None;
+    }
+    let bound = *leave_survival_bound(
+        loss,
+        0.0,
+        scenario.lower_threshold,
+        scenario.view_size,
+        phase.rounds,
+    )
+    .last()
+    .expect("phase lasts at least one round");
+    let stale_ceiling = leaves as f64 * scenario.view_size as f64 * bound;
+    let entry_floor = scenario.n as f64 * scenario.lower_threshold as f64 / 2.0;
+    Some((stale_ceiling / entry_floor).min(1.0))
+}
+
+/// The degree-MC prediction `(mean_in, std_in)` at a config and loss
+/// rate, memoized process-wide: a multi-phase scenario revisits the same
+/// handful of rates (and the golden tests revisit them across thread
+/// counts), while a solve costs ~1 s in a debug build.
+fn degree_mc_prediction(config: SfConfig, rate: f64) -> Option<(f64, f64)> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type Cache = Mutex<HashMap<(usize, usize, u64), Option<(f64, f64)>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let key = (config.view_size(), config.lower_threshold(), rate.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("cache lock poisoned").get(&key) {
+        return *hit;
+    }
+    let result = DegreeMc::solve(DegreeMcParams::new(config, rate))
+        .ok()
+        .map(|mc| (mc.mean_in(), mc.std_in()));
+    cache.lock().expect("cache lock poisoned").insert(key, result);
+    result
+}
+
+/// Runs `scenario` as a replicated sweep — one cell per phase, each
+/// replicate replaying from round 0 through its phase on the par engine
+/// with `threads` worker threads — and assembles the envelope report.
+/// `sim.fault.*` counters land in `registry`.
+///
+/// The report is deterministic: thread counts (sweep workers and engine
+/// threads alike) change wall-clock, never a byte of
+/// [`ScenarioReport::to_tsv`].
+#[must_use]
+pub fn run_scenario(
+    scenario: &Scenario,
+    threads: usize,
+    registry: &MetricsRegistry,
+) -> ScenarioReport {
+    let counters = FaultCounters::new(registry);
+    let cells: Vec<PhaseCell<'_>> =
+        (0..scenario.phases.len()).map(|phase| PhaseCell { scenario, phase }).collect();
+    let spec = SweepSpec::new(cells, scenario.replicates, scenario.seed);
+    let results = spec.run(SCENARIO_METRICS, |cell, rng| {
+        run_replicate(scenario, cell.phase, threads, rng, &counters)
+    });
+
+    let config = scenario.config();
+    let outcomes = scenario
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| {
+            let rate = phase.fault.effective_rate(scenario.n);
+            let mc = degree_mc_prediction(config, rate);
+            ScenarioOutcome {
+                phase: i,
+                fault: phase.fault.kind(),
+                rounds: phase.rounds,
+                effective_rate: rate,
+                mc_mean: mc.map(|(mean, _)| mean),
+                mc_std: mc.map(|(_, std)| std),
+                decay_bound: decay_ceiling(scenario, phase),
+                mean_in: *results.summary(i, "mean_in"),
+                in_std: *results.summary(i, "in_std"),
+                loss_rate: *results.summary(i, "loss_rate"),
+                skipped_frac: *results.summary(i, "skipped_frac"),
+                stale_frac: *results.summary(i, "stale_frac"),
+                connected: *results.summary(i, "connected"),
+            }
+        })
+        .collect();
+    ScenarioReport { name: scenario.name.clone(), replicates: scenario.replicates, outcomes }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in scenario library
+// ---------------------------------------------------------------------------
+
+/// The built-in scenario specs the `scenario_run` binary executes when
+/// given no arguments: one per fault family, at CI-friendly scale.
+#[must_use]
+pub fn builtin_specs() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "partition-heal",
+            "scenario partition-heal\n\
+             n 96\n\
+             view 16 6\n\
+             degree 10\n\
+             replicates 5\n\
+             seed 2009\n\
+             burn_in 10\n\
+             \n\
+             phase 30 uniform 0.01\n\
+             phase 20 partition 2 1 0.01\n\
+             phase 30 uniform 0.01\n",
+        ),
+        (
+            "weak-links",
+            "scenario weak-links\n\
+             n 96\n\
+             view 16 6\n\
+             degree 10\n\
+             replicates 5\n\
+             seed 2009\n\
+             burn_in 10\n\
+             \n\
+             phase 30 perlink 7 0.25 0.005 0.6\n\
+             phase 30 uniform 0.005\n",
+        ),
+        (
+            "hub-loss",
+            "scenario hub-loss\n\
+             n 96\n\
+             view 16 6\n\
+             degree 10\n\
+             replicates 5\n\
+             seed 2009\n\
+             burn_in 10\n\
+             \n\
+             phase 30 uniform 0.01\n\
+             phase 25 victims 6 0.9 0.01\n\
+             churn 2 2\n\
+             phase 25 uniform 0.01\n",
+        ),
+        (
+            "slow-cohort",
+            "scenario slow-cohort\n\
+             n 96\n\
+             view 16 6\n\
+             degree 10\n\
+             replicates 5\n\
+             seed 2009\n\
+             burn_in 10\n\
+             \n\
+             phase 30 capacity 3 0.3 4 0.02\n\
+             phase 25 bursty 0.05 0.2 0.01 0.5\n",
+        ),
+    ]
+}
+
+/// Renders one scenario end to end for the `scenario_run` binary: the spec
+/// echoed as `#` commentary, the envelope TSV, and the `sim.fault.*`
+/// exposition as trailing commentary.
+#[must_use]
+pub fn render_scenario(scenario: &Scenario, threads: usize) -> String {
+    let registry = MetricsRegistry::new();
+    let report = run_scenario(scenario, threads, &registry);
+    let mut out = String::new();
+    for line in scenario.to_string().lines() {
+        if line.is_empty() {
+            let _ = writeln!(out, "#");
+        } else {
+            let _ = writeln!(out, "# {line}");
+        }
+    }
+    out.push_str(&report.to_tsv(MC_MEAN_TOLERANCE));
+    for line in registry.render_prometheus().lines() {
+        if line.contains("sim_fault") {
+            let _ = writeln!(out, "# {line}");
+        }
+    }
+    out
+}
+
+/// A scenario variant with the base seed replaced — the shape the golden
+/// determinism tests sweep.
+#[must_use]
+pub fn with_seed(spec: &str, seed: u64) -> Scenario {
+    let mut scenario = Scenario::parse(spec).expect("builtin specs parse");
+    scenario.seed = seed;
+    scenario
+}
+
+/// A stable hash of a report's TSV — handy for quick cross-machine
+/// comparisons without shipping the table.
+#[must_use]
+pub fn tsv_fingerprint(tsv: &str) -> u64 {
+    fnv1a64(tsv.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> String {
+        "scenario tiny\nn 24\nview 12 4\ndegree 6\nreplicates 2\nseed 7\nburn_in 2\n\n\
+         phase 4 uniform 0.05\nphase 3 partition 2 1 0.02\nchurn 1 1\n"
+            .to_string()
+    }
+
+    #[test]
+    fn parses_the_tiny_spec() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        assert_eq!(s.name, "tiny");
+        assert_eq!(s.n, 24);
+        assert_eq!((s.view_size, s.lower_threshold), (12, 4));
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[1].churn, Some(ChurnSpec { leaves: 1, joins: 1 }));
+    }
+
+    #[test]
+    fn print_parse_is_identity() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        let reparsed = Scenario::parse(&s.to_string()).expect("canonical printing parses");
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn every_builtin_parses_and_round_trips() {
+        for (name, spec) in builtin_specs() {
+            let s = Scenario::parse(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(s.name, *name);
+            assert_eq!(Scenario::parse(&s.to_string()).expect("round-trips"), s);
+        }
+    }
+
+    #[test]
+    fn compile_places_phase_windows_after_burn_in() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        let schedule = s.compile(0);
+        // Lossless burn-in, then the two phases.
+        assert_eq!(schedule.phases().len(), 3);
+        assert_eq!(schedule.phases()[0].0, 2);
+        assert_eq!(schedule.phases()[1].0, 6);
+        assert_eq!(schedule.phases()[2].0, 9);
+        assert_eq!(s.schedule_index(1), 2);
+        // The partition window is the phase's own rounds.
+        let PhaseFault::Partition(p) = &schedule.phases()[2].1 else {
+            panic!("expected a partition phase");
+        };
+        assert!(p.active_in(6) && p.active_in(8) && !p.active_in(9) && !p.active_in(5));
+    }
+
+    #[test]
+    fn effective_rates_are_marginals() {
+        let half = FaultSpec::Partition { regions: 2, sever: 1.0, base: 0.0 };
+        assert!((half.effective_rate(96) - 0.5).abs() < 1e-12);
+        let mix = FaultSpec::PerLink { salt: 0, bad_fraction: 0.25, good_rate: 0.0, bad_rate: 0.8 };
+        assert!((mix.effective_rate(96) - 0.2).abs() < 1e-12);
+        let vic = FaultSpec::Victims { count: 24, victim_rate: 0.5, base: 0.0 };
+        assert!((vic.effective_rate(96) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runner_produces_one_row_per_phase_and_is_thread_invariant() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        let a = run_scenario(&s, 1, &MetricsRegistry::new());
+        let b = run_scenario(&s, 3, &MetricsRegistry::new());
+        assert_eq!(a.outcomes.len(), 2);
+        assert_eq!(
+            a.to_tsv(MC_MEAN_TOLERANCE),
+            b.to_tsv(MC_MEAN_TOLERANCE),
+            "engine thread count leaked into the report"
+        );
+    }
+
+    #[test]
+    fn fault_counters_land_in_the_registry() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        let registry = MetricsRegistry::new();
+        let _ = run_scenario(&s, 1, &registry);
+        // 2 phases × 2 replicates.
+        assert_eq!(registry.counter_value("sim.fault.replicates"), Some(4));
+        assert!(registry.counter_value("sim.fault.churn_leaves").unwrap_or(0) > 0);
+    }
+}

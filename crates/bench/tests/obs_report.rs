@@ -38,6 +38,7 @@ fn metric_names_are_pinned() {
         "sim.step.lost",
         "sim.step.self_loops",
         "sim.step.sent",
+        "sim.step.skipped",
         "sim.step.stored",
     ];
     assert_eq!(report.metric_names, expected, "metric names drifted — update docs and this pin");

@@ -26,6 +26,12 @@ pub enum JournalEvent {
         /// The initiating node.
         initiator: NodeId,
     },
+    /// A simulation step was skipped by a closed capacity gate (the
+    /// node's fault model declined the action for this round).
+    Skipped {
+        /// The node whose step was skipped.
+        initiator: NodeId,
+    },
     /// A simulated message was dropped by the loss model.
     Lost {
         /// The initiating node.
@@ -109,6 +115,7 @@ impl JournalEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             Self::SelfLoop { .. } => "self_loop",
+            Self::Skipped { .. } => "skipped",
             Self::Lost { .. } => "lost",
             Self::DeadLetter { .. } => "dead_letter",
             Self::Delivered { .. } => "delivered",
@@ -148,7 +155,7 @@ impl JournalEntry {
             self.event.kind()
         );
         match self.event {
-            JournalEvent::SelfLoop { initiator } => {
+            JournalEvent::SelfLoop { initiator } | JournalEvent::Skipped { initiator } => {
                 let _ = write!(out, ",\"initiator\":{}", initiator.as_u64());
             }
             JournalEvent::Lost { initiator, to, payload, duplicated }

@@ -21,7 +21,7 @@ use sandf_core::{
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
-use crate::loss::LossModel;
+use crate::fault::{FaultCtx, FaultModel};
 
 /// System-wide event counters, the simulator-side complement of
 /// [`NodeStats`].
@@ -43,6 +43,11 @@ pub struct SimStats {
     pub deleted: u64,
     /// Sends that duplicated instead of clearing (`d(u) = d_L`).
     pub duplications: u64,
+    /// Action steps skipped because the fault model's capacity gate was
+    /// closed ([`FaultModel::node_acts`](crate::FaultModel::node_acts)
+    /// returned `false`). Not counted in `actions`, so the
+    /// `actions = self_loops + sent` ledger is unaffected.
+    pub skipped: u64,
 }
 
 impl SimStats {
@@ -72,6 +77,10 @@ impl SimStats {
 pub enum StepEvent {
     /// The initiator selected an empty slot; nothing was sent.
     SelfLoop,
+    /// The initiator's step was skipped: the fault model's capacity gate
+    /// was closed for this `(node, round)` pair, so no action ran and no
+    /// RNG was consumed.
+    Skipped,
     /// A message was produced but dropped by the loss model.
     Lost {
         /// The intended receiver.
@@ -213,6 +222,8 @@ pub struct Simulation<L> {
     delay: DelayModel,
     /// Global step counter (drives in-flight delivery times).
     now: u64,
+    /// Completed rounds — the time base for round-indexed fault models.
+    rounds: u64,
     /// Messages in flight, keyed by delivery step.
     in_flight: BTreeMap<u64, Vec<(NodeId, Message)>>,
     rng: StdRng,
@@ -244,6 +255,7 @@ impl<L: Clone> Clone for Simulation<L> {
             loss: self.loss.clone(),
             delay: self.delay,
             now: self.now,
+            rounds: self.rounds,
             in_flight: self.in_flight.clone(),
             rng: self.rng.clone(),
             stats: self.stats,
@@ -270,7 +282,7 @@ impl<L: fmt::Debug> fmt::Debug for Simulation<L> {
     }
 }
 
-impl<L: LossModel> Simulation<L> {
+impl<L: FaultModel> Simulation<L> {
     /// Creates a simulation over the given nodes with a seeded RNG.
     ///
     /// # Panics
@@ -296,6 +308,7 @@ impl<L: LossModel> Simulation<L> {
             loss,
             delay: DelayModel::Immediate,
             now: 0,
+            rounds: 0,
             in_flight: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
@@ -491,6 +504,19 @@ impl<L: LossModel> Simulation<L> {
         } else {
             self.deliver_due_observed();
         }
+        if !self.loss.node_acts(initiator, self.rounds) {
+            self.stats.skipped += 1;
+            let report = StepReport {
+                initiator,
+                event: StepEvent::Skipped,
+                phase: StepPhase::Action,
+                step: self.now,
+            };
+            if !self.subscribers.is_empty() {
+                self.notify(&report);
+            }
+            return report;
+        }
         self.stats.actions += 1;
         let node = self.nodes.get_mut(&initiator).expect("initiator must be live");
         let outcome = node.initiate(&mut self.rng);
@@ -504,7 +530,8 @@ impl<L: LossModel> Simulation<L> {
                 if duplicated {
                     self.stats.duplications += 1;
                 }
-                if self.loss.is_lost_to(to, &mut self.rng) {
+                let ctx = FaultCtx { from: initiator, to, round: self.rounds };
+                if self.loss.drops(ctx, &mut self.rng) {
                     self.stats.lost += 1;
                     StepEvent::Lost { to, message, duplicated }
                 } else {
@@ -559,6 +586,7 @@ impl<L: LossModel> Simulation<L> {
         for _ in 0..self.live.len() {
             self.step();
         }
+        self.rounds += 1;
     }
 
     /// Executes one round in which every live node initiates exactly once,
@@ -572,6 +600,29 @@ impl<L: LossModel> Simulation<L> {
                 self.step_node(id);
             }
         }
+        self.rounds += 1;
+    }
+
+    /// Completed rounds ([`round`](Self::round) /
+    /// [`round_permuted`](Self::round_permuted) calls) — the time base
+    /// round-indexed fault models see in [`FaultCtx::round`].
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The fault model, for measurement-time inspection.
+    #[must_use]
+    pub fn fault(&self) -> &L {
+        &self.loss
+    }
+
+    /// Applies `f` to the fault model — e.g. to aim a
+    /// [`VictimLoss`](crate::VictimLoss) at the current high-indegree
+    /// nodes at a phase boundary. The same hook exists on all three
+    /// engines (the par engine applies it to every per-sender channel).
+    pub fn update_fault(&mut self, mut f: impl FnMut(&mut L)) {
+        f(&mut self.loss);
     }
 
     /// Runs `rounds` central-entity rounds.
@@ -1020,6 +1071,43 @@ mod tests {
         let hist = registry.histogram("sim.profile.step_ns", duration_buckets());
         assert_eq!(hist.count(), sim.stats().actions);
         assert!(registry.metric_names().contains(&"sim.profile.deliver_ns".to_string()));
+    }
+
+    #[test]
+    fn capacity_gate_skips_steps_and_preserves_the_ledger() {
+        use crate::fault::NodeCapacity;
+        // Everyone slow with period 2: roughly half of all central-entity
+        // steps are skipped, and both ledgers still balance.
+        let model = NodeCapacity::new(7, 1.0, 2, 0.1).unwrap();
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::new(nodes, model, 19);
+        sim.run_rounds(40);
+        let s = *sim.stats();
+        assert!(s.skipped > 0, "slow cohort never skipped");
+        assert_eq!(s.actions + s.skipped, 40 * 24, "every step acts or skips");
+        assert_eq!(s.actions, s.self_loops + s.sent);
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+        assert_eq!(sim.rounds_run(), 40);
+        // Obs 5.1 still holds under the capacity fault.
+        for node in sim.nodes() {
+            let d = node.out_degree();
+            assert_eq!(d % 2, 0);
+            assert!((4..=12).contains(&d));
+        }
+    }
+
+    #[test]
+    fn update_fault_retargets_mid_run() {
+        use crate::fault::VictimLoss;
+        let victim = NodeId::new(5);
+        let nodes = topology::circulant(24, config(), 4);
+        let mut sim = Simulation::new(nodes, VictimLoss::new(1.0, 0.0).unwrap(), 23);
+        sim.run_rounds(10);
+        assert_eq!(sim.stats().lost, 0, "empty victim set must lose nothing");
+        sim.update_fault(|f| f.set_victims(&[victim]));
+        assert!(sim.fault().is_victim(victim));
+        sim.run_rounds(30);
+        assert!(sim.stats().lost > 0, "victim loss never fired after retarget");
     }
 
     #[test]

@@ -64,7 +64,7 @@ use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
-use crate::loss::LossModel;
+use crate::fault::{FaultCtx, FaultModel};
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
 const EMPTY: u64 = u64::MAX;
@@ -131,6 +131,8 @@ pub struct FlatSimulation<L> {
     delay: DelayModel,
     /// Global step counter (drives in-flight delivery times).
     now: u64,
+    /// Completed rounds — the time base for round-indexed fault models.
+    rounds: u64,
     /// Delivery ring: bucket `t % ring.len()` holds the messages due at
     /// step `t`. Empty in immediate mode.
     ring: Vec<Vec<(NodeId, Message)>>,
@@ -165,6 +167,7 @@ impl<L: Clone> Clone for FlatSimulation<L> {
             loss: self.loss.clone(),
             delay: self.delay,
             now: self.now,
+            rounds: self.rounds,
             ring: self.ring.clone(),
             in_flight_count: self.in_flight_count,
             drained_to: self.drained_to,
@@ -193,7 +196,7 @@ impl<L: fmt::Debug> fmt::Debug for FlatSimulation<L> {
     }
 }
 
-impl<L: LossModel> FlatSimulation<L> {
+impl<L: FaultModel> FlatSimulation<L> {
     /// Creates a flat simulation over the given nodes with a seeded RNG —
     /// the drop-in counterpart of [`Simulation::new`](crate::Simulation::new).
     ///
@@ -250,6 +253,7 @@ impl<L: LossModel> FlatSimulation<L> {
             loss,
             delay: DelayModel::Immediate,
             now: 0,
+            rounds: 0,
             ring: Vec::new(),
             in_flight_count: 0,
             drained_to: 0,
@@ -447,6 +451,19 @@ impl<L: LossModel> FlatSimulation<L> {
         } else {
             self.deliver_due_observed();
         }
+        if !self.loss.node_acts(initiator, self.rounds) {
+            self.stats.skipped += 1;
+            let report = StepReport {
+                initiator,
+                event: StepEvent::Skipped,
+                phase: StepPhase::Action,
+                step: self.now,
+            };
+            if !self.subscribers.is_empty() {
+                self.notify(&report);
+            }
+            return report;
+        }
         self.stats.actions += 1;
         let k = self.dense_of(initiator).expect("initiator must be live");
         let event = match self.initiate_at(k) {
@@ -459,7 +476,8 @@ impl<L: LossModel> FlatSimulation<L> {
                 if duplicated {
                     self.stats.duplications += 1;
                 }
-                if self.loss.is_lost_to(to, &mut self.rng) {
+                let ctx = FaultCtx { from: initiator, to, round: self.rounds };
+                if self.loss.drops(ctx, &mut self.rng) {
                     self.stats.lost += 1;
                     StepEvent::Lost { to, message, duplicated }
                 } else {
@@ -651,6 +669,7 @@ impl<L: LossModel> FlatSimulation<L> {
         for _ in 0..self.live.len() {
             self.step();
         }
+        self.rounds += 1;
     }
 
     /// Executes one round in which every live node initiates exactly once,
@@ -663,6 +682,27 @@ impl<L: LossModel> FlatSimulation<L> {
                 self.step_node(id);
             }
         }
+        self.rounds += 1;
+    }
+
+    /// Completed rounds — the time base round-indexed fault models see in
+    /// [`FaultCtx::round`]; mirrors
+    /// [`Simulation::rounds_run`](crate::Simulation::rounds_run).
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The fault model, for measurement-time inspection.
+    #[must_use]
+    pub fn fault(&self) -> &L {
+        &self.loss
+    }
+
+    /// Applies `f` to the fault model; mirrors
+    /// [`Simulation::update_fault`](crate::Simulation::update_fault).
+    pub fn update_fault(&mut self, mut f: impl FnMut(&mut L)) {
+        f(&mut self.loss);
     }
 
     /// Runs `rounds` central-entity rounds.
@@ -820,7 +860,7 @@ mod tests {
 
     /// Asserts full observable equality of the two engines: stats, live
     /// set, per-node views (slots, ids, dependence tags), aggregates.
-    fn assert_engines_equal<L: LossModel + fmt::Debug>(
+    fn assert_engines_equal<L: FaultModel + fmt::Debug>(
         classic: &Simulation<L>,
         flat: &FlatSimulation<L>,
     ) {
@@ -1054,6 +1094,37 @@ mod tests {
             DelayModel::UniformSteps { max: 0 },
             0,
         );
+    }
+
+    #[test]
+    fn flat_equals_classic_under_scheduled_faults() {
+        use crate::fault::{
+            NodeCapacity, PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault, VictimLoss,
+        };
+        let schedule = || {
+            let mut victims = VictimLoss::new(0.9, 0.01).unwrap();
+            victims.set_victims(&[NodeId::new(1), NodeId::new(2)]);
+            ScheduledFault::new(vec![
+                (8, PhaseFault::Uniform(UniformLoss::new(0.05).unwrap())),
+                (16, PhaseFault::Partition(RegionalPartition::new(2, 8, 8, 1.0, 0.05).unwrap())),
+                (24, PhaseFault::Capacity(NodeCapacity::new(5, 0.4, 3, 0.02).unwrap())),
+                (32, PhaseFault::PerLink(PerLinkLoss::new(9, 0.3, 0.0, 1.0).unwrap())),
+                (u64::MAX, PhaseFault::Victims(victims)),
+            ])
+        };
+        for seed in [3u64, 2009] {
+            let mut classic = Simulation::new(nodes(), schedule(), seed);
+            let mut flat = FlatSimulation::new(nodes(), schedule(), seed);
+            for _ in 0..40 {
+                classic.round();
+                flat.round();
+                assert_engines_equal(&classic, &flat);
+            }
+            let s = *flat.stats();
+            assert!(s.skipped > 0, "capacity phase never skipped a step");
+            assert!(s.lost > 0, "schedule never lost a message");
+            assert_eq!(classic.rounds_run(), flat.rounds_run());
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod engine;
 pub mod experiment;
+pub mod fault;
 mod flat;
 mod loss;
 pub mod observer;
@@ -42,6 +43,10 @@ pub mod topology;
 
 pub use engine::{
     DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,
+};
+pub use fault::{
+    FaultCtx, FaultModel, NodeCapacity, PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault,
+    VictimLoss,
 };
 pub use flat::FlatSimulation;
 pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLoss};

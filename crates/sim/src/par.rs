@@ -71,7 +71,7 @@ use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, GaugeHandle, HistogramHandle, MetricsRegistry, SpanTimer};
 
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
-use crate::loss::LossModel;
+use crate::fault::{FaultCtx, FaultModel};
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
 const EMPTY: u64 = u64::MAX;
@@ -141,6 +141,7 @@ fn merge_stats(total: &mut SimStats, delta: &SimStats) {
     total.stored += delta.stored;
     total.deleted += delta.deleted;
     total.duplications += delta.duplications;
+    total.skipped += delta.skipped;
 }
 
 /// Per-round span histograms and the shard-balance gauge, when a profiler
@@ -327,7 +328,7 @@ impl<L: fmt::Debug> fmt::Debug for ParSimulation<L> {
     }
 }
 
-impl<L: LossModel + Clone + Send> ParSimulation<L> {
+impl<L: FaultModel + Clone + Send> ParSimulation<L> {
     /// Creates a sharded simulation over the given nodes. `threads` is the
     /// number of contiguous arena shards processed concurrently; it
     /// affects wall-clock only, never results.
@@ -523,6 +524,25 @@ impl<L: LossModel + Clone + Send> ParSimulation<L> {
     #[must_use]
     pub fn rounds_run(&self) -> u64 {
         self.round
+    }
+
+    /// The prototype fault channel, for measurement-time inspection
+    /// (per-sender clones may have diverged for stateful models).
+    #[must_use]
+    pub fn fault(&self) -> &L {
+        &self.loss_proto
+    }
+
+    /// Applies `f` to the prototype channel **and** every per-sender
+    /// clone, so a mid-run retarget (e.g. aiming a
+    /// [`VictimLoss`](crate::VictimLoss) at the current hubs) reaches all
+    /// senders — the par counterpart of
+    /// [`Simulation::update_fault`](crate::Simulation::update_fault).
+    pub fn update_fault(&mut self, mut f: impl FnMut(&mut L)) {
+        f(&mut self.loss_proto);
+        for channel in &mut self.loss {
+            f(channel);
+        }
     }
 
     /// Accumulated system-wide counters.
@@ -978,7 +998,7 @@ impl<L: LossModel + Clone + Send> ParSimulation<L> {
 /// per-`(seed, node, round)` RNG stream. All slices are the shard's window
 /// into the global arrays; `ctx.dense_id`/`ctx.index` stay global (shared,
 /// read-only).
-fn run_action_shard<L: LossModel>(
+fn run_action_shard<L: FaultModel>(
     ctx: ActionCtx<'_>,
     lo: usize,
     slots: &mut [u64],
@@ -1000,6 +1020,20 @@ fn run_action_shard<L: LossModel>(
             continue; // departed
         }
         out.live += 1;
+        if !losses[r].node_acts(id, ctx.round) {
+            // Capacity gate closed: the node's step is skipped before any
+            // RNG is derived, so the skip is thread-count-independent.
+            out.stats.skipped += 1;
+            if ctx.observed {
+                out.reports.push(StepReport {
+                    initiator: id,
+                    event: StepEvent::Skipped,
+                    phase: StepPhase::Action,
+                    step: 0,
+                });
+            }
+            continue;
+        }
         out.stats.actions += 1;
         nstats[r].initiated += 1;
         let mut rng = StdRng::seed_from_u64(action_seed(ctx.seed, id.as_u64(), ctx.round));
@@ -1031,7 +1065,8 @@ fn run_action_shard<L: LossModel>(
             nstats[r].sent += 1;
             let to = NodeId::new(target);
             let message = Message::new(id, NodeId::new(payload), duplicated);
-            if losses[r].is_lost_to(to, &mut rng) {
+            let fctx = FaultCtx { from: id, to, round: ctx.round };
+            if losses[r].drops(fctx, &mut rng) {
                 out.stats.lost += 1;
                 StepEvent::Lost { to, message, duplicated }
             } else {
@@ -1156,7 +1191,7 @@ mod tests {
 
     /// Asserts full observable equality of two par engines: stats, live
     /// set, per-node views (slots, ids, dependence tags), aggregates.
-    fn assert_par_equal<L: LossModel + Clone + Send>(a: &ParSimulation<L>, b: &ParSimulation<L>) {
+    fn assert_par_equal<L: FaultModel + Clone + Send>(a: &ParSimulation<L>, b: &ParSimulation<L>) {
         assert_eq!(a.stats(), b.stats(), "SimStats diverged");
         assert_eq!(a.len(), b.len(), "live count diverged");
         assert_eq!(a.in_flight(), b.in_flight(), "in-flight count diverged");
@@ -1382,6 +1417,49 @@ mod tests {
         let id = sim.join_with(&(0..4).map(NodeId::new).collect::<Vec<_>>()).unwrap();
         assert_eq!(sim.out_degree_of(id), Some(4));
         assert_eq!(sim.len(), 25);
+    }
+
+    #[test]
+    fn identical_across_thread_counts_under_scheduled_faults() {
+        use crate::fault::{
+            NodeCapacity, PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault, VictimLoss,
+        };
+        let schedule = || {
+            let mut victims = VictimLoss::new(0.9, 0.01).unwrap();
+            victims.set_victims(&[NodeId::new(1), NodeId::new(2)]);
+            ScheduledFault::new(vec![
+                (8, PhaseFault::Uniform(UniformLoss::new(0.05).unwrap())),
+                (16, PhaseFault::Partition(RegionalPartition::new(2, 8, 8, 1.0, 0.05).unwrap())),
+                (24, PhaseFault::Capacity(NodeCapacity::new(5, 0.4, 3, 0.02).unwrap())),
+                (32, PhaseFault::PerLink(PerLinkLoss::new(9, 0.3, 0.0, 1.0).unwrap())),
+                (u64::MAX, PhaseFault::Victims(victims)),
+            ])
+        };
+        let build = |threads| ParSimulation::new(nodes(), schedule(), 42, threads);
+        let mut one = build(1);
+        one.run_rounds(40);
+        let s = *one.stats();
+        assert!(s.skipped > 0, "capacity phase never skipped a step");
+        assert!(s.lost > 0, "schedule never lost a message");
+        assert_eq!(s.actions + s.skipped, 40 * 24, "every live node acts or skips each round");
+        for threads in [2, 3, 8, 64] {
+            let mut other = build(threads);
+            other.run_rounds(40);
+            assert_par_equal(&one, &other);
+        }
+    }
+
+    #[test]
+    fn update_fault_reaches_every_sender_channel() {
+        use crate::fault::VictimLoss;
+        let victim = NodeId::new(5);
+        let mut sim = ParSimulation::new(nodes(), VictimLoss::new(1.0, 0.0).unwrap(), 23, 4);
+        sim.run_rounds(10);
+        assert_eq!(sim.stats().lost, 0, "empty victim set must lose nothing");
+        sim.update_fault(|f| f.set_victims(&[victim]));
+        assert!(sim.fault().is_victim(victim));
+        sim.run_rounds(30);
+        assert!(sim.stats().lost > 0, "victim loss never fired after retarget");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | `sim.step.deleted`      | messages delivered but deleted (full view)   |
 //! | `sim.step.duplications` | sends that duplicated (`d(u) = d_L`)         |
 //! | `sim.step.in_flight`    | messages queued for delayed delivery         |
+//! | `sim.step.skipped`      | steps skipped by a closed capacity gate      |
 
 use sandf_obs::{CounterHandle, EventJournal, JournalEvent, MetricsRegistry};
 
@@ -39,6 +40,7 @@ pub struct SimRecorder {
     deleted: CounterHandle,
     duplications: CounterHandle,
     in_flight: CounterHandle,
+    skipped: CounterHandle,
 }
 
 impl SimRecorder {
@@ -57,6 +59,7 @@ impl SimRecorder {
             deleted: registry.counter("sim.step.deleted"),
             duplications: registry.counter("sim.step.duplications"),
             in_flight: registry.counter("sim.step.in_flight"),
+            skipped: registry.counter("sim.step.skipped"),
         }
     }
 
@@ -80,6 +83,7 @@ impl SimRecorder {
         let initiator = report.initiator;
         match report.event {
             StepEvent::SelfLoop => JournalEvent::SelfLoop { initiator },
+            StepEvent::Skipped => JournalEvent::Skipped { initiator },
             StepEvent::Lost { to, message, duplicated } => {
                 JournalEvent::Lost { initiator, to, payload: message.payload, duplicated }
             }
@@ -107,10 +111,16 @@ impl SimRecorder {
 impl StepSubscriber for SimRecorder {
     fn on_step(&mut self, report: &StepReport) {
         match report.phase {
+            StepPhase::Action if matches!(report.event, StepEvent::Skipped) => {
+                // A closed capacity gate: no action ran, so only the
+                // skipped counter moves (mirroring SimStats).
+                self.skipped.inc();
+            }
             StepPhase::Action => {
                 self.actions.inc();
                 match report.event {
                     StepEvent::SelfLoop => self.self_loops.inc(),
+                    StepEvent::Skipped => unreachable!("handled by the guard arm above"),
                     StepEvent::Lost { duplicated, .. } => {
                         self.sent.inc();
                         self.lost.inc();

@@ -63,5 +63,7 @@ pub use sandf_core::{
 pub use sandf_graph::{DegreeStats, DependenceReport, Histogram, MembershipGraph};
 pub use sandf_markov::{select_thresholds, AnalyticalDegrees, DegreeMc, DegreeMcParams};
 pub use sandf_sim::{
-    FlatSimulation, GilbertElliott, LossModel, ParSimulation, SimStats, Simulation, UniformLoss,
+    FaultCtx, FaultModel, FlatSimulation, GilbertElliott, LossModel, NodeCapacity, ParSimulation,
+    PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault, SimStats, Simulation, UniformLoss,
+    VictimLoss,
 };

@@ -11,8 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sandf::core::InitiateOutcome;
 use sandf::{
-    FlatSimulation, MembershipGraph, Message, NodeId, ParSimulation, SfConfig, SfNode, Simulation,
-    UniformLoss,
+    FlatSimulation, MembershipGraph, Message, NodeCapacity, NodeId, ParSimulation, PerLinkLoss,
+    PhaseFault, RegionalPartition, ScheduledFault, SfConfig, SfNode, Simulation, UniformLoss,
+    VictimLoss,
 };
 
 /// One externally scheduled event.
@@ -73,6 +74,95 @@ fn arb_engine_op() -> impl Strategy<Value = EngineOp> {
         any::<u8>().prop_map(EngineOp::Leave),
         any::<u8>().prop_map(EngineOp::Join),
     ]
+}
+
+/// One randomly drawn fault family for a scenario phase, parameters in
+/// their legal ranges (rates arrive as milli-units).
+#[derive(Clone, Debug)]
+enum FaultKind {
+    Uniform { rate_milli: u16 },
+    Partition { regions: u64, sever_milli: u16, base_milli: u16 },
+    Capacity { salt: u64, slow_milli: u16, period: u64, base_milli: u16 },
+    Victims { victims: Vec<u8>, victim_milli: u16, base_milli: u16 },
+    PerLink { salt: u64, bad_milli: u16, good_milli: u16 },
+}
+
+fn milli(m: u16) -> f64 {
+    f64::from(m % 1000) / 1000.0
+}
+
+fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        any::<u16>().prop_map(|rate_milli| FaultKind::Uniform { rate_milli }),
+        (2..5u64, any::<u16>(), any::<u16>()).prop_map(|(regions, sever_milli, base_milli)| {
+            FaultKind::Partition { regions, sever_milli, base_milli }
+        }),
+        (any::<u64>(), any::<u16>(), 2..5u64, any::<u16>()).prop_map(
+            |(salt, slow_milli, period, base_milli)| FaultKind::Capacity {
+                salt,
+                slow_milli,
+                period,
+                base_milli
+            }
+        ),
+        (vec(any::<u8>(), 1..4), any::<u16>(), any::<u16>()).prop_map(
+            |(victims, victim_milli, base_milli)| FaultKind::Victims {
+                victims,
+                victim_milli,
+                base_milli
+            }
+        ),
+        (any::<u64>(), any::<u16>(), any::<u16>()).prop_map(|(salt, bad_milli, good_milli)| {
+            FaultKind::PerLink { salt, bad_milli, good_milli }
+        }),
+    ]
+}
+
+/// Compiles randomly drawn phases into a [`ScheduledFault`]: phase `k`
+/// lasts `1 + (rounds_k % 4)` rounds, partition windows align with their
+/// phase, and the last phase is open-ended (the schedule's own
+/// convention) so arbitrarily long op schedules stay covered.
+fn build_schedule(phases: &[(u8, FaultKind)]) -> ScheduledFault {
+    let mut compiled = Vec::with_capacity(phases.len());
+    let mut start = 0u64;
+    for (rounds, kind) in phases {
+        let duration = u64::from(rounds % 4) + 1;
+        let end = start + duration;
+        let fault = match kind {
+            FaultKind::Uniform { rate_milli } => PhaseFault::Uniform(
+                UniformLoss::new(milli(*rate_milli)).expect("milli rates are legal"),
+            ),
+            FaultKind::Partition { regions, sever_milli, base_milli } => PhaseFault::Partition(
+                RegionalPartition::new(
+                    *regions,
+                    start,
+                    duration,
+                    milli(*sever_milli),
+                    milli(*base_milli),
+                )
+                .expect("milli rates are legal"),
+            ),
+            FaultKind::Capacity { salt, slow_milli, period, base_milli } => PhaseFault::Capacity(
+                NodeCapacity::new(*salt, milli(*slow_milli), *period, milli(*base_milli))
+                    .expect("milli rates are legal"),
+            ),
+            FaultKind::Victims { victims, victim_milli, base_milli } => {
+                let mut loss = VictimLoss::new(milli(*victim_milli), milli(*base_milli))
+                    .expect("milli rates are legal");
+                let ids: Vec<NodeId> =
+                    victims.iter().map(|&v| NodeId::new(u64::from(v) % ENGINE_N as u64)).collect();
+                loss.set_victims(&ids);
+                PhaseFault::Victims(loss)
+            }
+            FaultKind::PerLink { salt, bad_milli, good_milli } => PhaseFault::PerLink(
+                PerLinkLoss::new(*salt, 0.5, milli(*good_milli), milli(*bad_milli))
+                    .expect("milli rates are legal"),
+            ),
+        };
+        compiled.push((end, fault));
+        start = end;
+    }
+    ScheduledFault::new(compiled)
 }
 
 /// Drives one engine through a schedule, checking after every operation:
@@ -144,6 +234,9 @@ macro_rules! id_ledger_holds {
         let initial = sim.graph().edge_count() as i64;
         sim.run_rounds($rounds);
         let s = *sim.stats();
+        // Steps accounting: with no churn, every live node is scheduled
+        // once per round and either acts or is capacity-skipped.
+        prop_assert_eq!(s.actions + s.skipped, ($rounds * ENGINE_N) as u64);
         prop_assert_eq!(s.actions, s.self_loops + s.sent);
         prop_assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
         prop_assert_eq!(s.dead_letters, 0);
@@ -296,6 +389,46 @@ proptest! {
         id_ledger_holds!(Simulation::new(nodes.clone(), loss, seed), rounds);
         id_ledger_holds!(FlatSimulation::new(nodes.clone(), loss, seed), rounds);
         id_ledger_holds!(ParSimulation::new(nodes, loss, seed, 2), rounds);
+    }
+
+    /// Obs. 5.1 under the scenario fault models: random multi-phase
+    /// schedules mixing partition-then-heal, capacity classes, targeted
+    /// victims, per-link correlated loss, and uniform phases — still
+    /// interleaved with churn ops — must keep outdegrees even and inside
+    /// `[d_L, s]` with no forged ids, on all three engines. Correlated
+    /// faults shape *which* messages drop, never the per-node view
+    /// algebra, so the safety invariants are fault-model-independent.
+    #[test]
+    fn engines_preserve_observation_5_1_under_scenario_faults(
+        phases in vec((any::<u8>(), arb_fault_kind()), 1..4),
+        ops in vec(arb_engine_op(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let config = engine_config();
+        let fault = build_schedule(&phases);
+        let nodes = build_system(ENGINE_N, config, 6);
+        obs_5_1_schedule!(Simulation::new(nodes.clone(), fault.clone(), seed), &ops, config);
+        obs_5_1_schedule!(FlatSimulation::new(nodes.clone(), fault.clone(), seed), &ops, config);
+        obs_5_1_schedule!(ParSimulation::new(nodes, fault, seed, 2), &ops, config);
+    }
+
+    /// Id conservation under the scenario fault models. Capacity gating
+    /// skips whole steps rather than dropping messages, so the ledger
+    /// gains a term: `actions + skipped` must equal the total scheduled
+    /// steps, and the send/edge ledgers must still balance exactly — on
+    /// all three engines, under every fault family.
+    #[test]
+    fn engines_conserve_ids_under_scenario_faults(
+        phases in vec((any::<u8>(), arb_fault_kind()), 1..4),
+        rounds in 1..12usize,
+        seed in any::<u64>(),
+    ) {
+        let config = engine_config();
+        let fault = build_schedule(&phases);
+        let nodes = build_system(ENGINE_N, config, 6);
+        id_ledger_holds!(Simulation::new(nodes.clone(), fault.clone(), seed), rounds);
+        id_ledger_holds!(FlatSimulation::new(nodes.clone(), fault.clone(), seed), rounds);
+        id_ledger_holds!(ParSimulation::new(nodes, fault, seed, 2), rounds);
     }
 
     /// The dependence tag algebra: a view never reports more dependent
