@@ -1,0 +1,453 @@
+//! The daemon's wire-level fault injector: the PR6 fault zoo applied at
+//! the socket boundary, reconfigurable at runtime.
+//!
+//! The injector sits between each node's [`LossyTransport`] base-loss layer
+//! and its UDP socket: every outgoing datagram is offered to the currently
+//! installed [`PhaseFault`] (uniform, Gilbert–Elliott, regional partition,
+//! per-link, capacity, victim set), and the model is shared by all nodes in
+//! the process so one `POST /ctl/fault` retargets the whole fleet. Capacity
+//! models additionally gate node *ticks* via
+//! [`FaultInjector::node_acts`] — the daemon skips the initiate step of a
+//! slow node's round, exactly like the simulation engines do.
+//!
+//! [`LossyTransport`]: sandf_net::LossyTransport
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sandf_core::{Message, NodeId};
+use sandf_net::{AddressBook, Transport, TransportError};
+use sandf_obs::{CounterHandle, MetricsRegistry};
+use sandf_sim::{
+    FaultCtx, FaultModel, GilbertElliott, NodeCapacity, PerLinkLoss, PhaseFault, RegionalPartition,
+    UniformLoss, VictimLoss,
+};
+
+/// A parsed `/ctl/fault` command.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FaultCommand {
+    /// Remove the injected fault (base [`LossyTransport`] loss remains).
+    ///
+    /// [`LossyTransport`]: sandf_net::LossyTransport
+    Clear,
+    /// Install a concrete fault model.
+    Set {
+        /// The model to install.
+        fault: PhaseFault,
+        /// A short lowercase tag for snapshots/metrics (`"uniform"`, …).
+        kind: String,
+    },
+    /// Install a [`VictimLoss`] aimed at the current top-indegree nodes;
+    /// the daemon resolves the victim set from its latest graph snapshot.
+    VictimsTop {
+        /// How many of the highest-indegree nodes to target.
+        count: usize,
+        /// Inbound loss rate on the victims.
+        rate: f64,
+        /// Loss rate for everyone else.
+        base: f64,
+    },
+}
+
+fn parse_rate(word: &str, what: &str) -> Result<f64, String> {
+    let value: f64 =
+        word.parse().map_err(|_| format!("{what}: expected a number, got {word:?}"))?;
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(format!("{what}: {value} is not a probability in [0, 1]"));
+    }
+    Ok(value)
+}
+
+fn parse_int<T: std::str::FromStr>(word: &str, what: &str) -> Result<T, String> {
+    word.parse().map_err(|_| format!("{what}: expected an integer, got {word:?}"))
+}
+
+/// Parses one fault-command line. `now_round` anchors window-based models
+/// (a partition starts at the next round). Grammar, one command per line:
+///
+/// ```text
+/// none
+/// uniform <rate>
+/// bursty <to_bad> <to_good> <loss_good> <loss_bad>
+/// partition <regions> <duration_rounds> <sever> [base]
+/// perlink <salt> <bad_fraction> <good_rate> <bad_rate>
+/// capacity <salt> <slow_fraction> <period> [base]
+/// victims top <count> <rate> [base]
+/// victims <id,id,...> <rate> [base]
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the offending field (served as HTTP 400).
+pub fn parse_fault_command(line: &str, now_round: u64) -> Result<FaultCommand, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let usage = "usage: none | uniform <rate> | bursty <to_bad> <to_good> <loss_good> <loss_bad> \
+                 | partition <regions> <duration_rounds> <sever> [base] \
+                 | perlink <salt> <bad_fraction> <good_rate> <bad_rate> \
+                 | capacity <salt> <slow_fraction> <period> [base] \
+                 | victims top <count> <rate> [base] | victims <id,id,...> <rate> [base]";
+    let arity = |want: std::ops::RangeInclusive<usize>, name: &str| {
+        if want.contains(&(words.len() - 1)) {
+            Ok(())
+        } else {
+            Err(format!("{name} takes {want:?} arguments; {usage}"))
+        }
+    };
+    match words.first().copied() {
+        None => Err(format!("empty fault command; {usage}")),
+        Some("none") => {
+            arity(0..=0, "none")?;
+            Ok(FaultCommand::Clear)
+        }
+        Some("uniform") => {
+            arity(1..=1, "uniform")?;
+            let rate = parse_rate(words[1], "uniform rate")?;
+            Ok(FaultCommand::Set {
+                fault: PhaseFault::Uniform(UniformLoss::new(rate).map_err(|e| e.to_string())?),
+                kind: "uniform".into(),
+            })
+        }
+        Some("bursty") => {
+            arity(4..=4, "bursty")?;
+            let to_bad = parse_rate(words[1], "bursty to_bad")?;
+            let to_good = parse_rate(words[2], "bursty to_good")?;
+            let loss_good = parse_rate(words[3], "bursty loss_good")?;
+            let loss_bad = parse_rate(words[4], "bursty loss_bad")?;
+            let model = GilbertElliott::new(to_bad, to_good, loss_good, loss_bad)
+                .map_err(|e| e.to_string())?;
+            Ok(FaultCommand::Set { fault: PhaseFault::Bursty(model), kind: "bursty".into() })
+        }
+        Some("partition") => {
+            arity(3..=4, "partition")?;
+            let regions: u64 = parse_int(words[1], "partition regions")?;
+            if regions < 2 {
+                return Err("partition regions: need at least 2".into());
+            }
+            let duration: u64 = parse_int(words[2], "partition duration_rounds")?;
+            if duration == 0 {
+                return Err("partition duration_rounds: must be positive".into());
+            }
+            let sever = parse_rate(words[3], "partition sever")?;
+            let base = if words.len() > 4 { parse_rate(words[4], "partition base")? } else { 0.0 };
+            let model = RegionalPartition::new(regions, now_round + 1, duration, sever, base)
+                .map_err(|e| e.to_string())?;
+            Ok(FaultCommand::Set { fault: PhaseFault::Partition(model), kind: "partition".into() })
+        }
+        Some("perlink") => {
+            arity(4..=4, "perlink")?;
+            let salt: u64 = parse_int(words[1], "perlink salt")?;
+            let bad_fraction = parse_rate(words[2], "perlink bad_fraction")?;
+            let good = parse_rate(words[3], "perlink good_rate")?;
+            let bad = parse_rate(words[4], "perlink bad_rate")?;
+            let model =
+                PerLinkLoss::new(salt, bad_fraction, good, bad).map_err(|e| e.to_string())?;
+            Ok(FaultCommand::Set { fault: PhaseFault::PerLink(model), kind: "perlink".into() })
+        }
+        Some("capacity") => {
+            arity(3..=4, "capacity")?;
+            let salt: u64 = parse_int(words[1], "capacity salt")?;
+            let slow_fraction = parse_rate(words[2], "capacity slow_fraction")?;
+            let period: u64 = parse_int(words[3], "capacity period")?;
+            if period < 2 {
+                return Err("capacity period: must be at least 2".into());
+            }
+            let base = if words.len() > 4 { parse_rate(words[4], "capacity base")? } else { 0.0 };
+            let model =
+                NodeCapacity::new(salt, slow_fraction, period, base).map_err(|e| e.to_string())?;
+            Ok(FaultCommand::Set { fault: PhaseFault::Capacity(model), kind: "capacity".into() })
+        }
+        Some("victims") => {
+            if words.get(1).copied() == Some("top") {
+                arity(3..=4, "victims top")?;
+                let count: usize = parse_int(words[2], "victims top count")?;
+                if count == 0 {
+                    return Err("victims top count: must be positive".into());
+                }
+                let rate = parse_rate(words[3], "victims rate")?;
+                let base =
+                    if words.len() > 4 { parse_rate(words[4], "victims base")? } else { 0.0 };
+                Ok(FaultCommand::VictimsTop { count, rate, base })
+            } else {
+                arity(2..=3, "victims")?;
+                let mut ids = Vec::new();
+                for part in words[1].split(',') {
+                    ids.push(NodeId::new(parse_int(part, "victims id list")?));
+                }
+                let rate = parse_rate(words[2], "victims rate")?;
+                let base =
+                    if words.len() > 3 { parse_rate(words[3], "victims base")? } else { 0.0 };
+                let mut model = VictimLoss::new(rate, base).map_err(|e| e.to_string())?;
+                model.set_victims(&ids);
+                Ok(FaultCommand::Set { fault: PhaseFault::Victims(model), kind: "victims".into() })
+            }
+        }
+        Some(other) => Err(format!("unknown fault model {other:?}; {usage}")),
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    fault: Option<PhaseFault>,
+    kind: String,
+}
+
+/// The shared, runtime-reconfigurable fault state: one per daemon,
+/// referenced by every node's [`FaultedTransport`].
+///
+/// Shared-model semantics: stateful models (Gilbert–Elliott's channel
+/// state) evolve across *all* senders' messages rather than per channel —
+/// the burst correlation becomes process-global, which is the interesting
+/// adversarial regime for a single-process fleet anyway.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    state: Arc<Mutex<InjectorState>>,
+    round: Arc<AtomicU64>,
+    dropped: CounterHandle,
+    dead_letters: CounterHandle,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no fault installed, registering
+    /// `daemon.fault.dropped` and `daemon.net.dead_letters` counters.
+    #[must_use]
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(InjectorState { fault: None, kind: "none".into() })),
+            round: Arc::new(AtomicU64::new(0)),
+            dropped: registry.counter("daemon.fault.dropped"),
+            dead_letters: registry.counter("daemon.net.dead_letters"),
+        }
+    }
+
+    /// Installs (or clears) the fault model.
+    pub fn install(&self, fault: Option<PhaseFault>, kind: &str) {
+        let mut state = self.state.lock();
+        state.fault = fault;
+        state.kind = kind.to_string();
+    }
+
+    /// The installed model's tag (`"none"` when clear).
+    #[must_use]
+    pub fn kind(&self) -> String {
+        self.state.lock().kind.clone()
+    }
+
+    /// Publishes the daemon's current round, used as the [`FaultCtx`]
+    /// round for window-based models.
+    pub fn set_round(&self, round: u64) {
+        self.round.store(round, Ordering::Relaxed);
+    }
+
+    /// The round last published via [`set_round`](Self::set_round).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
+    }
+
+    /// Whether `node` initiates this round (capacity models gate ticks).
+    #[must_use]
+    pub fn node_acts(&self, node: NodeId, round: u64) -> bool {
+        match &self.state.lock().fault {
+            Some(fault) => fault.node_acts(node, round),
+            None => true,
+        }
+    }
+
+    /// Messages dropped by the injected model so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Messages addressed to departed (unresolvable) peers so far.
+    #[must_use]
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters.get()
+    }
+
+    fn drops(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> bool {
+        let mut state = self.state.lock();
+        let Some(fault) = state.fault.as_mut() else {
+            return false;
+        };
+        let ctx = FaultCtx { from, to, round: self.round.load(Ordering::Relaxed) };
+        fault.drops(ctx, rng)
+    }
+}
+
+/// A transport decorator applying the daemon's shared [`FaultInjector`] to
+/// every outgoing datagram, and counting dead letters (sends to peers no
+/// longer in the [`AddressBook`]) so the live invariant checker can fold
+/// them into the realized loss rate.
+#[derive(Debug)]
+pub struct FaultedTransport<T> {
+    inner: T,
+    injector: FaultInjector,
+    book: AddressBook,
+    rng: StdRng,
+}
+
+impl<T: Transport> FaultedTransport<T> {
+    /// Wraps `inner`; `seed` decorrelates this sender's fault draws.
+    #[must_use]
+    pub fn new(inner: T, injector: FaultInjector, book: AddressBook, seed: u64) -> Self {
+        Self { inner, injector, book, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The wrapped transport.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultedTransport<T> {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+
+    fn send(&mut self, to: NodeId, message: Message) -> Result<(), TransportError> {
+        if self.injector.drops(self.local_id(), to, &mut self.rng) {
+            self.injector.dropped.inc();
+            return Ok(());
+        }
+        if self.book.resolve(to).is_none() {
+            // The peer left; the datagram goes nowhere. Counted so the
+            // checker's realized loss includes churn-induced loss.
+            self.injector.dead_letters.inc();
+        }
+        self.inner.send(to, message)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        self.inner.try_recv()
+    }
+
+    fn recv_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        self.inner.recv_batch(out, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sandf_net::UdpTransport;
+
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_model() {
+        for (line, kind) in [
+            ("uniform 0.25", "uniform"),
+            ("bursty 0.1 0.5 0.01 0.8", "bursty"),
+            ("partition 2 50 1.0", "partition"),
+            ("partition 3 10 0.9 0.05", "partition"),
+            ("perlink 7 0.2 0.01 0.9", "perlink"),
+            ("capacity 7 0.3 4", "capacity"),
+            ("victims 1,2,3 0.9", "victims"),
+            ("victims 4 0.9 0.1", "victims"),
+        ] {
+            match parse_fault_command(line, 10).unwrap() {
+                FaultCommand::Set { kind: k, .. } => assert_eq!(k, kind, "line {line:?}"),
+                other => panic!("line {line:?} parsed to {other:?}"),
+            }
+        }
+        assert_eq!(parse_fault_command("none", 0).unwrap(), FaultCommand::Clear);
+        assert_eq!(
+            parse_fault_command("victims top 8 0.9 0.05", 0).unwrap(),
+            FaultCommand::VictimsTop { count: 8, rate: 0.9, base: 0.05 }
+        );
+    }
+
+    #[test]
+    fn parse_rejections_name_the_field() {
+        for (line, fragment) in [
+            ("", "empty fault command"),
+            ("wibble 0.5", "unknown fault model"),
+            ("uniform", "uniform takes"),
+            ("uniform 1.5", "not a probability"),
+            ("uniform x", "expected a number"),
+            ("partition 1 10 1.0", "at least 2"),
+            ("partition 2 0 1.0", "must be positive"),
+            ("capacity 1 0.5 1", "at least 2"),
+            ("victims top 0 0.5", "must be positive"),
+            ("victims a,b 0.5", "expected an integer"),
+        ] {
+            let err = parse_fault_command(line, 0).unwrap_err();
+            assert!(err.contains(fragment), "line {line:?}: error {err:?} lacks {fragment:?}");
+        }
+    }
+
+    #[test]
+    fn partition_command_starts_at_the_next_round() {
+        let FaultCommand::Set { fault: PhaseFault::Partition(p), .. } =
+            parse_fault_command("partition 2 50 1.0", 41).unwrap()
+        else {
+            panic!("expected a partition");
+        };
+        assert!(!p.active_in(41));
+        assert!(p.active_in(42));
+        assert!(p.active_in(91));
+        assert!(!p.active_in(92));
+    }
+
+    #[test]
+    fn injector_drops_cross_region_messages_during_partition() {
+        let registry = MetricsRegistry::new();
+        let injector = FaultInjector::new(&registry);
+        let book = AddressBook::new();
+        let mut a = FaultedTransport::new(
+            UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap(),
+            injector.clone(),
+            book.clone(),
+            7,
+        );
+        let mut b = UdpTransport::bind_loopback(NodeId::new(1), &book).unwrap();
+
+        let cmd = parse_fault_command("partition 2 100 1.0", 0).unwrap();
+        let FaultCommand::Set { fault, kind } = cmd else { unreachable!() };
+        injector.install(Some(fault), &kind);
+        injector.set_round(5);
+
+        // 0 and 1 are in different regions (id mod 2): everything drops.
+        for k in 0..20 {
+            a.send(NodeId::new(1), Message::new(NodeId::new(0), NodeId::new(k), false)).unwrap();
+        }
+        assert_eq!(injector.dropped(), 20);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(b.try_recv().unwrap(), None);
+
+        // After the window the wire heals.
+        injector.set_round(200);
+        let msg = Message::new(NodeId::new(0), NodeId::new(9), false);
+        a.send(NodeId::new(1), msg).unwrap();
+        let mut got = None;
+        for _ in 0..200 {
+            if let Some(m) = b.try_recv().unwrap() {
+                got = Some(m);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, Some(msg));
+        assert_eq!(injector.dropped(), 20);
+    }
+
+    #[test]
+    fn dead_letters_count_unresolvable_peers() {
+        let registry = MetricsRegistry::new();
+        let injector = FaultInjector::new(&registry);
+        let book = AddressBook::new();
+        let mut a = FaultedTransport::new(
+            UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap(),
+            injector.clone(),
+            book.clone(),
+            8,
+        );
+        a.send(NodeId::new(99), Message::new(NodeId::new(0), NodeId::new(1), false)).unwrap();
+        assert_eq!(injector.dead_letters(), 1);
+        assert_eq!(registry.counter_value("daemon.net.dead_letters"), Some(1));
+    }
+}

@@ -1,0 +1,360 @@
+//! The live invariant checker: Observation 5.1 outdegree bounds and the
+//! Lemma 6.10 stale-fraction ceiling, evaluated against wall-clock rounds.
+//!
+//! # Observation 5.1 (exact)
+//!
+//! Every live node's outdegree must be even and within `[d_L, s]` at every
+//! quiescent point. The daemon's event loop runs protocol steps atomically
+//! in one thread, so every check sees a quiescent state and any violation
+//! is a real protocol bug — the check has no tolerance.
+//!
+//! # Lemma 6.10 (banded)
+//!
+//! Id instances of a departed node decay per round by at least the
+//! survival factor `1 − (1 − ℓ − δ)·d_L/s²`. The lemma's `ℓ` is the
+//! *actual* message-loss probability, which for a live daemon varies as
+//! faults are injected and healed — a partition raises `ℓ` to near 1 for
+//! its window, slowing decay. A ceiling computed from the configured base
+//! loss would therefore under-estimate survivors during and after a
+//! partition and fire false alarms precisely in the scenario the soak
+//! harness drives. Instead the checker advances each departure cohort's
+//! bound incrementally, one check window at a time, using the **realized**
+//! loss of that window: `(base drops + injected drops + dead letters) /
+//! sends`, measured from the wire counters, and the realized duplication
+//! fraction `δ` from the node stats. The ceiling is then the cohorts'
+//! total surviving instances (≤ `leaves · s · bound`) over the measured
+//! edge count, with a multiplicative headroom and small additive slack for
+//! sampling noise (the same banded-verdict style as
+//! `sandf_bench::scenario`).
+
+use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_graph::MembershipGraph;
+use sandf_markov::decay::survival_factor;
+
+/// Multiplicative headroom on the Lemma 6.10 ceiling. The lemma bounds
+/// expectations; a live run is one sample path.
+pub const STALE_HEADROOM: f64 = 1.5;
+
+/// Additive slack on the ceiling, absorbing measurement granularity at
+/// small edge counts.
+pub const STALE_SLACK: f64 = 0.02;
+
+/// One departure cohort: `leaves` nodes that left in the same window, and
+/// the current Lemma 6.10 survival bound on their id instances.
+#[derive(Clone, Copy, Debug)]
+struct Cohort {
+    leaves: f64,
+    bound: f64,
+}
+
+/// Cumulative wire counters at a check point. All fields are totals since
+/// daemon start; the checker differences them internally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WireTotals {
+    /// Messages handed to the send path (outermost layer).
+    pub sent: u64,
+    /// Drops by every loss source: base loss + injected faults + dead
+    /// letters to departed peers.
+    pub dropped: u64,
+    /// Protocol sends (successful initiate actions), from node stats.
+    pub actions: u64,
+    /// Duplicating sends among them, from node stats.
+    pub duplications: u64,
+}
+
+/// The result of one invariant check.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The round the check ran at.
+    pub round: u64,
+    /// Live node count.
+    pub live: usize,
+    /// Mean outdegree over live nodes.
+    pub mean_out: f64,
+    /// Minimum outdegree.
+    pub min_out: usize,
+    /// Maximum outdegree.
+    pub max_out: usize,
+    /// Nodes violating Observation 5.1, with their outdegrees (truncated
+    /// to the first [`MAX_REPORTED_VIOLATIONS`]).
+    pub degree_violations: Vec<(NodeId, usize)>,
+    /// Total Observation 5.1 offenders (may exceed the reported list).
+    pub degree_violation_count: usize,
+    /// Measured stale-edge fraction: dangling edges / total edges.
+    pub stale_fraction: f64,
+    /// The banded Lemma 6.10 ceiling (headroom and slack applied).
+    pub stale_ceiling: f64,
+    /// Whether the stale fraction exceeded the ceiling.
+    pub stale_violation: bool,
+    /// Weakly connected components of the live overlay.
+    pub components: usize,
+    /// Realized message-loss rate over the window ending at this check.
+    pub window_loss: f64,
+    /// Realized duplication fraction over the window.
+    pub window_delta: f64,
+}
+
+/// Cap on per-check reported degree offenders (the journal is bounded).
+pub const MAX_REPORTED_VIOLATIONS: usize = 16;
+
+/// The checker's persistent state across checks.
+#[derive(Clone, Debug)]
+pub struct InvariantChecker {
+    config: SfConfig,
+    cohorts: Vec<Cohort>,
+    last_round: u64,
+    last: WireTotals,
+}
+
+impl InvariantChecker {
+    /// Creates a checker for a daemon using `config`.
+    #[must_use]
+    pub fn new(config: SfConfig) -> Self {
+        Self { config, cohorts: Vec::new(), last_round: 0, last: WireTotals::default() }
+    }
+
+    /// Records a departure of `count` nodes; their survival bound starts
+    /// at 1 and begins decaying from the next check window (conservative:
+    /// the partial current window is not credited).
+    pub fn record_leaves(&mut self, count: usize) {
+        if count > 0 {
+            self.cohorts.push(Cohort { leaves: count as f64, bound: 1.0 });
+        }
+    }
+
+    /// Sum over cohorts of the bounded surviving instance count.
+    #[must_use]
+    pub fn surviving_instances_bound(&self) -> f64 {
+        let s = self.config.view_size() as f64;
+        self.cohorts.iter().map(|c| c.leaves * s * c.bound).sum()
+    }
+
+    /// Runs one check at `round` over the live nodes, with cumulative wire
+    /// totals. Nodes must be sampled at a quiescent point (no step in
+    /// flight), which the single-threaded event loop guarantees.
+    pub fn check<'a, I>(&mut self, round: u64, nodes: I, totals: WireTotals) -> CheckOutcome
+    where
+        I: IntoIterator<Item = &'a SfNode>,
+        I::IntoIter: Clone,
+    {
+        let nodes = nodes.into_iter();
+        let d_l = self.config.lower_threshold();
+        let s = self.config.view_size();
+
+        // Observation 5.1, per node, exact.
+        let mut degree_violations = Vec::new();
+        let mut degree_violation_count = 0;
+        let (mut live, mut sum_out, mut min_out, mut max_out) = (0usize, 0usize, usize::MAX, 0);
+        for node in nodes.clone() {
+            let d = node.out_degree();
+            live += 1;
+            sum_out += d;
+            min_out = min_out.min(d);
+            max_out = max_out.max(d);
+            if !d.is_multiple_of(2) || d < d_l || d > s {
+                degree_violation_count += 1;
+                if degree_violations.len() < MAX_REPORTED_VIOLATIONS {
+                    degree_violations.push((node.id(), d));
+                }
+            }
+        }
+        if live == 0 {
+            min_out = 0;
+        }
+
+        // Realized per-window loss and duplication rates.
+        let d_sent = totals.sent.saturating_sub(self.last.sent);
+        let d_dropped = totals.dropped.saturating_sub(self.last.dropped);
+        let d_actions = totals.actions.saturating_sub(self.last.actions);
+        let d_dup = totals.duplications.saturating_sub(self.last.duplications);
+        let window_loss =
+            if d_sent == 0 { 0.0 } else { (d_dropped.min(d_sent)) as f64 / d_sent as f64 };
+        let window_delta =
+            if d_actions == 0 { 0.0 } else { (d_dup.min(d_actions)) as f64 / d_actions as f64 };
+
+        // Advance every cohort's Lemma 6.9/6.10 bound across the window.
+        let elapsed = round.saturating_sub(self.last_round);
+        if elapsed > 0 {
+            // `ℓ + δ` capped below 1 so the factor stays a probability.
+            let (l, d) = if window_loss + window_delta >= 1.0 {
+                (window_loss.min(0.999), (1.0 - window_loss.min(0.999)).min(window_delta))
+            } else {
+                (window_loss, window_delta)
+            };
+            let factor = survival_factor(l, d, d_l, s).clamp(0.0, 1.0);
+            let step = factor.powi(i32::try_from(elapsed.min(1 << 30)).unwrap_or(i32::MAX));
+            for cohort in &mut self.cohorts {
+                cohort.bound *= step;
+            }
+            // Prune cohorts whose bounded contribution is below one-tenth
+            // of an edge; they can no longer move the ceiling.
+            let s_f = s as f64;
+            self.cohorts.retain(|c| c.leaves * s_f * c.bound >= 0.1);
+        }
+        self.last_round = round;
+        self.last = totals;
+
+        // Lemma 6.10 ceiling against the measured overlay.
+        let graph = MembershipGraph::from_nodes(nodes);
+        let total_edges = graph.edge_count();
+        let stale_fraction = if total_edges == 0 {
+            0.0
+        } else {
+            graph.dangling_edge_count() as f64 / total_edges as f64
+        };
+        let raw_ceiling = if total_edges == 0 {
+            1.0
+        } else {
+            (self.surviving_instances_bound() / total_edges as f64).min(1.0)
+        };
+        let stale_ceiling = (raw_ceiling * STALE_HEADROOM + STALE_SLACK).min(1.0);
+        let stale_violation = stale_fraction > stale_ceiling;
+
+        CheckOutcome {
+            round,
+            live,
+            mean_out: if live == 0 { 0.0 } else { sum_out as f64 / live as f64 },
+            min_out,
+            max_out,
+            degree_violations,
+            degree_violation_count,
+            stale_fraction,
+            stale_ceiling,
+            stale_violation,
+            components: graph.weakly_connected_components(),
+            window_loss,
+            window_delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SfConfig {
+        SfConfig::new(12, 4).unwrap()
+    }
+
+    fn nodes(n: u64, degree: u64) -> Vec<SfNode> {
+        (0..n)
+            .map(|i| {
+                let ids: Vec<NodeId> = (1..=degree).map(|k| NodeId::new((i + k) % n)).collect();
+                SfNode::with_view(NodeId::new(i), config(), &ids).unwrap()
+            })
+            .collect()
+    }
+
+    fn totals(sent: u64, dropped: u64) -> WireTotals {
+        WireTotals { sent, dropped, actions: sent, duplications: 0 }
+    }
+
+    #[test]
+    fn healthy_fleet_passes_both_invariants() {
+        let fleet = nodes(32, 6);
+        let mut checker = InvariantChecker::new(config());
+        let outcome = checker.check(10, fleet.iter(), totals(1000, 50));
+        assert_eq!(outcome.live, 32);
+        assert!(outcome.degree_violations.is_empty());
+        assert_eq!(outcome.degree_violation_count, 0);
+        assert!(!outcome.stale_violation);
+        assert_eq!(outcome.stale_fraction, 0.0);
+        assert!((outcome.mean_out - 6.0).abs() < 1e-9);
+        assert_eq!(outcome.components, 1);
+        assert!((outcome.window_loss - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_and_out_of_band_degrees_are_flagged() {
+        let mut fleet = nodes(8, 6);
+        // Violate parity on node 0 and the lower bound on node 1 (cleared
+        // to degree 0 < d_L = 4, which is even but out of band).
+        fleet[0].view_mut().insert_at_first_empty(NodeId::new(3)).unwrap();
+        let slots: Vec<usize> =
+            (0..config().view_size()).filter(|&i| fleet[1].view().entry(i).is_some()).collect();
+        for i in slots {
+            fleet[1].view_mut().clear_slot(i);
+        }
+        let mut checker = InvariantChecker::new(config());
+        let outcome = checker.check(1, fleet.iter(), totals(10, 0));
+        assert_eq!(outcome.degree_violation_count, 2);
+        let flagged: Vec<u64> =
+            outcome.degree_violations.iter().map(|(id, _)| id.as_u64()).collect();
+        assert!(flagged.contains(&0) && flagged.contains(&1));
+    }
+
+    #[test]
+    fn fresh_departure_cohort_allows_its_stale_edges() {
+        // 24 nodes, each pointing at the next 6; drop the last 4 nodes so
+        // a sixth of edges dangle.
+        let fleet = nodes(24, 6);
+        let live: Vec<SfNode> = fleet[..20].to_vec();
+        let mut checker = InvariantChecker::new(config());
+        checker.record_leaves(4);
+        let outcome = checker.check(1, live.iter(), totals(100, 0));
+        assert!(outcome.stale_fraction > 0.0);
+        // Ceiling bound: 4 leavers × s=12 instances ≥ their actual ≤ 24
+        // dangling edges; with headroom the measured fraction must pass.
+        assert!(
+            !outcome.stale_violation,
+            "stale {} vs ceiling {}",
+            outcome.stale_fraction, outcome.stale_ceiling
+        );
+    }
+
+    #[test]
+    fn unexplained_stale_edges_violate_the_ceiling() {
+        // Same dangling edges but no recorded departures: nothing licenses
+        // the staleness, so the ceiling (just the slack) is exceeded.
+        let fleet = nodes(24, 6);
+        let live: Vec<SfNode> = fleet[..20].to_vec();
+        let mut checker = InvariantChecker::new(config());
+        let outcome = checker.check(1, live.iter(), totals(100, 0));
+        assert!(outcome.stale_fraction > STALE_SLACK);
+        assert!(outcome.stale_violation);
+    }
+
+    #[test]
+    fn high_loss_windows_slow_the_bound_decay() {
+        let fleet = nodes(16, 6);
+        let mut lossy = InvariantChecker::new(config());
+        let mut clean = InvariantChecker::new(config());
+        lossy.record_leaves(8);
+        clean.record_leaves(8);
+        // 100 rounds at 90% realized loss vs 0% loss.
+        let _ = lossy.check(100, fleet.iter(), totals(1000, 900));
+        let _ = clean.check(100, fleet.iter(), totals(1000, 0));
+        assert!(
+            lossy.surviving_instances_bound() > clean.surviving_instances_bound() * 2.0,
+            "lossy {} vs clean {}",
+            lossy.surviving_instances_bound(),
+            clean.surviving_instances_bound()
+        );
+    }
+
+    #[test]
+    fn cohorts_decay_toward_zero_and_are_pruned() {
+        let fleet = nodes(16, 6);
+        let mut checker = InvariantChecker::new(config());
+        checker.record_leaves(4);
+        let mut round = 0;
+        let mut sent = 0;
+        for _ in 0..60 {
+            round += 50;
+            sent += 1000;
+            let _ = checker.check(round, fleet.iter(), totals(sent, 0));
+        }
+        assert_eq!(checker.surviving_instances_bound(), 0.0, "cohort must be pruned");
+    }
+
+    #[test]
+    fn window_rates_are_deltas_not_totals() {
+        let fleet = nodes(8, 6);
+        let mut checker = InvariantChecker::new(config());
+        let o1 = checker.check(10, fleet.iter(), totals(1000, 500));
+        assert!((o1.window_loss - 0.5).abs() < 1e-9);
+        // Second window: 1000 more sends, zero more drops.
+        let o2 = checker.check(20, fleet.iter(), totals(2000, 500));
+        assert_eq!(o2.window_loss, 0.0);
+    }
+}

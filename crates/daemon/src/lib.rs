@@ -1,0 +1,50 @@
+//! `sandf-daemon`: a long-running S&F membership service over real UDP.
+//!
+//! One process multiplexes thousands of S&F nodes, each with its own
+//! loopback UDP socket, on a single-threaded event loop (a timer wheel for
+//! action ticks plus batched non-blocking socket drains — no async
+//! runtime). Around that loop the crate layers:
+//!
+//! - a **wire-level fault injector** ([`fault`]) reusing the simulation
+//!   fault zoo (uniform, Gilbert–Elliott bursts, regional partitions,
+//!   per-link, capacity, victim sets) at the socket boundary, runtime
+//!   reconfigurable via `POST /ctl/fault`;
+//! - a **live invariant checker** ([`invariants`]) asserting Observation
+//!   5.1 outdegree bounds exactly and the Lemma 6.10 stale-fraction
+//!   ceiling in banded form, against realized (measured) loss so fault
+//!   windows slow the expected decay instead of firing false alarms;
+//! - an **HTTP observability endpoint** ([`http`]) serving Prometheus
+//!   metrics, health, a JSON membership snapshot, the violation journal,
+//!   and the control routes;
+//! - a **soak harness** ([`soak`]) driving flash-crowd joins, churn, mass
+//!   leaves, and partition + heal over HTTP, reporting per-phase confidence
+//!   bands and gating on post-heal violations.
+//!
+//! ```no_run
+//! use sandf_daemon::DaemonConfig;
+//!
+//! let daemon = DaemonConfig { initial_nodes: 128, ..DaemonConfig::default() }
+//!     .spawn()
+//!     .expect("boot");
+//! println!("metrics at http://{}/metrics", daemon.http_addr().unwrap());
+//! daemon.join_nodes(64).unwrap();
+//! daemon.fault("partition 2 50 1.0").unwrap();
+//! # daemon.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod http;
+pub mod invariants;
+pub mod service;
+pub mod soak;
+pub mod wheel;
+
+pub use fault::{parse_fault_command, FaultCommand, FaultInjector, FaultedTransport};
+pub use http::{http_get, http_post, http_request};
+pub use invariants::{CheckOutcome, InvariantChecker, WireTotals};
+pub use service::{Control, DaemonConfig, DaemonHandle, MembershipSnapshot};
+pub use soak::{run_soak, PhaseRow, SoakConfig, SoakReport};
+pub use wheel::{TimerWheel, WheelItem};

@@ -1,0 +1,872 @@
+//! The daemon's event loop: thousands of S&F nodes multiplexed on one
+//! thread over real UDP sockets.
+//!
+//! # Design
+//!
+//! Each node owns a loopback UDP socket wrapped in the daemon transport
+//! stack `LossyTransport<FaultedTransport<UdpTransport>>` — base Section
+//! 4.1 loss outermost, then the runtime-reconfigurable fault injector, then
+//! the wire. Sockets are non-blocking; instead of a readiness API the loop
+//! drains each node's socket in a batch ([`Transport::recv_batch`]) exactly
+//! when that node's action timer fires, so a node's receive step and
+//! initiate step happen back-to-back at a quiescent point.
+//!
+//! Timers live on a single-rotation [`TimerWheel`] whose rotation period is
+//! one protocol round: `W` ticks per rotation, node slot `k` parked at tick
+//! `k mod W`, refired one rotation later. The wheel is driven from wall
+//! clock but never advanced more than one rotation per loop iteration, so a
+//! stalled process slows rounds down rather than skipping actions — the
+//! round counter stays consistent with "every node acted once per round",
+//! which the Lemma 6.10 decay accounting relies on.
+//!
+//! Control (join / leave / fault) arrives on an mpsc channel, serviced
+//! between ticks; each command carries a reply sender so the HTTP layer can
+//! report *applied* rather than *enqueued*.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sandf_core::{InitiateOutcome, Message, NodeId, SfConfig, SfNode};
+use sandf_graph::MembershipGraph;
+use sandf_net::{AddressBook, LossyTransport, Transport, UdpTransport};
+use sandf_obs::{CounterHandle, EventJournal, GaugeHandle, JournalEvent, MetricsRegistry};
+use sandf_sim::{topology, PhaseFault, VictimLoss};
+
+use crate::fault::{parse_fault_command, FaultCommand, FaultInjector, FaultedTransport};
+use crate::http::{escape_json, serve, HttpContext};
+use crate::invariants::{CheckOutcome, InvariantChecker, WireTotals};
+use crate::wheel::{TimerWheel, WheelItem};
+
+/// Ticks per wheel rotation (= per protocol round). Nodes are spread
+/// across the rotation so socket drains stay small.
+pub const WHEEL_SLOTS: usize = 64;
+
+/// Max datagrams drained from one node's socket per tick.
+const RECV_BATCH_MAX: usize = 4096;
+
+/// The metric prefix shared by every node's loss layer; the registry
+/// dedupes by name, so the whole fleet shares `daemon.net.*` counters.
+const NET_PREFIX: &str = "daemon.net";
+
+/// Configuration for a daemon process.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Nodes bootstrapped at start (circulant topology).
+    pub initial_nodes: usize,
+    /// View size `s` (even, ≥ 6).
+    pub view_size: usize,
+    /// Duplication threshold `d_L` (even, ≤ s − 6).
+    pub lower_threshold: usize,
+    /// Bootstrap outdegree `d0` for the circulant (even, ≤ s).
+    pub initial_degree: usize,
+    /// Wall-clock duration of one protocol round.
+    pub tick: Duration,
+    /// Base message-loss probability (the `LossyTransport` layer).
+    pub base_loss: f64,
+    /// Master seed; all per-node RNGs derive from it.
+    pub seed: u64,
+    /// Rounds between invariant checks.
+    pub check_every: u64,
+    /// Bounded event-journal capacity.
+    pub journal_capacity: usize,
+    /// HTTP port (`Some(0)` = ephemeral, `None` = no endpoint).
+    pub http_port: Option<u16>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            initial_nodes: 64,
+            view_size: 12,
+            lower_threshold: 4,
+            initial_degree: 6,
+            tick: Duration::from_millis(20),
+            base_loss: 0.05,
+            seed: 42,
+            check_every: 5,
+            journal_capacity: 1024,
+            http_port: Some(0),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Boots the service: binds sockets, bootstraps the fleet, starts the
+    /// event-loop thread (and the HTTP thread when a port is configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] on invalid protocol parameters, socket bind
+    /// failures, or HTTP listener failures.
+    pub fn spawn(self) -> io::Result<DaemonHandle> {
+        spawn_daemon(self)
+    }
+}
+
+/// A control command for the event loop. Replies report the command as
+/// *applied* (or rejected), not merely enqueued.
+pub enum Control {
+    /// Join `count` fresh nodes via the Section 5 joining rule; replies
+    /// with the live node count afterwards.
+    Join {
+        /// Nodes to add.
+        count: usize,
+        /// Receives the post-join live count.
+        reply: Sender<Result<usize, String>>,
+    },
+    /// Remove `count` random live nodes (crash-stop; no goodbye message);
+    /// replies with the live node count afterwards.
+    Leave {
+        /// Nodes to remove.
+        count: usize,
+        /// Receives the post-leave live count.
+        reply: Sender<Result<usize, String>>,
+    },
+    /// Parse and install a fault command line; replies with the installed
+    /// model's tag.
+    Fault {
+        /// One [`parse_fault_command`] line.
+        line: String,
+        /// Receives the installed fault kind.
+        reply: Sender<Result<String, String>>,
+    },
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// A point-in-time public view of the daemon, refreshed at every invariant
+/// check and after every control command.
+#[derive(Clone, Debug, Default)]
+pub struct MembershipSnapshot {
+    /// Completed protocol rounds.
+    pub round: u64,
+    /// Live nodes.
+    pub live: usize,
+    /// Cumulative departed nodes.
+    pub departed: u64,
+    /// Mean outdegree at the last check.
+    pub mean_out: f64,
+    /// Minimum outdegree at the last check.
+    pub min_out: usize,
+    /// Maximum outdegree at the last check.
+    pub max_out: usize,
+    /// Stale-edge fraction at the last check.
+    pub stale_fraction: f64,
+    /// Lemma 6.10 ceiling at the last check.
+    pub stale_ceiling: f64,
+    /// Weakly connected components at the last check.
+    pub components: usize,
+    /// Invariant checks run so far.
+    pub checks: u64,
+    /// Cumulative Observation 5.1 offenders across checks.
+    pub degree_violations: u64,
+    /// Cumulative Lemma 6.10 ceiling breaches across checks.
+    pub stale_violations: u64,
+    /// Realized loss rate over the last check window.
+    pub window_loss: f64,
+    /// The installed fault model's tag.
+    pub fault: String,
+}
+
+impl MembershipSnapshot {
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"round\":{},\"live\":{},\"departed\":{},",
+                "\"mean_out\":{:.4},\"min_out\":{},\"max_out\":{},",
+                "\"stale_fraction\":{:.6},\"stale_ceiling\":{:.6},",
+                "\"components\":{},\"checks\":{},",
+                "\"degree_violations\":{},\"stale_violations\":{},",
+                "\"window_loss\":{:.6},\"fault\":\"{}\"}}"
+            ),
+            self.round,
+            self.live,
+            self.departed,
+            self.mean_out,
+            self.min_out,
+            self.max_out,
+            self.stale_fraction,
+            self.stale_ceiling,
+            self.components,
+            self.checks,
+            self.degree_violations,
+            self.stale_violations,
+            self.window_loss,
+            escape_json(&self.fault),
+        )
+    }
+}
+
+type NodeTransport = LossyTransport<FaultedTransport<UdpTransport>>;
+
+struct NodeSlot {
+    node: SfNode,
+    transport: NodeTransport,
+    rng: StdRng,
+}
+
+/// A handle to a running daemon. Dropping it shuts the daemon down.
+pub struct DaemonHandle {
+    ctl: Sender<Control>,
+    snapshot: Arc<Mutex<MembershipSnapshot>>,
+    registry: MetricsRegistry,
+    journal: EventJournal,
+    http_addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    loop_thread: Option<JoinHandle<()>>,
+    http_thread: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The HTTP endpoint's bound address, when one was configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The latest published [`MembershipSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> MembershipSnapshot {
+        self.snapshot.lock().clone()
+    }
+
+    /// The daemon's metrics registry (shared with the event loop).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The daemon's event journal (violations land here).
+    #[must_use]
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Joins `count` fresh nodes; returns the live count afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the loop's rejection message, or a transport message when
+    /// the loop is gone.
+    pub fn join_nodes(&self, count: usize) -> Result<usize, String> {
+        self.roundtrip(|reply| Control::Join { count, reply })
+    }
+
+    /// Removes `count` random live nodes; returns the live count afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`join_nodes`](Self::join_nodes).
+    pub fn leave_nodes(&self, count: usize) -> Result<usize, String> {
+        self.roundtrip(|reply| Control::Leave { count, reply })
+    }
+
+    /// Installs a fault from a command line; returns the installed tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/rejection message.
+    pub fn fault(&self, line: &str) -> Result<String, String> {
+        self.roundtrip(|reply| Control::Fault { line: line.to_string(), reply })
+    }
+
+    fn roundtrip<T>(
+        &self,
+        build: impl FnOnce(Sender<Result<T, String>>) -> Control,
+    ) -> Result<T, String> {
+        let (tx, rx) = channel();
+        self.ctl.send(build(tx)).map_err(|_| "daemon loop is gone".to_string())?;
+        rx.recv_timeout(Duration::from_secs(30))
+            .map_err(|_| "daemon loop did not reply".to_string())?
+    }
+
+    /// Stops the event loop and the HTTP thread, waiting for both.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let _ = self.ctl.send(Control::Shutdown);
+        if let Some(handle) = self.loop_thread.take() {
+            let _ = handle.join();
+        }
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.http_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Everything the event loop owns.
+struct ServiceState {
+    config: DaemonConfig,
+    sf: SfConfig,
+    slots: Vec<Option<NodeSlot>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    wheel: TimerWheel,
+    book: AddressBook,
+    injector: FaultInjector,
+    checker: InvariantChecker,
+    registry: MetricsRegistry,
+    journal: EventJournal,
+    snapshot: Arc<Mutex<MembershipSnapshot>>,
+    rng: StdRng,
+    next_id: u64,
+    departed: u64,
+    /// Stats of departed nodes, folded in at leave time so window deltas
+    /// never run backwards.
+    retired_actions: u64,
+    retired_duplications: u64,
+    checks: u64,
+    degree_violations_total: u64,
+    stale_violations_total: u64,
+    last_outcome: Option<CheckOutcome>,
+    nodes_gauge: GaugeHandle,
+    round_gauge: GaugeHandle,
+    stale_gauge: GaugeHandle,
+    checks_counter: CounterHandle,
+    degree_viol_counter: CounterHandle,
+    stale_viol_counter: CounterHandle,
+    recv_errors: CounterHandle,
+}
+
+fn invalid<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+}
+
+fn spawn_daemon(config: DaemonConfig) -> io::Result<DaemonHandle> {
+    let sf = SfConfig::new(config.view_size, config.lower_threshold).map_err(invalid)?;
+    if config.initial_nodes == 0 {
+        return Err(invalid("initial_nodes must be positive"));
+    }
+    if !config.initial_degree.is_multiple_of(2)
+        || config.initial_degree > sf.view_size()
+        || config.initial_degree >= config.initial_nodes
+    {
+        return Err(invalid("initial_degree must be even, ≤ s, and < initial_nodes"));
+    }
+    if !(0.0..=1.0).contains(&config.base_loss) {
+        return Err(invalid("base_loss must be a probability"));
+    }
+    if config.tick.is_zero() || config.check_every == 0 {
+        return Err(invalid("tick and check_every must be positive"));
+    }
+
+    let registry = MetricsRegistry::new();
+    let journal = EventJournal::new(config.journal_capacity.max(64));
+    let book = AddressBook::new();
+    let injector = FaultInjector::new(&registry);
+    let snapshot = Arc::new(Mutex::new(MembershipSnapshot {
+        live: config.initial_nodes,
+        fault: "none".into(),
+        ..MembershipSnapshot::default()
+    }));
+
+    let mut state = ServiceState {
+        sf,
+        slots: Vec::with_capacity(config.initial_nodes),
+        generations: Vec::with_capacity(config.initial_nodes),
+        free: Vec::new(),
+        wheel: TimerWheel::new(WHEEL_SLOTS),
+        book: book.clone(),
+        injector: injector.clone(),
+        checker: InvariantChecker::new(sf),
+        registry: registry.clone(),
+        journal: journal.clone(),
+        snapshot: Arc::clone(&snapshot),
+        rng: StdRng::seed_from_u64(config.seed),
+        next_id: 0,
+        departed: 0,
+        retired_actions: 0,
+        retired_duplications: 0,
+        checks: 0,
+        degree_violations_total: 0,
+        stale_violations_total: 0,
+        last_outcome: None,
+        nodes_gauge: registry.gauge("daemon.nodes"),
+        round_gauge: registry.gauge("daemon.round"),
+        stale_gauge: registry.gauge("daemon.stale_fraction"),
+        checks_counter: registry.counter("daemon.checks"),
+        degree_viol_counter: registry.counter("daemon.violations.degree"),
+        stale_viol_counter: registry.counter("daemon.violations.stale"),
+        recv_errors: registry.counter("daemon.net.recv_errors"),
+        config,
+    };
+
+    // Bootstrap the fleet synchronously so bind failures surface here.
+    for node in topology::circulant(state.config.initial_nodes, sf, state.config.initial_degree) {
+        let slot = state.build_slot(node).map_err(|e| io::Error::other(e.to_string()))?;
+        let key = state.slots.len();
+        state.slots.push(Some(slot));
+        state.generations.push(0);
+        state.wheel.schedule((key % WHEEL_SLOTS) as u64, WheelItem { key, generation: 0 });
+    }
+    state.next_id = state.config.initial_nodes as u64;
+    state.nodes_gauge.set(state.config.initial_nodes as f64);
+
+    let (ctl_tx, ctl_rx) = channel();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let mut http_addr = None;
+    let mut http_thread = None;
+    if let Some(port) = state.config.http_port {
+        let ctx = HttpContext {
+            registry: registry.clone(),
+            journal: journal.clone(),
+            snapshot: Arc::clone(&snapshot),
+            ctl: ctl_tx.clone(),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let (addr, thread) = serve(port, ctx)?;
+        http_addr = Some(addr);
+        http_thread = Some(thread);
+    }
+
+    let loop_thread = std::thread::Builder::new()
+        .name("sandf-daemon-loop".into())
+        .spawn(move || run_loop(state, &ctl_rx))?;
+
+    Ok(DaemonHandle {
+        ctl: ctl_tx,
+        snapshot,
+        registry,
+        journal,
+        http_addr,
+        shutdown,
+        loop_thread: Some(loop_thread),
+        http_thread: Some(http_thread.unwrap_or_else(|| {
+            // No HTTP thread; park a no-op handle so Drop stays uniform.
+            std::thread::spawn(|| {})
+        })),
+    })
+}
+
+fn run_loop(mut state: ServiceState, ctl: &Receiver<Control>) {
+    let start = Instant::now();
+    let granularity = (state.config.tick.as_nanos() as u64 / WHEEL_SLOTS as u64).max(1);
+    let mut due: Vec<WheelItem> = Vec::new();
+    let mut inbox: Vec<Message> = Vec::new();
+    let mut next_check = state.config.check_every;
+
+    'outer: loop {
+        // Service control commands, waiting until the next wheel tick.
+        loop {
+            let now = start.elapsed().as_nanos() as u64;
+            let tick_at = state.wheel.current_tick().saturating_mul(granularity);
+            if now >= tick_at {
+                break;
+            }
+            match ctl.recv_timeout(Duration::from_nanos(tick_at - now)) {
+                Ok(Control::Shutdown) => break 'outer,
+                Ok(command) => state.handle_control(command),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break 'outer,
+            }
+        }
+        while let Ok(command) = ctl.try_recv() {
+            match command {
+                Control::Shutdown => break 'outer,
+                other => state.handle_control(other),
+            }
+        }
+
+        // Advance at most one rotation per iteration: a stalled loop slows
+        // rounds down instead of skipping node actions (see module docs).
+        let now_tick = start.elapsed().as_nanos() as u64 / granularity;
+        let target = now_tick.min(state.wheel.current_tick() + WHEEL_SLOTS as u64);
+        due.clear();
+        state.wheel.advance_to(target, &mut due);
+        let round = state.wheel.rounds();
+        state.injector.set_round(round);
+        for item in &due {
+            if state.generations[item.key] == item.generation {
+                state.tick_node(item.key, round, &mut inbox);
+                state.wheel.schedule(WHEEL_SLOTS as u64 - 1, *item);
+            }
+        }
+        state.round_gauge.set(round as f64);
+
+        if round >= next_check {
+            state.run_check(round);
+            next_check = round + state.config.check_every;
+        }
+    }
+    // Final check so short-lived daemons still publish one verdict.
+    let round = state.wheel.rounds();
+    state.run_check(round.max(1));
+}
+
+impl ServiceState {
+    fn build_slot(&mut self, node: SfNode) -> Result<NodeSlot, String> {
+        let id = node.id();
+        let udp = UdpTransport::bind_loopback(id, &self.book)
+            .map_err(|e| format!("binding node {}: {e}", id.as_u64()))?;
+        let faulted = FaultedTransport::new(
+            udp,
+            self.injector.clone(),
+            self.book.clone(),
+            self.config.seed ^ id.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let transport = LossyTransport::with_metrics(
+            faulted,
+            self.config.base_loss,
+            self.config.seed ^ id.as_u64().wrapping_mul(0xd134_2543_de82_ef95),
+            &self.registry,
+            NET_PREFIX,
+        );
+        let rng = StdRng::seed_from_u64(
+            self.config.seed ^ id.as_u64().wrapping_mul(0x2545_f491_4f6c_dd1d),
+        );
+        Ok(NodeSlot { node, transport, rng })
+    }
+
+    fn live_keys(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&k| self.slots[k].is_some()).collect()
+    }
+
+    fn live_nodes(&self) -> impl Iterator<Item = &SfNode> + Clone {
+        self.slots.iter().filter_map(|slot| slot.as_ref().map(|s| &s.node))
+    }
+
+    fn tick_node(&mut self, key: usize, round: u64, inbox: &mut Vec<Message>) {
+        let injector = self.injector.clone();
+        let Some(slot) = self.slots[key].as_mut() else {
+            return;
+        };
+        inbox.clear();
+        if slot.transport.recv_batch(inbox, RECV_BATCH_MAX).is_err() {
+            self.recv_errors.inc();
+        }
+        for message in inbox.drain(..) {
+            let _ = slot.node.receive(message, &mut slot.rng);
+        }
+        if injector.node_acts(slot.node.id(), round) {
+            if let InitiateOutcome::Sent { to, message, .. } = slot.node.initiate(&mut slot.rng) {
+                // Loss (base or injected) is the protocol's whole subject;
+                // a socket error is treated as one more lost message.
+                let _ = slot.transport.send(to, message);
+            }
+        }
+    }
+
+    fn handle_control(&mut self, command: Control) {
+        // The snapshot is refreshed before the reply is sent, so a caller
+        // that got a reply observes its own command's effect.
+        match command {
+            Control::Join { count, reply } => {
+                let result = self.handle_join(count);
+                self.publish_light_snapshot();
+                let _ = reply.send(result);
+            }
+            Control::Leave { count, reply } => {
+                let result = self.handle_leave(count);
+                self.publish_light_snapshot();
+                let _ = reply.send(result);
+            }
+            Control::Fault { line, reply } => {
+                let result = self.handle_fault(&line);
+                self.publish_light_snapshot();
+                let _ = reply.send(result);
+            }
+            Control::Shutdown => unreachable!("handled by the loop"),
+        }
+    }
+
+    /// The Section 5 joining rule: ask a random live sponsor for ids, take
+    /// `d_L` of them at random. Sponsors with sparse views are topped up
+    /// from other live nodes' own ids (also legitimate member ids).
+    fn handle_join(&mut self, count: usize) -> Result<usize, String> {
+        if count == 0 {
+            return Err("join count must be positive".into());
+        }
+        for _ in 0..count {
+            let live = self.live_keys();
+            if live.is_empty() {
+                return Err("no live sponsor to join through".into());
+            }
+            let id = NodeId::new(self.next_id);
+            let d_l = self.sf.lower_threshold();
+            let sponsor_key = live[self.rng.gen_range(0..live.len())];
+            let mut ids: Vec<NodeId> = Vec::with_capacity(d_l);
+            let sponsor = &self.slots[sponsor_key].as_ref().expect("live key").node;
+            let mut pool: Vec<NodeId> = sponsor.view().ids().collect();
+            pool.push(sponsor.id());
+            pool.sort_unstable();
+            pool.dedup();
+            pool.shuffle(&mut self.rng);
+            for candidate in pool {
+                if ids.len() == d_l {
+                    break;
+                }
+                if candidate != id && self.book.resolve(candidate).is_some() {
+                    ids.push(candidate);
+                }
+            }
+            if ids.len() < d_l {
+                // Top up with other live nodes' own ids.
+                let mut extra = live.clone();
+                extra.shuffle(&mut self.rng);
+                for key in extra {
+                    if ids.len() == d_l {
+                        break;
+                    }
+                    let nid = self.slots[key].as_ref().expect("live key").node.id();
+                    if nid != id && !ids.contains(&nid) {
+                        ids.push(nid);
+                    }
+                }
+            }
+            if ids.len() < d_l {
+                return Err(format!(
+                    "cannot gather {d_l} sponsor ids from {} live nodes",
+                    live.len()
+                ));
+            }
+            let node = SfNode::with_view(id, self.sf, &ids).map_err(|e| e.to_string())?;
+            let slot = self.build_slot(node)?;
+            self.next_id += 1;
+            let key = match self.free.pop() {
+                Some(key) => {
+                    self.slots[key] = Some(slot);
+                    key
+                }
+                None => {
+                    self.slots.push(Some(slot));
+                    self.generations.push(0);
+                    self.slots.len() - 1
+                }
+            };
+            let generation = self.generations[key];
+            let delay = self.rng.gen_range(0..WHEEL_SLOTS as u64);
+            self.wheel.schedule(delay, WheelItem { key, generation });
+        }
+        let live = self.live_keys().len();
+        self.nodes_gauge.set(live as f64);
+        Ok(live)
+    }
+
+    fn handle_leave(&mut self, count: usize) -> Result<usize, String> {
+        let mut live = self.live_keys();
+        if count == 0 {
+            return Err("leave count must be positive".into());
+        }
+        if count >= live.len() {
+            return Err(format!("refusing to remove all {} live nodes", live.len()));
+        }
+        live.shuffle(&mut self.rng);
+        for &key in live.iter().take(count) {
+            let slot = self.slots[key].take().expect("live key");
+            self.book.remove(slot.node.id());
+            self.retired_actions += slot.node.stats().sent;
+            self.retired_duplications += slot.node.stats().duplications;
+            // Invalidate the parked wheel item; the slot index is reusable.
+            self.generations[key] += 1;
+            self.free.push(key);
+        }
+        self.checker.record_leaves(count);
+        self.departed += count as u64;
+        let remaining = live.len() - count;
+        self.nodes_gauge.set(remaining as f64);
+        Ok(remaining)
+    }
+
+    fn handle_fault(&mut self, line: &str) -> Result<String, String> {
+        match parse_fault_command(line, self.wheel.rounds())? {
+            FaultCommand::Clear => {
+                self.injector.install(None, "none");
+                Ok("none".into())
+            }
+            FaultCommand::Set { fault, kind } => {
+                self.injector.install(Some(fault), &kind);
+                Ok(kind)
+            }
+            FaultCommand::VictimsTop { count, rate, base } => {
+                let graph = MembershipGraph::from_nodes(self.live_nodes());
+                let mut ranked: Vec<(usize, NodeId)> =
+                    graph.in_degrees().into_iter().zip(graph.ids().iter().copied()).collect();
+                ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                let victims: Vec<NodeId> =
+                    ranked.into_iter().take(count).map(|(_, id)| id).collect();
+                if victims.is_empty() {
+                    return Err("no live nodes to victimize".into());
+                }
+                let mut model = VictimLoss::new(rate, base).map_err(|e| e.to_string())?;
+                model.set_victims(&victims);
+                self.injector.install(Some(PhaseFault::Victims(model)), "victims");
+                Ok("victims".into())
+            }
+        }
+    }
+
+    fn wire_totals(&self) -> WireTotals {
+        let sent = self.registry.counter_value("daemon.net.sent").unwrap_or(0);
+        let base_dropped = self.registry.counter_value("daemon.net.dropped").unwrap_or(0);
+        let mut actions = self.retired_actions;
+        let mut duplications = self.retired_duplications;
+        for node in self.live_nodes() {
+            actions += node.stats().sent;
+            duplications += node.stats().duplications;
+        }
+        WireTotals {
+            sent,
+            dropped: base_dropped + self.injector.dropped() + self.injector.dead_letters(),
+            actions,
+            duplications,
+        }
+    }
+
+    fn run_check(&mut self, round: u64) {
+        let totals = self.wire_totals();
+        let outcome = {
+            let nodes = self.slots.iter().filter_map(|slot| slot.as_ref().map(|s| &s.node));
+            self.checker.check(round, nodes, totals)
+        };
+        self.checks += 1;
+        self.checks_counter.inc();
+        self.degree_violations_total += outcome.degree_violation_count as u64;
+        self.degree_viol_counter.add(outcome.degree_violation_count as u64);
+        if outcome.stale_violation {
+            self.stale_violations_total += 1;
+            self.stale_viol_counter.inc();
+        }
+        self.stale_gauge.set(outcome.stale_fraction);
+        let (lo, hi) = (self.sf.lower_threshold() as u32, self.sf.view_size() as u32);
+        for &(node, degree) in &outcome.degree_violations {
+            self.journal.record(
+                round,
+                JournalEvent::DegreeViolation { node, degree: degree as u32, lo, hi },
+            );
+        }
+        if outcome.stale_violation {
+            self.journal.record(
+                round,
+                JournalEvent::StaleViolation {
+                    stale_ppm: (outcome.stale_fraction * 1e6) as u64,
+                    ceiling_ppm: (outcome.stale_ceiling * 1e6) as u64,
+                },
+            );
+        }
+        self.publish_snapshot(&outcome);
+        self.last_outcome = Some(outcome);
+    }
+
+    fn publish_snapshot(&self, outcome: &CheckOutcome) {
+        *self.snapshot.lock() = MembershipSnapshot {
+            round: outcome.round,
+            live: outcome.live,
+            departed: self.departed,
+            mean_out: outcome.mean_out,
+            min_out: outcome.min_out,
+            max_out: outcome.max_out,
+            stale_fraction: outcome.stale_fraction,
+            stale_ceiling: outcome.stale_ceiling,
+            components: outcome.components,
+            checks: self.checks,
+            degree_violations: self.degree_violations_total,
+            stale_violations: self.stale_violations_total,
+            window_loss: outcome.window_loss,
+            fault: self.injector.kind(),
+        };
+    }
+
+    /// Refresh the cheap fields after a control command, keeping the last
+    /// check's measured stats.
+    fn publish_light_snapshot(&self) {
+        let mut snap = self.snapshot.lock();
+        snap.round = self.wheel.rounds();
+        snap.live = self.live_keys().len();
+        snap.departed = self.departed;
+        snap.fault = self.injector.kind();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> DaemonConfig {
+        DaemonConfig {
+            initial_nodes: 16,
+            tick: Duration::from_millis(4),
+            base_loss: 0.02,
+            check_every: 3,
+            http_port: None,
+            ..DaemonConfig::default()
+        }
+    }
+
+    #[test]
+    fn daemon_boots_runs_rounds_and_shuts_down() {
+        let daemon = tiny_config().spawn().unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        let snap = daemon.snapshot();
+        assert_eq!(snap.live, 16);
+        assert!(snap.round >= 2, "round {} after 120ms of 4ms ticks", snap.round);
+        assert!(snap.checks >= 1);
+        assert_eq!(snap.degree_violations, 0, "healthy boot must not violate Obs 5.1");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn join_and_leave_change_the_live_count() {
+        let daemon = tiny_config().spawn().unwrap();
+        assert_eq!(daemon.join_nodes(8), Ok(24));
+        assert_eq!(daemon.leave_nodes(10), Ok(14));
+        let snap = daemon.snapshot();
+        assert_eq!(snap.live, 14);
+        assert_eq!(snap.departed, 10);
+        assert!(daemon.leave_nodes(14).is_err(), "removing the whole fleet is refused");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn fault_commands_install_and_clear() {
+        let daemon = tiny_config().spawn().unwrap();
+        assert_eq!(daemon.fault("uniform 0.5"), Ok("uniform".into()));
+        assert_eq!(daemon.snapshot().fault, "uniform");
+        assert!(daemon.fault("uniform 2.0").is_err());
+        assert_eq!(daemon.fault("victims top 4 0.9"), Ok("victims".into()));
+        assert_eq!(daemon.fault("none"), Ok("none".into()));
+        assert_eq!(daemon.snapshot().fault, "none");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let snap = MembershipSnapshot { fault: "uni\"form".into(), ..Default::default() };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fault\":\"uni\\\"form\""));
+        assert!(json.contains("\"live\":0"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = DaemonConfig { view_size: 7, ..tiny_config() };
+        assert!(bad.spawn().is_err());
+        let bad = DaemonConfig { initial_degree: 3, ..tiny_config() };
+        assert!(bad.spawn().is_err());
+        let bad = DaemonConfig { base_loss: 1.5, ..tiny_config() };
+        assert!(bad.spawn().is_err());
+        let bad = DaemonConfig { initial_nodes: 0, ..tiny_config() };
+        assert!(bad.spawn().is_err());
+    }
+}

@@ -103,6 +103,12 @@ impl<T: Transport> Transport for LossyTransport<T> {
     fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
         self.inner.try_recv()
     }
+
+    fn recv_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        // Loss applies to sends only; delegate so the inner transport's
+        // batched drain (e.g. UDP's) stays reachable through the stack.
+        self.inner.recv_batch(out, max)
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,33 @@ pub trait Transport {
     ///
     /// Returns [`TransportError::Closed`] when the endpoint is shut down.
     fn try_recv(&mut self) -> Result<Option<Message>, TransportError>;
+
+    /// Drains up to `max` pending messages into `out` without blocking,
+    /// returning how many were appended. Event loops that poll many
+    /// endpoints per wakeup (the daemon multiplexes thousands) should use
+    /// this instead of repeated [`try_recv`](Self::try_recv) calls so one
+    /// readiness sweep empties a backlogged endpoint in one pass.
+    ///
+    /// The default implementation loops `try_recv`; implementations with a
+    /// cheaper bulk path (e.g. a UDP socket) may override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] the underlying receive path
+    /// reports; messages drained before the error stay in `out`.
+    fn recv_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        let mut drained = 0;
+        while drained < max {
+            match self.try_recv()? {
+                Some(message) => {
+                    out.push(message);
+                    drained += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(drained)
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use sandf_core::{Message, NodeId};
 
@@ -17,6 +17,11 @@ use crate::codec::{decode, encode, WIRE_LEN};
 use crate::transport::{Transport, TransportError};
 
 /// A shared map from node ids to socket addresses.
+///
+/// All accessors recover from lock poisoning: the map holds plain value
+/// types, so a panic mid-operation cannot leave it logically torn, and a
+/// daemon multiplexing thousands of nodes must not let one panicked thread
+/// cascade into every other node's sends.
 #[derive(Clone, Debug, Default)]
 pub struct AddressBook {
     map: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
@@ -31,24 +36,24 @@ impl AddressBook {
 
     /// Registers (or updates) a peer's address.
     pub fn register(&self, id: NodeId, addr: SocketAddr) {
-        self.map.write().expect("address book poisoned").insert(id, addr);
+        self.map.write().unwrap_or_else(PoisonError::into_inner).insert(id, addr);
     }
 
     /// Resolves a peer.
     #[must_use]
     pub fn resolve(&self, id: NodeId) -> Option<SocketAddr> {
-        self.map.read().expect("address book poisoned").get(&id).copied()
+        self.map.read().unwrap_or_else(PoisonError::into_inner).get(&id).copied()
     }
 
     /// Removes a peer.
     pub fn remove(&self, id: NodeId) {
-        self.map.write().expect("address book poisoned").remove(&id);
+        self.map.write().unwrap_or_else(PoisonError::into_inner).remove(&id);
     }
 
     /// Number of registered peers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.read().expect("address book poisoned").len()
+        self.map.read().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the book is empty.
@@ -127,6 +132,27 @@ impl Transport for UdpTransport {
             }
         }
     }
+
+    /// Drains every pending datagram in one readiness wakeup (until
+    /// `WouldBlock` or `max`), so an event loop sweeping thousands of
+    /// sockets empties each backlog in a single pass instead of leaving
+    /// all but one datagram queued until the next sweep.
+    fn recv_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        let mut drained = 0;
+        while drained < max {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((len, _)) => {
+                    if let Ok(msg) = decode(&self.buf[..len]) {
+                        out.push(msg);
+                        drained += 1;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        Ok(drained)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +209,99 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(got, Some(msg), "the well-formed datagram must survive");
+    }
+
+    #[test]
+    fn recv_batch_drains_all_pending_datagrams_in_one_wakeup() {
+        let book = AddressBook::new();
+        let mut a = UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap();
+        let mut b = UdpTransport::bind_loopback(NodeId::new(1), &book).unwrap();
+
+        const PENDING: usize = 64;
+        for i in 0..PENDING {
+            let msg = Message::new(NodeId::new(0), NodeId::new(i as u64), i % 2 == 0);
+            a.send(NodeId::new(1), msg).unwrap();
+        }
+
+        // Loopback UDP is effectively reliable but asynchronous; wait until
+        // the whole burst is queued, then assert a single batch call drains
+        // it (the old recv path returned at most one message per call).
+        let mut got = Vec::new();
+        for _ in 0..500 {
+            b.recv_batch(&mut got, PENDING * 2).unwrap();
+            if got.len() >= PENDING {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), PENDING, "burst must be fully drained");
+        let payloads: std::collections::HashSet<u64> =
+            got.iter().map(|m| m.payload.as_u64()).collect();
+        assert_eq!(payloads.len(), PENDING, "no datagram duplicated or corrupted");
+
+        // Once the backlog exists, one call must take it all: re-send and
+        // poll with a zero-work probe until readiness, then batch once.
+        for i in 0..PENDING {
+            a.send(NodeId::new(1), Message::new(NodeId::new(0), NodeId::new(i as u64), false))
+                .unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut second = Vec::new();
+        let drained = b.recv_batch(&mut second, usize::MAX).unwrap();
+        assert!(drained >= PENDING / 2, "a single wakeup should drain the backlog, got {drained}");
+        assert_eq!(drained, second.len());
+    }
+
+    #[test]
+    fn recv_batch_respects_max() {
+        let book = AddressBook::new();
+        let mut a = UdpTransport::bind_loopback(NodeId::new(0), &book).unwrap();
+        let mut b = UdpTransport::bind_loopback(NodeId::new(1), &book).unwrap();
+        for i in 0..8 {
+            a.send(NodeId::new(1), Message::new(NodeId::new(0), NodeId::new(i), false)).unwrap();
+        }
+        let mut got = Vec::new();
+        let mut calls = 0;
+        for _ in 0..2000 {
+            let before = got.len();
+            let drained = b.recv_batch(&mut got, 3).unwrap();
+            assert!(drained <= 3, "cap must bound a single batch, got {drained}");
+            assert_eq!(got.len(), before + drained, "return value matches appended count");
+            if drained > 0 {
+                calls += 1;
+            }
+            if got.len() == 8 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 8, "every datagram eventually drains");
+        assert!(calls >= 3, "8 messages at cap 3 need at least 3 draining calls");
+    }
+
+    #[test]
+    fn address_book_recovers_from_poisoned_lock() {
+        let book = AddressBook::new();
+        let addr: SocketAddr = "127.0.0.1:9100".parse().unwrap();
+        book.register(NodeId::new(5), addr);
+
+        // Poison the inner lock by panicking while holding the write guard.
+        let poisoner = book.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.map.write().unwrap();
+            panic!("poison the address book on purpose");
+        })
+        .join();
+
+        // Every accessor must keep working instead of propagating the panic.
+        assert_eq!(book.resolve(NodeId::new(5)), Some(addr));
+        assert_eq!(book.len(), 1);
+        let addr2: SocketAddr = "127.0.0.1:9101".parse().unwrap();
+        book.register(NodeId::new(6), addr2);
+        assert_eq!(book.resolve(NodeId::new(6)), Some(addr2));
+        book.remove(NodeId::new(5));
+        assert_eq!(book.resolve(NodeId::new(5)), None);
+        assert!(!book.is_empty());
     }
 
     #[test]

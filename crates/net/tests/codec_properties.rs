@@ -39,4 +39,107 @@ proptest! {
         let msg = decode(&bytes).unwrap();
         prop_assert_eq!(msg.dependent, flag == 1);
     }
+
+    /// Truncating a valid frame at any point yields `BadLength`, never a
+    /// panic or a bogus message.
+    #[test]
+    fn truncated_frames_are_rejected(
+        sender in any::<u64>(),
+        payload in any::<u64>(),
+        dependent in any::<bool>(),
+        cut in 0usize..WIRE_LEN,
+    ) {
+        let bytes = encode(Message::new(NodeId::new(sender), NodeId::new(payload), dependent));
+        prop_assert!(decode(&bytes[..cut]).is_err(), "len {} must be rejected", cut);
+    }
+
+    /// Extending a valid frame with trailing garbage yields `BadLength`.
+    #[test]
+    fn oversized_frames_are_rejected(
+        sender in any::<u64>(),
+        payload in any::<u64>(),
+        dependent in any::<bool>(),
+        tail in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut bytes = encode(Message::new(NodeId::new(sender), NodeId::new(payload), dependent)).to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(decode(&bytes).is_err(), "len {} must be rejected", bytes.len());
+    }
+
+    /// Fuzz-ish mutation sweep: take a valid frame and flip one byte to an
+    /// arbitrary value. The result must either decode (re-encoding to the
+    /// mutated bytes exactly) or be rejected — no panics, no silent
+    /// canonicalisation.
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        sender in any::<u64>(),
+        payload in any::<u64>(),
+        dependent in any::<bool>(),
+        pos in 0usize..WIRE_LEN,
+        value in any::<u8>(),
+    ) {
+        let mut bytes =
+            encode(Message::new(NodeId::new(sender), NodeId::new(payload), dependent)).to_vec();
+        bytes[pos] = value;
+        match decode(&bytes) {
+            Ok(msg) => {
+                // Id-field mutations always stay decodable; a flags-byte
+                // mutation decodes only if it landed on a clean flag value.
+                let reencoded = encode(msg);
+                prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+                if pos == WIRE_LEN - 1 {
+                    prop_assert!(value <= 1, "dirty flags {:#04x} must not decode", value);
+                }
+            }
+            Err(_) => {
+                // Only the flags byte can make a 17-byte frame invalid.
+                prop_assert_eq!(pos, WIRE_LEN - 1);
+                prop_assert!(value > 1);
+            }
+        }
+    }
+
+    /// Single-bit flips across a corpus of valid frames: decode stays total
+    /// and the bit either survives a roundtrip or is rejected outright.
+    #[test]
+    fn bitflipped_frames_roundtrip_or_reject(
+        sender in any::<u64>(),
+        payload in any::<u64>(),
+        dependent in any::<bool>(),
+        bit in 0usize..(WIRE_LEN * 8),
+    ) {
+        let mut bytes =
+            encode(Message::new(NodeId::new(sender), NodeId::new(payload), dependent)).to_vec();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(msg) = decode(&bytes) {
+            let reencoded = encode(msg);
+            prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+        }
+    }
+}
+
+/// A deterministic mutation loop over every byte position and a spread of
+/// overwrite values — denser than the sampled property above, and pins the
+/// exact accept/reject boundary of the flags byte.
+#[test]
+fn exhaustive_single_byte_mutation_sweep() {
+    let base =
+        encode(Message::new(NodeId::new(0x0123_4567_89ab_cdef), NodeId::new(42), true)).to_vec();
+    for pos in 0..WIRE_LEN {
+        for value in [0u8, 1, 2, 3, 0x7f, 0x80, 0xfe, 0xff] {
+            let mut bytes = base.clone();
+            bytes[pos] = value;
+            match decode(&bytes) {
+                Ok(msg) => assert_eq!(
+                    encode(msg).as_ref(),
+                    &bytes[..],
+                    "decode/encode must be exact at pos {pos} value {value:#04x}"
+                ),
+                Err(_) => assert!(
+                    pos == WIRE_LEN - 1 && value > 1,
+                    "only dirty flags may reject (pos {pos}, value {value:#04x})"
+                ),
+            }
+        }
+    }
 }

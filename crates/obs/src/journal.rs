@@ -107,6 +107,26 @@ pub enum JournalEvent {
         /// The forwarded id.
         payload: NodeId,
     },
+    /// A live invariant check found a node outside the Observation 5.1
+    /// outdegree bounds (even, within `[d_L, s]`).
+    DegreeViolation {
+        /// The offending node.
+        node: NodeId,
+        /// Its observed outdegree.
+        degree: u32,
+        /// The lower bound `d_L`.
+        lo: u32,
+        /// The upper bound `s` (view size).
+        hi: u32,
+    },
+    /// A live invariant check found the measured stale-edge fraction above
+    /// the Lemma 6.10 decay ceiling.
+    StaleViolation {
+        /// Measured stale fraction, in parts per million.
+        stale_ppm: u64,
+        /// The ceiling it exceeded, in parts per million.
+        ceiling_ppm: u64,
+    },
 }
 
 impl JournalEvent {
@@ -123,6 +143,8 @@ impl JournalEvent {
             Self::NetSent { .. } => "net_sent",
             Self::NetDropped { .. } => "net_dropped",
             Self::NetReceived { .. } => "net_received",
+            Self::DegreeViolation { .. } => "degree_violation",
+            Self::StaleViolation { .. } => "stale_violation",
         }
     }
 }
@@ -204,6 +226,16 @@ impl JournalEntry {
                     from.as_u64(),
                     payload.as_u64()
                 );
+            }
+            JournalEvent::DegreeViolation { node, degree, lo, hi } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"degree\":{degree},\"lo\":{lo},\"hi\":{hi}",
+                    node.as_u64()
+                );
+            }
+            JournalEvent::StaleViolation { stale_ppm, ceiling_ppm } => {
+                let _ = write!(out, ",\"stale_ppm\":{stale_ppm},\"ceiling_ppm\":{ceiling_ppm}");
             }
         }
         out.push('}');
@@ -374,9 +406,11 @@ mod tests {
         );
         journal.record(4, JournalEvent::NetDropped { from: id(4), to: id(5), payload: id(6) });
         journal.record(5, JournalEvent::NetReceived { to: id(5), from: id(4), payload: id(6) });
+        journal.record(6, JournalEvent::DegreeViolation { node: id(7), degree: 9, lo: 2, hi: 8 });
+        journal.record(7, JournalEvent::StaleViolation { stale_ppm: 120_000, ceiling_ppm: 80_000 });
         let jsonl = journal.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 8);
         assert_eq!(lines[0], "{\"seq\":0,\"t\":0,\"kind\":\"self_loop\",\"initiator\":1}");
         assert_eq!(
             lines[1],
@@ -386,6 +420,14 @@ mod tests {
         assert!(lines[3].contains("\"deliver_at\":9"));
         assert!(lines[4].contains("\"kind\":\"net_dropped\""));
         assert!(lines[5].ends_with("\"to\":5,\"from\":4,\"id\":6}"));
+        assert_eq!(
+            lines[6],
+            "{\"seq\":6,\"t\":6,\"kind\":\"degree_violation\",\"node\":7,\"degree\":9,\"lo\":2,\"hi\":8}"
+        );
+        assert_eq!(
+            lines[7],
+            "{\"seq\":7,\"t\":7,\"kind\":\"stale_violation\",\"stale_ppm\":120000,\"ceiling_ppm\":80000}"
+        );
         // Every line is a braced object with balanced quotes.
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));

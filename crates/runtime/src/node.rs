@@ -127,9 +127,13 @@ impl NodeHandle {
             .spawn(move || {
                 let mut rng = StdRng::seed_from_u64(config.seed);
                 let mut next_tick = Instant::now() + config.tick;
+                let mut inbox = Vec::new();
                 while !thread_shutdown.load(Ordering::Relaxed) {
-                    // Receive steps: drain everything pending.
-                    while let Ok(Some(message)) = transport.try_recv() {
+                    // Receive steps: drain everything pending in one
+                    // batched wakeup (one syscall sweep on UDP transports).
+                    inbox.clear();
+                    let _ = transport.recv_batch(&mut inbox, usize::MAX);
+                    for message in inbox.drain(..) {
                         let outcome = thread_state.lock().receive(message, &mut rng);
                         if let Some(c) = &counters {
                             match outcome {

@@ -1,0 +1,42 @@
+//! Boot a live S&F membership daemon over real UDP, inject a partition,
+//! heal it, and read the verdict from the HTTP endpoint.
+//!
+//! Run with: `cargo run --example daemon_quickstart`
+
+use std::time::Duration;
+
+use sandf::daemon::{http_get, DaemonConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 128 nodes, each with its own loopback UDP socket, 2% wire loss.
+    let daemon = DaemonConfig {
+        initial_nodes: 128,
+        tick: Duration::from_millis(10),
+        base_loss: 0.02,
+        ..DaemonConfig::default()
+    }
+    .spawn()?;
+    let addr = daemon.http_addr().expect("HTTP endpoint is on by default");
+    println!("daemon up: http://{addr}/membership");
+
+    daemon.join_nodes(32).map_err(std::io::Error::other)?;
+    daemon.fault("partition 2 30 1.0").map_err(std::io::Error::other)?;
+    println!("160 nodes, regions severed for 30 rounds — soaking ...");
+    std::thread::sleep(Duration::from_secs(2));
+
+    let snap = daemon.snapshot();
+    println!(
+        "round {}: live {}, mean outdegree {:.2}, stale {:.4} ≤ ceiling {:.4}, {} violations",
+        snap.round,
+        snap.live,
+        snap.mean_out,
+        snap.stale_fraction,
+        snap.stale_ceiling,
+        snap.degree_violations + snap.stale_violations,
+    );
+    let (status, metrics) = http_get(addr, "/metrics")?;
+    println!("GET /metrics → {status} ({} bytes of Prometheus exposition)", metrics.len());
+
+    daemon.shutdown();
+    Ok(())
+}

@@ -20,6 +20,9 @@
 //! * [`net`] — lossy in-memory and UDP transports with the 17-byte wire
 //!   codec;
 //! * [`runtime`] — a threaded per-node runtime and cluster harness;
+//! * [`daemon`] — a long-running membership service multiplexing many
+//!   nodes over real UDP sockets, with a wire-level fault injector, live
+//!   invariant checking, an HTTP endpoint, and a soak harness;
 //! * [`obs`] — the observability subsystem (metrics registry, structured
 //!   event journal, hot-path profiling spans); see the observability
 //!   section of `EXPERIMENTS.md`.
@@ -49,6 +52,7 @@
 
 pub use sandf_baselines as baselines;
 pub use sandf_core as core;
+pub use sandf_daemon as daemon;
 pub use sandf_graph as graph;
 pub use sandf_markov as markov;
 pub use sandf_net as net;
