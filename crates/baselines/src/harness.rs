@@ -7,6 +7,8 @@
 //! argument is about: shuffle-style protocols bleed ids under loss, S&F's
 //! duplication floor replaces them.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sandf_core::NodeId;
@@ -56,6 +58,14 @@ impl<P: GossipProtocol> BaselineHarness<P> {
 
     /// One step: a random node initiates; the message chain (request,
     /// replies) is delivered subject to independent loss.
+    ///
+    /// Draw-order contract (pinned, matching the engine contract in
+    /// `sandf-sim`'s traits module): loss is drawn at send time, *before*
+    /// the receiver's liveness is known — a message to a departed node
+    /// consumes a loss draw and only then counts as a dead letter. The
+    /// draw is consumed at every loss rate (including 0), so the
+    /// downstream draw schedule is identical across rates and
+    /// lossless-vs-lossy runs of the same seed stay paired.
     pub fn step(&mut self) {
         let initiator = self.rng.gen_range(0..self.nodes.len());
         let Some(mut outgoing) = self.nodes[initiator].initiate(&mut self.rng) else {
@@ -63,7 +73,8 @@ impl<P: GossipProtocol> BaselineHarness<P> {
         };
         let mut from = self.nodes[initiator].id();
         for _ in 0..self.max_chain {
-            if self.loss > 0.0 && self.rng.gen_bool(self.loss) {
+            let lost = self.rng.gen_bool(self.loss);
+            if lost {
                 return; // message lost; nothing downstream happens
             }
             let Some(receiver) = self.position(outgoing.to) else {
@@ -100,6 +111,20 @@ impl<P: GossipProtocol> BaselineHarness<P> {
         &self.nodes
     }
 
+    /// Removes a node, simulating an unannounced departure: messages
+    /// addressed to it become dead letters (which still consume their
+    /// loss draw — see [`step`](Self::step)). Returns whether the node
+    /// was present.
+    pub fn leave(&mut self, id: NodeId) -> bool {
+        match self.position(id) {
+            Some(k) => {
+                self.nodes.remove(k);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Snapshot metrics.
     #[must_use]
     pub fn metrics(&self) -> HarnessMetrics {
@@ -109,10 +134,14 @@ impl<P: GossipProtocol> BaselineHarness<P> {
         let empty_views = out_degrees.iter().filter(|&&d| d == 0).count();
         let mean_out_degree = total_ids as f64 / n as f64;
 
+        // One id → index map per snapshot: the per-entry `position` scan
+        // made this O(n²·s), which dominated large-n sweeps.
+        let index: HashMap<NodeId, usize> =
+            self.nodes.iter().enumerate().map(|(k, node)| (node.id(), k)).collect();
         let mut in_degrees = vec![0usize; n];
         for node in &self.nodes {
             for id in node.view_ids() {
-                if let Some(k) = self.position(id) {
+                if let Some(&k) = index.get(&id) {
                     in_degrees[k] += 1;
                 }
             }
@@ -196,6 +225,83 @@ mod tests {
         let m = h.metrics();
         assert_eq!(m.empty_views, 0);
         assert!(m.mean_out_degree >= 4.0);
+    }
+
+    #[test]
+    fn metrics_match_the_linear_scan_reference() {
+        // Regression for the O(n²·s) indegree pass: the mapped version
+        // must produce field-for-field identical `HarnessMetrics` to the
+        // original per-entry linear scan.
+        let n = 48;
+        let boots = ring_bootstrap(n, 5);
+        let nodes: Vec<ShuffleNode> = boots
+            .iter()
+            .enumerate()
+            .map(|(i, b)| ShuffleNode::new(NodeId::new(i as u64), 10, 3, b))
+            .collect();
+        let mut h = BaselineHarness::new(nodes, 0.05, 11);
+        h.run_rounds(40);
+        let fast = h.metrics();
+
+        let nodes = h.nodes();
+        let out_degrees: Vec<usize> = nodes.iter().map(GossipProtocol::out_degree).collect();
+        let total_ids: usize = out_degrees.iter().sum();
+        let mut in_degrees = vec![0usize; n];
+        for node in nodes {
+            for id in node.view_ids() {
+                if let Some(k) = nodes.iter().position(|m| m.id() == id) {
+                    in_degrees[k] += 1;
+                }
+            }
+        }
+        let mean_in = in_degrees.iter().sum::<usize>() as f64 / n as f64;
+        let reference = HarnessMetrics {
+            total_ids,
+            empty_views: out_degrees.iter().filter(|&&d| d == 0).count(),
+            mean_out_degree: total_ids as f64 / n as f64,
+            in_degree_variance: in_degrees
+                .iter()
+                .map(|&d| (d as f64 - mean_in).powi(2))
+                .sum::<f64>()
+                / n as f64,
+        };
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn lossless_runs_pair_with_lossy_runs_of_the_same_seed() {
+        // Before the draw-order fix, `loss == 0.0` short-circuited past
+        // the loss draw, so a lossless run walked a different draw
+        // schedule than a same-seeded lossy one — they diverged even
+        // when no loss ever fired. The rate below is small enough that
+        // no draw fires in this run, so both runs must now be
+        // step-for-step identical, including the dead letters produced
+        // by the mid-run leave (which consume a loss draw before the
+        // liveness check, per the pinned contract).
+        let run = |loss: f64| {
+            let boots = ring_bootstrap(16, 4);
+            let nodes: Vec<ShuffleNode> = boots
+                .iter()
+                .enumerate()
+                .map(|(i, b)| ShuffleNode::new(NodeId::new(i as u64), 10, 3, b))
+                .collect();
+            let mut h = BaselineHarness::new(nodes, loss, 9);
+            h.run_rounds(10);
+            assert!(h.leave(NodeId::new(3)), "node 3 is live mid-run");
+            assert!(!h.leave(NodeId::new(3)), "double leave is a no-op");
+            h.run_rounds(10);
+            let views: Vec<(NodeId, Vec<NodeId>)> = h
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let mut v = n.view_ids();
+                    v.sort_unstable();
+                    (n.id(), v)
+                })
+                .collect();
+            (h.metrics(), views)
+        };
+        assert_eq!(run(0.0), run(1e-9));
     }
 
     #[test]

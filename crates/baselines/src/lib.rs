@@ -19,6 +19,15 @@
 //! under 5–10 % loss the shuffle population collapses while S&F holds its
 //! edge count with only `O(ℓ)` extra dependence.
 //!
+//! Each protocol also ships as a [`sandf_sim::ProtocolBehavior`]
+//! ([`PushOnlyBehavior`], [`ShuffleBehavior`], [`PushPullBehavior`] in
+//! [`behaviors`]) that runs on the unified `Engine` trait —
+//! `FlatSimulation` and `ParSimulation` — at two orders of magnitude
+//! beyond what the per-node harness reaches (the committed
+//! `BENCH_PR8.json` measures 163× at n = 10⁵). The harness remains the
+//! readable per-node reference implementation the behaviors are
+//! conformance-tested against (`tests/protocol_conformance.rs`).
+//!
 //! ## Example
 //!
 //! ```
@@ -40,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behaviors;
 mod harness;
 mod push_only;
 mod push_pull;
@@ -47,6 +57,7 @@ mod sf_adapter;
 mod shuffle;
 mod traits;
 
+pub use behaviors::{PushOnlyBehavior, PushPullBehavior, ShuffleBehavior};
 pub use harness::{BaselineHarness, HarnessMetrics};
 pub use push_only::PushOnlyNode;
 pub use push_pull::PushPullNode;

@@ -21,4 +21,11 @@ fn main() {
     println!();
     note("expected shape: shuffle's id population collapses under loss (empty views appear);");
     note("sandf holds its population via duplications; push_pull/push_only saturate at capacity");
+    println!();
+    note(&format!(
+        "same taxonomy on the unified engines: the whole zoo (S&F, baselines, Section 5 \
+         variants) through the Engine/ProtocolBehavior traits on flat and par, n=256, \
+         200 rounds, loss 0.05, {REPLICATES} replicates"
+    ));
+    print!("{}", sweeps::zoo_engine_table(256, 200, 0.05, REPLICATES, 1));
 }

@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! perf_smoke [--nodes N] [--rounds R] [--loss F] [--seed S]
-//!            [--engine flat|classic|par] [--threads T] [--out PATH]
-//!            [--min-steps-per-sec F]
+//!            [--engine flat|classic|par] [--protocol sandf|shuffle]
+//!            [--threads T] [--out PATH] [--min-steps-per-sec F]
 //! ```
 //!
 //! Defaults: `--nodes 1000000 --rounds 50 --loss 0.01 --seed 42
-//! --engine flat --threads 1` (`--threads` only affects `--engine par`).
+//! --engine flat --protocol sandf --threads 1` (`--threads` only affects
+//! `--engine par`; `--protocol shuffle` needs an arena engine — the
+//! classic engine is S&F-only).
 //! The JSON report is printed to stdout and, with
 //! `--out`, also written to a file (CI uploads it as an artifact and the
 //! PR commits it as `BENCH_PR<k>.json`). With `--min-steps-per-sec` the
@@ -18,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use sandf_bench::perf::{run, PerfEngine, PerfSmokeConfig};
+use sandf_bench::perf::{run, PerfEngine, PerfProtocol, PerfSmokeConfig};
 use sandf_obs::MetricsRegistry;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
@@ -59,6 +61,16 @@ fn smoke(args: &[String]) -> Result<ExitCode, String> {
             "par" => PerfEngine::Par,
             other => return Err(format!("unknown engine {other:?} (flat|classic|par)")),
         };
+    }
+    if let Some(protocol) = parse_flag::<String>(args, "--protocol")? {
+        config.protocol = match protocol.as_str() {
+            "sandf" => PerfProtocol::Sf,
+            "shuffle" => PerfProtocol::Shuffle,
+            other => return Err(format!("unknown protocol {other:?} (sandf|shuffle)")),
+        };
+    }
+    if config.engine == PerfEngine::Classic && config.protocol != PerfProtocol::Sf {
+        return Err("the classic engine runs only S&F; use --engine flat or par".to_string());
     }
     if let Some(threads) = parse_flag::<usize>(args, "--threads")? {
         if threads == 0 {

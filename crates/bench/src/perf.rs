@@ -15,9 +15,12 @@
 //! [`PerfReport::to_json`] emits a stable key order so diffs between PRs
 //! stay readable.
 
-use sandf_core::SfConfig;
+use sandf_baselines::{BaselineHarness, ShuffleBehavior, ShuffleNode};
+use sandf_core::{NodeId, SfConfig};
 use sandf_obs::{duration_buckets, MetricsRegistry, SpanTimer, Stopwatch};
-use sandf_sim::{topology, FlatSimulation, ParSimulation, SimStats, Simulation, UniformLoss};
+use sandf_sim::{
+    topology, Engine, FlatSimulation, ParSimulation, SimStats, Simulation, UniformLoss,
+};
 
 use crate::sweeps::initial_degree;
 
@@ -45,6 +48,27 @@ impl PerfEngine {
     }
 }
 
+/// Which protocol behavior a perf run drives through the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PerfProtocol {
+    /// Send & Forget — the default, supported by every engine.
+    Sf,
+    /// The shuffle baseline ([`ShuffleBehavior`] with gossip size 3) on
+    /// the arena engines; the classic engine is S&F-only.
+    Shuffle,
+}
+
+impl PerfProtocol {
+    /// The name used in the JSON report and on the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sf => "sandf",
+            Self::Shuffle => "shuffle",
+        }
+    }
+}
+
 /// Scale and parameters of one perf-smoke run.
 #[derive(Clone, Copy, Debug)]
 pub struct PerfSmokeConfig {
@@ -60,6 +84,8 @@ pub struct PerfSmokeConfig {
     pub config: SfConfig,
     /// Engine under measurement.
     pub engine: PerfEngine,
+    /// Protocol behavior under measurement.
+    pub protocol: PerfProtocol,
     /// Worker-thread count for [`PerfEngine::Par`] (ignored by the
     /// single-threaded engines).
     pub threads: usize,
@@ -78,6 +104,7 @@ impl PerfSmokeConfig {
             seed: 42,
             config: SfConfig::new(16, 6).expect("smoke parameters are legal"),
             engine: PerfEngine::Flat,
+            protocol: PerfProtocol::Sf,
             threads: 1,
         }
     }
@@ -120,57 +147,106 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// Phase timings are recorded through `sandf-obs` span histograms
 /// (`perf.build_ns` / `perf.run_ns` / `perf.measure_ns` in `registry`), so
 /// an attached exporter sees the same numbers the JSON reports.
+///
+/// # Panics
+///
+/// Panics on `engine: classic, protocol: shuffle` — the classic per-node
+/// engine runs only S&F; the zoo rides the arena engines through the
+/// [`Engine`]/`ProtocolBehavior` traits.
 #[must_use]
 pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
+    let loss = UniformLoss::new(config.loss).expect("loss rate validated by caller");
+    let initial = initial_degree(config.config, config.nodes);
+    match (config.engine, config.protocol) {
+        (PerfEngine::Flat, PerfProtocol::Sf) => execute(config, registry, || {
+            let nodes = topology::circulant(config.nodes, config.config, initial);
+            FlatSimulation::new(nodes, loss, config.seed)
+        }),
+        (PerfEngine::Classic, PerfProtocol::Sf) => execute(config, registry, || {
+            let nodes = topology::circulant(config.nodes, config.config, initial);
+            Simulation::new(nodes, loss, config.seed)
+        }),
+        (PerfEngine::Par, PerfProtocol::Sf) => execute(config, registry, || {
+            let nodes = topology::circulant(config.nodes, config.config, initial);
+            let mut sim = ParSimulation::new(nodes, loss, config.seed, config.threads);
+            sim.attach_profiler(registry);
+            sim
+        }),
+        (PerfEngine::Flat, PerfProtocol::Shuffle) => execute(config, registry, || {
+            FlatSimulation::from_views(
+                ShuffleBehavior::new(3),
+                config.config,
+                ring_views(config.nodes, initial),
+                loss,
+                config.seed,
+            )
+        }),
+        (PerfEngine::Par, PerfProtocol::Shuffle) => execute(config, registry, || {
+            let mut sim = ParSimulation::from_views(
+                ShuffleBehavior::new(3),
+                config.config,
+                ring_views(config.nodes, initial),
+                loss,
+                config.seed,
+                config.threads,
+            );
+            sim.attach_profiler(registry);
+            sim
+        }),
+        (PerfEngine::Classic, PerfProtocol::Shuffle) => {
+            panic!("the classic engine runs only S&F; use --engine flat or par for shuffle")
+        }
+    }
+}
+
+/// The ring bootstrap the zoo protocols start from (the S&F runs use
+/// `topology::circulant`, which is the same shape with S&F slot layout).
+fn ring_views(n: usize, k: usize) -> Vec<(NodeId, Vec<NodeId>)> {
+    (0..n)
+        .map(|i| {
+            let view = (1..=k).map(|d| NodeId::new(((i + d) % n) as u64)).collect();
+            (NodeId::new(i as u64), view)
+        })
+        .collect()
+}
+
+/// The measurement core, generic over the unified [`Engine`] trait: build
+/// (timed), run (timed), aggregate (timed), cross-check the engine ledger
+/// against the per-node ledger.
+fn execute<E: Engine>(
+    config: PerfSmokeConfig,
+    registry: &MetricsRegistry,
+    build: impl FnOnce() -> E,
+) -> PerfReport {
     let build_hist = registry.histogram("perf.build_ns", duration_buckets());
     let run_hist = registry.histogram("perf.run_ns", duration_buckets());
     let measure_hist = registry.histogram("perf.measure_ns", duration_buckets());
-    let loss = UniformLoss::new(config.loss).expect("loss rate validated by caller");
 
     let build_watch = Stopwatch::start();
-    let initial = initial_degree(config.config, config.nodes);
-    let (mut flat, mut classic, mut par) = {
+    let mut sim = {
         let _span = SpanTimer::start(&build_hist);
-        let nodes = topology::circulant(config.nodes, config.config, initial);
-        match config.engine {
-            PerfEngine::Flat => (Some(FlatSimulation::new(nodes, loss, config.seed)), None, None),
-            PerfEngine::Classic => (None, Some(Simulation::new(nodes, loss, config.seed)), None),
-            PerfEngine::Par => {
-                let mut sim = ParSimulation::new(nodes, loss, config.seed, config.threads);
-                sim.attach_profiler(registry);
-                (None, None, Some(sim))
-            }
-        }
+        build()
     };
     let build_ms = ns_to_ms(build_watch.elapsed_ns());
 
     let run_watch = Stopwatch::start();
     {
         let _span = SpanTimer::start(&run_hist);
-        if let Some(sim) = flat.as_mut() {
-            sim.run_rounds(config.rounds);
-        }
-        if let Some(sim) = classic.as_mut() {
-            sim.run_rounds(config.rounds);
-        }
-        if let Some(sim) = par.as_mut() {
-            sim.run_rounds(config.rounds);
-        }
+        sim.run_rounds(config.rounds);
     }
     let run_ns = run_watch.elapsed_ns();
 
     let measure_watch = Stopwatch::start();
     let stats = {
         let _span = SpanTimer::start(&measure_hist);
-        let (stats, node_actions) = match (&flat, &classic, &par) {
-            (Some(sim), _, _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
-            (_, Some(sim), _) => (*sim.stats(), sim.aggregate_node_stats().initiated),
-            (_, _, Some(sim)) => (*sim.stats(), sim.aggregate_node_stats().initiated),
-            _ => unreachable!("exactly one engine was built"),
-        };
+        let stats = sim.stats();
         // Sanity: no initiations lost between the ledgers (departed nodes
         // aside — this run has no churn).
-        assert_eq!(stats.actions, node_actions, "engine and node ledgers disagree");
+        assert_eq!(
+            stats.actions,
+            sim.aggregate_node_stats().initiated,
+            "engine and node ledgers disagree"
+        );
         stats
     };
     let measure_ms = ns_to_ms(measure_watch.elapsed_ns());
@@ -195,6 +271,128 @@ fn ns_to_ms(ns: u64) -> f64 {
     ns as f64 / 1_000_000.0
 }
 
+/// Outcome of the old-harness vs unified-engine shuffle comparison.
+///
+/// Both sides run the same protocol from the same ring bootstrap at the
+/// same loss rate; throughput is steps/sec (one step = one initiated
+/// action), measured over independently chosen round counts so the slow
+/// side doesn't dictate total wall-clock.
+#[derive(Clone, Debug)]
+pub struct SpeedupReport {
+    /// System size `n`.
+    pub nodes: usize,
+    /// Uniform message-loss rate.
+    pub loss: f64,
+    /// Rounds the `BaselineHarness` side ran.
+    pub harness_rounds: usize,
+    /// Rounds the `FlatSimulation` side ran.
+    pub engine_rounds: usize,
+    /// Throughput of `BaselineHarness<ShuffleNode>`.
+    pub harness_steps_per_sec: f64,
+    /// Throughput of `FlatSimulation<_, ShuffleBehavior>`.
+    pub engine_steps_per_sec: f64,
+    /// `engine_steps_per_sec / harness_steps_per_sec`.
+    pub speedup: f64,
+    /// Final id population on the harness side (sanity: both sides show
+    /// shuffle's drainage dynamics, not a degenerate run).
+    pub harness_total_ids: usize,
+    /// Final id population on the engine side.
+    pub engine_total_ids: usize,
+}
+
+/// Measures shuffle (gossip size 3) on the retired-in-favor-of-traits
+/// `BaselineHarness` step loop vs [`FlatSimulation`] through the
+/// [`Engine`]/`ProtocolBehavior` traits, at the same `n` and loss rate.
+///
+/// The harness side is `O(n)` per delivery hop (a linear `position` scan
+/// per receiver lookup), so its round count is a separate knob — at
+/// `n = 10⁵` even a couple of rounds dominate the wall-clock while the
+/// arena engine does hundreds in the same time.
+#[must_use]
+pub fn shuffle_speedup(
+    nodes: usize,
+    harness_rounds: usize,
+    engine_rounds: usize,
+    loss: f64,
+    seed: u64,
+) -> SpeedupReport {
+    let k = 8.min(nodes - 1);
+    let views = ring_views(nodes, k);
+    let config = SfConfig::new(16, 6).expect("legal config");
+
+    let harness_nodes: Vec<ShuffleNode> =
+        views.iter().map(|(id, view)| ShuffleNode::new(*id, 16, 3, view)).collect();
+    let mut harness = BaselineHarness::new(harness_nodes, loss, seed);
+    let watch = Stopwatch::start();
+    harness.run_rounds(harness_rounds);
+    let harness_ns = watch.elapsed_ns();
+    let harness_total_ids = harness.metrics().total_ids;
+
+    let rate = UniformLoss::new(loss).expect("loss rate validated by caller");
+    let mut sim = FlatSimulation::from_views(ShuffleBehavior::new(3), config, views, rate, seed);
+    let watch = Stopwatch::start();
+    sim.run_rounds(engine_rounds);
+    let engine_ns = watch.elapsed_ns();
+    let engine_total_ids = sim.graph().edge_count();
+
+    let per_sec = |rounds: usize, ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            (nodes * rounds) as f64 / (ns as f64 / 1_000_000_000.0)
+        }
+    };
+    let harness_steps_per_sec = per_sec(harness_rounds, harness_ns);
+    let engine_steps_per_sec = per_sec(engine_rounds, engine_ns);
+    SpeedupReport {
+        nodes,
+        loss,
+        harness_rounds,
+        engine_rounds,
+        harness_steps_per_sec,
+        engine_steps_per_sec,
+        speedup: if harness_steps_per_sec > 0.0 {
+            engine_steps_per_sec / harness_steps_per_sec
+        } else {
+            0.0
+        },
+        harness_total_ids,
+        engine_total_ids,
+    }
+}
+
+impl SpeedupReport {
+    /// Serializes the report as a single JSON object with a stable key
+    /// order (hand-rolled; the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"sandf-engine-speedup/v1\",\n",
+                "  \"protocol\": \"shuffle\",\n",
+                "  \"nodes\": {nodes},\n",
+                "  \"loss\": {loss},\n",
+                "  \"harness\": {{ \"rounds\": {h_rounds}, \"steps_per_sec\": {h_sps:.1}, ",
+                "\"total_ids\": {h_ids} }},\n",
+                "  \"flat_engine\": {{ \"rounds\": {e_rounds}, \"steps_per_sec\": {e_sps:.1}, ",
+                "\"total_ids\": {e_ids} }},\n",
+                "  \"speedup\": {speedup:.1}\n",
+                "}}\n",
+            ),
+            nodes = self.nodes,
+            loss = self.loss,
+            h_rounds = self.harness_rounds,
+            h_sps = self.harness_steps_per_sec,
+            h_ids = self.harness_total_ids,
+            e_rounds = self.engine_rounds,
+            e_sps = self.engine_steps_per_sec,
+            e_ids = self.engine_total_ids,
+            speedup = self.speedup,
+        )
+    }
+}
+
 impl PerfReport {
     /// Serializes the report as a single JSON object with a stable key
     /// order (hand-rolled; the workspace has no serde).
@@ -213,6 +411,7 @@ impl PerfReport {
                 "  \"loss\": {loss},\n",
                 "  \"seed\": {seed},\n",
                 "  \"engine\": \"{engine}\",\n",
+                "  \"protocol\": \"{protocol}\",\n",
                 "  \"threads\": {threads},\n",
                 "  \"phases_ms\": {{ \"build\": {build:.3}, \"run\": {run:.3}, ",
                 "\"measure\": {measure:.3} }},\n",
@@ -232,6 +431,7 @@ impl PerfReport {
             loss = c.loss,
             seed = c.seed,
             engine = c.engine.name(),
+            protocol = c.protocol.name(),
             threads = c.threads,
             build = self.build_ms,
             run = self.run_ms,
@@ -307,6 +507,49 @@ mod tests {
         ] {
             assert!(names.contains(&name.to_string()), "metric {name} not registered");
         }
+    }
+
+    #[test]
+    fn shuffle_protocol_runs_on_both_arena_engines() {
+        let mut config = PerfSmokeConfig::at_scale(256, 4);
+        config.protocol = PerfProtocol::Shuffle;
+        let flat = run(config, &MetricsRegistry::new());
+        assert_eq!(flat.stats.actions, 256 * 4);
+        assert!(flat.to_json().contains("\"protocol\": \"shuffle\""));
+        config.engine = PerfEngine::Par;
+        config.threads = 2;
+        let par = run(config, &MetricsRegistry::new());
+        assert_eq!(par.stats.actions, 256 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "classic engine runs only S&F")]
+    fn classic_engine_rejects_the_zoo() {
+        let mut config = PerfSmokeConfig::at_scale(64, 1);
+        config.engine = PerfEngine::Classic;
+        config.protocol = PerfProtocol::Shuffle;
+        let _ = run(config, &MetricsRegistry::new());
+    }
+
+    #[test]
+    fn shuffle_speedup_reports_both_sides() {
+        let report = shuffle_speedup(128, 2, 4, 0.05, 7);
+        assert!(report.harness_steps_per_sec > 0.0);
+        assert!(report.engine_steps_per_sec > 0.0);
+        assert!(report.speedup > 0.0);
+        assert!(report.harness_total_ids > 0);
+        assert!(report.engine_total_ids > 0);
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"sandf-engine-speedup/v1\"",
+            "\"nodes\": 128",
+            "\"harness\"",
+            "\"flat_engine\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! replicates <r>               # sweep replicates per phase (default 3)
 //! seed <u64>                   # base seed (default 42)
 //! burn_in <rounds>             # lossless warm-up rounds (default 0)
+//! protocol <name>              # sandf | push_only | push_pull | shuffle
+//!                              # (default sandf; baselines run through the
+//!                              # unified Engine/ProtocolBehavior traits)
 //!
 //! phase <rounds> <fault> <args...>
 //! churn <leaves> <joins>       # optional, attaches to the phase above
@@ -62,13 +65,14 @@ use std::fmt::Write as _;
 
 use rand::rngs::StdRng;
 use rand::RngCore;
+use sandf_baselines::{PushOnlyBehavior, PushPullBehavior, ShuffleBehavior};
 use sandf_core::{NodeId, SfConfig};
 use sandf_graph::DegreeStats;
 use sandf_markov::decay::leave_survival_bound;
 use sandf_markov::{DegreeMc, DegreeMcParams};
 use sandf_obs::MetricsRegistry;
 use sandf_sim::{
-    topology, GilbertElliott, NodeCapacity, ParSimulation, PerLinkLoss, PhaseFault,
+    topology, Engine, GilbertElliott, NodeCapacity, ParSimulation, PerLinkLoss, PhaseFault,
     RegionalPartition, ScheduledFault, UniformLoss, VictimLoss,
 };
 
@@ -230,6 +234,38 @@ impl FaultSpec {
     }
 }
 
+/// The protocol a scenario drives through the par engine. The default is
+/// S&F; the baselines run through the unified `Engine`/`ProtocolBehavior`
+/// traits on the same fault schedule. The §6.2 degree-MC and Lemma 6.10
+/// predictions model S&F only, so the `mc_*`/`decay_bound` columns show
+/// `-` for every other protocol — the envelope table still reports the
+/// measured statistics under the scheduled faults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProtocolSpec {
+    /// Send & Forget (the default).
+    #[default]
+    Sf,
+    /// The push-only baseline.
+    PushOnly,
+    /// The push-pull baseline (reply size 3).
+    PushPull,
+    /// The shuffle baseline (gossip size 3).
+    Shuffle,
+}
+
+impl ProtocolSpec {
+    /// The spec keyword naming this protocol.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Sf => "sandf",
+            Self::PushOnly => "push_only",
+            Self::PushPull => "push_pull",
+            Self::Shuffle => "shuffle",
+        }
+    }
+}
+
 /// Churn applied at a phase's start: the `leaves` lowest live ids depart,
 /// then `joins` new nodes enter via the highest live sponsor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -271,6 +307,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Lossless warm-up rounds before phase 0.
     pub burn_in: usize,
+    /// The protocol under test (default S&F).
+    pub protocol: ProtocolSpec,
     /// The phase schedule, in order.
     pub phases: Vec<Phase>,
 }
@@ -467,6 +505,7 @@ impl Scenario {
         let mut replicates: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut burn_in: Option<usize> = None;
+        let mut protocol: Option<ProtocolSpec> = None;
         let mut phases: Vec<Phase> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
@@ -548,6 +587,25 @@ impl Scenario {
                         "burn_in",
                     )?;
                 }
+                "protocol" => {
+                    expect_args(line, "protocol", "protocol <name>", &args, 1)?;
+                    let value = match args[0] {
+                        "sandf" => ProtocolSpec::Sf,
+                        "push_only" => ProtocolSpec::PushOnly,
+                        "push_pull" => ProtocolSpec::PushPull,
+                        "shuffle" => ProtocolSpec::Shuffle,
+                        other => {
+                            return Err(err(
+                                line,
+                                format!(
+                                    "unknown protocol {other:?} — expected one of \
+                                     sandf, push_only, push_pull, shuffle"
+                                ),
+                            ));
+                        }
+                    };
+                    set_once(&mut protocol, value, line, "protocol")?;
+                }
                 "phase" => {
                     if args.len() < 2 {
                         return Err(err(
@@ -580,7 +638,7 @@ impl Scenario {
                         line,
                         format!(
                             "unknown directive {other:?} — expected one of scenario, n, view, \
-                             degree, replicates, seed, burn_in, phase, churn"
+                             degree, replicates, seed, burn_in, protocol, phase, churn"
                         ),
                     ));
                 }
@@ -629,6 +687,7 @@ impl Scenario {
             replicates: replicates.unwrap_or(3),
             seed: seed.unwrap_or(42),
             burn_in: burn_in.unwrap_or(0),
+            protocol: protocol.unwrap_or_default(),
             phases,
         })
     }
@@ -667,6 +726,20 @@ impl Scenario {
     pub fn schedule_index(&self, phase: usize) -> usize {
         phase + usize::from(self.burn_in > 0)
     }
+
+    /// Circulant bootstrap views for the baseline protocols: node `i`
+    /// points at the next `degree` ids around the ring — the same shape
+    /// `topology::circulant` seeds the S&F engine with, so `protocol`
+    /// changes the behavior, not the starting graph.
+    fn ring_views(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        (0..self.n)
+            .map(|i| {
+                let view =
+                    (1..=self.degree).map(|d| NodeId::new(((i + d) % self.n) as u64)).collect();
+                (NodeId::new(i as u64), view)
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Display for Scenario {
@@ -680,6 +753,13 @@ impl std::fmt::Display for Scenario {
         writeln!(f, "replicates {}", self.replicates)?;
         writeln!(f, "seed {}", self.seed)?;
         writeln!(f, "burn_in {}", self.burn_in)?;
+        // Printed only when non-default, so pre-existing S&F specs (and
+        // the recorded golden transcripts that echo them) are unchanged;
+        // the round trip is still the identity because the parse default
+        // is `sandf`.
+        if self.protocol != ProtocolSpec::Sf {
+            writeln!(f, "protocol {}", self.protocol.kind())?;
+        }
         for phase in &self.phases {
             writeln!(f)?;
             write!(f, "phase {} ", phase.rounds)?;
@@ -849,7 +929,9 @@ impl SweepCell for PhaseCell<'_> {
 
 /// Runs one replicate of `scenario` through phase `target` inclusive on the
 /// par engine, returning the [`SCENARIO_METRICS`] vector measured at the
-/// end of the target phase.
+/// end of the target phase. The `protocol` directive picks which
+/// [`sandf_sim::ProtocolBehavior`] drives the slots; every protocol runs on
+/// the same par engine, so thread invariance holds for the whole zoo.
 fn run_replicate(
     scenario: &Scenario,
     target: usize,
@@ -860,8 +942,61 @@ fn run_replicate(
     let fault_salt = rng.next_u64();
     let sim_seed = rng.next_u64();
     let config = scenario.config();
-    let nodes = topology::circulant(scenario.n, config, scenario.degree);
-    let mut sim = ParSimulation::new(nodes, scenario.compile(fault_salt), sim_seed, threads);
+    let fault = scenario.compile(fault_salt);
+    // Baseline gossip fanout matches `sweeps::zoo_engine_table` so the two
+    // surfaces stay comparable.
+    const GOSSIP: usize = 3;
+    match scenario.protocol {
+        ProtocolSpec::Sf => {
+            let nodes = topology::circulant(scenario.n, config, scenario.degree);
+            let sim = ParSimulation::new(nodes, fault, sim_seed, threads);
+            drive_replicate(sim, scenario, target, counters)
+        }
+        ProtocolSpec::PushOnly => {
+            let sim = ParSimulation::from_views(
+                PushOnlyBehavior,
+                config,
+                scenario.ring_views(),
+                fault,
+                sim_seed,
+                threads,
+            );
+            drive_replicate(sim, scenario, target, counters)
+        }
+        ProtocolSpec::PushPull => {
+            let sim = ParSimulation::from_views(
+                PushPullBehavior::new(GOSSIP),
+                config,
+                scenario.ring_views(),
+                fault,
+                sim_seed,
+                threads,
+            );
+            drive_replicate(sim, scenario, target, counters)
+        }
+        ProtocolSpec::Shuffle => {
+            let sim = ParSimulation::from_views(
+                ShuffleBehavior::new(GOSSIP),
+                config,
+                scenario.ring_views(),
+                fault,
+                sim_seed,
+                threads,
+            );
+            drive_replicate(sim, scenario, target, counters)
+        }
+    }
+}
+
+/// The replicate body, generic over the unified [`Engine`] trait: burn-in,
+/// then per phase churn → victim re-aim → (at the target) stats reset →
+/// rounds, then the [`SCENARIO_METRICS`] measurement.
+fn drive_replicate<E: Engine<Fault = ScheduledFault>>(
+    mut sim: E,
+    scenario: &Scenario,
+    target: usize,
+    counters: &FaultCounters,
+) -> Vec<f64> {
     sim.run_rounds(scenario.burn_in);
     counters.replicates.inc();
 
@@ -874,7 +1009,7 @@ fn run_replicate(
                     break;
                 }
                 let id = live.remove(0);
-                sim.leave(id).expect("id came from live_ids");
+                assert!(sim.leave(id), "id came from live_ids");
                 counters.churn_leaves.inc();
             }
             for _ in 0..churn.joins {
@@ -979,18 +1114,21 @@ fn decay_ceiling(scenario: &Scenario, phase: &Phase) -> Option<f64> {
 /// counts), while a solve costs ~1 s in a debug build.
 fn degree_mc_prediction(config: SfConfig, rate: f64) -> Option<(f64, f64)> {
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, OnceLock, PoisonError};
     type Cache = Mutex<HashMap<(usize, usize, u64), Option<(f64, f64)>>>;
     static CACHE: OnceLock<Cache> = OnceLock::new();
     let key = (config.view_size(), config.lower_threshold(), rate.to_bits());
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("cache lock poisoned").get(&key) {
+    // Recover rather than propagate a poisoned cache: a replicate thread
+    // that panics elsewhere must not turn every later prediction lookup
+    // into a second panic (the map is never left mid-update).
+    if let Some(hit) = cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
         return *hit;
     }
     let result = DegreeMc::solve(DegreeMcParams::new(config, rate))
         .ok()
         .map(|mc| (mc.mean_in(), mc.std_in()));
-    cache.lock().expect("cache lock poisoned").insert(key, result);
+    cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, result);
     result
 }
 
@@ -1023,7 +1161,11 @@ pub fn run_scenario(
         .enumerate()
         .map(|(i, phase)| {
             let rate = phase.fault.effective_rate(scenario.n);
-            let mc = degree_mc_prediction(config, rate);
+            // The degree MC (§6.2) and the Lemma 6.10 decay bound model
+            // S&F's send/duplicate dynamics; for the baseline protocols the
+            // measured columns stand alone and the model columns print `-`.
+            let is_sf = scenario.protocol == ProtocolSpec::Sf;
+            let mc = if is_sf { degree_mc_prediction(config, rate) } else { None };
             ScenarioOutcome {
                 phase: i,
                 fault: phase.fault.kind(),
@@ -1031,7 +1173,7 @@ pub fn run_scenario(
                 effective_rate: rate,
                 mc_mean: mc.map(|(mean, _)| mean),
                 mc_std: mc.map(|(_, std)| std),
-                decay_bound: decay_ceiling(scenario, phase),
+                decay_bound: if is_sf { decay_ceiling(scenario, phase) } else { None },
                 mean_in: *results.summary(i, "mean_in"),
                 in_std: *results.summary(i, "in_std"),
                 loss_rate: *results.summary(i, "loss_rate"),
@@ -1107,6 +1249,26 @@ pub fn builtin_specs() -> &'static [(&'static str, &'static str)] {
              \n\
              phase 30 capacity 3 0.3 4 0.02\n\
              phase 25 bursty 0.05 0.2 0.01 0.5\n",
+        ),
+        (
+            "shuffle-drain",
+            // The §3.1 contrast through the fault DSL: the shuffle baseline
+            // (deletes sent ids) under escalating uniform loss — its id
+            // population drains where S&F's holds. Model columns print `-`:
+            // the degree MC and decay bound are S&F-only.
+            "scenario shuffle-drain\n\
+             n 96\n\
+             view 16 6\n\
+             degree 10\n\
+             replicates 5\n\
+             seed 2009\n\
+             burn_in 10\n\
+             protocol shuffle\n\
+             \n\
+             phase 30 uniform 0.02\n\
+             phase 30 uniform 0.10\n\
+             churn 2 2\n\
+             phase 30 uniform 0.02\n",
         ),
     ]
 }
@@ -1225,6 +1387,50 @@ mod tests {
             b.to_tsv(MC_MEAN_TOLERANCE),
             "engine thread count leaked into the report"
         );
+    }
+
+    #[test]
+    fn protocol_directive_parses_and_round_trips() {
+        let spec = tiny_spec().replace("burn_in 2\n", "burn_in 2\nprotocol shuffle\n");
+        let s = Scenario::parse(&spec).expect("parses");
+        assert_eq!(s.protocol, ProtocolSpec::Shuffle);
+        let printed = s.to_string();
+        assert!(printed.contains("protocol shuffle"), "non-default protocol must print");
+        assert_eq!(Scenario::parse(&printed).expect("round-trips"), s);
+    }
+
+    #[test]
+    fn default_protocol_is_sandf_and_stays_unprinted() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        assert_eq!(s.protocol, ProtocolSpec::Sf);
+        // Keeping the default implicit keeps the pr6 golden transcripts
+        // (which echo the canonical printing) byte-identical.
+        assert!(!s.to_string().contains("protocol"));
+    }
+
+    #[test]
+    fn rejects_unknown_protocol() {
+        let spec = tiny_spec().replace("burn_in 2\n", "protocol chord\n");
+        let error = Scenario::parse(&spec).expect_err("unknown protocol must be rejected");
+        assert!(error.message.contains("chord") && error.message.contains("push_pull"));
+    }
+
+    #[test]
+    fn baseline_protocols_run_thread_invariantly_without_model_columns() {
+        let spec = tiny_spec().replace("burn_in 2\n", "burn_in 2\nprotocol shuffle\n");
+        let s = Scenario::parse(&spec).expect("parses");
+        let a = run_scenario(&s, 1, &MetricsRegistry::new());
+        let b = run_scenario(&s, 3, &MetricsRegistry::new());
+        assert_eq!(
+            a.to_tsv(MC_MEAN_TOLERANCE),
+            b.to_tsv(MC_MEAN_TOLERANCE),
+            "engine thread count leaked into a baseline-protocol report"
+        );
+        for row in &a.outcomes {
+            assert_eq!(row.mc_mean, None, "the degree MC models S&F only");
+            assert_eq!(row.decay_bound, None, "the decay bound models S&F only");
+            assert!(row.mean_in.mean > 0.0, "the shuffle run should still gossip");
+        }
     }
 
     #[test]

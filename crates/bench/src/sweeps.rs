@@ -18,16 +18,18 @@
 
 use rand::RngCore;
 use sandf_baselines::{
-    BaselineHarness, GossipProtocol, PushOnlyNode, PushPullNode, SfAdapter, ShuffleNode,
+    BaselineHarness, GossipProtocol, PushOnlyBehavior, PushOnlyNode, PushPullBehavior,
+    PushPullNode, SfAdapter, ShuffleBehavior, ShuffleNode,
 };
 use sandf_core::{NodeId, SfConfig, SfNode};
 use sandf_graph::DegreeStats;
 use sandf_markov::{select_thresholds, DegreeMc, DegreeMcParams};
 use sandf_sim::experiment::{continuous_churn, steady_state_degrees, uniformity, ExperimentParams};
 use sandf_sim::{
-    topology, DelayModel, GilbertElliott, LossModel, ParSimulation, Simulation, TargetedLoss,
-    UniformLoss,
+    topology, DelayModel, Engine, FlatSimulation, GilbertElliott, LossModel, ParSimulation,
+    ProtocolBehavior, SfBehavior, Simulation, TargetedLoss, UniformLoss,
 };
+use sandf_variants::{BatchedBehavior, ReplaceBehavior, UndeleteBehavior};
 
 use crate::fmt;
 use crate::sweep::{SweepCell, SweepSpec};
@@ -483,6 +485,105 @@ pub fn baseline_table(n: usize, rounds: usize, replicates: usize, base_seed: u64
 }
 
 // ---------------------------------------------------------------------------
+// zoo_engine — the protocol zoo on the unified fast engines
+// ---------------------------------------------------------------------------
+
+/// One protocol × engine cell of the unified-trait sweep.
+pub struct ZooCell {
+    /// Protocol behavior (`sandf`, `push_only`, `push_pull`, `shuffle`,
+    /// `replace`, `undelete`, `batched`).
+    pub protocol: &'static str,
+    /// Arena engine (`flat` or `par`).
+    pub engine: &'static str,
+}
+
+impl SweepCell for ZooCell {
+    fn key(&self) -> String {
+        format!("{}/{}", self.protocol, self.engine)
+    }
+}
+
+/// Every behavior the zoo sweep drives, in cell order.
+const ZOO_PROTOCOLS: [&str; 7] =
+    ["sandf", "push_only", "push_pull", "shuffle", "replace", "undelete", "batched"];
+
+fn zoo_metrics<E: Engine>(mut sim: E, rounds: usize) -> Vec<f64> {
+    sim.run_rounds(rounds);
+    let graph = sim.graph();
+    vec![
+        graph.edge_count() as f64,
+        DegreeStats::from_samples(&graph.out_degrees()).mean,
+        DegreeStats::from_samples(&graph.in_degrees()).std_dev(),
+        f64::from(u8::from(graph.is_weakly_connected())),
+    ]
+}
+
+fn zoo_run<B: ProtocolBehavior>(
+    behavior: B,
+    engine: &str,
+    config: SfConfig,
+    views: Vec<(NodeId, Vec<NodeId>)>,
+    loss: f64,
+    seed: u64,
+    rounds: usize,
+) -> Vec<f64> {
+    let loss = UniformLoss::new(loss).expect("valid rate");
+    match engine {
+        "flat" => {
+            zoo_metrics(FlatSimulation::from_views(behavior, config, views, loss, seed), rounds)
+        }
+        _ => zoo_metrics(ParSimulation::from_views(behavior, config, views, loss, seed, 2), rounds),
+    }
+}
+
+/// The whole protocol zoo — S&F, the three baselines, and the three
+/// Section 5 variants — on both arena engines through the unified
+/// [`Engine`]/[`ProtocolBehavior`] traits, under one uniform loss rate.
+/// The id population (`total_ids`) reproduces the §3.1 taxonomy on the
+/// fast engines: shuffle drains, S&F and the variants hold their band,
+/// push variants saturate.
+#[must_use]
+pub fn zoo_engine_table(
+    n: usize,
+    rounds: usize,
+    loss: f64,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let config = SfConfig::new(16, 6).expect("legal config");
+    let mut cells = Vec::new();
+    for protocol in ZOO_PROTOCOLS {
+        for engine in ["flat", "par"] {
+            cells.push(ZooCell { protocol, engine });
+        }
+    }
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    // Same bootstrap views for every cell/replicate — build once, clone in.
+    let views: Vec<(NodeId, Vec<NodeId>)> =
+        (0..n).map(|i| (NodeId::new(i as u64), baseline_bootstrap(i, 8, n))).collect();
+    let results = spec.run(&["total_ids", "mean_out", "in_std", "connected"], |cell, rng| {
+        let seed = rng.next_u64();
+        let views = views.clone();
+        match cell.protocol {
+            "sandf" => zoo_run(SfBehavior, cell.engine, config, views, loss, seed, rounds),
+            "push_only" => {
+                zoo_run(PushOnlyBehavior, cell.engine, config, views, loss, seed, rounds)
+            }
+            "push_pull" => {
+                zoo_run(PushPullBehavior::new(3), cell.engine, config, views, loss, seed, rounds)
+            }
+            "shuffle" => {
+                zoo_run(ShuffleBehavior::new(3), cell.engine, config, views, loss, seed, rounds)
+            }
+            "replace" => zoo_run(ReplaceBehavior, cell.engine, config, views, loss, seed, rounds),
+            "undelete" => zoo_run(UndeleteBehavior, cell.engine, config, views, loss, seed, rounds),
+            _ => zoo_run(BatchedBehavior::new(3), cell.engine, config, views, loss, seed, rounds),
+        }
+    });
+    results.to_tsv(&["protocol", "engine"], |c| vec![c.protocol.to_string(), c.engine.to_string()])
+}
+
+// ---------------------------------------------------------------------------
 // churn_sweep — sustainable-churn boundary
 // ---------------------------------------------------------------------------
 
@@ -703,6 +804,24 @@ mod tests {
         assert_eq!(tsv.lines().count(), 13);
         for protocol in ["sandf", "shuffle", "push_pull", "push_only"] {
             assert_eq!(tsv.lines().filter(|l| l.starts_with(&format!("{protocol}\t"))).count(), 3);
+        }
+    }
+
+    #[test]
+    fn zoo_table_covers_every_protocol_on_both_engines() {
+        let tsv = zoo_engine_table(24, 8, 0.05, 2, 3);
+        // Header + 7 protocols × 2 engines.
+        assert_eq!(tsv.lines().count(), 15);
+        assert!(tsv.starts_with("protocol\tengine\ttotal_ids_mean\t"));
+        for protocol in ZOO_PROTOCOLS {
+            for engine in ["flat", "par"] {
+                assert_eq!(
+                    tsv.lines()
+                        .filter(|l| l.starts_with(&format!("{protocol}\t{engine}\t")))
+                        .count(),
+                    1
+                );
+            }
         }
     }
 

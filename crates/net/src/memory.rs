@@ -3,7 +3,7 @@
 //! controlled Section 4.1 loss model.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use rand::rngs::StdRng;
@@ -86,7 +86,11 @@ impl InMemoryNetwork {
     #[must_use]
     pub fn endpoint(&self, id: NodeId) -> InMemoryTransport {
         let (tx, rx) = unbounded();
-        let mut inboxes = self.shared.inboxes.write().expect("inbox registry poisoned");
+        // Lock recovery throughout this module: a worker that panics while
+        // holding a hub lock leaves plain counters/maps in a consistent
+        // state, so readers recover the value instead of cascading the
+        // panic (which would wedge every surviving endpoint).
+        let mut inboxes = self.shared.inboxes.write().unwrap_or_else(PoisonError::into_inner);
         let prev = inboxes.insert(id, tx);
         assert!(prev.is_none(), "node {id} registered twice");
         InMemoryTransport { id, shared: Arc::clone(&self.shared), inbox: rx }
@@ -95,19 +99,19 @@ impl InMemoryNetwork {
     /// Unregisters a node (its endpoint keeps draining already-queued
     /// messages; new sends to it become unknown-peer errors).
     pub fn disconnect(&self, id: NodeId) {
-        self.shared.inboxes.write().expect("inbox registry poisoned").remove(&id);
+        self.shared.inboxes.write().unwrap_or_else(PoisonError::into_inner).remove(&id);
     }
 
     /// Total messages handed to the network so far.
     #[must_use]
     pub fn sent(&self) -> u64 {
-        self.shared.loss.lock().expect("loss state poisoned").sent
+        self.shared.loss.lock().unwrap_or_else(PoisonError::into_inner).sent
     }
 
     /// Messages dropped by the loss process so far.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.shared.loss.lock().expect("loss state poisoned").dropped
+        self.shared.loss.lock().unwrap_or_else(PoisonError::into_inner).dropped
     }
 }
 
@@ -130,7 +134,7 @@ impl Transport for InMemoryTransport {
             m.sent.inc();
         }
         {
-            let mut loss = self.shared.loss.lock().expect("loss state poisoned");
+            let mut loss = self.shared.loss.lock().unwrap_or_else(PoisonError::into_inner);
             loss.sent += 1;
             let rate = loss.rate;
             if rate > 0.0 && loss.rng.gen_bool(rate) {
@@ -141,7 +145,7 @@ impl Transport for InMemoryTransport {
                 return Ok(()); // lost in transit; sender cannot tell
             }
         }
-        let inboxes = self.shared.inboxes.read().expect("inbox registry poisoned");
+        let inboxes = self.shared.inboxes.read().unwrap_or_else(PoisonError::into_inner);
         match inboxes.get(&to) {
             // A send to a departed node is indistinguishable from loss.
             None => Ok(()),
@@ -249,6 +253,33 @@ mod tests {
         let net = InMemoryNetwork::new(0.0, 5);
         let _a = net.endpoint(NodeId::new(0));
         let _b = net.endpoint(NodeId::new(0));
+    }
+
+    #[test]
+    fn panicked_worker_does_not_wedge_the_counters() {
+        let net = InMemoryNetwork::new(0.0, 7);
+        let mut a = net.endpoint(NodeId::new(0));
+        let mut b = net.endpoint(NodeId::new(1));
+        a.send(NodeId::new(1), msg(0, 1)).unwrap();
+
+        // A worker dies while holding both hub locks, poisoning them.
+        let shared = Arc::clone(&net.shared);
+        let worker = std::thread::spawn(move || {
+            let _loss = shared.loss.lock().unwrap();
+            let _inboxes = shared.inboxes.write().unwrap();
+            panic!("worker crashed mid-update");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+
+        // Counters, sends, and (de)registration all recover.
+        assert_eq!(net.sent(), 1);
+        assert_eq!(net.dropped(), 0);
+        a.send(NodeId::new(1), msg(0, 2)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(msg(0, 1)));
+        assert_eq!(b.try_recv().unwrap(), Some(msg(0, 2)));
+        let _c = net.endpoint(NodeId::new(2));
+        net.disconnect(NodeId::new(2));
+        assert_eq!(net.sent(), 2);
     }
 
     #[test]

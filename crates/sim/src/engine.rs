@@ -48,6 +48,12 @@ pub struct SimStats {
     /// returned `false`). Not counted in `actions`, so the
     /// `actions = self_loops + sent` ledger is unaffected.
     pub skipped: u64,
+    /// Messages sent as replies to a delivered message (request/reply
+    /// protocols on the generic engines; always 0 for S&F, which never
+    /// replies). Replies are also counted in `sent`, so the ledgers read
+    /// `sent = lost + dead_letters + stored + deleted (+ in_flight)` and
+    /// `actions = self_loops + (sent − replies)`.
+    pub replies: u64,
 }
 
 impl SimStats {
@@ -73,8 +79,11 @@ impl SimStats {
 }
 
 /// What happened during one simulation step, for observers.
+///
+/// Generic over the wire message `M` so the protocol-generic engines can
+/// report their own message types; plain S&F engines use the default.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum StepEvent {
+pub enum StepEvent<M = Message> {
     /// The initiator selected an empty slot; nothing was sent.
     SelfLoop,
     /// The initiator's step was skipped: the fault model's capacity gate
@@ -86,7 +95,7 @@ pub enum StepEvent {
         /// The intended receiver.
         to: NodeId,
         /// The dropped message.
-        message: Message,
+        message: M,
         /// Whether the send duplicated.
         duplicated: bool,
     },
@@ -95,7 +104,7 @@ pub enum StepEvent {
         /// The departed receiver.
         to: NodeId,
         /// The undeliverable message.
-        message: Message,
+        message: M,
         /// Whether the send duplicated.
         duplicated: bool,
     },
@@ -104,7 +113,7 @@ pub enum StepEvent {
         /// The receiver.
         to: NodeId,
         /// The delivered message.
-        message: Message,
+        message: M,
         /// Whether the send duplicated.
         duplicated: bool,
         /// Whether the receiver deleted the ids (full view).
@@ -115,7 +124,7 @@ pub enum StepEvent {
         /// The receiver.
         to: NodeId,
         /// The queued message.
-        message: Message,
+        message: M,
         /// Whether the send duplicated.
         duplicated: bool,
         /// The global step at which delivery is scheduled.
@@ -146,12 +155,12 @@ pub enum StepPhase {
 
 /// A report of one step: who initiated and what happened.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct StepReport {
+pub struct StepReport<M = Message> {
     /// The initiating node (for [`StepPhase::Delivery`] reports, the
     /// original sender of the delivered message).
     pub initiator: NodeId,
     /// The step's outcome.
-    pub event: StepEvent,
+    pub event: StepEvent<M>,
     /// Whether this report is an action or a delayed delivery.
     pub phase: StepPhase,
     /// The global step counter when the report was produced.
@@ -165,13 +174,13 @@ pub struct StepReport {
 /// [`Simulation::step_node`] does not return. Subscribers run inline on the
 /// stepping thread, so keep callbacks cheap; they must be `Send` because
 /// simulations migrate across sweep worker threads.
-pub trait StepSubscriber: Send {
+pub trait StepSubscriber<M = Message>: Send {
     /// Called after each step (and each delayed delivery) with its report.
-    fn on_step(&mut self, report: &StepReport);
+    fn on_step(&mut self, report: &StepReport<M>);
 }
 
-impl<F: FnMut(&StepReport) + Send> StepSubscriber for F {
-    fn on_step(&mut self, report: &StepReport) {
+impl<M, F: FnMut(&StepReport<M>) + Send> StepSubscriber<M> for F {
+    fn on_step(&mut self, report: &StepReport<M>) {
         self(report);
     }
 }

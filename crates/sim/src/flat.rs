@@ -8,8 +8,8 @@
 //!
 //! * **slot arena** — all views live in one contiguous `Vec<u64>` of
 //!   `n · s` slots; node `k` owns `arena[k·s .. (k+1)·s]`, with
-//!   `u64::MAX` as the empty-slot sentinel and a parallel `Vec<bool>` for
-//!   the dependence tags;
+//!   `u64::MAX` as the empty-slot sentinel and a parallel `Vec<u8>` for
+//!   the per-slot flag bits (dependence, tombstones);
 //! * **flat ledgers** — outdegrees and per-node [`NodeStats`] are dense
 //!   arrays indexed by the node's arena slot, not fields of a boxed node;
 //! * **ring-buffer delivery** — under [`DelayModel::UniformSteps`] the
@@ -20,19 +20,33 @@
 //!   single counter check per step, and the observed paths stay out of
 //!   line exactly as in the classic engine.
 //!
+//! # Protocol genericity
+//!
+//! The engine is generic over a [`ProtocolBehavior`] `B`, defaulting to
+//! [`SfBehavior`] — the paper's S&F protocol. The behavior owns the view
+//! algebra (initiate / receive over a [`SlotView`] window into the arena);
+//! the engine owns scheduling, the lossy channel, churn bookkeeping, and
+//! the stats ledgers. Protocols that reply (push-pull, shuffle) route the
+//! reply back through the channel: a loss draw per hop, delay-model
+//! scheduling, and a [`MAX_REPLY_CHAIN`] hop cap per delivery. S&F never
+//! replies, so the reply machinery is dead code on the default path.
+//!
 //! # Equivalence contract
 //!
-//! The fast path is **seed-for-seed byte-identical** to the classic
-//! engine: it performs the same RNG draws in the same order with the same
-//! bounds (initiator pick, two-distinct-slot pick, loss decision, delay
-//! sampling, nth-empty-slot receive placement), so for any seed and any
-//! [`LossModel`] the two engines produce equal [`SimStats`], equal views
-//! (including dependence tags), equal membership graphs, and equal
-//! [`StepReport`] streams — which in turn makes the
-//! [`SimRecorder`](crate::SimRecorder) obs exposition byte-identical.
-//! The `flat_equals_classic_*` tests below and the golden regression in
-//! `crates/bench/tests/flat_equivalence.rs` enforce this; any change to
-//! one engine's draw sequence must be mirrored in the other.
+//! With the default [`SfBehavior`], the fast path is **seed-for-seed
+//! byte-identical** to the classic engine: it performs the same RNG draws
+//! in the same order with the same bounds (initiator pick,
+//! two-distinct-slot pick, loss decision, delay sampling, nth-empty-slot
+//! receive placement), so for any seed and any [`LossModel`] the two
+//! engines produce equal [`SimStats`], equal views (including dependence
+//! tags), equal membership graphs, and equal [`StepReport`] streams —
+//! which in turn makes the [`SimRecorder`](crate::SimRecorder) obs
+//! exposition byte-identical. The `flat_equals_classic_*` tests below and
+//! the golden regression in `crates/bench/tests/flat_equivalence.rs`
+//! enforce this; any change to one engine's draw sequence must be
+//! mirrored in the other. Non-default behaviors make no byte-identity
+//! promise (there is no classic counterpart to compare against); they are
+//! validated statistically in `tests/protocol_conformance.rs`.
 //!
 //! # Scope
 //!
@@ -59,15 +73,20 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sandf_core::{Entry, JoinError, LocalView, Message, NodeId, NodeStats, SfConfig, SfNode};
+use sandf_core::{Entry, JoinError, LocalView, NodeId, NodeStats, SfConfig, SfNode};
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
 use crate::fault::{FaultCtx, FaultModel};
+use crate::traits::{ProtocolBehavior, SfBehavior, SlotView, FLAG_DEPENDENT, MAX_REPLY_CHAIN};
+
+/// A delivery hop's outcome: the step event, plus a protocol reply
+/// (receiver, message) still to be routed.
+type HopOutcome<M> = (StepEvent<M>, Option<(NodeId, M)>);
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
-const EMPTY: u64 = u64::MAX;
+const EMPTY: u64 = crate::traits::EMPTY_SLOT;
 
 /// "Not live" sentinel in the id → dense-index table.
 const DEAD: u32 = u32::MAX;
@@ -80,20 +99,22 @@ struct FlatProfile {
     deliver: HistogramHandle,
 }
 
-/// The struct-of-arrays fast path of [`Simulation`](crate::Simulation).
+/// The struct-of-arrays fast path of [`Simulation`](crate::Simulation),
+/// generic over a [`ProtocolBehavior`] (default: [`SfBehavior`]).
 ///
 /// Construction, stepping, churn, and measurement mirror the classic
 /// engine's API; the module-level comment at the top of `flat.rs` spells
-/// out the storage layout and the equivalence contract.
+/// out the storage layout, the protocol genericity, and the equivalence
+/// contract.
 ///
 /// All views live in one contiguous `n × s` slot arena (`u64::MAX` marks
-/// an empty slot, a parallel bit array carries the dependence tags),
+/// an empty slot, a parallel byte array carries the per-slot flag bits),
 /// outdegrees and per-node [`NodeStats`] are dense arrays, and the
 /// delayed in-flight queue is a preallocated ring of `max + 1` buckets.
-/// The fast path is **seed-for-seed byte-identical** to
-/// [`Simulation`](crate::Simulation): identical RNG draws in identical
-/// order, hence identical [`SimStats`], views, report streams, and obs
-/// exposition for any seed and loss model.
+/// With the default behavior the fast path is **seed-for-seed
+/// byte-identical** to [`Simulation`](crate::Simulation): identical RNG
+/// draws in identical order, hence identical [`SimStats`], views, report
+/// streams, and obs exposition for any seed and loss model.
 ///
 /// ```
 /// use sandf_core::SfConfig;
@@ -106,16 +127,16 @@ struct FlatProfile {
 /// assert_eq!(sim.stats().actions, 50_000);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct FlatSimulation<L> {
+pub struct FlatSimulation<L, B: ProtocolBehavior = SfBehavior> {
     config: SfConfig,
     /// View size, cached out of `config` for the hot loops.
     s: usize,
-    /// Lower threshold, cached out of `config` for the hot loops.
-    d_l: usize,
+    /// The protocol executed over the arena.
+    behavior: B,
     /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
     slot_ids: Vec<u64>,
-    /// Dependence tags, parallel to `slot_ids` (meaningless on `EMPTY`).
-    slot_dep: Vec<bool>,
+    /// Per-slot flag bits, parallel to `slot_ids` (meaningless on `EMPTY`).
+    slot_flags: Vec<u8>,
     /// Outdegree ledger, indexed by dense node index.
     degree: Vec<u32>,
     /// Per-node event counters, indexed by dense node index.
@@ -134,8 +155,10 @@ pub struct FlatSimulation<L> {
     /// Completed rounds — the time base for round-indexed fault models.
     rounds: u64,
     /// Delivery ring: bucket `t % ring.len()` holds the messages due at
-    /// step `t`. Empty in immediate mode.
-    ring: Vec<Vec<(NodeId, Message)>>,
+    /// step `t` (each entry carries its exact due time, since replies
+    /// scheduled mid-drain can transiently alias a residue to a later
+    /// lap). Empty in immediate mode.
+    ring: Vec<Vec<(u64, NodeId, B::Msg)>>,
     /// Messages currently in flight across all ring buckets.
     in_flight_count: usize,
     /// All delivery times `≤ drained_to` have been drained.
@@ -144,21 +167,21 @@ pub struct FlatSimulation<L> {
     stats: SimStats,
     next_id: u64,
     /// Registered step-event observers (not carried across clones).
-    subscribers: Vec<Box<dyn StepSubscriber>>,
+    subscribers: Vec<Box<dyn StepSubscriber<B::Msg>>>,
     /// Hot-path span histograms, when a profiler is attached.
     profile: Option<FlatProfile>,
 }
 
-impl<L: Clone> Clone for FlatSimulation<L> {
+impl<L: Clone, B: ProtocolBehavior> Clone for FlatSimulation<L, B> {
     /// Clones the simulation state. As with the classic engine,
     /// subscribers are **not** cloned and an attached profiler is shared.
     fn clone(&self) -> Self {
         Self {
             config: self.config,
             s: self.s,
-            d_l: self.d_l,
+            behavior: self.behavior.clone(),
             slot_ids: self.slot_ids.clone(),
-            slot_dep: self.slot_dep.clone(),
+            slot_flags: self.slot_flags.clone(),
             degree: self.degree.clone(),
             node_stats: self.node_stats.clone(),
             dense_id: self.dense_id.clone(),
@@ -180,7 +203,7 @@ impl<L: Clone> Clone for FlatSimulation<L> {
     }
 }
 
-impl<L: fmt::Debug> fmt::Debug for FlatSimulation<L> {
+impl<L: fmt::Debug, B: ProtocolBehavior> fmt::Debug for FlatSimulation<L, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FlatSimulation")
             .field("config", &self.config)
@@ -196,9 +219,10 @@ impl<L: fmt::Debug> fmt::Debug for FlatSimulation<L> {
     }
 }
 
-impl<L: FaultModel> FlatSimulation<L> {
-    /// Creates a flat simulation over the given nodes with a seeded RNG —
-    /// the drop-in counterpart of [`Simulation::new`](crate::Simulation::new).
+impl<L: FaultModel> FlatSimulation<L, SfBehavior> {
+    /// Creates a flat S&F simulation over the given nodes with a seeded
+    /// RNG — the drop-in counterpart of
+    /// [`Simulation::new`](crate::Simulation::new).
     ///
     /// # Panics
     ///
@@ -219,7 +243,7 @@ impl<L: FaultModel> FlatSimulation<L> {
         let max_raw = live.iter().map(|id| id.index()).max().unwrap_or(0);
         let mut index = vec![DEAD; max_raw + 1];
         let mut slot_ids = vec![EMPTY; n * s];
-        let mut slot_dep = vec![false; n * s];
+        let mut slot_flags = vec![0u8; n * s];
         let mut degree = vec![0u32; n];
         let mut node_stats = vec![NodeStats::new(); n];
         for (k, node) in nodes.iter().enumerate() {
@@ -232,7 +256,7 @@ impl<L: FaultModel> FlatSimulation<L> {
             for (off, slot) in node.view().slots().enumerate() {
                 if let Some(entry) = slot {
                     slot_ids[base + off] = entry.id.as_u64();
-                    slot_dep[base + off] = entry.dependent;
+                    slot_flags[base + off] = if entry.dependent { FLAG_DEPENDENT } else { 0 };
                     deg += 1;
                 }
             }
@@ -242,9 +266,9 @@ impl<L: FaultModel> FlatSimulation<L> {
         Self {
             config,
             s,
-            d_l: config.lower_threshold(),
+            behavior: SfBehavior,
             slot_ids,
-            slot_dep,
+            slot_flags,
             degree,
             node_stats,
             dense_id: live.clone(),
@@ -265,7 +289,7 @@ impl<L: FaultModel> FlatSimulation<L> {
         }
     }
 
-    /// Creates a flat simulation with a message-delay model; the
+    /// Creates a flat S&F simulation with a message-delay model; the
     /// counterpart of [`Simulation::with_delay`](crate::Simulation::with_delay).
     /// The in-flight queue becomes a preallocated ring of `max + 1`
     /// buckets, so steady-state stepping performs no queue allocation.
@@ -276,19 +300,102 @@ impl<L: FaultModel> FlatSimulation<L> {
     /// delay bound is zero.
     #[must_use]
     pub fn with_delay(nodes: Vec<SfNode>, loss: L, delay: DelayModel, seed: u64) -> Self {
-        let mut sim = Self::new(nodes, loss, seed);
+        Self::new(nodes, loss, seed).delayed(delay)
+    }
+}
+
+impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
+    /// Creates a flat simulation running an arbitrary
+    /// [`ProtocolBehavior`] over initial views given as id lists (filled
+    /// in slot order, untagged). `config` supplies the view size `s` and
+    /// — through the behavior's hooks — the bootstrap parameters.
+    ///
+    /// This is the protocol zoo's entry point; the S&F constructors
+    /// ([`new`](FlatSimulation::new) /
+    /// [`with_delay`](FlatSimulation::with_delay)) remain the byte-identical
+    /// fast path for the paper's protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty, contains duplicate ids, uses the
+    /// reserved id `u64::MAX`, or a view wider than `s`.
+    #[must_use]
+    pub fn from_views(
+        behavior: B,
+        config: SfConfig,
+        views: Vec<(NodeId, Vec<NodeId>)>,
+        loss: L,
+        seed: u64,
+    ) -> Self {
+        assert!(!views.is_empty(), "simulation needs at least one node");
+        let s = config.view_size();
+        let n = views.len();
+        let live: Vec<NodeId> = views.iter().map(|(id, _)| *id).collect();
+        let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let max_raw = live.iter().map(|id| id.index()).max().unwrap_or(0);
+        let mut index = vec![DEAD; max_raw + 1];
+        let mut slot_ids = vec![EMPTY; n * s];
+        let slot_flags = vec![0u8; n * s];
+        let mut degree = vec![0u32; n];
+        for (k, (id, view)) in views.iter().enumerate() {
+            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
+            assert!(index[id.index()] == DEAD, "duplicate node ids");
+            assert!(view.len() <= s, "initial view exceeds the view size");
+            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
+            let base = k * s;
+            for (off, entry) in view.iter().enumerate() {
+                slot_ids[base + off] = entry.as_u64();
+            }
+            degree[k] = u32::try_from(view.len()).expect("view size exceeds u32");
+        }
+        Self {
+            config,
+            s,
+            behavior,
+            slot_ids,
+            slot_flags,
+            degree,
+            node_stats: vec![NodeStats::new(); n],
+            dense_id: live.clone(),
+            index,
+            live,
+            loss,
+            delay: DelayModel::Immediate,
+            now: 0,
+            rounds: 0,
+            ring: Vec::new(),
+            in_flight_count: 0,
+            drained_to: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            next_id,
+            subscribers: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Installs a message-delay model on a freshly built simulation
+    /// (builder-style, shared by all constructors).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after stepping began, or when the delay bound
+    /// is zero.
+    #[must_use]
+    pub fn delayed(mut self, delay: DelayModel) -> Self {
+        assert!(self.now == 0, "the delay model must be installed before stepping");
         if let DelayModel::UniformSteps { max } = delay {
             assert!(max > 0, "delay bound must be positive");
             let buckets = usize::try_from(max + 1).expect("delay bound exceeds address space");
-            sim.ring = vec![Vec::new(); buckets];
+            self.ring = vec![Vec::new(); buckets];
         }
-        sim.delay = delay;
-        sim
+        self.delay = delay;
+        self
     }
 
     /// Registers a step-event observer; semantics identical to
     /// [`Simulation::subscribe`](crate::Simulation::subscribe).
-    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber>) {
+    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<B::Msg>>) {
         self.subscribers.push(subscriber);
     }
 
@@ -311,7 +418,7 @@ impl<L: FaultModel> FlatSimulation<L> {
     /// subscriber-free stepping path stays compact.
     #[cold]
     #[inline(never)]
-    fn notify(&mut self, report: &StepReport) {
+    fn notify(&mut self, report: &StepReport<B::Msg>) {
         let mut subs = std::mem::take(&mut self.subscribers);
         for sub in &mut subs {
             sub.on_step(report);
@@ -324,6 +431,12 @@ impl<L: FaultModel> FlatSimulation<L> {
     #[must_use]
     pub fn config(&self) -> SfConfig {
         self.config
+    }
+
+    /// The behavior executing over the arena.
+    #[must_use]
+    pub fn behavior(&self) -> &B {
+        &self.behavior
     }
 
     /// Number of live nodes.
@@ -385,6 +498,21 @@ impl<L: FaultModel> FlatSimulation<L> {
         }
     }
 
+    /// Splits the engine into the disjoint parts a behavior callback
+    /// needs: node `k`'s slot window, the behavior, and the RNG.
+    #[inline]
+    fn parts(&mut self, k: usize) -> (SlotView<'_>, &B, &mut StdRng) {
+        let base = k * self.s;
+        let view = SlotView {
+            id: self.dense_id[k],
+            ids: &mut self.slot_ids[base..base + self.s],
+            flags: &mut self.slot_flags[base..base + self.s],
+            degree: &mut self.degree[k],
+            stats: &mut self.node_stats[k],
+        };
+        (view, &self.behavior, &mut self.rng)
+    }
+
     /// A live node's outdegree, or `None` when departed.
     #[must_use]
     pub fn out_degree_of(&self, id: NodeId) -> Option<usize> {
@@ -407,7 +535,7 @@ impl<L: FaultModel> FlatSimulation<L> {
                 .map(|i| {
                     (self.slot_ids[i] != EMPTY).then(|| Entry {
                         id: NodeId::new(self.slot_ids[i]),
-                        dependent: self.slot_dep[i],
+                        dependent: self.slot_flags[i] & FLAG_DEPENDENT != 0,
                     })
                 })
                 .collect(),
@@ -433,7 +561,7 @@ impl<L: FaultModel> FlatSimulation<L> {
     /// Executes one step by a uniformly random live node (the paper's
     /// central-entity model); RNG-equivalent to
     /// [`Simulation::step`](crate::Simulation::step).
-    pub fn step(&mut self) -> StepReport {
+    pub fn step(&mut self) -> StepReport<B::Msg> {
         let initiator = self.live[self.rng.gen_range(0..self.live.len())];
         self.step_node(initiator)
     }
@@ -443,7 +571,7 @@ impl<L: FaultModel> FlatSimulation<L> {
     /// # Panics
     ///
     /// Panics if `initiator` is not live.
-    pub fn step_node(&mut self, initiator: NodeId) -> StepReport {
+    pub fn step_node(&mut self, initiator: NodeId) -> StepReport<B::Msg> {
         let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.step));
         self.now += 1;
         if self.subscribers.is_empty() {
@@ -466,12 +594,23 @@ impl<L: FaultModel> FlatSimulation<L> {
         }
         self.stats.actions += 1;
         let k = self.dense_of(initiator).expect("initiator must be live");
-        let event = match self.initiate_at(k) {
+        let config = self.config;
+        let observed = !self.subscribers.is_empty();
+        // Reports for reply hops triggered by an immediate delivery; they
+        // causally follow the action report, so they are notified after
+        // it. Empty (and unallocated) for non-replying protocols.
+        let mut chained: Vec<StepReport<B::Msg>> = Vec::new();
+        let out = {
+            let (view, behavior, rng) = self.parts(k);
+            behavior.initiate(config, view, rng)
+        };
+        let event = match out {
             None => {
                 self.stats.self_loops += 1;
                 StepEvent::SelfLoop
             }
-            Some((to, message, duplicated)) => {
+            Some((to, message)) => {
+                let duplicated = B::duplicated(&message);
                 self.stats.sent += 1;
                 if duplicated {
                     self.stats.duplications += 1;
@@ -482,11 +621,18 @@ impl<L: FaultModel> FlatSimulation<L> {
                     StepEvent::Lost { to, message, duplicated }
                 } else {
                     match self.delay {
-                        DelayModel::Immediate => self.deliver(to, message),
+                        DelayModel::Immediate => {
+                            let (event, reply) = self.deliver_hop(to, message);
+                            if reply.is_some() {
+                                let sink = if observed { Some(&mut chained) } else { None };
+                                self.process_replies(reply, sink);
+                            }
+                            event
+                        }
                         DelayModel::UniformSteps { max } => {
                             let deliver_at = self.now + self.rng.gen_range(1..=max);
                             let bucket = (deliver_at % (max + 1)) as usize;
-                            self.ring[bucket].push((to, message));
+                            self.ring[bucket].push((deliver_at, to, message));
                             self.in_flight_count += 1;
                             StepEvent::InFlight { to, message, duplicated, deliver_at }
                         }
@@ -495,108 +641,103 @@ impl<L: FaultModel> FlatSimulation<L> {
             }
         };
         let report = StepReport { initiator, event, phase: StepPhase::Action, step: self.now };
-        if !self.subscribers.is_empty() {
+        if observed {
             self.notify(&report);
+            for chained_report in &chained {
+                self.notify(chained_report);
+            }
         }
         report
     }
 
-    /// The initiate action on the arena — the flat mirror of
-    /// [`SfNode::initiate`], consuming the identical RNG draws. Returns
-    /// `None` for a self-loop.
-    #[inline]
-    fn initiate_at(&mut self, k: usize) -> Option<(NodeId, Message, bool)> {
-        self.node_stats[k].initiated += 1;
-        let s = self.s;
-        debug_assert!(s >= 2, "view must have at least two slots");
-        let i = self.rng.gen_range(0..s);
-        let mut j = self.rng.gen_range(0..s - 1);
-        if j >= i {
-            j += 1;
-        }
-        let base = k * s;
-        let target = self.slot_ids[base + i];
-        let payload = self.slot_ids[base + j];
-        if target == EMPTY || payload == EMPTY {
-            self.node_stats[k].self_loops += 1;
-            return None;
-        }
-        let duplicated = (self.degree[k] as usize) <= self.d_l;
-        if duplicated {
-            self.node_stats[k].duplications += 1;
-        } else {
-            self.slot_ids[base + i] = EMPTY;
-            self.slot_ids[base + j] = EMPTY;
-            self.degree[k] -= 2;
-        }
-        self.node_stats[k].sent += 1;
-        let message = Message::new(self.dense_id[k], NodeId::new(payload), duplicated);
-        Some((NodeId::new(target), message, duplicated))
-    }
-
-    /// Executes the receive step at `to` (or counts a dead letter).
-    fn deliver(&mut self, to: NodeId, message: Message) -> StepEvent {
+    /// Delivers one message hop at `to` (or counts a dead letter),
+    /// returning the step event and the receiver's reply, if any.
+    fn deliver_hop(&mut self, to: NodeId, message: B::Msg) -> HopOutcome<B::Msg> {
         let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.deliver));
+        let duplicated = B::duplicated(&message);
         match self.dense_of(to) {
             None => {
                 self.stats.dead_letters += 1;
-                StepEvent::DeadLetter { to, message, duplicated: message.dependent }
+                (StepEvent::DeadLetter { to, message, duplicated }, None)
             }
             Some(k) => {
-                let deleted = self.receive_at(k, message);
-                if deleted {
+                let config = self.config;
+                let receipt = {
+                    let (view, behavior, rng) = self.parts(k);
+                    behavior.receive(config, view, message, rng)
+                };
+                if receipt.deleted {
                     self.stats.deleted += 1;
                 } else {
                     self.stats.stored += 1;
                 }
-                StepEvent::Delivered { to, message, duplicated: message.dependent, deleted }
+                (
+                    StepEvent::Delivered { to, message, duplicated, deleted: receipt.deleted },
+                    receipt.reply,
+                )
             }
         }
     }
 
-    /// The receive step on the arena — the flat mirror of
-    /// [`SfNode::receive`]. Returns whether the ids were deleted.
-    #[inline]
-    fn receive_at(&mut self, k: usize, message: Message) -> bool {
-        if self.degree[k] as usize >= self.s {
-            self.node_stats[k].deletions += 1;
-            return true;
-        }
-        self.insert_into_node(k, message.sender, message.dependent);
-        self.insert_into_node(k, message.payload, message.dependent);
-        self.node_stats[k].stored += 1;
-        false
-    }
-
-    /// Stores `id` into node `k`'s `nth` empty slot, with `nth` drawn
-    /// uniformly — the flat mirror of `LocalView::insert_into_random_empty`
-    /// (identical draw bound, identical slot-order scan).
-    #[inline]
-    fn insert_into_node(&mut self, k: usize, id: NodeId, dependent: bool) {
-        let s = self.s;
-        let base = k * s;
-        let empty = s - self.degree[k] as usize;
-        debug_assert!(empty > 0, "outdegree below s implies an empty slot");
-        let mut nth = self.rng.gen_range(0..empty);
-        for off in 0..s {
-            if self.slot_ids[base + off] == EMPTY {
-                if nth == 0 {
-                    self.slot_ids[base + off] = id.as_u64();
-                    self.slot_dep[base + off] = dependent;
-                    self.degree[k] += 1;
-                    return;
+    /// Routes a reply chain back through the channel: a loss draw per
+    /// hop, delay-model scheduling, [`MAX_REPLY_CHAIN`] hops max (excess
+    /// replies are dropped uncounted). Out of line — S&F never replies.
+    #[cold]
+    #[inline(never)]
+    fn process_replies(
+        &mut self,
+        mut reply: Option<(NodeId, B::Msg)>,
+        mut reports: Option<&mut Vec<StepReport<B::Msg>>>,
+    ) {
+        let mut hops = 0;
+        while let Some((to, message)) = reply.take() {
+            hops += 1;
+            if hops > MAX_REPLY_CHAIN {
+                break;
+            }
+            let from = B::sender(&message);
+            let duplicated = B::duplicated(&message);
+            self.stats.sent += 1;
+            self.stats.replies += 1;
+            if duplicated {
+                self.stats.duplications += 1;
+            }
+            let ctx = FaultCtx { from, to, round: self.rounds };
+            let event = if self.loss.drops(ctx, &mut self.rng) {
+                self.stats.lost += 1;
+                StepEvent::Lost { to, message, duplicated }
+            } else {
+                match self.delay {
+                    DelayModel::Immediate => {
+                        let (event, next) = self.deliver_hop(to, message);
+                        reply = next;
+                        event
+                    }
+                    DelayModel::UniformSteps { max } => {
+                        let deliver_at = self.now + self.rng.gen_range(1..=max);
+                        let bucket = (deliver_at % (max + 1)) as usize;
+                        self.ring[bucket].push((deliver_at, to, message));
+                        self.in_flight_count += 1;
+                        StepEvent::InFlight { to, message, duplicated, deliver_at }
+                    }
                 }
-                nth -= 1;
+            };
+            if let Some(out) = reports.as_deref_mut() {
+                out.push(StepReport {
+                    initiator: from,
+                    event,
+                    phase: StepPhase::Delivery,
+                    step: self.now,
+                });
             }
         }
-        unreachable!("an empty slot was counted but not found");
     }
 
     /// Drains every ring bucket whose delivery time has arrived, in
     /// increasing time order (matching the classic engine's
     /// `BTreeMap::pop_first` drain). The subscriber-free path costs one
     /// counter check when nothing is in flight.
-    fn deliver_due(&mut self, mut reports: Option<&mut Vec<StepReport>>) {
+    fn deliver_due(&mut self, mut reports: Option<&mut Vec<StepReport<B::Msg>>>) {
         if self.in_flight_count == 0 {
             self.drained_to = self.now;
             return;
@@ -610,20 +751,35 @@ impl<L: FaultModel> FlatSimulation<L> {
             // Swap the bucket out so deliveries can mutate the engine;
             // restore the (cleared) allocation afterward for reuse.
             let mut batch = std::mem::take(&mut self.ring[bucket]);
+            // Replies scheduled mid-drain can alias this residue to a
+            // later lap of the ring; only entries due exactly at `t`
+            // fire now (never the case for non-replying protocols).
+            if batch.iter().any(|&(at, _, _)| at != t) {
+                for &entry in batch.iter().filter(|&&(at, _, _)| at != t) {
+                    self.ring[bucket].push(entry);
+                }
+                batch.retain(|&(at, _, _)| at == t);
+            }
             self.in_flight_count -= batch.len();
-            for &(to, message) in &batch {
-                let event = self.deliver(to, message);
+            for &(_, to, message) in &batch {
+                let (event, reply) = self.deliver_hop(to, message);
                 if let Some(out) = reports.as_deref_mut() {
                     out.push(StepReport {
-                        initiator: message.sender,
+                        initiator: B::sender(&message),
                         event,
                         phase: StepPhase::Delivery,
                         step: self.now,
                     });
                 }
+                if reply.is_some() {
+                    self.process_replies(reply, reports.as_deref_mut());
+                }
             }
+            // Keep anything scheduled into this residue while the bucket
+            // was swapped out (delayed replies).
             batch.clear();
-            self.ring[bucket] = batch;
+            let late = std::mem::replace(&mut self.ring[bucket], batch);
+            self.ring[bucket].extend(late);
         }
         self.drained_to = self.now;
     }
@@ -642,25 +798,28 @@ impl<L: FaultModel> FlatSimulation<L> {
 
     /// Delivers every message still in flight (advancing virtual time past
     /// the last scheduled delivery), like
-    /// [`Simulation::settle`](crate::Simulation::settle).
+    /// [`Simulation::settle`](crate::Simulation::settle). Delivered
+    /// messages may themselves schedule delayed replies, so the drain
+    /// loops until the queue is dry (one pass for non-replying
+    /// protocols).
     pub fn settle(&mut self) {
-        if self.in_flight_count == 0 {
-            return;
-        }
-        let len = self.ring.len() as u64;
-        // Each residue holds at most one distinct scheduled time, all in
-        // `(drained_to, drained_to + len]`; find the latest occupied one.
-        let mut last = self.now;
-        for t in self.drained_to + 1..=self.drained_to + len {
-            if !self.ring[(t % len) as usize].is_empty() {
-                last = last.max(t);
+        while self.in_flight_count > 0 {
+            let len = self.ring.len() as u64;
+            // At rest each residue holds at most one distinct scheduled
+            // time, all in `(drained_to, drained_to + len]`; find the
+            // latest occupied one.
+            let mut last = self.now;
+            for t in self.drained_to + 1..=self.drained_to + len {
+                if !self.ring[(t % len) as usize].is_empty() {
+                    last = last.max(t);
+                }
             }
-        }
-        self.now = self.now.max(last);
-        if self.subscribers.is_empty() {
-            self.deliver_due(None);
-        } else {
-            self.deliver_due_observed();
+            self.now = self.now.max(last);
+            if self.subscribers.is_empty() {
+                self.deliver_due(None);
+            } else {
+                self.deliver_due_observed();
+            }
         }
     }
 
@@ -722,51 +881,48 @@ impl<L: FaultModel> FlatSimulation<L> {
         self
     }
 
-    /// Adds a new node bootstrapped with `d_L` ids copied from a random
-    /// position in `sponsor`'s view; RNG-equivalent to
-    /// [`Simulation::join_via`](crate::Simulation::join_via).
+    /// Adds a new node bootstrapped with ids copied from a random
+    /// position in `sponsor`'s view — the sample size and the eligible
+    /// (visible) slots are the behavior's choice; RNG-equivalent to
+    /// [`Simulation::join_via`](crate::Simulation::join_via) under the
+    /// default behavior.
     ///
     /// # Errors
     ///
     /// Returns [`JoinError::TooFewIds`] if the sponsor's view holds fewer
-    /// than `d_L` ids.
+    /// visible ids than the behavior's seed size.
     ///
     /// # Panics
     ///
     /// Panics if `sponsor` is not live.
     pub fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
-        let d_l = self.config.lower_threshold();
+        let want = self.behavior.join_seed_size(self.config);
         let k = self.dense_of(sponsor).expect("sponsor must be live");
         let base = k * self.s;
-        let mut pool: Vec<NodeId> = self.slot_ids[base..base + self.s]
-            .iter()
-            .filter(|&&raw| raw != EMPTY)
-            .map(|&raw| NodeId::new(raw))
+        let mut pool: Vec<NodeId> = (0..self.s)
+            .filter(|&off| {
+                self.slot_ids[base + off] != EMPTY && B::slot_visible(self.slot_flags[base + off])
+            })
+            .map(|off| NodeId::new(self.slot_ids[base + off]))
             .collect();
-        if pool.len() < d_l {
-            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l });
+        if pool.len() < want {
+            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l: want });
         }
         pool.shuffle(&mut self.rng);
-        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(want).collect();
         self.join_with(&bootstrap)
     }
 
     /// Adds a new node bootstrapped with the given ids (tagged dependent,
-    /// filled in slot order — exactly like [`SfNode::with_view`]).
+    /// filled in slot order — exactly like [`SfNode::with_view`] under
+    /// the default behavior; other behaviors validate through
+    /// [`ProtocolBehavior::validate_bootstrap`]).
     ///
     /// # Errors
     ///
-    /// Returns the same [`JoinError`]s as [`SfNode::with_view`].
+    /// Returns the behavior's [`JoinError`]s.
     pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
-        if bootstrap.len() < self.d_l {
-            return Err(JoinError::TooFewIds { supplied: bootstrap.len(), d_l: self.d_l });
-        }
-        if bootstrap.len() > self.s {
-            return Err(JoinError::TooManyIds { supplied: bootstrap.len(), s: self.s });
-        }
-        if !bootstrap.len().is_multiple_of(2) {
-            return Err(JoinError::OddIdCount { supplied: bootstrap.len() });
-        }
+        self.behavior.validate_bootstrap(self.config, bootstrap.len())?;
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
         let k = self.dense_id.len();
@@ -774,12 +930,12 @@ impl<L: FaultModel> FlatSimulation<L> {
         assert!(dense != DEAD, "dense index space exhausted");
         let base = self.slot_ids.len();
         self.slot_ids.resize(base + self.s, EMPTY);
-        self.slot_dep.resize(base + self.s, false);
+        self.slot_flags.resize(base + self.s, 0);
         for (off, b) in bootstrap.iter().enumerate() {
             self.slot_ids[base + off] = b.as_u64();
-            self.slot_dep[base + off] = true;
+            self.slot_flags[base + off] = FLAG_DEPENDENT;
         }
-        self.degree.push(bootstrap.len() as u32);
+        self.degree.push(u32::try_from(bootstrap.len()).expect("bootstrap exceeds u32"));
         self.node_stats.push(NodeStats::new());
         self.dense_id.push(id);
         let raw = id.index();
@@ -804,7 +960,7 @@ impl<L: FaultModel> FlatSimulation<L> {
         Some(node)
     }
 
-    /// Total multiplicity of `id` across all live views.
+    /// Total multiplicity of `id` across all live, visible slots.
     #[must_use]
     pub fn count_id_instances(&self, id: NodeId) -> usize {
         let raw = id.as_u64();
@@ -812,21 +968,28 @@ impl<L: FaultModel> FlatSimulation<L> {
             .iter()
             .map(|&lid| {
                 let base = (self.index[lid.index()] as usize) * self.s;
-                self.slot_ids[base..base + self.s].iter().filter(|&&x| x == raw).count()
+                (0..self.s)
+                    .filter(|&off| {
+                        self.slot_ids[base + off] == raw
+                            && B::slot_visible(self.slot_flags[base + off])
+                    })
+                    .count()
             })
             .sum()
     }
 
     /// Snapshots the membership graph (live order, like the classic
-    /// engine's snapshot).
+    /// engine's snapshot; tombstoned slots are invisible).
     #[must_use]
     pub fn graph(&self) -> MembershipGraph {
         MembershipGraph::from_views(self.live.iter().map(|&id| {
             let base = (self.index[id.index()] as usize) * self.s;
-            let targets: Vec<NodeId> = self.slot_ids[base..base + self.s]
-                .iter()
-                .filter(|&&raw| raw != EMPTY)
-                .map(|&raw| NodeId::new(raw))
+            let targets: Vec<NodeId> = (0..self.s)
+                .filter(|&off| {
+                    self.slot_ids[base + off] != EMPTY
+                        && B::slot_visible(self.slot_flags[base + off])
+                })
+                .map(|off| NodeId::new(self.slot_ids[base + off]))
                 .collect();
             (id, targets)
         }))
@@ -839,6 +1002,79 @@ impl<L: FaultModel> FlatSimulation<L> {
     pub fn dependence(&self) -> DependenceReport {
         let nodes = self.to_nodes();
         DependenceReport::measure(nodes.iter())
+    }
+}
+
+impl<L: FaultModel, B: ProtocolBehavior> crate::traits::Engine for FlatSimulation<L, B> {
+    type Msg = B::Msg;
+    type Fault = L;
+
+    fn len(&self) -> usize {
+        Self::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        Self::live_ids(self).to_vec()
+    }
+
+    fn config(&self) -> SfConfig {
+        Self::config(self)
+    }
+
+    fn stats(&self) -> SimStats {
+        *Self::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Self::reset_stats(self);
+    }
+
+    fn aggregate_node_stats(&self) -> NodeStats {
+        Self::aggregate_node_stats(self)
+    }
+
+    fn round(&mut self) {
+        Self::round(self);
+    }
+
+    fn rounds_run(&self) -> u64 {
+        Self::rounds_run(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        Self::in_flight(self)
+    }
+
+    fn settle(&mut self) {
+        Self::settle(self);
+    }
+
+    fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        Self::join_via(self, sponsor)
+    }
+
+    fn leave(&mut self, id: NodeId) -> bool {
+        Self::leave(self, id).is_some()
+    }
+
+    fn out_degree_of(&self, id: NodeId) -> Option<usize> {
+        Self::out_degree_of(self, id)
+    }
+
+    fn count_id_instances(&self, id: NodeId) -> usize {
+        Self::count_id_instances(self, id)
+    }
+
+    fn graph(&self) -> MembershipGraph {
+        Self::graph(self)
+    }
+
+    fn update_fault(&mut self, f: impl FnMut(&mut L)) {
+        Self::update_fault(self, f);
+    }
+
+    fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<B::Msg>>) {
+        Self::subscribe(self, subscriber);
     }
 }
 
@@ -1138,5 +1374,24 @@ mod tests {
         let too_many: Vec<NodeId> = (0..14).map(NodeId::new).collect();
         assert_eq!(sim.join_with(&too_many), Err(JoinError::TooManyIds { supplied: 14, s: 12 }));
         assert!(sim.join_with(&(0..4).map(NodeId::new).collect::<Vec<_>>()).is_ok());
+    }
+
+    #[test]
+    fn from_views_builds_a_runnable_zoo_arena() {
+        let n = 12u64;
+        let views: Vec<(NodeId, Vec<NodeId>)> = (0..n)
+            .map(|i| (NodeId::new(i), vec![NodeId::new((i + 1) % n), NodeId::new((i + 2) % n)]))
+            .collect();
+        // S&F itself through the generic constructor: d_l = 4 > initial
+        // degree 2, so every node starts in the duplication regime.
+        let mut sim =
+            FlatSimulation::from_views(SfBehavior, config(), views, UniformLoss::none(), 9);
+        assert_eq!(sim.len(), 12);
+        assert_eq!(sim.out_degree_of(NodeId::new(0)), Some(2));
+        sim.run_rounds(20);
+        let s = sim.stats();
+        assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+        assert_eq!(s.replies, 0, "S&F never replies");
+        assert!(sim.graph().is_weakly_connected());
     }
 }

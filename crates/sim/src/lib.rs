@@ -40,6 +40,7 @@ pub mod observer;
 mod par;
 pub mod telemetry;
 pub mod topology;
+mod traits;
 
 pub use engine::{
     DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,
@@ -52,3 +53,7 @@ pub use flat::FlatSimulation;
 pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLoss};
 pub use par::ParSimulation;
 pub use telemetry::SimRecorder;
+pub use traits::{
+    Engine, IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, EMPTY_SLOT, FLAG_DEPENDENT,
+    FLAG_TOMBSTONE, MAX_REPLY_CHAIN,
+};

@@ -28,7 +28,12 @@
 //!    dead letters are counted sequentially, and the surviving messages
 //!    are partitioned by receiver shard and applied concurrently, each
 //!    receive drawing from a per-message RNG derived from
-//!    `(seed, deliver_time, bucket position)`.
+//!    `(seed, deliver_time, bucket position)`. Replies produced by a
+//!    [`ProtocolBehavior`] receive (push-pull, shuffle — never S&F) are
+//!    collected in bucket order and routed sequentially afterwards, in
+//!    waves, each hop drawing from its own
+//!    `(seed, deliver_time, wave, bucket position)` stream — so the reply
+//!    traffic is thread-count-independent too.
 //!
 //! # A distinct — but valid — statistical mode
 //!
@@ -46,6 +51,12 @@
 //! duplication/deletion/loss rates — agree with the sequential engines
 //! within sampling error; `crates/bench/tests/par_statistics.rs` checks
 //! this against the classic engine at matched parameters.
+//!
+//! Like the flat engine, `ParSimulation` is generic over a
+//! [`ProtocolBehavior`] (defaulting to [`SfBehavior`], the paper's S&F
+//! protocol), which is how the baseline and variant protocol zoos reach
+//! round-based multi-core scale; see the [`crate::traits`] module docs for
+//! the byte-identity and draw-order contracts.
 //!
 //! ```
 //! use sandf_core::SfConfig;
@@ -66,15 +77,16 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sandf_core::{Entry, JoinError, LocalView, Message, NodeId, NodeStats, SfConfig, SfNode};
+use sandf_core::{Entry, JoinError, LocalView, NodeId, NodeStats, SfConfig, SfNode};
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, GaugeHandle, HistogramHandle, MetricsRegistry, SpanTimer};
 
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
 use crate::fault::{FaultCtx, FaultModel};
+use crate::traits::{ProtocolBehavior, SfBehavior, SlotView, FLAG_DEPENDENT, MAX_REPLY_CHAIN};
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
-const EMPTY: u64 = u64::MAX;
+const EMPTY: u64 = crate::traits::EMPTY_SLOT;
 
 /// "Not live" sentinel in the id → dense-index table.
 const DEAD: u32 = u32::MAX;
@@ -124,6 +136,15 @@ fn delivery_seed(seed: u64, at: u64, pos: u64) -> u64 {
     stream_seed(seed, b'd', at, pos)
 }
 
+/// The RNG stream of the reply hop in `wave` (1-based) descending from
+/// sorted bucket position `pos` of the bucket delivered at `at`: tag
+/// `b'r'`. `at·16 + wave` is injective because the wave counter is capped
+/// at [`MAX_REPLY_CHAIN`] `< 16`.
+#[inline]
+fn reply_seed(seed: u64, at: u64, wave: u64, pos: u64) -> u64 {
+    stream_seed(seed, b'r', at * 16 + wave, pos)
+}
+
 /// The control-plane RNG stream (sponsor-view shuffles in
 /// [`ParSimulation::join_via`]): tag `b'c'`.
 #[inline]
@@ -136,6 +157,7 @@ fn merge_stats(total: &mut SimStats, delta: &SimStats) {
     total.actions += delta.actions;
     total.self_loops += delta.self_loops;
     total.sent += delta.sent;
+    total.replies += delta.replies;
     total.lost += delta.lost;
     total.dead_letters += delta.dead_letters;
     total.stored += delta.stored;
@@ -158,7 +180,7 @@ struct ParProfile {
 #[derive(Clone, Copy)]
 struct ActionCtx<'a> {
     s: usize,
-    d_l: usize,
+    config: SfConfig,
     seed: u64,
     round: u64,
     delay: DelayModel,
@@ -168,19 +190,20 @@ struct ActionCtx<'a> {
 }
 
 /// What one action-phase shard worker produced.
-struct ActionShardOut {
+struct ActionShardOut<M> {
     stats: SimStats,
     live: u64,
     /// Outbound messages as `(deliver_round, to, message)`, in dense order.
-    sends: Vec<(u64, NodeId, Message)>,
+    sends: Vec<(u64, NodeId, M)>,
     /// Action reports in dense order (`step` assigned during the merge).
-    reports: Vec<StepReport>,
+    reports: Vec<StepReport<M>>,
 }
 
 /// Read-only context shared by all delivery-phase shard workers.
 #[derive(Clone, Copy)]
 struct DeliveryCtx {
     s: usize,
+    config: SfConfig,
     seed: u64,
     /// The delivery time of the drained bucket.
     at: u64,
@@ -193,20 +216,28 @@ struct DeliveryCtx {
 /// position (drives the per-message RNG stream and the report order), the
 /// receiver's dense index and id, and the message itself.
 #[derive(Clone, Copy)]
-struct RoutedMessage {
+struct RoutedMessage<M> {
     pos: usize,
     dense: usize,
     to: NodeId,
-    message: Message,
+    message: M,
 }
 
 /// What one delivery-phase shard worker produced.
-#[derive(Default)]
-struct DeliveryShardOut {
+struct DeliveryShardOut<M> {
     stored: u64,
     deleted: u64,
     /// Delivery reports keyed by sorted bucket position.
-    reports: Vec<(usize, StepReport)>,
+    reports: Vec<(usize, StepReport<M>)>,
+    /// Replies the receives produced, keyed by sorted bucket position;
+    /// routed sequentially after the shards merge (empty for S&F).
+    replies: Vec<(usize, NodeId, M)>,
+}
+
+impl<M> Default for DeliveryShardOut<M> {
+    fn default() -> Self {
+        Self { stored: 0, deleted: 0, reports: Vec::new(), replies: Vec::new() }
+    }
 }
 
 /// The sharded, multi-threaded fast path of the simulation stack.
@@ -220,20 +251,24 @@ struct DeliveryShardOut {
 /// a distinct-but-valid statistical mode relative to
 /// [`Simulation`](crate::Simulation).
 ///
+/// The engine is generic over a [`ProtocolBehavior`] `B` (defaulting to
+/// [`SfBehavior`]); build zoo instances with
+/// [`from_views`](Self::from_views).
+///
 /// Under [`DelayModel::UniformSteps`] the bound is interpreted in
 /// *rounds*: each message arrives `1..=max` rounds after it was sent.
 /// Under [`DelayModel::Immediate`] messages are delivered in the same
 /// round's delivery phase (after every node has acted).
-pub struct ParSimulation<L> {
+pub struct ParSimulation<L, B: ProtocolBehavior = SfBehavior> {
     config: SfConfig,
     /// View size, cached out of `config` for the hot loops.
     s: usize,
-    /// Lower threshold, cached out of `config` for the hot loops.
-    d_l: usize,
+    /// The protocol executing over the arena.
+    behavior: B,
     /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
     slot_ids: Vec<u64>,
-    /// Dependence tags, parallel to `slot_ids` (meaningless on `EMPTY`).
-    slot_dep: Vec<bool>,
+    /// Per-slot flag bits, parallel to `slot_ids` (meaningless on `EMPTY`).
+    slot_flags: Vec<u8>,
     /// Outdegree ledger, indexed by dense node index.
     degree: Vec<u32>,
     /// Per-node event counters, indexed by dense node index.
@@ -258,7 +293,7 @@ pub struct ParSimulation<L> {
     step_counter: u64,
     /// Delivery ring: bucket `t % ring.len()` holds the messages due at
     /// round `t`. A single bucket in immediate mode.
-    ring: Vec<Vec<(NodeId, Message)>>,
+    ring: Vec<Vec<(NodeId, B::Msg)>>,
     /// Messages currently in flight across all ring buckets.
     in_flight_count: usize,
     seed: u64,
@@ -272,21 +307,21 @@ pub struct ParSimulation<L> {
     /// the perfectly balanced share (1.0 = balanced).
     last_imbalance: f64,
     /// Registered step-event observers (not carried across clones).
-    subscribers: Vec<Box<dyn StepSubscriber>>,
+    subscribers: Vec<Box<dyn StepSubscriber<B::Msg>>>,
     /// Per-phase span histograms, when a profiler is attached.
     profile: Option<ParProfile>,
 }
 
-impl<L: Clone> Clone for ParSimulation<L> {
+impl<L: Clone, B: ProtocolBehavior> Clone for ParSimulation<L, B> {
     /// Clones the simulation state. As with the other engines, subscribers
     /// are **not** cloned and an attached profiler is shared.
     fn clone(&self) -> Self {
         Self {
             config: self.config,
             s: self.s,
-            d_l: self.d_l,
+            behavior: self.behavior.clone(),
             slot_ids: self.slot_ids.clone(),
-            slot_dep: self.slot_dep.clone(),
+            slot_flags: self.slot_flags.clone(),
             degree: self.degree.clone(),
             node_stats: self.node_stats.clone(),
             dense_id: self.dense_id.clone(),
@@ -311,7 +346,7 @@ impl<L: Clone> Clone for ParSimulation<L> {
     }
 }
 
-impl<L: fmt::Debug> fmt::Debug for ParSimulation<L> {
+impl<L: fmt::Debug, B: ProtocolBehavior> fmt::Debug for ParSimulation<L, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ParSimulation")
             .field("config", &self.config)
@@ -328,9 +363,9 @@ impl<L: fmt::Debug> fmt::Debug for ParSimulation<L> {
     }
 }
 
-impl<L: FaultModel + Clone + Send> ParSimulation<L> {
-    /// Creates a sharded simulation over the given nodes. `threads` is the
-    /// number of contiguous arena shards processed concurrently; it
+impl<L: FaultModel + Clone + Send> ParSimulation<L, SfBehavior> {
+    /// Creates a sharded S&F simulation over the given nodes. `threads` is
+    /// the number of contiguous arena shards processed concurrently; it
     /// affects wall-clock only, never results.
     ///
     /// # Panics
@@ -340,7 +375,6 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
     /// is zero.
     #[must_use]
     pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
         assert!(!nodes.is_empty(), "simulation needs at least one node");
         let config = nodes[0].config();
         assert!(
@@ -350,38 +384,121 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         let s = config.view_size();
         let n = nodes.len();
         let dense_id: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
-        let next_id = dense_id.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
-        let max_raw = dense_id.iter().map(|id| id.index()).max().unwrap_or(0);
-        let mut index = vec![DEAD; max_raw + 1];
         let mut slot_ids = vec![EMPTY; n * s];
-        let mut slot_dep = vec![false; n * s];
+        let mut slot_flags = vec![0u8; n * s];
         let mut degree = vec![0u32; n];
         let mut node_stats = vec![NodeStats::new(); n];
         for (k, node) in nodes.iter().enumerate() {
-            let id = node.id();
-            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
-            assert!(index[id.index()] == DEAD, "duplicate node ids");
-            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
             let base = k * s;
             let mut deg = 0u32;
             for (off, slot) in node.view().slots().enumerate() {
                 if let Some(entry) = slot {
                     slot_ids[base + off] = entry.id.as_u64();
-                    slot_dep[base + off] = entry.dependent;
+                    slot_flags[base + off] = if entry.dependent { FLAG_DEPENDENT } else { 0 };
                     deg += 1;
                 }
             }
             degree[k] = deg;
             node_stats[k] = *node.stats();
         }
+        let mut sim = Self::from_arena(SfBehavior, config, dense_id, loss, seed, threads);
+        sim.slot_ids = slot_ids;
+        sim.slot_flags = slot_flags;
+        sim.degree = degree;
+        sim.node_stats = node_stats;
+        sim
+    }
+
+    /// Creates a sharded simulation with a message-delay model. Under
+    /// [`DelayModel::UniformSteps`] the bound `max` is interpreted in
+    /// **rounds** (the engine's time unit): each message arrives
+    /// `1..=max` rounds after the round that sent it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`new`](Self::new), or when the
+    /// delay bound is zero.
+    #[must_use]
+    pub fn with_delay(
+        nodes: Vec<SfNode>,
+        loss: L,
+        delay: DelayModel,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        Self::new(nodes, loss, seed, threads).delayed(delay)
+    }
+}
+
+impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
+    /// Creates a sharded simulation of an arbitrary [`ProtocolBehavior`]
+    /// from explicit initial views (each `(node, neighbors)` pair fills the
+    /// node's slots in order, untagged) — the zoo counterpart of
+    /// [`new`](Self::new), mirroring
+    /// [`FlatSimulation::from_views`](crate::FlatSimulation::from_views).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty, contains duplicate or reserved ids, a
+    /// view exceeds the configured view size, or `threads` is zero.
+    #[must_use]
+    pub fn from_views(
+        behavior: B,
+        config: SfConfig,
+        views: Vec<(NodeId, Vec<NodeId>)>,
+        loss: L,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(!views.is_empty(), "simulation needs at least one node");
+        let s = config.view_size();
+        let n = views.len();
+        let dense_id: Vec<NodeId> = views.iter().map(|(id, _)| *id).collect();
+        let mut slot_ids = vec![EMPTY; n * s];
+        let mut degree = vec![0u32; n];
+        for (k, (_, view)) in views.iter().enumerate() {
+            assert!(view.len() <= s, "initial view exceeds the view size");
+            let base = k * s;
+            for (off, entry) in view.iter().enumerate() {
+                slot_ids[base + off] = entry.as_u64();
+            }
+            degree[k] = u32::try_from(view.len()).expect("view size exceeds u32");
+        }
+        let mut sim = Self::from_arena(behavior, config, dense_id, loss, seed, threads);
+        sim.slot_ids = slot_ids;
+        sim.degree = degree;
+        sim
+    }
+
+    /// The shared constructor core: dense ledgers, id index, loss
+    /// channels. Slot contents are filled in by the public constructors.
+    fn from_arena(
+        behavior: B,
+        config: SfConfig,
+        dense_id: Vec<NodeId>,
+        loss: L,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        let s = config.view_size();
+        let n = dense_id.len();
+        let next_id = dense_id.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let max_raw = dense_id.iter().map(|id| id.index()).max().unwrap_or(0);
+        let mut index = vec![DEAD; max_raw + 1];
+        for (k, id) in dense_id.iter().enumerate() {
+            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
+            assert!(index[id.index()] == DEAD, "duplicate node ids");
+            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
+        }
         Self {
             config,
             s,
-            d_l: config.lower_threshold(),
-            slot_ids,
-            slot_dep,
-            degree,
-            node_stats,
+            behavior,
+            slot_ids: vec![EMPTY; n * s],
+            slot_flags: vec![0u8; n * s],
+            degree: vec![0u32; n],
+            node_stats: vec![NodeStats::new(); n],
             dense_id,
             index,
             live_count: n,
@@ -403,37 +520,31 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         }
     }
 
-    /// Creates a sharded simulation with a message-delay model. Under
-    /// [`DelayModel::UniformSteps`] the bound `max` is interpreted in
-    /// **rounds** (the engine's time unit): each message arrives
-    /// `1..=max` rounds after the round that sent it.
+    /// Installs a message-delay model on a freshly built simulation
+    /// (builder-style, shared by all constructors). Under
+    /// [`DelayModel::UniformSteps`] the bound is interpreted in rounds.
     ///
     /// # Panics
     ///
-    /// Panics on the same conditions as [`new`](Self::new), or when the
-    /// delay bound is zero.
+    /// Panics when called after the first round, or when the delay bound
+    /// is zero.
     #[must_use]
-    pub fn with_delay(
-        nodes: Vec<SfNode>,
-        loss: L,
-        delay: DelayModel,
-        seed: u64,
-        threads: usize,
-    ) -> Self {
-        let mut sim = Self::new(nodes, loss, seed, threads);
+    pub fn delayed(mut self, delay: DelayModel) -> Self {
+        assert!(self.round == 0, "the delay model must be installed before the first round");
         if let DelayModel::UniformSteps { max } = delay {
             assert!(max > 0, "delay bound must be positive");
             let buckets = usize::try_from(max + 1).expect("delay bound exceeds address space");
-            sim.ring = vec![Vec::new(); buckets];
+            self.ring = vec![Vec::new(); buckets];
         }
-        sim.delay = delay;
-        sim
+        self.delay = delay;
+        self
     }
 
     /// Registers a step-event observer. The report stream is itself
     /// deterministic and thread-count-independent: action reports arrive
-    /// in dense arena order, delivery reports in sorted bucket order.
-    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber>) {
+    /// in dense arena order, delivery reports in sorted bucket order,
+    /// reply reports in wave order.
+    pub fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<B::Msg>>) {
         self.subscribers.push(subscriber);
     }
 
@@ -460,7 +571,7 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
     /// subscriber-free path stays compact.
     #[cold]
     #[inline(never)]
-    fn notify(&mut self, report: &StepReport) {
+    fn notify(&mut self, report: &StepReport<B::Msg>) {
         let mut subs = std::mem::take(&mut self.subscribers);
         for sub in &mut subs {
             sub.on_step(report);
@@ -473,6 +584,12 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
     #[must_use]
     pub fn config(&self) -> SfConfig {
         self.config
+    }
+
+    /// The behavior executing over the arena.
+    #[must_use]
+    pub fn behavior(&self) -> &B {
+        &self.behavior
     }
 
     /// The configured shard/thread count.
@@ -596,6 +713,21 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         }
     }
 
+    /// Splits the engine into the disjoint parts a sequential behavior
+    /// callback needs: node `k`'s slot window and the behavior.
+    #[inline]
+    fn parts(&mut self, k: usize) -> (SlotView<'_>, &B) {
+        let base = k * self.s;
+        let view = SlotView {
+            id: self.dense_id[k],
+            ids: &mut self.slot_ids[base..base + self.s],
+            flags: &mut self.slot_flags[base..base + self.s],
+            degree: &mut self.degree[k],
+            stats: &mut self.node_stats[k],
+        };
+        (view, &self.behavior)
+    }
+
     /// A live node's outdegree, or `None` when departed.
     #[must_use]
     pub fn out_degree_of(&self, id: NodeId) -> Option<usize> {
@@ -618,7 +750,7 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
                 .map(|i| {
                     (self.slot_ids[i] != EMPTY).then(|| Entry {
                         id: NodeId::new(self.slot_ids[i]),
-                        dependent: self.slot_dep[i],
+                        dependent: self.slot_flags[i] & FLAG_DEPENDENT != 0,
                     })
                 })
                 .collect(),
@@ -652,7 +784,7 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
             let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.action));
             let ctx = ActionCtx {
                 s: self.s,
-                d_l: self.d_l,
+                config: self.config,
                 seed: self.seed,
                 round,
                 delay: self.delay,
@@ -660,26 +792,46 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
                 index: &self.index,
                 observed,
             };
+            let behavior = &self.behavior;
             let shards = self
                 .slot_ids
                 .chunks_mut(shard_len * self.s)
+                .zip(self.slot_flags.chunks_mut(shard_len * self.s))
                 .zip(self.degree.chunks_mut(shard_len))
                 .zip(self.node_stats.chunks_mut(shard_len))
                 .zip(self.loss.chunks_mut(shard_len));
             if threads == 1 {
                 shards
                     .enumerate()
-                    .map(|(j, (((slots, degs), nstats), losses))| {
-                        run_action_shard(ctx, j * shard_len, slots, degs, nstats, losses)
+                    .map(|(j, ((((slots, flags), degs), nstats), losses))| {
+                        run_action_shard(
+                            ctx,
+                            behavior,
+                            j * shard_len,
+                            slots,
+                            flags,
+                            degs,
+                            nstats,
+                            losses,
+                        )
                     })
                     .collect::<Vec<_>>()
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .enumerate()
-                        .map(|(j, (((slots, degs), nstats), losses))| {
+                        .map(|(j, ((((slots, flags), degs), nstats), losses))| {
                             scope.spawn(move || {
-                                run_action_shard(ctx, j * shard_len, slots, degs, nstats, losses)
+                                run_action_shard(
+                                    ctx,
+                                    behavior,
+                                    j * shard_len,
+                                    slots,
+                                    flags,
+                                    degs,
+                                    nstats,
+                                    losses,
+                                )
                             })
                         })
                         .collect();
@@ -704,7 +856,7 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         }
 
         // --- Phase 2: deterministic merge, in shard (= dense) order. ---
-        let mut action_reports: Vec<StepReport> = Vec::new();
+        let mut action_reports: Vec<StepReport<B::Msg>> = Vec::new();
         {
             let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.merge));
             let ring_len = self.ring.len() as u64;
@@ -743,8 +895,8 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
 
     /// Drains the ring bucket due at time `at`: stably orders it by
     /// `(deliver_time, sender, slot)` (see the module docs), counts dead
-    /// letters sequentially, and applies the surviving receives in
-    /// parallel per receiver shard.
+    /// letters sequentially, applies the surviving receives in parallel
+    /// per receiver shard, then routes any replies sequentially in waves.
     fn deliver_bucket(&mut self, at: u64, shard_len: usize, threads: usize, end_step: u64) {
         let bucket = (at % self.ring.len() as u64) as usize;
         if self.ring[bucket].is_empty() {
@@ -757,13 +909,13 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         // realizes the (deliver_time, sender, slot) order with send-round
         // ties resolved by insertion order — which the merge phase made
         // thread-count-independent.
-        batch.sort_by_key(|&(_, message)| message.sender);
+        batch.sort_by_key(|(_, message)| B::sender(message));
         let observed = !self.subscribers.is_empty();
 
         // Route to receiver shards; count dead letters in bucket order.
         let shard_count = self.dense_id.len().div_ceil(shard_len);
-        let mut per_shard: Vec<Vec<RoutedMessage>> = vec![Vec::new(); shard_count];
-        let mut reports: Vec<(usize, StepReport)> = Vec::new();
+        let mut per_shard: Vec<Vec<RoutedMessage<B::Msg>>> = vec![Vec::new(); shard_count];
+        let mut reports: Vec<(usize, StepReport<B::Msg>)> = Vec::new();
         for (pos, &(to, message)) in batch.iter().enumerate() {
             match self.dense_of(to) {
                 None => {
@@ -772,11 +924,11 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
                         reports.push((
                             pos,
                             StepReport {
-                                initiator: message.sender,
+                                initiator: B::sender(&message),
                                 event: StepEvent::DeadLetter {
                                     to,
                                     message,
-                                    duplicated: message.dependent,
+                                    duplicated: B::duplicated(&message),
                                 },
                                 phase: StepPhase::Delivery,
                                 step: end_step,
@@ -790,28 +942,48 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
             }
         }
 
-        let ctx = DeliveryCtx { s: self.s, seed: self.seed, at, end_step, observed };
+        let ctx =
+            DeliveryCtx { s: self.s, config: self.config, seed: self.seed, at, end_step, observed };
+        let behavior = &self.behavior;
         let shards = self
             .slot_ids
             .chunks_mut(shard_len * self.s)
-            .zip(self.slot_dep.chunks_mut(shard_len * self.s))
+            .zip(self.slot_flags.chunks_mut(shard_len * self.s))
             .zip(self.degree.chunks_mut(shard_len))
             .zip(self.node_stats.chunks_mut(shard_len))
             .zip(per_shard.iter());
         let outs = if threads == 1 {
             shards
                 .enumerate()
-                .map(|(j, ((((slots, deps), degs), nstats), items))| {
-                    run_delivery_shard(ctx, j * shard_len, slots, deps, degs, nstats, items)
+                .map(|(j, ((((slots, flags), degs), nstats), items))| {
+                    run_delivery_shard(
+                        ctx,
+                        behavior,
+                        j * shard_len,
+                        slots,
+                        flags,
+                        degs,
+                        nstats,
+                        items,
+                    )
                 })
                 .collect::<Vec<_>>()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .enumerate()
-                    .map(|(j, ((((slots, deps), degs), nstats), items))| {
+                    .map(|(j, ((((slots, flags), degs), nstats), items))| {
                         scope.spawn(move || {
-                            run_delivery_shard(ctx, j * shard_len, slots, deps, degs, nstats, items)
+                            run_delivery_shard(
+                                ctx,
+                                behavior,
+                                j * shard_len,
+                                slots,
+                                flags,
+                                degs,
+                                nstats,
+                                items,
+                            )
                         })
                     })
                     .collect();
@@ -821,12 +993,14 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
                     .collect::<Vec<_>>()
             })
         };
+        let mut replies: Vec<(usize, NodeId, B::Msg)> = Vec::new();
         for out in outs {
             self.stats.stored += out.stored;
             self.stats.deleted += out.deleted;
             if observed {
                 reports.extend(out.reports);
             }
+            replies.extend(out.replies);
         }
         if observed {
             reports.sort_by_key(|&(pos, _)| pos);
@@ -836,11 +1010,120 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
             }
         }
         batch.clear();
+        // Restore the allocation before routing replies: delayed replies
+        // land `1..=max` rounds later, never back in this bucket (the ring
+        // has `max + 1` buckets).
         self.ring[bucket] = batch;
+        if !replies.is_empty() {
+            replies.sort_by_key(|&(pos, _, _)| pos);
+            self.process_reply_waves(replies, at, end_step);
+        }
     }
 
-    /// Delivers every message still in flight, draining the remaining ring
-    /// buckets in delivery-time order (without executing further actions).
+    /// Routes the replies a drained bucket produced, sequentially and in
+    /// waves: wave `w` holds the replies triggered by wave `w − 1` (wave 0
+    /// being the parallel bucket delivery), each hop drawing loss and
+    /// placement from its private `(seed, at, wave, pos)` stream — so the
+    /// whole cascade is thread-count-independent. Chains stop after
+    /// [`MAX_REPLY_CHAIN`] waves (excess replies dropped uncounted, like
+    /// the flat engine's cap). Out of line — S&F never replies.
+    #[cold]
+    #[inline(never)]
+    fn process_reply_waves(
+        &mut self,
+        mut pending: Vec<(usize, NodeId, B::Msg)>,
+        at: u64,
+        end_step: u64,
+    ) {
+        let observed = !self.subscribers.is_empty();
+        let mut wave: u64 = 0;
+        while !pending.is_empty() {
+            wave += 1;
+            if wave > MAX_REPLY_CHAIN as u64 {
+                break;
+            }
+            let mut next: Vec<(usize, NodeId, B::Msg)> = Vec::new();
+            for (pos, to, message) in std::mem::take(&mut pending) {
+                let from = B::sender(&message);
+                let duplicated = B::duplicated(&message);
+                self.stats.sent += 1;
+                self.stats.replies += 1;
+                if duplicated {
+                    self.stats.duplications += 1;
+                }
+                let mut rng = StdRng::seed_from_u64(reply_seed(self.seed, at, wave, pos as u64));
+                let fctx = FaultCtx { from, to, round: self.round };
+                let dropped = match self.dense_of(from) {
+                    Some(k) => self.loss[k].drops(fctx, &mut rng),
+                    // The replier departed between hops (possible only
+                    // through an exotic behavior); fall back to the
+                    // prototype channel.
+                    None => self.loss_proto.drops(fctx, &mut rng),
+                };
+                let event = if dropped {
+                    self.stats.lost += 1;
+                    StepEvent::Lost { to, message, duplicated }
+                } else {
+                    match self.delay {
+                        DelayModel::Immediate => match self.dense_of(to) {
+                            None => {
+                                self.stats.dead_letters += 1;
+                                StepEvent::DeadLetter { to, message, duplicated }
+                            }
+                            Some(k) => {
+                                let config = self.config;
+                                let receipt = {
+                                    let (view, behavior) = self.parts(k);
+                                    behavior.receive(config, view, message, &mut rng)
+                                };
+                                if receipt.deleted {
+                                    self.stats.deleted += 1;
+                                } else {
+                                    self.stats.stored += 1;
+                                }
+                                if let Some((reply_to, reply_msg)) = receipt.reply {
+                                    next.push((pos, reply_to, reply_msg));
+                                }
+                                StepEvent::Delivered {
+                                    to,
+                                    message,
+                                    duplicated,
+                                    deleted: receipt.deleted,
+                                }
+                            }
+                        },
+                        DelayModel::UniformSteps { max } => {
+                            let deliver_round = at + rng.gen_range(1..=max);
+                            let bucket = (deliver_round % self.ring.len() as u64) as usize;
+                            self.ring[bucket].push((to, message));
+                            self.in_flight_count += 1;
+                            StepEvent::InFlight {
+                                to,
+                                message,
+                                duplicated,
+                                deliver_at: deliver_round,
+                            }
+                        }
+                    }
+                };
+                if observed {
+                    let report = StepReport {
+                        initiator: from,
+                        event,
+                        phase: StepPhase::Delivery,
+                        step: end_step,
+                    };
+                    self.notify(&report);
+                }
+            }
+            pending = next;
+        }
+    }
+
+    /// Delivers every message still in flight, draining buckets in
+    /// increasing delivery-time order (without executing further actions)
+    /// until the ring is empty — replies scheduled mid-drain extend the
+    /// sweep.
     pub fn settle(&mut self) {
         if self.in_flight_count == 0 {
             return;
@@ -851,9 +1134,12 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         let end_step = self.step_counter;
         // Pending deliveries all lie in [round, round + ring.len()): sends
         // from round r target r..=r+max and the last executed round was
-        // round − 1.
-        for offset in 0..self.ring.len() as u64 {
-            self.deliver_bucket(self.round + offset, shard_len, threads, end_step);
+        // round − 1. Draining in increasing time order keeps that window
+        // invariant even when replies push messages further out.
+        let mut at = self.round;
+        while self.in_flight_count > 0 {
+            self.deliver_bucket(at, shard_len, threads, end_step);
+            at += 1;
         }
     }
 
@@ -875,52 +1161,50 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         self
     }
 
-    /// Adds a new node bootstrapped with `d_L` ids copied from a random
-    /// position in `sponsor`'s view. The shuffle draws from the engine's
-    /// dedicated control-plane RNG stream, so churn schedules stay
-    /// deterministic and thread-count-independent.
+    /// Adds a new node bootstrapped with ids copied from a random
+    /// position in `sponsor`'s view (the behavior's
+    /// [`join_seed_size`](ProtocolBehavior::join_seed_size) many; `d_L`
+    /// for S&F). The shuffle draws from the engine's dedicated
+    /// control-plane RNG stream, so churn schedules stay deterministic and
+    /// thread-count-independent.
     ///
     /// # Errors
     ///
     /// Returns [`JoinError::TooFewIds`] if the sponsor's view holds fewer
-    /// than `d_L` ids.
+    /// visible ids than the seed size.
     ///
     /// # Panics
     ///
     /// Panics if `sponsor` is not live.
     pub fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
-        let d_l = self.config.lower_threshold();
+        let want = self.behavior.join_seed_size(self.config);
         let k = self.dense_of(sponsor).expect("sponsor must be live");
         let base = k * self.s;
-        let mut pool: Vec<NodeId> = self.slot_ids[base..base + self.s]
-            .iter()
-            .filter(|&&raw| raw != EMPTY)
-            .map(|&raw| NodeId::new(raw))
+        let mut pool: Vec<NodeId> = (0..self.s)
+            .filter(|&off| {
+                self.slot_ids[base + off] != EMPTY && B::slot_visible(self.slot_flags[base + off])
+            })
+            .map(|off| NodeId::new(self.slot_ids[base + off]))
             .collect();
-        if pool.len() < d_l {
-            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l });
+        if pool.len() < want {
+            return Err(JoinError::TooFewIds { supplied: pool.len(), d_l: want });
         }
         pool.shuffle(&mut self.ctl_rng);
-        let bootstrap: Vec<NodeId> = pool.into_iter().take(d_l).collect();
+        let bootstrap: Vec<NodeId> = pool.into_iter().take(want).collect();
         self.join_with(&bootstrap)
     }
 
     /// Adds a new node bootstrapped with the given ids (tagged dependent,
-    /// filled in slot order — exactly like [`SfNode::with_view`]).
+    /// filled in slot order — exactly like [`SfNode::with_view`] for the
+    /// S&F behavior; other behaviors validate with their own
+    /// [`validate_bootstrap`](ProtocolBehavior::validate_bootstrap)).
     ///
     /// # Errors
     ///
-    /// Returns the same [`JoinError`]s as [`SfNode::with_view`].
+    /// Returns the [`JoinError`] the behavior's bootstrap validation
+    /// produces.
     pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
-        if bootstrap.len() < self.d_l {
-            return Err(JoinError::TooFewIds { supplied: bootstrap.len(), d_l: self.d_l });
-        }
-        if bootstrap.len() > self.s {
-            return Err(JoinError::TooManyIds { supplied: bootstrap.len(), s: self.s });
-        }
-        if !bootstrap.len().is_multiple_of(2) {
-            return Err(JoinError::OddIdCount { supplied: bootstrap.len() });
-        }
+        self.behavior.validate_bootstrap(self.config, bootstrap.len())?;
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
         let k = self.dense_id.len();
@@ -928,10 +1212,10 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         assert!(dense != DEAD, "dense index space exhausted");
         let base = self.slot_ids.len();
         self.slot_ids.resize(base + self.s, EMPTY);
-        self.slot_dep.resize(base + self.s, false);
+        self.slot_flags.resize(base + self.s, 0);
         for (off, b) in bootstrap.iter().enumerate() {
             self.slot_ids[base + off] = b.as_u64();
-            self.slot_dep[base + off] = true;
+            self.slot_flags[base + off] = FLAG_DEPENDENT;
         }
         self.degree.push(bootstrap.len() as u32);
         self.node_stats.push(NodeStats::new());
@@ -957,27 +1241,35 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
         Some(node)
     }
 
-    /// Total multiplicity of `id` across all live views.
+    /// Total multiplicity of `id` across all live, behavior-visible slots.
     #[must_use]
     pub fn count_id_instances(&self, id: NodeId) -> usize {
         let raw = id.as_u64();
         self.live_dense()
             .map(|k| {
                 let base = k * self.s;
-                self.slot_ids[base..base + self.s].iter().filter(|&&x| x == raw).count()
+                (0..self.s)
+                    .filter(|&off| {
+                        self.slot_ids[base + off] == raw
+                            && B::slot_visible(self.slot_flags[base + off])
+                    })
+                    .count()
             })
             .sum()
     }
 
-    /// Snapshots the membership graph (dense arena order).
+    /// Snapshots the membership graph (dense arena order, behavior-visible
+    /// slots only).
     #[must_use]
     pub fn graph(&self) -> MembershipGraph {
         MembershipGraph::from_views(self.live_dense().map(|k| {
             let base = k * self.s;
-            let targets: Vec<NodeId> = self.slot_ids[base..base + self.s]
-                .iter()
-                .filter(|&&raw| raw != EMPTY)
-                .map(|&raw| NodeId::new(raw))
+            let targets: Vec<NodeId> = (0..self.s)
+                .filter(|&off| {
+                    self.slot_ids[base + off] != EMPTY
+                        && B::slot_visible(self.slot_flags[base + off])
+                })
+                .map(|off| NodeId::new(self.slot_ids[base + off]))
                 .collect();
             (self.dense_id[k], targets)
         }))
@@ -993,19 +1285,97 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L> {
     }
 }
 
+impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> crate::traits::Engine
+    for ParSimulation<L, B>
+{
+    type Msg = B::Msg;
+    type Fault = L;
+
+    fn len(&self) -> usize {
+        Self::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        Self::live_ids(self)
+    }
+
+    fn config(&self) -> SfConfig {
+        Self::config(self)
+    }
+
+    fn stats(&self) -> SimStats {
+        *Self::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Self::reset_stats(self);
+    }
+
+    fn aggregate_node_stats(&self) -> NodeStats {
+        Self::aggregate_node_stats(self)
+    }
+
+    fn round(&mut self) {
+        Self::round(self);
+    }
+
+    fn rounds_run(&self) -> u64 {
+        Self::rounds_run(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        Self::in_flight(self)
+    }
+
+    fn settle(&mut self) {
+        Self::settle(self);
+    }
+
+    fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        Self::join_via(self, sponsor)
+    }
+
+    fn leave(&mut self, id: NodeId) -> bool {
+        Self::leave(self, id).is_some()
+    }
+
+    fn out_degree_of(&self, id: NodeId) -> Option<usize> {
+        Self::out_degree_of(self, id)
+    }
+
+    fn count_id_instances(&self, id: NodeId) -> usize {
+        Self::count_id_instances(self, id)
+    }
+
+    fn graph(&self) -> MembershipGraph {
+        Self::graph(self)
+    }
+
+    fn update_fault(&mut self, f: impl FnMut(&mut L)) {
+        Self::update_fault(self, f);
+    }
+
+    fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<B::Msg>>) {
+        Self::subscribe(self, subscriber);
+    }
+}
+
 /// Executes the action phase over one shard: every live node in the dense
 /// range `[lo, lo + degs.len())` initiates once with its private
 /// per-`(seed, node, round)` RNG stream. All slices are the shard's window
 /// into the global arrays; `ctx.dense_id`/`ctx.index` stay global (shared,
 /// read-only).
-fn run_action_shard<L: FaultModel>(
+#[allow(clippy::too_many_arguments)]
+fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
     ctx: ActionCtx<'_>,
+    behavior: &B,
     lo: usize,
     slots: &mut [u64],
+    flags: &mut [u8],
     degs: &mut [u32],
     nstats: &mut [NodeStats],
     losses: &mut [L],
-) -> ActionShardOut {
+) -> ActionShardOut<B::Msg> {
     let s = ctx.s;
     let mut out = ActionShardOut {
         stats: SimStats::default(),
@@ -1035,47 +1405,38 @@ fn run_action_shard<L: FaultModel>(
             continue;
         }
         out.stats.actions += 1;
-        nstats[r].initiated += 1;
         let mut rng = StdRng::seed_from_u64(action_seed(ctx.seed, id.as_u64(), ctx.round));
-        // Identical draw structure to SfNode::initiate / FlatSimulation:
-        // slot i uniform in 0..s, slot j uniform among the other s−1.
-        let i = rng.gen_range(0..s);
-        let mut j = rng.gen_range(0..s - 1);
-        if j >= i {
-            j += 1;
-        }
         let base = r * s;
-        let target = slots[base + i];
-        let payload = slots[base + j];
-        let event = if target == EMPTY || payload == EMPTY {
-            out.stats.self_loops += 1;
-            nstats[r].self_loops += 1;
-            StepEvent::SelfLoop
-        } else {
-            let duplicated = (degs[r] as usize) <= ctx.d_l;
-            if duplicated {
-                out.stats.duplications += 1;
-                nstats[r].duplications += 1;
-            } else {
-                slots[base + i] = EMPTY;
-                slots[base + j] = EMPTY;
-                degs[r] -= 2;
+        let view = SlotView {
+            id,
+            ids: &mut slots[base..base + s],
+            flags: &mut flags[base..base + s],
+            degree: &mut degs[r],
+            stats: &mut nstats[r],
+        };
+        let event = match behavior.initiate(ctx.config, view, &mut rng) {
+            None => {
+                out.stats.self_loops += 1;
+                StepEvent::SelfLoop
             }
-            out.stats.sent += 1;
-            nstats[r].sent += 1;
-            let to = NodeId::new(target);
-            let message = Message::new(id, NodeId::new(payload), duplicated);
-            let fctx = FaultCtx { from: id, to, round: ctx.round };
-            if losses[r].drops(fctx, &mut rng) {
-                out.stats.lost += 1;
-                StepEvent::Lost { to, message, duplicated }
-            } else {
-                let deliver_round = match ctx.delay {
-                    DelayModel::Immediate => ctx.round,
-                    DelayModel::UniformSteps { max } => ctx.round + rng.gen_range(1..=max),
-                };
-                out.sends.push((deliver_round, to, message));
-                StepEvent::InFlight { to, message, duplicated, deliver_at: deliver_round }
+            Some((to, message)) => {
+                let duplicated = B::duplicated(&message);
+                if duplicated {
+                    out.stats.duplications += 1;
+                }
+                out.stats.sent += 1;
+                let fctx = FaultCtx { from: id, to, round: ctx.round };
+                if losses[r].drops(fctx, &mut rng) {
+                    out.stats.lost += 1;
+                    StepEvent::Lost { to, message, duplicated }
+                } else {
+                    let deliver_round = match ctx.delay {
+                        DelayModel::Immediate => ctx.round,
+                        DelayModel::UniformSteps { max } => ctx.round + rng.gen_range(1..=max),
+                    };
+                    out.sends.push((deliver_round, to, message));
+                    StepEvent::InFlight { to, message, duplicated, deliver_at: deliver_round }
+                }
             }
         };
         if ctx.observed {
@@ -1094,45 +1455,51 @@ fn run_action_shard<L: FaultModel>(
 
 /// Applies one shard's share of a drained delivery bucket. `items` arrive
 /// in bucket order; the per-message RNG is derived from
-/// `(seed, deliver_time, sorted bucket position)`.
-fn run_delivery_shard(
+/// `(seed, deliver_time, sorted bucket position)`. Replies are collected
+/// (keyed by bucket position) for the sequential wave router.
+#[allow(clippy::too_many_arguments)]
+fn run_delivery_shard<B: ProtocolBehavior>(
     ctx: DeliveryCtx,
+    behavior: &B,
     lo: usize,
     slots: &mut [u64],
-    deps: &mut [bool],
+    flags: &mut [u8],
     degs: &mut [u32],
     nstats: &mut [NodeStats],
-    items: &[RoutedMessage],
-) -> DeliveryShardOut {
+    items: &[RoutedMessage<B::Msg>],
+) -> DeliveryShardOut<B::Msg> {
     let s = ctx.s;
     let mut out = DeliveryShardOut::default();
     for &RoutedMessage { pos, dense, to, message } in items {
         let r = dense - lo;
-        let deleted = if degs[r] as usize >= s {
-            nstats[r].deletions += 1;
-            out.deleted += 1;
-            true
-        } else {
-            let mut rng = StdRng::seed_from_u64(delivery_seed(ctx.seed, ctx.at, pos as u64));
-            let base = r * s;
-            let view = &mut slots[base..base + s];
-            let dep = &mut deps[base..base + s];
-            insert_into_view(view, dep, &mut degs[r], message.sender, message.dependent, &mut rng);
-            insert_into_view(view, dep, &mut degs[r], message.payload, message.dependent, &mut rng);
-            nstats[r].stored += 1;
-            out.stored += 1;
-            false
+        let mut rng = StdRng::seed_from_u64(delivery_seed(ctx.seed, ctx.at, pos as u64));
+        let base = r * s;
+        let view = SlotView {
+            id: to,
+            ids: &mut slots[base..base + s],
+            flags: &mut flags[base..base + s],
+            degree: &mut degs[r],
+            stats: &mut nstats[r],
         };
+        let receipt = behavior.receive(ctx.config, view, message, &mut rng);
+        if receipt.deleted {
+            out.deleted += 1;
+        } else {
+            out.stored += 1;
+        }
+        if let Some((reply_to, reply_msg)) = receipt.reply {
+            out.replies.push((pos, reply_to, reply_msg));
+        }
         if ctx.observed {
             out.reports.push((
                 pos,
                 StepReport {
-                    initiator: message.sender,
+                    initiator: B::sender(&message),
                     event: StepEvent::Delivered {
                         to,
                         message,
-                        duplicated: message.dependent,
-                        deleted,
+                        duplicated: B::duplicated(&message),
+                        deleted: receipt.deleted,
                     },
                     phase: StepPhase::Delivery,
                     step: ctx.end_step,
@@ -1141,35 +1508,6 @@ fn run_delivery_shard(
         }
     }
     out
-}
-
-/// Stores `id` into the `nth` empty slot of one node's view window, with
-/// `nth` drawn uniformly — the same draw bound and slot-order scan as
-/// `LocalView::insert_into_random_empty` and the flat engine.
-#[inline]
-fn insert_into_view(
-    view: &mut [u64],
-    dep: &mut [bool],
-    deg: &mut u32,
-    id: NodeId,
-    dependent: bool,
-    rng: &mut StdRng,
-) {
-    let empty = view.len() - *deg as usize;
-    debug_assert!(empty > 0, "outdegree below s implies an empty slot");
-    let mut nth = rng.gen_range(0..empty);
-    for off in 0..view.len() {
-        if view[off] == EMPTY {
-            if nth == 0 {
-                view[off] = id.as_u64();
-                dep[off] = dependent;
-                *deg += 1;
-                return;
-            }
-            nth -= 1;
-        }
-    }
-    unreachable!("an empty slot was counted but not found");
 }
 
 #[cfg(test)]

@@ -1,0 +1,639 @@
+//! The engine/protocol unification layer.
+//!
+//! Three simulation engines grew up in this crate sharing an API by
+//! convention — [`Simulation`](crate::Simulation) (per-node reference),
+//! [`FlatSimulation`](crate::FlatSimulation) (struct-of-arrays fast path),
+//! and [`ParSimulation`](crate::ParSimulation) (sharded rounds) — while the
+//! baseline and variant protocol zoos ran on separate hand-rolled
+//! harnesses that could not reach the system sizes where the paper's
+//! mean-field contrasts become sharp. This module turns both conventions
+//! into traits:
+//!
+//! * [`Engine`] — the round-granular driving surface every engine
+//!   implements (rounds, settle, churn, faults, graph + stats readers), so
+//!   differential tests and sweeps are written once and instantiated per
+//!   engine;
+//! * [`ProtocolBehavior`] — a membership protocol expressed over one
+//!   node's slot window ([`SlotView`]): an initiate action, a receive
+//!   handler that may produce one reply, and the bootstrap/visibility
+//!   hooks churn and measurement need. The flat and par engines are
+//!   generic over a behavior (defaulting to [`SfBehavior`], the paper's
+//!   S&F protocol), which is how push-only, push-pull, shuffle, and the
+//!   S&F variants run at multi-million-steps/sec scale.
+//!
+//! # Draw-order contract
+//!
+//! [`SfBehavior`] performs **exactly** the RNG draws the engines performed
+//! before the unification, in the same order with the same bounds
+//! (slot pick `i`, distinct slot pick `j`, then per delivered message the
+//! nth-empty-slot placement draws). S&F never replies, so the reply
+//! machinery below consumes zero draws for it — the
+//! `flat_equals_classic_*` lockstep tests and the bench goldens pin this.
+//! Protocols other than S&F make no byte-identity promise across engines;
+//! they agree statistically (see `tests/protocol_conformance.rs`).
+//!
+//! The engines draw message loss **at send time, before the receiver's
+//! liveness is known** — a message to a departed node consumes a loss draw
+//! and is then counted as a dead letter, never as lost. That order is part
+//! of the byte-identity contract between the engines and is therefore
+//! pinned here rather than "fixed": a dead letter is a property of the
+//! receiver discovered at delivery, while loss is a property of the
+//! channel decided at send. (The retired `BaselineHarness` did the
+//! opposite and checked liveness first; its RNG stream shifted under churn
+//! — see `sandf-baselines` for the regression test.)
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sandf_core::{JoinError, Message, NodeId, NodeStats, SfConfig};
+use sandf_graph::MembershipGraph;
+
+use crate::engine::{SimStats, StepSubscriber};
+
+/// Empty-slot sentinel in the slot arenas. Real node ids must stay below
+/// it.
+pub const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Slot-flag bit: the entry is dependent (a duplicated id, in the paper's
+/// sense).
+pub const FLAG_DEPENDENT: u8 = 1;
+
+/// Slot-flag bit: the entry is a tombstone — protocol-defined dead state
+/// (used by the undelete variant). Tombstoned slots count as unoccupied
+/// for degree purposes and are hidden from the graph readers.
+pub const FLAG_TOMBSTONE: u8 = 2;
+
+/// A mutable window over one node's slots in an engine's arena, handed to
+/// [`ProtocolBehavior`] callbacks.
+///
+/// `ids[off] == EMPTY_SLOT` marks an empty slot; `flags` carries the
+/// per-slot [`FLAG_DEPENDENT`] / [`FLAG_TOMBSTONE`] bits; `degree` is the
+/// node's live outdegree ledger (the engine's graph readers trust it);
+/// `stats` the per-node counters.
+pub struct SlotView<'a> {
+    /// The node that owns this window.
+    pub id: NodeId,
+    /// Slot ids (`EMPTY_SLOT` = empty).
+    pub ids: &'a mut [u64],
+    /// Per-slot flag bits, parallel to `ids`.
+    pub flags: &'a mut [u8],
+    /// The node's outdegree ledger (live entries only — excludes
+    /// tombstones).
+    pub degree: &'a mut u32,
+    /// The node's event counters.
+    pub stats: &'a mut NodeStats,
+}
+
+impl SlotView<'_> {
+    /// Number of slots (the view size `s`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the window has zero slots (never true for a legal config).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Raw slot content (`EMPTY_SLOT` when empty).
+    #[inline]
+    #[must_use]
+    pub fn raw(&self, off: usize) -> u64 {
+        self.ids[off]
+    }
+
+    /// The id in a slot, or `None` when the slot is empty.
+    #[inline]
+    #[must_use]
+    pub fn id_at(&self, off: usize) -> Option<NodeId> {
+        (self.ids[off] != EMPTY_SLOT).then(|| NodeId::new(self.ids[off]))
+    }
+
+    /// Whether a slot holds a live (non-empty, non-tombstone) entry.
+    #[inline]
+    #[must_use]
+    pub fn is_live(&self, off: usize) -> bool {
+        self.ids[off] != EMPTY_SLOT && self.flags[off] & FLAG_TOMBSTONE == 0
+    }
+
+    /// Empties a slot (does not touch the degree ledger).
+    #[inline]
+    pub fn clear(&mut self, off: usize) {
+        self.ids[off] = EMPTY_SLOT;
+        self.flags[off] = 0;
+    }
+
+    /// Writes a slot (does not touch the degree ledger).
+    #[inline]
+    pub fn set(&mut self, off: usize, id: NodeId, flags: u8) {
+        self.ids[off] = id.as_u64();
+        self.flags[off] = flags;
+    }
+
+    /// Stores `id` into the `nth` empty slot with `nth` drawn uniformly —
+    /// the exact draw (`gen_range(0..empty)`) and slot-order scan of
+    /// `LocalView::insert_into_random_empty`, which the byte-identity
+    /// contract pins. Increments the degree ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when no slot is empty; callers check capacity first.
+    #[inline]
+    pub fn insert_into_random_empty(&mut self, id: NodeId, flags: u8, rng: &mut StdRng) {
+        let s = self.len();
+        let empty = s - *self.degree as usize;
+        debug_assert!(empty > 0, "outdegree below s implies an empty slot");
+        let mut nth = rng.gen_range(0..empty);
+        for off in 0..s {
+            if self.ids[off] == EMPTY_SLOT {
+                if nth == 0 {
+                    self.ids[off] = id.as_u64();
+                    self.flags[off] = flags;
+                    *self.degree += 1;
+                    return;
+                }
+                nth -= 1;
+            }
+        }
+        unreachable!("an empty slot was counted but not found");
+    }
+
+    /// Offsets of the occupied (non-empty, non-tombstone) slots, in slot
+    /// order.
+    #[must_use]
+    pub fn occupied_offsets(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&off| self.is_live(off)).collect()
+    }
+}
+
+/// The outcome of delivering one message to a node: whether the payload
+/// was discarded (full view / displacement), and at most one reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Receipt<M> {
+    /// The delivered ids were discarded rather than stored.
+    pub deleted: bool,
+    /// A reply to route back through the channel (loss applies per hop).
+    pub reply: Option<(NodeId, M)>,
+}
+
+impl<M> Receipt<M> {
+    /// The ids were stored; no reply.
+    #[must_use]
+    pub fn stored() -> Self {
+        Self { deleted: false, reply: None }
+    }
+
+    /// The ids were discarded; no reply.
+    #[must_use]
+    pub fn deleted() -> Self {
+        Self { deleted: true, reply: None }
+    }
+
+    /// The ids were stored and the node replies to `to`.
+    #[must_use]
+    pub fn stored_with_reply(to: NodeId, msg: M) -> Self {
+        Self { deleted: false, reply: Some((to, msg)) }
+    }
+}
+
+/// A membership protocol expressed over one node's slot window, executable
+/// on any arena engine ([`FlatSimulation`](crate::FlatSimulation),
+/// [`ParSimulation`](crate::ParSimulation)).
+///
+/// The engine owns scheduling, the channel (loss, delay, dead letters),
+/// churn bookkeeping, and the stats ledgers; the behavior owns the view
+/// algebra. Reply chains are capped at
+/// [`MAX_REPLY_CHAIN`](crate::MAX_REPLY_CHAIN) hops per delivery.
+pub trait ProtocolBehavior: Clone + Send + Sync {
+    /// The wire message. `Copy` so the engines' ring buffers and shard
+    /// queues stay allocation-free.
+    type Msg: Copy + Send + Sync + PartialEq + fmt::Debug;
+
+    /// The message's originator (dead letters and delivery routing are
+    /// attributed to it).
+    fn sender(msg: &Self::Msg) -> NodeId;
+
+    /// Whether the message carries duplicated ids (drives the engines'
+    /// duplication counter; protocols without the concept keep the
+    /// default).
+    fn duplicated(_msg: &Self::Msg) -> bool {
+        false
+    }
+
+    /// One action step at `view`'s node: `None` is a self-loop (no
+    /// message), `Some((to, msg))` sends. Must maintain `view.degree` and
+    /// the per-node counters.
+    fn initiate(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, Self::Msg)>;
+
+    /// Delivers `msg` at `view`'s node; may produce one reply.
+    fn receive(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        msg: Self::Msg,
+        rng: &mut StdRng,
+    ) -> Receipt<Self::Msg>;
+
+    /// Validates a bootstrap view of `supplied` ids for a joining node.
+    /// The default accepts any non-empty set that fits the view.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] describing the violated constraint.
+    fn validate_bootstrap(&self, config: SfConfig, supplied: usize) -> Result<(), JoinError> {
+        if supplied == 0 {
+            return Err(JoinError::TooFewIds { supplied, d_l: 1 });
+        }
+        if supplied > config.view_size() {
+            return Err(JoinError::TooManyIds { supplied, s: config.view_size() });
+        }
+        Ok(())
+    }
+
+    /// How many sponsor-view ids `join_via` seeds a joiner with.
+    fn join_seed_size(&self, config: SfConfig) -> usize {
+        config.lower_threshold()
+    }
+
+    /// Whether a slot's entry is visible to the graph readers
+    /// (`graph()` / `count_id_instances`). The default hides tombstones.
+    fn slot_visible(flags: u8) -> bool {
+        flags & FLAG_TOMBSTONE == 0
+    }
+}
+
+/// Maximum reply hops processed per delivered message (matching the old
+/// baseline harness's chain cap). Push-pull and shuffle use one reply;
+/// the cap only guards against a misbehaving protocol.
+pub const MAX_REPLY_CHAIN: usize = 8;
+
+/// The paper's S&F protocol as a [`ProtocolBehavior`] — the default
+/// behavior of the flat and par engines.
+///
+/// This is a verbatim extraction of the engines' previous inline
+/// initiate/receive code: identical draws, identical order, identical
+/// counter updates. It never replies, so the generic reply machinery is
+/// dead code on the S&F path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SfBehavior;
+
+impl ProtocolBehavior for SfBehavior {
+    type Msg = Message;
+
+    #[inline]
+    fn sender(msg: &Message) -> NodeId {
+        msg.sender
+    }
+
+    #[inline]
+    fn duplicated(msg: &Message) -> bool {
+        msg.dependent
+    }
+
+    #[inline]
+    fn initiate(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, Message)> {
+        let SlotView { id, ids, flags, degree, stats } = view;
+        stats.initiated += 1;
+        let s = ids.len();
+        debug_assert!(s >= 2, "view must have at least two slots");
+        let i = rng.gen_range(0..s);
+        let mut j = rng.gen_range(0..s - 1);
+        if j >= i {
+            j += 1;
+        }
+        let target = ids[i];
+        let payload = ids[j];
+        if target == EMPTY_SLOT || payload == EMPTY_SLOT {
+            stats.self_loops += 1;
+            return None;
+        }
+        let duplicated = (*degree as usize) <= config.lower_threshold();
+        if duplicated {
+            stats.duplications += 1;
+        } else {
+            ids[i] = EMPTY_SLOT;
+            flags[i] = 0;
+            ids[j] = EMPTY_SLOT;
+            flags[j] = 0;
+            *degree -= 2;
+        }
+        stats.sent += 1;
+        let message = Message::new(id, NodeId::new(payload), duplicated);
+        Some((NodeId::new(target), message))
+    }
+
+    #[inline]
+    fn receive(
+        &self,
+        _config: SfConfig,
+        mut view: SlotView<'_>,
+        msg: Message,
+        rng: &mut StdRng,
+    ) -> Receipt<Message> {
+        if *view.degree as usize >= view.len() {
+            view.stats.deletions += 1;
+            return Receipt::deleted();
+        }
+        let flags = if msg.dependent { FLAG_DEPENDENT } else { 0 };
+        view.insert_into_random_empty(msg.sender, flags, rng);
+        view.insert_into_random_empty(msg.payload, flags, rng);
+        view.stats.stored += 1;
+        Receipt::stored()
+    }
+
+    /// The protocol's own bootstrap checks, in the order
+    /// `SfNode::with_view` performs them.
+    fn validate_bootstrap(&self, config: SfConfig, supplied: usize) -> Result<(), JoinError> {
+        let d_l = config.lower_threshold();
+        let s = config.view_size();
+        if supplied < d_l {
+            return Err(JoinError::TooFewIds { supplied, d_l });
+        }
+        if supplied > s {
+            return Err(JoinError::TooManyIds { supplied, s });
+        }
+        if !supplied.is_multiple_of(2) {
+            return Err(JoinError::OddIdCount { supplied });
+        }
+        Ok(())
+    }
+}
+
+/// A compact multi-id wire message for the protocol zoo: a sender, a
+/// protocol-defined discriminant, and up to [`IdBatch::CAPACITY`] id
+/// payloads with per-id dependence bits. `Copy`, so engine queues stay
+/// allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdBatch {
+    /// The originator.
+    pub sender: NodeId,
+    /// Protocol-defined message kind (request/reply/push…).
+    pub kind: u8,
+    /// Number of valid entries in `ids`.
+    pub len: u8,
+    /// Id payloads (`ids[..len as usize]` are valid).
+    pub ids: [u64; Self::CAPACITY],
+    /// Per-payload dependence bits (bit `k` ↔ `ids[k]`).
+    pub dep: u8,
+}
+
+impl IdBatch {
+    /// Maximum payload ids per message.
+    pub const CAPACITY: usize = 8;
+
+    /// An empty batch from `sender` with the given kind.
+    #[must_use]
+    pub fn new(sender: NodeId, kind: u8) -> Self {
+        Self { sender, kind, len: 0, ids: [0; Self::CAPACITY], dep: 0 }
+    }
+
+    /// Appends a payload id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is full.
+    pub fn push(&mut self, id: NodeId, dependent: bool) {
+        let k = self.len as usize;
+        assert!(k < Self::CAPACITY, "IdBatch overflow");
+        self.ids[k] = id.as_u64();
+        if dependent {
+            self.dep |= 1 << k;
+        }
+        self.len += 1;
+    }
+
+    /// The valid payloads as `(id, dependent)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, bool)> + '_ {
+        (0..self.len as usize).map(|k| (NodeId::new(self.ids[k]), self.dep & (1 << k) != 0))
+    }
+}
+
+/// The round-granular surface shared by all three engines, for generic
+/// differential tests and sweeps.
+///
+/// Engines keep their richer inherent APIs (per-step execution, typed
+/// `leave` returns, protocol-specific readers); this trait is the common
+/// denominator a test can drive without knowing which engine — or which
+/// protocol — it holds.
+pub trait Engine {
+    /// The wire message type flowing through the engine's subscribers.
+    type Msg: Copy + Send + Sync + PartialEq + fmt::Debug;
+    /// The fault/loss model steering the channel.
+    type Fault;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// Whether no node is live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live node ids (owned; engines differ in their internal storage).
+    fn live_ids(&self) -> Vec<NodeId>;
+
+    /// The shared protocol configuration.
+    fn config(&self) -> SfConfig;
+
+    /// Accumulated system-wide counters.
+    fn stats(&self) -> SimStats;
+
+    /// Resets system-wide and per-node counters (e.g. after burn-in).
+    fn reset_stats(&mut self);
+
+    /// Sum of all live nodes' per-node counters.
+    fn aggregate_node_stats(&self) -> NodeStats;
+
+    /// Executes one round (`n` scheduled steps).
+    fn round(&mut self);
+
+    /// Executes `rounds` rounds.
+    fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// Completed rounds — the time base round-indexed fault models see.
+    fn rounds_run(&self) -> u64;
+
+    /// Messages currently in flight (0 under immediate delivery).
+    fn in_flight(&self) -> usize;
+
+    /// Delivers everything still in flight.
+    fn settle(&mut self);
+
+    /// Adds a node bootstrapped from a random sample of `sponsor`'s view.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] when the sponsor cannot seed a legal bootstrap.
+    fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError>;
+
+    /// Removes a node; `true` if it was live.
+    fn leave(&mut self, id: NodeId) -> bool;
+
+    /// A live node's outdegree, or `None` when departed.
+    fn out_degree_of(&self, id: NodeId) -> Option<usize>;
+
+    /// Total multiplicity of `id` across all live views.
+    fn count_id_instances(&self, id: NodeId) -> usize;
+
+    /// Snapshots the membership graph.
+    fn graph(&self) -> MembershipGraph;
+
+    /// Applies `f` to the fault model.
+    fn update_fault(&mut self, f: impl FnMut(&mut Self::Fault));
+
+    /// Registers a step-event observer.
+    fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<Self::Msg>>);
+}
+
+impl<L: crate::fault::FaultModel> Engine for crate::Simulation<L> {
+    type Msg = Message;
+    type Fault = L;
+
+    fn len(&self) -> usize {
+        Self::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        Self::live_ids(self).to_vec()
+    }
+
+    fn config(&self) -> SfConfig {
+        Self::config(self)
+    }
+
+    fn stats(&self) -> SimStats {
+        *Self::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Self::reset_stats(self);
+    }
+
+    fn aggregate_node_stats(&self) -> NodeStats {
+        Self::aggregate_node_stats(self)
+    }
+
+    fn round(&mut self) {
+        Self::round(self);
+    }
+
+    fn rounds_run(&self) -> u64 {
+        Self::rounds_run(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        Self::in_flight(self)
+    }
+
+    fn settle(&mut self) {
+        Self::settle(self);
+    }
+
+    fn join_via(&mut self, sponsor: NodeId) -> Result<NodeId, JoinError> {
+        Self::join_via(self, sponsor)
+    }
+
+    fn leave(&mut self, id: NodeId) -> bool {
+        Self::leave(self, id).is_some()
+    }
+
+    fn out_degree_of(&self, id: NodeId) -> Option<usize> {
+        self.node(id).map(sandf_core::SfNode::out_degree)
+    }
+
+    fn count_id_instances(&self, id: NodeId) -> usize {
+        Self::count_id_instances(self, id)
+    }
+
+    fn graph(&self) -> MembershipGraph {
+        Self::graph(self)
+    }
+
+    fn update_fault(&mut self, f: impl FnMut(&mut L)) {
+        Self::update_fault(self, f);
+    }
+
+    fn subscribe(&mut self, subscriber: Box<dyn StepSubscriber<Message>>) {
+        Self::subscribe(self, subscriber);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn window<'a>(
+        ids: &'a mut [u64],
+        flags: &'a mut [u8],
+        degree: &'a mut u32,
+        stats: &'a mut NodeStats,
+    ) -> SlotView<'a> {
+        SlotView { id: NodeId::new(9), ids, flags, degree, stats }
+    }
+
+    #[test]
+    fn insert_into_random_empty_scans_in_slot_order() {
+        let mut ids = [7, EMPTY_SLOT, 3, EMPTY_SLOT];
+        let mut flags = [0u8; 4];
+        let mut degree = 2u32;
+        let mut stats = NodeStats::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut view = window(&mut ids, &mut flags, &mut degree, &mut stats);
+        view.insert_into_random_empty(NodeId::new(5), FLAG_DEPENDENT, &mut rng);
+        assert_eq!(degree, 3);
+        assert_eq!(ids.iter().filter(|&&x| x == 5).count(), 1);
+        let off = ids.iter().position(|&x| x == 5).unwrap();
+        assert_eq!(flags[off], FLAG_DEPENDENT);
+    }
+
+    #[test]
+    fn sf_behavior_bootstrap_checks_match_the_protocol_order() {
+        let config = SfConfig::new(12, 4).unwrap();
+        let b = SfBehavior;
+        assert_eq!(
+            b.validate_bootstrap(config, 2),
+            Err(JoinError::TooFewIds { supplied: 2, d_l: 4 })
+        );
+        assert_eq!(
+            b.validate_bootstrap(config, 14),
+            Err(JoinError::TooManyIds { supplied: 14, s: 12 })
+        );
+        assert_eq!(b.validate_bootstrap(config, 5), Err(JoinError::OddIdCount { supplied: 5 }));
+        assert!(b.validate_bootstrap(config, 6).is_ok());
+    }
+
+    #[test]
+    fn id_batch_roundtrips_entries() {
+        let mut batch = IdBatch::new(NodeId::new(3), 1);
+        batch.push(NodeId::new(10), true);
+        batch.push(NodeId::new(11), false);
+        let entries: Vec<(NodeId, bool)> = batch.entries().collect();
+        assert_eq!(entries, vec![(NodeId::new(10), true), (NodeId::new(11), false)]);
+        assert_eq!(batch.sender, NodeId::new(3));
+    }
+
+    #[test]
+    fn tombstones_are_invisible_by_default() {
+        assert!(SfBehavior::slot_visible(FLAG_DEPENDENT));
+        assert!(!SfBehavior::slot_visible(FLAG_TOMBSTONE));
+    }
+}

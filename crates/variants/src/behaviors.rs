@@ -1,0 +1,416 @@
+//! The Section 5 variants as [`ProtocolBehavior`]s, executable on the
+//! fast arena engines ([`FlatSimulation`](sandf_sim::FlatSimulation),
+//! [`ParSimulation`](sandf_sim::ParSimulation)).
+//!
+//! These mirror [`ReplaceNode`](crate::ReplaceNode),
+//! [`UndeleteNode`](crate::UndeleteNode), and
+//! [`BatchedNode`](crate::BatchedNode) over a [`SlotView`] window: the
+//! same slot draws and the same multiset dynamics, with the `Option`/enum
+//! slot representation replaced by the arena's [`EMPTY_SLOT`] sentinel and
+//! [`FLAG_TOMBSTONE`] bit. The vanilla variant needs no re-expression —
+//! it *is* [`SfBehavior`].
+//!
+//! Wire format: [`IdBatch`] with per-payload dependence bits; the
+//! sender's own dependence rides in the `kind` field
+//! ([`KIND_DEPENDENT_SEND`]), which also lets the engines count
+//! compensated sends as duplications via
+//! [`ProtocolBehavior::duplicated`].
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::Rng;
+use sandf_core::{NodeId, SfConfig};
+use sandf_sim::{
+    IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, EMPTY_SLOT, FLAG_DEPENDENT,
+    FLAG_TOMBSTONE,
+};
+
+/// [`IdBatch::kind`] for a send whose transmitted instances were cleansed
+/// (no compensation happened).
+pub const KIND_CLEAN_SEND: u8 = 0;
+/// [`IdBatch::kind`] for a compensated send: the sender id (and every
+/// payload, via the dep bits) is labeled dependent — Figure 7.1's tag
+/// algebra, surfaced to the engine as [`ProtocolBehavior::duplicated`].
+pub const KIND_DEPENDENT_SEND: u8 = 1;
+
+fn kind_of(compensated: bool) -> u8 {
+    if compensated {
+        KIND_DEPENDENT_SEND
+    } else {
+        KIND_CLEAN_SEND
+    }
+}
+
+fn dep_flag(dependent: bool) -> u8 {
+    if dependent {
+        FLAG_DEPENDENT
+    } else {
+        0
+    }
+}
+
+/// Draws the vanilla S&F slot pair: `i` uniform over `0..s`, `j` uniform
+/// over the remaining `s − 1` slots.
+fn draw_pair(s: usize, rng: &mut StdRng) -> (usize, usize) {
+    let i = rng.gen_range(0..s);
+    let mut j = rng.gen_range(0..s - 1);
+    if j >= i {
+        j += 1;
+    }
+    (i, j)
+}
+
+/// The S&F bootstrap rule (`d_L ≤ n ≤ s`, even) shared by every variant.
+fn validate_sf_bootstrap(config: SfConfig, supplied: usize) -> Result<(), sandf_core::JoinError> {
+    SfBehavior.validate_bootstrap(config, supplied)
+}
+
+/// Variant 2 (replace-when-full) over the arena: vanilla S&F sends, but a
+/// full receiver *overwrites* a uniformly random victim instead of
+/// deleting the arrivals — no message is ever wasted, at the price of
+/// displacing healthy entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplaceBehavior;
+
+impl ReplaceBehavior {
+    /// Stores one entry: a random empty slot when one exists, else a
+    /// uniformly random victim over *all* slots is overwritten. Returns
+    /// whether the store was fresh (no displacement).
+    fn put(view: &mut SlotView<'_>, id: NodeId, dependent: bool, rng: &mut StdRng) -> bool {
+        if (*view.degree as usize) < view.len() {
+            view.insert_into_random_empty(id, dep_flag(dependent), rng);
+            true
+        } else {
+            let victim = rng.gen_range(0..view.len());
+            view.set(victim, id, dep_flag(dependent));
+            false
+        }
+    }
+}
+
+impl ProtocolBehavior for ReplaceBehavior {
+    type Msg = IdBatch;
+
+    fn sender(msg: &IdBatch) -> NodeId {
+        msg.sender
+    }
+
+    fn duplicated(msg: &IdBatch) -> bool {
+        msg.kind == KIND_DEPENDENT_SEND
+    }
+
+    fn initiate(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, IdBatch)> {
+        let SlotView { id, ids, flags, degree, stats } = view;
+        stats.initiated += 1;
+        let (i, j) = draw_pair(ids.len(), rng);
+        if ids[i] == EMPTY_SLOT || ids[j] == EMPTY_SLOT {
+            stats.self_loops += 1;
+            return None;
+        }
+        let target = NodeId::new(ids[i]);
+        let payload = NodeId::new(ids[j]);
+        let duplicated = (*degree as usize) <= config.lower_threshold();
+        if duplicated {
+            stats.duplications += 1;
+        } else {
+            ids[i] = EMPTY_SLOT;
+            flags[i] = 0;
+            ids[j] = EMPTY_SLOT;
+            flags[j] = 0;
+            *degree -= 2;
+        }
+        stats.sent += 1;
+        let mut msg = IdBatch::new(id, kind_of(duplicated));
+        msg.push(payload, duplicated);
+        Some((target, msg))
+    }
+
+    fn receive(
+        &self,
+        _config: SfConfig,
+        mut view: SlotView<'_>,
+        msg: IdBatch,
+        rng: &mut StdRng,
+    ) -> Receipt<IdBatch> {
+        let mut all_fresh = Self::put(&mut view, msg.sender, msg.kind == KIND_DEPENDENT_SEND, rng);
+        for (id, dependent) in msg.entries() {
+            all_fresh &= Self::put(&mut view, id, dependent, rng);
+        }
+        if all_fresh {
+            view.stats.stored += 1;
+            Receipt::stored()
+        } else {
+            // Displacement: something was overwritten. Counted as a
+            // deletion (an instance died), matching the VariantStats
+            // `displaced` convention.
+            view.stats.deletions += 1;
+            Receipt::deleted()
+        }
+    }
+
+    fn validate_bootstrap(
+        &self,
+        config: SfConfig,
+        supplied: usize,
+    ) -> Result<(), sandf_core::JoinError> {
+        validate_sf_bootstrap(config, supplied)
+    }
+}
+
+/// Variant 1 (undeletion) over the arena: sent entries become
+/// [`FLAG_TOMBSTONE`]d slots instead of clearing; at `d_L` the protocol
+/// undeletes two uniformly random tombstones (excluding, with fallback
+/// to, the just-sent pair) instead of duplicating; receives prefer empty
+/// slots, reclaim tombstones, and only then delete.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UndeleteBehavior;
+
+impl UndeleteBehavior {
+    fn is_tombstone(ids: &[u64], flags: &[u8], off: usize) -> bool {
+        ids[off] != EMPTY_SLOT && flags[off] & FLAG_TOMBSTONE != 0
+    }
+
+    /// Restores one tombstone chosen uniformly at random, excluding the
+    /// just-sent pair (falling back to it when the reservoir is otherwise
+    /// empty — plain duplication).
+    fn undelete_one(view: &mut SlotView<'_>, exclude: (usize, usize), rng: &mut StdRng) -> bool {
+        let candidates: Vec<usize> = (0..view.ids.len())
+            .filter(|&k| {
+                Self::is_tombstone(view.ids, view.flags, k) && k != exclude.0 && k != exclude.1
+            })
+            .collect();
+        let pick = if candidates.is_empty() {
+            let fallback: Vec<usize> = [exclude.0, exclude.1]
+                .into_iter()
+                .filter(|&k| Self::is_tombstone(view.ids, view.flags, k))
+                .collect();
+            if fallback.is_empty() {
+                return false;
+            }
+            fallback[rng.gen_range(0..fallback.len())]
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        // An undeleted instance is a stale copy of an id that was sent
+        // away: label it dependent (Section 2 accounting).
+        view.flags[pick] = FLAG_DEPENDENT;
+        *view.degree += 1;
+        true
+    }
+
+    /// Stores one entry: a random empty slot first, a reclaimed tombstone
+    /// second, deletion (false) when fully live.
+    fn store(view: &mut SlotView<'_>, id: NodeId, dependent: bool, rng: &mut StdRng) -> bool {
+        let empties: Vec<usize> =
+            (0..view.ids.len()).filter(|&k| view.ids[k] == EMPTY_SLOT).collect();
+        let target = if empties.is_empty() {
+            let tombs: Vec<usize> = (0..view.ids.len())
+                .filter(|&k| Self::is_tombstone(view.ids, view.flags, k))
+                .collect();
+            if tombs.is_empty() {
+                return false; // fully live: delete, as vanilla S&F would
+            }
+            tombs[rng.gen_range(0..tombs.len())]
+        } else {
+            empties[rng.gen_range(0..empties.len())]
+        };
+        view.ids[target] = id.as_u64();
+        view.flags[target] = dep_flag(dependent);
+        *view.degree += 1;
+        true
+    }
+}
+
+impl ProtocolBehavior for UndeleteBehavior {
+    type Msg = IdBatch;
+
+    fn sender(msg: &IdBatch) -> NodeId {
+        msg.sender
+    }
+
+    fn duplicated(msg: &IdBatch) -> bool {
+        msg.kind == KIND_DEPENDENT_SEND
+    }
+
+    fn initiate(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, IdBatch)> {
+        let SlotView { id, ids, flags, degree, stats } = view;
+        stats.initiated += 1;
+        let (i, j) = draw_pair(ids.len(), rng);
+        let live = |k: usize| ids[k] != EMPTY_SLOT && flags[k] & FLAG_TOMBSTONE == 0;
+        if !live(i) || !live(j) {
+            stats.self_loops += 1;
+            return None;
+        }
+        let target = NodeId::new(ids[i]);
+        let payload = NodeId::new(ids[j]);
+        let compensate = (*degree as usize) <= config.lower_threshold();
+        // Tombstone instead of clearing: the entries stay as a reservoir.
+        flags[i] |= FLAG_TOMBSTONE;
+        flags[j] |= FLAG_TOMBSTONE;
+        *degree -= 2;
+        if compensate {
+            stats.duplications += 1;
+            let mut view = SlotView { id, ids, flags, degree, stats };
+            let first = Self::undelete_one(&mut view, (i, j), rng);
+            let second = Self::undelete_one(&mut view, (i, j), rng);
+            debug_assert!(first && second, "the just-sent entries guarantee fallbacks");
+        }
+        stats.sent += 1;
+        let mut msg = IdBatch::new(id, kind_of(compensate));
+        msg.push(payload, compensate);
+        Some((target, msg))
+    }
+
+    fn receive(
+        &self,
+        _config: SfConfig,
+        mut view: SlotView<'_>,
+        msg: IdBatch,
+        rng: &mut StdRng,
+    ) -> Receipt<IdBatch> {
+        let mut any_stored =
+            Self::store(&mut view, msg.sender, msg.kind == KIND_DEPENDENT_SEND, rng);
+        for (id, dependent) in msg.entries() {
+            any_stored |= Self::store(&mut view, id, dependent, rng);
+        }
+        if any_stored {
+            view.stats.stored += 1;
+            Receipt::stored()
+        } else {
+            view.stats.deletions += 1;
+            Receipt::deleted()
+        }
+    }
+
+    fn validate_bootstrap(
+        &self,
+        config: SfConfig,
+        supplied: usize,
+    ) -> Result<(), sandf_core::JoinError> {
+        validate_sf_bootstrap(config, supplied)
+    }
+}
+
+/// Variant 3 (batched sends) over the arena: each action samples `b + 1`
+/// distinct slots (one target, `b` payloads), clears them all on a clean
+/// send, and compensates (keeps them, labeled dependent) when clearing
+/// would cross `d_L`. A receiver needs `1 + b` free slots or deletes the
+/// whole batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchedBehavior {
+    /// Ids cleared per send alongside the target (odd, `< s − d_L`, and
+    /// ≤ [`IdBatch::CAPACITY`]).
+    pub batch: usize,
+}
+
+impl BatchedBehavior {
+    /// Creates the behavior with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is even or exceeds [`IdBatch::CAPACITY`]. The
+    /// band constraint (`batch < s − d_L`) is checked per-view at
+    /// initiate time via `debug_assert`.
+    #[must_use]
+    pub fn new(batch: usize) -> Self {
+        assert!(batch % 2 == 1, "batch size must be odd to preserve parity");
+        assert!(batch <= IdBatch::CAPACITY, "batch exceeds IdBatch capacity {}", IdBatch::CAPACITY);
+        Self { batch }
+    }
+}
+
+impl ProtocolBehavior for BatchedBehavior {
+    type Msg = IdBatch;
+
+    fn sender(msg: &IdBatch) -> NodeId {
+        msg.sender
+    }
+
+    fn duplicated(msg: &IdBatch) -> bool {
+        msg.kind == KIND_DEPENDENT_SEND
+    }
+
+    fn initiate(
+        &self,
+        config: SfConfig,
+        view: SlotView<'_>,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, IdBatch)> {
+        let SlotView { id, ids, flags, degree, stats } = view;
+        debug_assert!(
+            self.batch < config.view_size() - config.lower_threshold(),
+            "batch too large for the degree band"
+        );
+        stats.initiated += 1;
+        let picks = sample(rng, ids.len(), self.batch + 1).into_vec();
+        if picks.iter().any(|&k| ids[k] == EMPTY_SLOT) {
+            stats.self_loops += 1;
+            return None;
+        }
+        let target = NodeId::new(ids[picks[0]]);
+        // Clearing 1 + b entries must not cross d_L.
+        let duplicated = (*degree as usize) < config.lower_threshold() + self.batch + 1;
+        if duplicated {
+            stats.duplications += 1;
+        }
+        // Read the payload ids before any clearing.
+        let mut msg = IdBatch::new(id, kind_of(duplicated));
+        for &k in &picks[1..] {
+            msg.push(NodeId::new(ids[k]), duplicated);
+        }
+        if !duplicated {
+            for &k in &picks {
+                ids[k] = EMPTY_SLOT;
+                flags[k] = 0;
+            }
+            *degree -= (self.batch + 1) as u32;
+        }
+        stats.sent += 1;
+        Some((target, msg))
+    }
+
+    fn receive(
+        &self,
+        _config: SfConfig,
+        view: SlotView<'_>,
+        msg: IdBatch,
+        rng: &mut StdRng,
+    ) -> Receipt<IdBatch> {
+        let SlotView { id: _, ids, flags, degree, stats } = view;
+        let arriving = 1 + msg.len as usize;
+        if ids.len() - (*degree as usize) < arriving {
+            stats.deletions += 1;
+            return Receipt::deleted();
+        }
+        let empties: Vec<usize> = (0..ids.len()).filter(|&k| ids[k] == EMPTY_SLOT).collect();
+        let chosen = sample(rng, empties.len(), arriving).into_vec();
+        let mut entries = Vec::with_capacity(arriving);
+        entries.push((msg.sender, msg.kind == KIND_DEPENDENT_SEND));
+        entries.extend(msg.entries());
+        for (&slot_pick, (id, dependent)) in chosen.iter().zip(entries) {
+            ids[empties[slot_pick]] = id.as_u64();
+            flags[empties[slot_pick]] = dep_flag(dependent);
+        }
+        *degree += arriving as u32;
+        stats.stored += 1;
+        Receipt::stored()
+    }
+
+    fn validate_bootstrap(
+        &self,
+        config: SfConfig,
+        supplied: usize,
+    ) -> Result<(), sandf_core::JoinError> {
+        validate_sf_bootstrap(config, supplied)
+    }
+}

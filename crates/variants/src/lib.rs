@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod batched;
+pub mod behaviors;
 mod harness;
 mod replace;
 mod traits;
@@ -49,6 +50,7 @@ mod undelete;
 mod vanilla;
 
 pub use batched::BatchedNode;
+pub use behaviors::{BatchedBehavior, ReplaceBehavior, UndeleteBehavior};
 pub use harness::{VariantMetrics, VariantSim};
 pub use replace::ReplaceNode;
 pub use traits::{SfVariant, VariantMessage, VariantOutgoing, VariantStats};

@@ -67,7 +67,8 @@ pub use sandf_core::{
 pub use sandf_graph::{DegreeStats, DependenceReport, Histogram, MembershipGraph};
 pub use sandf_markov::{select_thresholds, AnalyticalDegrees, DegreeMc, DegreeMcParams};
 pub use sandf_sim::{
-    FaultCtx, FaultModel, FlatSimulation, GilbertElliott, LossModel, NodeCapacity, ParSimulation,
-    PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault, SimStats, Simulation, UniformLoss,
-    VictimLoss,
+    Engine, FaultCtx, FaultModel, FlatSimulation, GilbertElliott, IdBatch, LossModel, NodeCapacity,
+    ParSimulation, PerLinkLoss, PhaseFault, ProtocolBehavior, Receipt, RegionalPartition,
+    ScheduledFault, SfBehavior, SimStats, Simulation, SlotView, UniformLoss, VictimLoss,
 };
+pub use sandf_variants as variants;

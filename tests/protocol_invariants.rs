@@ -11,9 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sandf::core::InitiateOutcome;
 use sandf::{
-    FlatSimulation, MembershipGraph, Message, NodeCapacity, NodeId, ParSimulation, PerLinkLoss,
-    PhaseFault, RegionalPartition, ScheduledFault, SfConfig, SfNode, Simulation, UniformLoss,
-    VictimLoss,
+    Engine, FlatSimulation, MembershipGraph, Message, NodeCapacity, NodeId, ParSimulation,
+    PerLinkLoss, PhaseFault, RegionalPartition, ScheduledFault, SfConfig, SfNode, Simulation,
+    UniformLoss, VictimLoss,
 };
 
 /// One externally scheduled event.
@@ -172,54 +172,56 @@ fn build_schedule(phases: &[(u8, FaultKind)]) -> ScheduledFault {
 /// flat/par slot encoding). Views *can* transiently hold their owner's id
 /// — duplicate entries let a node be sent its own id — so that is
 /// deliberately not asserted; `DependenceReport` tracks it as
-/// `self_edges`. A macro rather than a generic fn because the three
-/// engines are distinct types sharing an API by convention, not by trait.
-macro_rules! obs_5_1_schedule {
-    ($sim:expr, $ops:expr, $config:expr) => {{
-        let mut sim = $sim;
-        let mut live: Vec<NodeId> = (0..ENGINE_N as u64).map(NodeId::new).collect();
-        let mut highest_assigned = ENGINE_N as u64 - 1;
-        for op in $ops {
-            match *op {
-                EngineOp::Rounds(r) => sim.run_rounds(1 + usize::from(r % 3)),
-                EngineOp::Leave(x) => {
-                    if live.len() > 3 {
-                        let id = live[usize::from(x) % live.len()];
-                        prop_assert!(sim.leave(id).is_some(), "{id} should have been live");
-                        live.retain(|&v| v != id);
-                    }
-                }
-                EngineOp::Join(x) => {
-                    let sponsor = live[usize::from(x) % live.len()];
-                    if let Ok(joiner) = sim.join_via(sponsor) {
-                        highest_assigned = highest_assigned.max(joiner.as_u64());
-                        live.push(joiner);
-                    }
+/// `self_edges`. Generic over [`Engine`], so one function body covers all
+/// three engines.
+fn obs_5_1_schedule<E: Engine>(
+    mut sim: E,
+    ops: &[EngineOp],
+    config: SfConfig,
+) -> Result<(), TestCaseError> {
+    let mut live: Vec<NodeId> = (0..ENGINE_N as u64).map(NodeId::new).collect();
+    let mut highest_assigned = ENGINE_N as u64 - 1;
+    for op in ops {
+        match *op {
+            EngineOp::Rounds(r) => sim.run_rounds(1 + usize::from(r % 3)),
+            EngineOp::Leave(x) => {
+                if live.len() > 3 {
+                    let id = live[usize::from(x) % live.len()];
+                    prop_assert!(sim.leave(id), "{} should have been live", id);
+                    live.retain(|&v| v != id);
                 }
             }
-            let graph = sim.graph();
-            for d in graph.out_degrees() {
-                prop_assert_eq!(d % 2, 0, "odd outdegree");
-                prop_assert!(
-                    d >= $config.lower_threshold() && d <= $config.view_size(),
-                    "outdegree {} escaped [{}, {}]",
-                    d,
-                    $config.lower_threshold(),
-                    $config.view_size()
-                );
-            }
-            for &u in graph.ids() {
-                for v in graph.out_neighbors(u).expect("id comes from the graph") {
-                    prop_assert!(
-                        v.as_u64() <= highest_assigned,
-                        "view of {} holds {}, an id the system never assigned",
-                        u,
-                        v
-                    );
+            EngineOp::Join(x) => {
+                let sponsor = live[usize::from(x) % live.len()];
+                if let Ok(joiner) = sim.join_via(sponsor) {
+                    highest_assigned = highest_assigned.max(joiner.as_u64());
+                    live.push(joiner);
                 }
             }
         }
-    }};
+        let graph = sim.graph();
+        for d in graph.out_degrees() {
+            prop_assert_eq!(d % 2, 0, "odd outdegree");
+            prop_assert!(
+                d >= config.lower_threshold() && d <= config.view_size(),
+                "outdegree {} escaped [{}, {}]",
+                d,
+                config.lower_threshold(),
+                config.view_size()
+            );
+        }
+        for &u in graph.ids() {
+            for v in graph.out_neighbors(u).expect("id comes from the graph") {
+                prop_assert!(
+                    v.as_u64() <= highest_assigned,
+                    "view of {} holds {}, an id the system never assigned",
+                    u,
+                    v
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs one engine for a fixed number of immediate-delivery rounds and
@@ -228,21 +230,19 @@ macro_rules! obs_5_1_schedule {
 /// send ledger `actions = self_loops + sent` and
 /// `sent = lost + dead_letters + stored + deleted` (no churn here, so
 /// nothing is in flight after a round and dead letters cannot arise).
-macro_rules! id_ledger_holds {
-    ($sim:expr, $rounds:expr) => {{
-        let mut sim = $sim;
-        let initial = sim.graph().edge_count() as i64;
-        sim.run_rounds($rounds);
-        let s = *sim.stats();
-        // Steps accounting: with no churn, every live node is scheduled
-        // once per round and either acts or is capacity-skipped.
-        prop_assert_eq!(s.actions + s.skipped, ($rounds * ENGINE_N) as u64);
-        prop_assert_eq!(s.actions, s.self_loops + s.sent);
-        prop_assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
-        prop_assert_eq!(s.dead_letters, 0);
-        let expected = initial - 2 * (s.sent - s.duplications) as i64 + 2 * s.stored as i64;
-        prop_assert_eq!(sim.graph().edge_count() as i64, expected, "edge ledger out of balance");
-    }};
+fn id_ledger_holds<E: Engine>(mut sim: E, rounds: usize) -> Result<(), TestCaseError> {
+    let initial = sim.graph().edge_count() as i64;
+    sim.run_rounds(rounds);
+    let s = sim.stats();
+    // Steps accounting: with no churn, every live node is scheduled
+    // once per round and either acts or is capacity-skipped.
+    prop_assert_eq!(s.actions + s.skipped, (rounds * ENGINE_N) as u64);
+    prop_assert_eq!(s.actions, s.self_loops + s.sent);
+    prop_assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
+    prop_assert_eq!(s.dead_letters, 0);
+    let expected = initial - 2 * (s.sent - s.duplications) as i64 + 2 * s.stored as i64;
+    prop_assert_eq!(sim.graph().edge_count() as i64, expected, "edge ledger out of balance");
+    Ok(())
 }
 
 proptest! {
@@ -365,9 +365,9 @@ proptest! {
         let config = engine_config();
         let loss = UniformLoss::new(f64::from(rate_milli) / 1000.0).expect("valid rate");
         let nodes = build_system(ENGINE_N, config, 6);
-        obs_5_1_schedule!(Simulation::new(nodes.clone(), loss, seed), &ops, config);
-        obs_5_1_schedule!(FlatSimulation::new(nodes.clone(), loss, seed), &ops, config);
-        obs_5_1_schedule!(ParSimulation::new(nodes, loss, seed, 2), &ops, config);
+        obs_5_1_schedule(Simulation::new(nodes.clone(), loss, seed), &ops, config)?;
+        obs_5_1_schedule(FlatSimulation::new(nodes.clone(), loss, seed), &ops, config)?;
+        obs_5_1_schedule(ParSimulation::new(nodes, loss, seed, 2), &ops, config)?;
     }
 
     /// Id conservation at the engine level: over any schedule of rounds at
@@ -386,9 +386,9 @@ proptest! {
         let config = engine_config();
         let loss = UniformLoss::new(f64::from(rate_milli) / 1000.0).expect("valid rate");
         let nodes = build_system(ENGINE_N, config, 6);
-        id_ledger_holds!(Simulation::new(nodes.clone(), loss, seed), rounds);
-        id_ledger_holds!(FlatSimulation::new(nodes.clone(), loss, seed), rounds);
-        id_ledger_holds!(ParSimulation::new(nodes, loss, seed, 2), rounds);
+        id_ledger_holds(Simulation::new(nodes.clone(), loss, seed), rounds)?;
+        id_ledger_holds(FlatSimulation::new(nodes.clone(), loss, seed), rounds)?;
+        id_ledger_holds(ParSimulation::new(nodes, loss, seed, 2), rounds)?;
     }
 
     /// Obs. 5.1 under the scenario fault models: random multi-phase
@@ -407,9 +407,9 @@ proptest! {
         let config = engine_config();
         let fault = build_schedule(&phases);
         let nodes = build_system(ENGINE_N, config, 6);
-        obs_5_1_schedule!(Simulation::new(nodes.clone(), fault.clone(), seed), &ops, config);
-        obs_5_1_schedule!(FlatSimulation::new(nodes.clone(), fault.clone(), seed), &ops, config);
-        obs_5_1_schedule!(ParSimulation::new(nodes, fault, seed, 2), &ops, config);
+        obs_5_1_schedule(Simulation::new(nodes.clone(), fault.clone(), seed), &ops, config)?;
+        obs_5_1_schedule(FlatSimulation::new(nodes.clone(), fault.clone(), seed), &ops, config)?;
+        obs_5_1_schedule(ParSimulation::new(nodes, fault, seed, 2), &ops, config)?;
     }
 
     /// Id conservation under the scenario fault models. Capacity gating
@@ -426,9 +426,9 @@ proptest! {
         let config = engine_config();
         let fault = build_schedule(&phases);
         let nodes = build_system(ENGINE_N, config, 6);
-        id_ledger_holds!(Simulation::new(nodes.clone(), fault.clone(), seed), rounds);
-        id_ledger_holds!(FlatSimulation::new(nodes.clone(), fault.clone(), seed), rounds);
-        id_ledger_holds!(ParSimulation::new(nodes, fault, seed, 2), rounds);
+        id_ledger_holds(Simulation::new(nodes.clone(), fault.clone(), seed), rounds)?;
+        id_ledger_holds(FlatSimulation::new(nodes.clone(), fault.clone(), seed), rounds)?;
+        id_ledger_holds(ParSimulation::new(nodes, fault, seed, 2), rounds)?;
     }
 
     /// The dependence tag algebra: a view never reports more dependent
