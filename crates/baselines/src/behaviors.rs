@@ -336,7 +336,7 @@ mod tests {
     use super::*;
 
     fn window<'a>(
-        ids: &'a mut [u64],
+        ids: &'a mut [u32],
         flags: &'a mut [u8],
         degree: &'a mut u32,
         stats: &'a mut NodeStats,

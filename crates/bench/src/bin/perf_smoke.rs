@@ -5,6 +5,7 @@
 //! perf_smoke [--nodes N] [--rounds R] [--loss F] [--seed S]
 //!            [--engine flat|classic|par] [--protocol sandf|shuffle]
 //!            [--threads T] [--out PATH] [--min-steps-per-sec F]
+//!            [--metrics PATH]
 //! ```
 //!
 //! Defaults: `--nodes 1000000 --rounds 50 --loss 0.01 --seed 42
@@ -80,6 +81,7 @@ fn smoke(args: &[String]) -> Result<ExitCode, String> {
     }
     let out: Option<String> = parse_flag(args, "--out")?;
     let floor: Option<f64> = parse_flag(args, "--min-steps-per-sec")?;
+    let metrics: Option<String> = parse_flag(args, "--metrics")?;
 
     let registry = MetricsRegistry::new();
     let report = run(config, &registry);
@@ -87,6 +89,12 @@ fn smoke(args: &[String]) -> Result<ExitCode, String> {
     print!("{json}");
     if let Some(path) = out {
         std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = metrics {
+        // Full registry exposition — phase-span histograms plus, for the
+        // par engine, the `sim.par.shard_imbalance` gauge.
+        std::fs::write(&path, registry.render_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
     }
     if let Some(floor) = floor {
         if report.steps_per_sec < floor {

@@ -1,0 +1,485 @@
+//! Perf-trend comparison — the CI regression gate behind `bench_compare`.
+//!
+//! CI runs `perf_smoke` per matrix cell and uploads the
+//! `sandf-perf-smoke/v1` JSON as an artifact; the `perf-trend` job then
+//! compares each fresh report against the **best committed same-config
+//! point** across the repo's `BENCH_PR*.json` trajectory and fails on a
+//! regression beyond the tolerance (30 % by default — hosted runners are
+//! noisy, real regressions from an arena or RNG change are far larger).
+//!
+//! Two baseline file shapes are accepted: a single `sandf-perf-smoke/v1`
+//! report (`BENCH_PR4.json`, `BENCH_PR5.json`) and a
+//! `sandf-perf-trend/v1` bundle carrying a `"reports"` array
+//! (`BENCH_PR9.json` and later). Other schemas in the baseline directory
+//! (e.g. `sandf-engine-speedup/v1`) are skipped, not errors.
+//!
+//! The workspace vendors no serde, so this module carries a minimal JSON
+//! reader: just enough for the report grammar (objects, arrays, strings
+//! without exotic escapes, f64 numbers, booleans, null), kept private and
+//! pinned by unit tests.
+
+use std::fmt::Write as _;
+
+/// Default regression tolerance: fail when a cell falls more than 30 %
+/// below the best committed same-config baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// A minimal JSON value — the subset the perf report grammar uses.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.as_f64().filter(|x| x.fract() == 0.0 && *x >= 0.0).map(|x| x as u64)
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent reader for the subset above.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != byte {
+            return Err(format!("expected {:?}, got {:?}", byte as char, got as char));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte =
+                *self.bytes.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escaped = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    out.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut reader = Reader::new(text);
+    let value = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", reader.pos));
+    }
+    Ok(value)
+}
+
+/// One measured perf point: the run configuration plus its throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfPoint {
+    /// Engine name (`flat` | `classic` | `par`).
+    pub engine: String,
+    /// Protocol name (`sandf` | `shuffle`).
+    pub protocol: String,
+    /// Node count of the run.
+    pub nodes: u64,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Worker threads (1 for the sequential engines).
+    pub threads: u64,
+    /// Measured throughput.
+    pub steps_per_sec: f64,
+    /// Where the point came from (file name), for the delta table.
+    pub source: String,
+}
+
+impl PerfPoint {
+    /// The identity CI matches on: a current cell is compared only
+    /// against baselines with the same engine, protocol, scale, and
+    /// thread count.
+    #[must_use]
+    pub fn config_key(&self) -> String {
+        format!(
+            "{}/{} n={} rounds={} threads={}",
+            self.engine, self.protocol, self.nodes, self.rounds, self.threads
+        )
+    }
+}
+
+fn report_to_point(report: &Json, source: &str) -> Option<PerfPoint> {
+    if report.get("schema")?.as_str()? != "sandf-perf-smoke/v1" {
+        return None;
+    }
+    Some(PerfPoint {
+        engine: report.get("engine")?.as_str()?.to_string(),
+        // Reports predating the protocol zoo (PR ≤ 7) are all S&F.
+        protocol: report.get("protocol").and_then(Json::as_str).unwrap_or("sandf").to_string(),
+        nodes: report.get("nodes")?.as_u64()?,
+        rounds: report.get("rounds")?.as_u64()?,
+        threads: report.get("threads").and_then(Json::as_u64).unwrap_or(1),
+        steps_per_sec: report.get("steps_per_sec")?.as_f64()?,
+        source: source.to_string(),
+    })
+}
+
+/// Extracts every `sandf-perf-smoke/v1` report from a JSON document: a
+/// bare report, a `sandf-perf-trend/v1` bundle (`"reports": [...]`), or
+/// a plain array of reports. Unknown schemas yield nothing.
+///
+/// # Errors
+///
+/// Fails when `text` is not parseable JSON at all.
+pub fn parse_reports(text: &str, source: &str) -> Result<Vec<PerfPoint>, String> {
+    let root = parse_json(text)?;
+    let candidates: Vec<&Json> = match &root {
+        Json::Arr(items) => items.iter().collect(),
+        obj @ Json::Obj(_) => match obj.get("reports") {
+            Some(Json::Arr(items)) => items.iter().collect(),
+            _ => vec![obj],
+        },
+        _ => Vec::new(),
+    };
+    Ok(candidates.iter().filter_map(|report| report_to_point(report, source)).collect())
+}
+
+/// One row of the trend gate's verdict.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The cell's [`PerfPoint::config_key`].
+    pub config: String,
+    /// The fresh measurement's throughput.
+    pub current: f64,
+    /// Best committed same-config point, if any exists yet.
+    pub baseline: Option<PerfPoint>,
+    /// Throughput change vs the baseline (`+0.10` = 10 % faster).
+    pub delta: Option<f64>,
+    /// Whether the cell fell beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares each current point against the best committed same-config
+/// baseline. Cells with no baseline are reported but never fail — a new
+/// matrix cell must be able to land before its first pin.
+#[must_use]
+pub fn compare(current: &[PerfPoint], baselines: &[PerfPoint], tolerance: f64) -> Vec<Comparison> {
+    current
+        .iter()
+        .map(|point| {
+            let best = baselines
+                .iter()
+                .filter(|b| b.config_key() == point.config_key())
+                .max_by(|a, b| a.steps_per_sec.total_cmp(&b.steps_per_sec));
+            let delta = best.map(|b| point.steps_per_sec / b.steps_per_sec - 1.0);
+            Comparison {
+                config: point.config_key(),
+                current: point.steps_per_sec,
+                baseline: best.cloned(),
+                delta,
+                regressed: delta.is_some_and(|d| d < -tolerance),
+            }
+        })
+        .collect()
+}
+
+/// `true` when any cell fell beyond the tolerance — the job's exit code.
+#[must_use]
+pub fn any_regressed(rows: &[Comparison]) -> bool {
+    rows.iter().any(|row| row.regressed)
+}
+
+fn fmt_rate(rate: f64) -> String {
+    format!("{:.2}M steps/s", rate / 1_000_000.0)
+}
+
+/// Renders the delta table as GitHub-flavoured markdown (the `perf-trend`
+/// job appends it to `$GITHUB_STEP_SUMMARY`).
+#[must_use]
+pub fn markdown_table(rows: &[Comparison], tolerance: f64) -> String {
+    let mut out = String::from("## Perf trend\n\n");
+    let _ = writeln!(
+        out,
+        "Gate: fail below {:.0} % of the best committed same-config baseline.\n",
+        (1.0 - tolerance) * 100.0
+    );
+    out.push_str("| config | baseline | current | delta | verdict |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for row in rows {
+        let (baseline, delta, verdict) = match (&row.baseline, row.delta) {
+            (Some(best), Some(delta)) => (
+                format!("{} ({})", fmt_rate(best.steps_per_sec), best.source),
+                format!("{:+.1} %", delta * 100.0),
+                if row.regressed { "❌ regression" } else { "✅ ok" },
+            ),
+            _ => ("—".to_string(), "—".to_string(), "🆕 no baseline"),
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} |",
+            row.config,
+            baseline,
+            fmt_rate(row.current),
+            delta,
+            verdict
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_report(engine: &str, threads: Option<u64>, rate: f64) -> String {
+        let threads = threads.map_or(String::new(), |t| format!("\n  \"threads\": {t},"));
+        format!(
+            r#"{{
+  "schema": "sandf-perf-smoke/v1",
+  "nodes": 1000000,
+  "rounds": 50,
+  "config": {{ "s": 16, "d_l": 6 }},
+  "loss": 0.01,
+  "seed": 42,
+  "engine": "{engine}",{threads}
+  "phases_ms": {{ "build": 1.0, "run": 2.0, "measure": 0.5 }},
+  "steps": 50000000,
+  "steps_per_sec": {rate},
+  "peak_rss_bytes": 594030592,
+  "stats": {{ "actions": 50000000, "self_loops": 1, "sent": 2, "lost": 3, "dead_letters": 0, "stored": 4, "deleted": 5, "duplications": 6 }}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parses_a_bare_smoke_report_with_legacy_defaults() {
+        // BENCH_PR4-era reports carry neither protocol nor threads.
+        let points = parse_reports(&smoke_report("flat", None, 1655324.4), "BENCH_PR4.json")
+            .expect("parses");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].protocol, "sandf");
+        assert_eq!(points[0].threads, 1);
+        assert_eq!(points[0].config_key(), "flat/sandf n=1000000 rounds=50 threads=1");
+        assert!((points[0].steps_per_sec - 1655324.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_a_trend_bundle_and_skips_foreign_schemas() {
+        let bundle = format!(
+            r#"{{ "schema": "sandf-perf-trend/v1", "reports": [{}, {}, {{ "schema": "sandf-engine-speedup/v1", "speedup": 163.5 }}] }}"#,
+            smoke_report("flat", None, 3000000.0),
+            smoke_report("par", Some(4), 6000000.0)
+        );
+        let points = parse_reports(&bundle, "BENCH_PR9.json").expect("parses");
+        assert_eq!(points.len(), 2, "the speedup report is skipped, not an error");
+        assert_eq!(points[1].config_key(), "par/sandf n=1000000 rounds=50 threads=4");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_silent_skip() {
+        assert!(parse_reports("{ \"schema\": ", "broken.json").is_err());
+        assert!(parse_reports("{} trailing", "broken.json").is_err());
+    }
+
+    fn point(engine: &str, threads: u64, rate: f64, source: &str) -> PerfPoint {
+        PerfPoint {
+            engine: engine.to_string(),
+            protocol: "sandf".to_string(),
+            nodes: 100_000,
+            rounds: 50,
+            threads,
+            steps_per_sec: rate,
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn gate_matches_against_the_best_same_config_baseline() {
+        let baselines = [
+            point("flat", 1, 2_000_000.0, "BENCH_PR4.json"),
+            point("flat", 1, 3_000_000.0, "BENCH_PR9.json"),
+            point("par", 4, 6_000_000.0, "BENCH_PR5.json"),
+        ];
+        // 2.2M vs best 3.0M = -26.7 %: inside the 30 % band.
+        let rows = compare(&[point("flat", 1, 2_200_000.0, "ci")], &baselines, 0.30);
+        assert_eq!(rows[0].baseline.as_ref().unwrap().source, "BENCH_PR9.json");
+        assert!(!rows[0].regressed);
+        assert!(!any_regressed(&rows));
+        // 2.0M vs 3.0M = -33 %: beyond it.
+        let rows = compare(&[point("flat", 1, 2_000_000.0, "ci")], &baselines, 0.30);
+        assert!(rows[0].regressed);
+        assert!(any_regressed(&rows));
+    }
+
+    #[test]
+    fn unknown_configs_report_without_failing() {
+        let rows = compare(&[point("classic", 1, 500_000.0, "ci")], &[], 0.30);
+        assert!(rows[0].baseline.is_none());
+        assert!(!any_regressed(&rows));
+        let table = markdown_table(&rows, 0.30);
+        assert!(table.contains("no baseline"), "table:\n{table}");
+    }
+
+    #[test]
+    fn markdown_table_carries_config_delta_and_verdict() {
+        let baselines = [point("flat", 1, 3_000_000.0, "BENCH_PR9.json")];
+        let rows = compare(
+            &[point("flat", 1, 1_500_000.0, "ci"), point("par", 8, 9_000_000.0, "ci")],
+            &baselines,
+            0.30,
+        );
+        let table = markdown_table(&rows, 0.30);
+        assert!(table.contains("| `flat/sandf n=100000 rounds=50 threads=1` |"));
+        assert!(table.contains("-50.0 %"));
+        assert!(table.contains("❌ regression"));
+        assert!(table.contains("🆕 no baseline"));
+        assert!(table.starts_with("## Perf trend"));
+    }
+
+    #[test]
+    fn json_reader_handles_the_report_grammar() {
+        let value = parse_json(
+            r#"{ "a": [1, 2.5, -3e2], "b": { "c": "x\n\"y\"" }, "d": true, "e": null }"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            value.get("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)]))
+        );
+        assert_eq!(value.get("b").unwrap().get("c").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(value.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(value.get("e"), Some(&Json::Null));
+    }
+}

@@ -158,8 +158,11 @@ pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
     let loss = UniformLoss::new(config.loss).expect("loss rate validated by caller");
     let initial = initial_degree(config.config, config.nodes);
     match (config.engine, config.protocol) {
+        // The arena engines take the lazy circulant: at n = 10⁷ the boxed
+        // node set would transiently dwarf the arena it becomes (~5 GB of
+        // `SfNode`s vs. ~1 GB of slots), so the build phase streams.
         (PerfEngine::Flat, PerfProtocol::Sf) => execute(config, registry, || {
-            let nodes = topology::circulant(config.nodes, config.config, initial);
+            let nodes = topology::circulant_iter(config.nodes, config.config, initial);
             FlatSimulation::new(nodes, loss, config.seed)
         }),
         (PerfEngine::Classic, PerfProtocol::Sf) => execute(config, registry, || {
@@ -167,7 +170,7 @@ pub fn run(config: PerfSmokeConfig, registry: &MetricsRegistry) -> PerfReport {
             Simulation::new(nodes, loss, config.seed)
         }),
         (PerfEngine::Par, PerfProtocol::Sf) => execute(config, registry, || {
-            let nodes = topology::circulant(config.nodes, config.config, initial);
+            let nodes = topology::circulant_iter(config.nodes, config.config, initial);
             let mut sim = ParSimulation::new(nodes, loss, config.seed, config.threads);
             sim.attach_profiler(registry);
             sim
@@ -333,7 +336,11 @@ pub fn shuffle_speedup(
     let watch = Stopwatch::start();
     sim.run_rounds(engine_rounds);
     let engine_ns = watch.elapsed_ns();
-    let engine_total_ids = sim.graph().edge_count();
+    // Shuffle has no tombstones, so the streaming histogram's edge total
+    // equals the graph snapshot's multiset edge count — without the
+    // O(n·s) rebuild.
+    let engine_total_ids =
+        usize::try_from(sim.degree_stats().edges()).expect("edge count fits usize");
 
     let per_sec = |rounds: usize, ns: u64| {
         if ns == 0 {

@@ -1,0 +1,223 @@
+//! PR 9 streaming-statistics invariant, on all three engines.
+//!
+//! The engines maintain a live outdegree histogram ([`DegreeStats`])
+//! incrementally — every store/delete shifts one bucket — so measure
+//! paths no longer rebuild an `O(n·s)` graph snapshot. The invariant
+//! pinned here: after **any** schedule of rounds, joins, leaves, fault
+//! swings, and settles, the streaming histogram equals a from-scratch
+//! rebuild over the live nodes' degree ledgers.
+//!
+//! A second suite pins the u32 slot arena against the classic engine on
+//! *sparse, large* node ids (well past 2¹⁶, non-contiguous): any narrow
+//! truncation inside the arena would alias ids and break lockstep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sandf_core::{NodeId, SfConfig, SfNode};
+use sandf_sim::{
+    topology, DegreeStats, DelayModel, Engine, FlatSimulation, ParSimulation, Simulation,
+    UniformLoss,
+};
+
+const SEEDS: [u64; 3] = [11, 42, 2009];
+
+fn config() -> SfConfig {
+    SfConfig::new(16, 6).expect("legal config")
+}
+
+fn nodes() -> Vec<SfNode> {
+    topology::circulant(48, config(), 6)
+}
+
+/// The invariant: streaming histogram == rebuild over the live ledgers.
+fn assert_streaming_matches_rebuild<E: Engine>(sim: &E, ctx: &str) {
+    let streaming = sim.degree_stats();
+    let s = sim.config().view_size();
+    let live = sim.live_ids();
+    let rebuild = DegreeStats::rebuild(
+        s,
+        live.iter().map(|&id| {
+            let d = sim.out_degree_of(id).expect("live node has a degree ledger");
+            u32::try_from(d).expect("degree fits u32")
+        }),
+    );
+    assert_eq!(streaming, rebuild, "{ctx}: streaming histogram diverged from rebuild");
+    assert_eq!(
+        usize::try_from(streaming.live_nodes()).expect("live count fits usize"),
+        live.len(),
+        "{ctx}: histogram mass diverged from the live set"
+    );
+}
+
+/// Drives a random schedule (rounds, joins, leaves, loss swings, settles)
+/// and checks the invariant after every operation.
+fn random_schedule<E: Engine<Fault = UniformLoss>>(mut sim: E, seed: u64, label: &str) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f5f);
+    assert_streaming_matches_rebuild(&sim, &format!("{label} initial"));
+    for step in 0..60 {
+        match rng.gen_range(0..10u32) {
+            0..=4 => sim.round(),
+            5 => {
+                // Fault swing mid-run: the histogram must track through
+                // the new loss regime.
+                let rate = f64::from(rng.gen_range(0u32..500)) / 1000.0;
+                sim.update_fault(|f| *f = UniformLoss::new(rate).expect("legal rate"));
+                sim.round();
+            }
+            6 | 7 => {
+                let live = sim.live_ids();
+                let sponsor = live[rng.gen_range(0..live.len())];
+                // A sponsor thinned below d_L legitimately refuses.
+                let _ = sim.join_via(sponsor);
+            }
+            8 => {
+                let live = sim.live_ids();
+                if live.len() > 8 {
+                    let target = live[rng.gen_range(0..live.len())];
+                    assert!(sim.leave(target), "{label}: live node refused to leave");
+                }
+            }
+            _ => sim.settle(),
+        }
+        assert_streaming_matches_rebuild(&sim, &format!("{label} step {step}"));
+    }
+    sim.settle();
+    assert_streaming_matches_rebuild(&sim, &format!("{label} settled"));
+}
+
+#[test]
+fn classic_streaming_stats_survive_random_schedules() {
+    for seed in SEEDS {
+        let sim = Simulation::with_delay(
+            nodes(),
+            UniformLoss::new(0.05).expect("legal rate"),
+            DelayModel::UniformSteps { max: 8 },
+            seed,
+        );
+        random_schedule(sim, seed, "classic");
+    }
+}
+
+#[test]
+fn flat_streaming_stats_survive_random_schedules() {
+    for seed in SEEDS {
+        let sim = FlatSimulation::with_delay(
+            nodes(),
+            UniformLoss::new(0.05).expect("legal rate"),
+            DelayModel::UniformSteps { max: 8 },
+            seed,
+        );
+        random_schedule(sim, seed, "flat");
+    }
+}
+
+#[test]
+fn par_streaming_stats_survive_random_schedules() {
+    for seed in SEEDS {
+        for threads in [1usize, 3] {
+            let sim = ParSimulation::with_delay(
+                nodes(),
+                UniformLoss::new(0.05).expect("legal rate"),
+                DelayModel::UniformSteps { max: 8 },
+                seed,
+                threads,
+            );
+            random_schedule(sim, seed, &format!("par/{threads}"));
+        }
+    }
+}
+
+/// Sparse, large ids: a ring whose ids stride by 99 991 starting at one
+/// million. Any 16-bit (or narrower) truncation in the arena aliases
+/// distinct ids; the id → dense table stays a modest ~17 MB.
+fn sparse_nodes() -> Vec<SfNode> {
+    let ids: Vec<u64> = (0..32u64).map(|i| 1_000_000 + i * 99_991).collect();
+    let n = ids.len();
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let targets: Vec<NodeId> = (1..=6).map(|k| NodeId::new(ids[(i + k) % n])).collect();
+            SfNode::with_view(NodeId::new(id), config(), &targets).expect("legal bootstrap")
+        })
+        .collect()
+}
+
+/// Every observable the Engine trait exposes, for cross-engine lockstep
+/// comparison on the sparse-id arena.
+fn engine_observables<E: Engine>(sim: &E) -> String {
+    let mut out = format!("{:?}\nin_flight={}\n", sim.stats(), sim.in_flight());
+    let mut live = sim.live_ids();
+    live.sort_unstable();
+    for id in live {
+        out.push_str(&format!(
+            "{id}: deg={:?} refs={}\n",
+            sim.out_degree_of(id),
+            sim.count_id_instances(id)
+        ));
+    }
+    out.push_str(&format!("hist={:?}\n", sim.degree_stats().histogram()));
+    out
+}
+
+#[test]
+fn u32_arena_stays_in_lockstep_with_classic_on_sparse_large_ids() {
+    for seed in SEEDS {
+        let loss = || UniformLoss::new(0.05).expect("legal rate");
+        let mut classic = Simulation::new(sparse_nodes(), loss(), seed);
+        let mut flat = FlatSimulation::new(sparse_nodes(), loss(), seed);
+        for round in 0..30 {
+            classic.round();
+            flat.round();
+            assert_eq!(
+                engine_observables(&classic),
+                engine_observables(&flat),
+                "seed {seed} round {round}: flat fell out of lockstep on sparse ids"
+            );
+        }
+        // Churn with freshly minted ids (max sparse id + 1 onward): the
+        // widening boundary at join must hand both engines the same ids.
+        for epoch in 0..4 {
+            let sponsor = classic.live_ids()[0];
+            assert_eq!(classic.join_via(sponsor), flat.join_via(sponsor));
+            let victim = classic.live_ids()[epoch * 3];
+            // The inherent `leave` returns the departed node.
+            assert!(classic.leave(victim).is_some());
+            assert!(flat.leave(victim).is_some());
+            classic.round();
+            flat.round();
+            assert_eq!(
+                engine_observables(&classic),
+                engine_observables(&flat),
+                "seed {seed} epoch {epoch}: flat diverged under sparse-id churn"
+            );
+        }
+        classic.settle();
+        flat.settle();
+        assert_eq!(engine_observables(&classic), engine_observables(&flat));
+    }
+}
+
+#[test]
+fn par_on_sparse_large_ids_is_thread_count_independent() {
+    for seed in SEEDS {
+        let build = |threads| {
+            ParSimulation::new(
+                sparse_nodes(),
+                UniformLoss::new(0.05).expect("legal rate"),
+                seed,
+                threads,
+            )
+        };
+        let mut one = build(1);
+        one.run_rounds(30);
+        for threads in [2usize, 7] {
+            let mut other = build(threads);
+            other.run_rounds(30);
+            assert_eq!(
+                engine_observables(&one),
+                engine_observables(&other),
+                "seed {seed}: par/{threads} diverged from par/1 on sparse ids"
+            );
+        }
+    }
+}

@@ -76,6 +76,16 @@ pub enum JoinError {
         /// Number of ids supplied.
         supplied: usize,
     },
+    /// The engine's id allocator ran out of representable ids. The slot
+    /// arenas store ids as `u32` words (with `u32::MAX` reserved as the
+    /// empty sentinel), so joiners beyond that space are rejected rather
+    /// than silently aliased.
+    IdSpaceExhausted {
+        /// The id the allocator would have handed out.
+        next: u64,
+        /// The first unrepresentable id (exclusive upper bound).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -89,6 +99,9 @@ impl fmt::Display for JoinError {
             }
             Self::OddIdCount { supplied } => {
                 write!(f, "bootstrap view holds an odd number of ids ({supplied})")
+            }
+            Self::IdSpaceExhausted { next, limit } => {
+                write!(f, "node id {next} exceeds the arena id space (ids must stay below {limit})")
             }
         }
     }
@@ -121,6 +134,25 @@ mod tests {
         assert!(JoinError::TooFewIds { supplied: 1, d_l: 4 }.to_string().contains("d_L=4"));
         assert!(JoinError::TooManyIds { supplied: 9, s: 8 }.to_string().contains("s=8"));
         assert!(JoinError::OddIdCount { supplied: 3 }.to_string().contains('3'));
+        let exhausted = JoinError::IdSpaceExhausted { next: 1 << 40, limit: u64::from(u32::MAX) };
+        assert!(exhausted.to_string().contains(&(1u64 << 40).to_string()));
+        assert!(exhausted.to_string().contains(&u64::from(u32::MAX).to_string()));
+    }
+
+    #[test]
+    fn join_error_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            JoinError::TooFewIds { supplied: 1, d_l: 4 },
+            JoinError::TooManyIds { supplied: 9, s: 8 },
+            JoinError::OddIdCount { supplied: 3 },
+            JoinError::IdSpaceExhausted { next: 5, limit: 4 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
     }
 
     #[test]

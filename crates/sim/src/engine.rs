@@ -21,6 +21,7 @@ use sandf_core::{
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
+use crate::degree::DegreeStats;
 use crate::fault::{FaultCtx, FaultModel};
 
 /// System-wide event counters, the simulator-side complement of
@@ -227,6 +228,9 @@ pub struct Simulation<L> {
     config: SfConfig,
     nodes: HashMap<NodeId, SfNode>,
     live: Vec<NodeId>,
+    /// Streaming live-outdegree histogram, maintained around every
+    /// initiate/receive and at join/leave.
+    degree_hist: DegreeStats,
     loss: L,
     delay: DelayModel,
     /// Global step counter (drives in-flight delivery times).
@@ -261,6 +265,7 @@ impl<L: Clone> Clone for Simulation<L> {
             config: self.config,
             nodes: self.nodes.clone(),
             live: self.live.clone(),
+            degree_hist: self.degree_hist.clone(),
             loss: self.loss.clone(),
             delay: self.delay,
             now: self.now,
@@ -291,6 +296,11 @@ impl<L: fmt::Debug> fmt::Debug for Simulation<L> {
     }
 }
 
+/// A node's outdegree as the histogram's bucket type.
+fn deg_of(node: &SfNode) -> u32 {
+    u32::try_from(node.out_degree()).expect("outdegree exceeds u32")
+}
+
 impl<L: FaultModel> Simulation<L> {
     /// Creates a simulation over the given nodes with a seeded RNG.
     ///
@@ -310,10 +320,12 @@ impl<L: FaultModel> Simulation<L> {
         let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
         let map: HashMap<NodeId, SfNode> = nodes.into_iter().map(|n| (n.id(), n)).collect();
         assert_eq!(map.len(), live.len(), "duplicate node ids");
+        let degree_hist = DegreeStats::rebuild(config.view_size(), map.values().map(deg_of));
         Self {
             config,
             nodes: map,
             live,
+            degree_hist,
             loss,
             delay: DelayModel::Immediate,
             now: 0,
@@ -422,8 +434,10 @@ impl<L: FaultModel> Simulation<L> {
                 StepEvent::DeadLetter { to, message, duplicated: message.dependent }
             }
             Some(receiver) => {
+                let deg_before = deg_of(receiver);
                 let deleted =
                     matches!(receiver.receive(message, &mut self.rng), ReceiveOutcome::Deleted);
+                self.degree_hist.shift(deg_before, deg_of(receiver));
                 if deleted {
                     self.stats.deleted += 1;
                 } else {
@@ -528,7 +542,9 @@ impl<L: FaultModel> Simulation<L> {
         }
         self.stats.actions += 1;
         let node = self.nodes.get_mut(&initiator).expect("initiator must be live");
+        let deg_before = deg_of(node);
         let outcome = node.initiate(&mut self.rng);
+        self.degree_hist.shift(deg_before, deg_of(node));
         let event = match outcome {
             InitiateOutcome::SelfLoop => {
                 self.stats.self_loops += 1;
@@ -693,6 +709,7 @@ impl<L: FaultModel> Simulation<L> {
         let id = NodeId::new(self.next_id);
         let node = SfNode::with_view(id, self.config, bootstrap)?;
         self.next_id += 1;
+        self.degree_hist.add(deg_of(&node));
         self.nodes.insert(id, node);
         self.live.push(id);
         Ok(id)
@@ -704,6 +721,7 @@ impl<L: FaultModel> Simulation<L> {
     /// (Section 6.5.2). Returns the removed node.
     pub fn leave(&mut self, id: NodeId) -> Option<SfNode> {
         let node = self.nodes.remove(&id)?;
+        self.degree_hist.remove(deg_of(&node));
         let pos = self.live.iter().position(|&x| x == id).expect("live list out of sync");
         self.live.swap_remove(pos);
         Some(node)
@@ -714,6 +732,15 @@ impl<L: FaultModel> Simulation<L> {
     #[must_use]
     pub fn count_id_instances(&self, id: NodeId) -> usize {
         self.nodes.values().map(|n| n.view().multiplicity(id)).sum()
+    }
+
+    /// Streaming degree statistics — the live outdegree histogram,
+    /// maintained incrementally around every initiate/receive and at
+    /// join/leave (`O(s)` snapshot, no per-node scan; equal to a
+    /// from-scratch rebuild over the live nodes at all times).
+    #[must_use]
+    pub fn degree_stats(&self) -> &DegreeStats {
+        &self.degree_hist
     }
 
     /// Snapshots the membership graph.

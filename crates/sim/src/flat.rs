@@ -6,12 +6,18 @@
 //! `n ≥ 10⁵`: every step chases a hash bucket, a node box, and a slot
 //! vector. [`FlatSimulation`] is the same machine laid out flat:
 //!
-//! * **slot arena** — all views live in one contiguous `Vec<u64>` of
+//! * **slot arena** — all views live in one contiguous `Vec<u32>` of
 //!   `n · s` slots; node `k` owns `arena[k·s .. (k+1)·s]`, with
-//!   `u64::MAX` as the empty-slot sentinel and a parallel `Vec<u8>` for
-//!   the per-slot flag bits (dependence, tombstones);
+//!   `u32::MAX` as the empty-slot sentinel and a parallel `Vec<u8>` for
+//!   the per-slot flag bits (dependence, tombstones). Ids are stored as
+//!   `u32` words — half the footprint of the public `u64` id space, so an
+//!   `s = 16` window is exactly one cache line — with a checked widening
+//!   boundary at the `u64`-id API (ids at or above `u32::MAX` are
+//!   rejected at construction and join time);
 //! * **flat ledgers** — outdegrees and per-node [`NodeStats`] are dense
-//!   arrays indexed by the node's arena slot, not fields of a boxed node;
+//!   arrays indexed by the node's arena slot, not fields of a boxed node,
+//!   and the live list packs each node's raw id next to its dense arena
+//!   index so the hot stepping path never touches the id → dense table;
 //! * **ring-buffer delivery** — under [`DelayModel::UniformSteps`] the
 //!   in-flight queue is a preallocated ring of `max + 1` buckets reused
 //!   round after round, replacing the classic engine's
@@ -77,19 +83,40 @@ use sandf_core::{Entry, JoinError, LocalView, NodeId, NodeStats, SfConfig, SfNod
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, HistogramHandle, MetricsRegistry, SpanTimer};
 
+use crate::degree::DegreeStats;
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
 use crate::fault::{FaultCtx, FaultModel};
-use crate::traits::{ProtocolBehavior, SfBehavior, SlotView, FLAG_DEPENDENT, MAX_REPLY_CHAIN};
+use crate::traits::{
+    slot_word, ProtocolBehavior, SfBehavior, SlotView, ARENA_ID_LIMIT, FLAG_DEPENDENT,
+    MAX_REPLY_CHAIN,
+};
 
 /// A delivery hop's outcome: the step event, plus a protocol reply
 /// (receiver, message) still to be routed.
 type HopOutcome<M> = (StepEvent<M>, Option<(NodeId, M)>);
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
-const EMPTY: u64 = crate::traits::EMPTY_SLOT;
+const EMPTY: u32 = crate::traits::EMPTY_SLOT;
 
 /// "Not live" sentinel in the id → dense-index table.
 const DEAD: u32 = u32::MAX;
+
+/// One live-list entry: a node's raw id packed next to its dense arena
+/// index, so resolving a drawn initiator costs no extra random read of
+/// the id → dense table. Dense indices are stable (the arena never
+/// compacts), so the pairing cannot go stale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct LiveRef {
+    id: u32,
+    dense: u32,
+}
+
+impl LiveRef {
+    #[inline]
+    fn node_id(self) -> NodeId {
+        NodeId::new(u64::from(self.id))
+    }
+}
 
 /// Span histograms for the engine's hot paths (same metric names as the
 /// classic engine, so profiled runs are comparable across engines).
@@ -134,20 +161,24 @@ pub struct FlatSimulation<L, B: ProtocolBehavior = SfBehavior> {
     /// The protocol executed over the arena.
     behavior: B,
     /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
-    slot_ids: Vec<u64>,
+    slot_ids: Vec<u32>,
     /// Per-slot flag bits, parallel to `slot_ids` (meaningless on `EMPTY`).
     slot_flags: Vec<u8>,
     /// Outdegree ledger, indexed by dense node index.
     degree: Vec<u32>,
+    /// Streaming live-outdegree histogram, maintained at store/delete
+    /// time alongside `degree`.
+    degree_hist: DegreeStats,
     /// Per-node event counters, indexed by dense node index.
     node_stats: Vec<NodeStats>,
     /// Dense index → node id (grows on join, never shrinks).
     dense_id: Vec<NodeId>,
     /// Raw id → dense index (`DEAD` for departed or never-assigned ids).
     index: Vec<u32>,
-    /// Live ids in the classic engine's order (insertion order with
-    /// `swap_remove` on leave) — the initiator-sampling population.
-    live: Vec<NodeId>,
+    /// Live (id, dense) pairs in the classic engine's order (insertion
+    /// order with `swap_remove` on leave) — the initiator-sampling
+    /// population.
+    live: Vec<LiveRef>,
     loss: L,
     delay: DelayModel,
     /// Global step counter (drives in-flight delivery times).
@@ -183,6 +214,7 @@ impl<L: Clone, B: ProtocolBehavior> Clone for FlatSimulation<L, B> {
             slot_ids: self.slot_ids.clone(),
             slot_flags: self.slot_flags.clone(),
             degree: self.degree.clone(),
+            degree_hist: self.degree_hist.clone(),
             node_stats: self.node_stats.clone(),
             dense_id: self.dense_id.clone(),
             index: self.index.clone(),
@@ -224,45 +256,66 @@ impl<L: FaultModel> FlatSimulation<L, SfBehavior> {
     /// RNG — the drop-in counterpart of
     /// [`Simulation::new`](crate::Simulation::new).
     ///
+    /// Accepts any node iterator and builds the arena in one streaming
+    /// pass, so at large `n` (e.g. `topology::circulant_iter` at 10⁷
+    /// nodes) construction never materializes the boxed node set — the
+    /// peak footprint is the arena itself, not `n` heap nodes.
+    ///
     /// # Panics
     ///
     /// Panics if `nodes` is empty, contains duplicate ids, mixes
-    /// configurations, or uses the reserved id `u64::MAX`.
+    /// configurations, or uses an id at or above `u32::MAX` (the arena
+    /// stores ids as `u32` words with `u32::MAX` reserved for empty
+    /// slots).
     #[must_use]
-    pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64) -> Self {
-        assert!(!nodes.is_empty(), "simulation needs at least one node");
-        let config = nodes[0].config();
-        assert!(
-            nodes.iter().all(|n| n.config() == config),
-            "all nodes must share one configuration"
-        );
+    pub fn new(nodes: impl IntoIterator<Item = SfNode>, loss: L, seed: u64) -> Self {
+        let mut nodes = nodes.into_iter();
+        let hint = nodes.size_hint().0;
+        let first = nodes.next();
+        assert!(first.is_some(), "simulation needs at least one node");
+        let first = first.expect("checked above");
+        let config = first.config();
         let s = config.view_size();
-        let n = nodes.len();
-        let live: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
-        let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
-        let max_raw = live.iter().map(|id| id.index()).max().unwrap_or(0);
-        let mut index = vec![DEAD; max_raw + 1];
-        let mut slot_ids = vec![EMPTY; n * s];
-        let mut slot_flags = vec![0u8; n * s];
-        let mut degree = vec![0u32; n];
-        let mut node_stats = vec![NodeStats::new(); n];
-        for (k, node) in nodes.iter().enumerate() {
+        let mut index: Vec<u32> = Vec::new();
+        let mut slot_ids = Vec::with_capacity(hint.saturating_mul(s));
+        let mut slot_flags = Vec::with_capacity(hint.saturating_mul(s));
+        let mut degree = Vec::with_capacity(hint);
+        let mut node_stats = Vec::with_capacity(hint);
+        let mut ids: Vec<NodeId> = Vec::with_capacity(hint);
+        let mut live = Vec::with_capacity(hint);
+        let mut next_id = 0u64;
+        for node in std::iter::once(first).chain(nodes) {
+            assert!(node.config() == config, "all nodes must share one configuration");
             let id = node.id();
-            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
-            assert!(index[id.index()] == DEAD, "duplicate node ids");
-            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
-            let base = k * s;
+            let raw = id.index();
+            assert!(
+                (raw as u64) < ARENA_ID_LIMIT,
+                "node id {raw} exceeds the u32 arena id space (ids must stay below u32::MAX)"
+            );
+            if raw >= index.len() {
+                index.resize(raw + 1, DEAD);
+            }
+            assert!(index[raw] == DEAD, "duplicate node ids");
+            let dense = u32::try_from(ids.len()).expect("node count exceeds the dense index space");
+            index[raw] = dense;
+            live.push(LiveRef { id: slot_word(id), dense });
+            next_id = next_id.max(id.as_u64() + 1);
+            let base = slot_ids.len();
+            slot_ids.resize(base + s, EMPTY);
+            slot_flags.resize(base + s, 0u8);
             let mut deg = 0u32;
             for (off, slot) in node.view().slots().enumerate() {
                 if let Some(entry) = slot {
-                    slot_ids[base + off] = entry.id.as_u64();
+                    slot_ids[base + off] = slot_word(entry.id);
                     slot_flags[base + off] = if entry.dependent { FLAG_DEPENDENT } else { 0 };
                     deg += 1;
                 }
             }
-            degree[k] = deg;
-            node_stats[k] = *node.stats();
+            degree.push(deg);
+            node_stats.push(*node.stats());
+            ids.push(id);
         }
+        let degree_hist = DegreeStats::rebuild(s, degree.iter().copied());
         Self {
             config,
             s,
@@ -270,8 +323,9 @@ impl<L: FaultModel> FlatSimulation<L, SfBehavior> {
             slot_ids,
             slot_flags,
             degree,
+            degree_hist,
             node_stats,
-            dense_id: live.clone(),
+            dense_id: ids,
             index,
             live,
             loss,
@@ -299,7 +353,12 @@ impl<L: FaultModel> FlatSimulation<L, SfBehavior> {
     /// Panics on the same conditions as [`new`](Self::new), or when the
     /// delay bound is zero.
     #[must_use]
-    pub fn with_delay(nodes: Vec<SfNode>, loss: L, delay: DelayModel, seed: u64) -> Self {
+    pub fn with_delay(
+        nodes: impl IntoIterator<Item = SfNode>,
+        loss: L,
+        delay: DelayModel,
+        seed: u64,
+    ) -> Self {
         Self::new(nodes, loss, seed).delayed(delay)
     }
 }
@@ -317,8 +376,8 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     ///
     /// # Panics
     ///
-    /// Panics if `views` is empty, contains duplicate ids, uses the
-    /// reserved id `u64::MAX`, or a view wider than `s`.
+    /// Panics if `views` is empty, contains duplicate ids, uses an id at
+    /// or above `u32::MAX`, or a view wider than `s`.
     #[must_use]
     pub fn from_views(
         behavior: B,
@@ -330,24 +389,31 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
         assert!(!views.is_empty(), "simulation needs at least one node");
         let s = config.view_size();
         let n = views.len();
-        let live: Vec<NodeId> = views.iter().map(|(id, _)| *id).collect();
-        let next_id = live.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
-        let max_raw = live.iter().map(|id| id.index()).max().unwrap_or(0);
+        let ids: Vec<NodeId> = views.iter().map(|(id, _)| *id).collect();
+        let next_id = ids.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
+        let max_raw = ids.iter().map(|id| id.index()).max().unwrap_or(0);
+        assert!(
+            (max_raw as u64) < ARENA_ID_LIMIT,
+            "node id {max_raw} exceeds the u32 arena id space (ids must stay below u32::MAX)"
+        );
         let mut index = vec![DEAD; max_raw + 1];
         let mut slot_ids = vec![EMPTY; n * s];
         let slot_flags = vec![0u8; n * s];
         let mut degree = vec![0u32; n];
+        let mut live = Vec::with_capacity(n);
         for (k, (id, view)) in views.iter().enumerate() {
-            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
             assert!(index[id.index()] == DEAD, "duplicate node ids");
             assert!(view.len() <= s, "initial view exceeds the view size");
-            index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
+            let dense = u32::try_from(k).expect("node count exceeds the dense index space");
+            index[id.index()] = dense;
+            live.push(LiveRef { id: slot_word(*id), dense });
             let base = k * s;
             for (off, entry) in view.iter().enumerate() {
-                slot_ids[base + off] = entry.as_u64();
+                slot_ids[base + off] = slot_word(*entry);
             }
             degree[k] = u32::try_from(view.len()).expect("view size exceeds u32");
         }
+        let degree_hist = DegreeStats::rebuild(s, degree.iter().copied());
         Self {
             config,
             s,
@@ -355,8 +421,9 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             slot_ids,
             slot_flags,
             degree,
+            degree_hist,
             node_stats: vec![NodeStats::new(); n],
-            dense_id: live.clone(),
+            dense_id: ids,
             index,
             live,
             loss,
@@ -451,10 +518,11 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
         self.live.is_empty()
     }
 
-    /// The ids of the live nodes (unspecified order).
+    /// The ids of the live nodes (unspecified order). Owned: the live
+    /// list internally packs ids next to their dense arena indices.
     #[must_use]
-    pub fn live_ids(&self) -> &[NodeId] {
-        &self.live
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.live.iter().map(|entry| entry.node_id()).collect()
     }
 
     /// Number of messages currently in flight (always 0 under
@@ -473,9 +541,8 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     /// Resets system-wide and per-node counters (e.g. after burn-in).
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
-        for &id in &self.live {
-            let k = self.index[id.index()] as usize;
-            self.node_stats[k].reset();
+        for &entry in &self.live {
+            self.node_stats[entry.dense as usize].reset();
         }
     }
 
@@ -483,8 +550,8 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     #[must_use]
     pub fn aggregate_node_stats(&self) -> NodeStats {
         let mut total = NodeStats::new();
-        for &id in &self.live {
-            total.merge(&self.node_stats[self.index[id.index()] as usize]);
+        for &entry in &self.live {
+            total.merge(&self.node_stats[entry.dense as usize]);
         }
         total
     }
@@ -534,7 +601,7 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             (base..base + self.s)
                 .map(|i| {
                     (self.slot_ids[i] != EMPTY).then(|| Entry {
-                        id: NodeId::new(self.slot_ids[i]),
+                        id: NodeId::new(u64::from(self.slot_ids[i])),
                         dependent: self.slot_flags[i] & FLAG_DEPENDENT != 0,
                     })
                 })
@@ -551,9 +618,8 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     pub fn to_nodes(&self) -> Vec<SfNode> {
         self.live
             .iter()
-            .map(|&id| {
-                let k = self.index[id.index()] as usize;
-                SfNode::from_view(id, self.config, self.view_at(k))
+            .map(|&entry| {
+                SfNode::from_view(entry.node_id(), self.config, self.view_at(entry.dense as usize))
             })
             .collect()
     }
@@ -562,8 +628,8 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     /// central-entity model); RNG-equivalent to
     /// [`Simulation::step`](crate::Simulation::step).
     pub fn step(&mut self) -> StepReport<B::Msg> {
-        let initiator = self.live[self.rng.gen_range(0..self.live.len())];
-        self.step_node(initiator)
+        let entry = self.live[self.rng.gen_range(0..self.live.len())];
+        self.step_impl(entry.node_id(), Some(entry.dense as usize))
     }
 
     /// Executes one step by a specific node.
@@ -572,6 +638,14 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     ///
     /// Panics if `initiator` is not live.
     pub fn step_node(&mut self, initiator: NodeId) -> StepReport<B::Msg> {
+        self.step_impl(initiator, None)
+    }
+
+    /// The stepping core. `dense` carries the initiator's arena index
+    /// when the caller already holds it (the random-initiator path reads
+    /// it straight off the packed live list).
+    #[inline]
+    fn step_impl(&mut self, initiator: NodeId, dense: Option<usize>) -> StepReport<B::Msg> {
         let _span = self.profile.as_ref().map(|p| SpanTimer::start(&p.step));
         self.now += 1;
         if self.subscribers.is_empty() {
@@ -593,17 +667,22 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             return report;
         }
         self.stats.actions += 1;
-        let k = self.dense_of(initiator).expect("initiator must be live");
+        let k = match dense {
+            Some(k) => k,
+            None => self.dense_of(initiator).expect("initiator must be live"),
+        };
         let config = self.config;
         let observed = !self.subscribers.is_empty();
         // Reports for reply hops triggered by an immediate delivery; they
         // causally follow the action report, so they are notified after
         // it. Empty (and unallocated) for non-replying protocols.
         let mut chained: Vec<StepReport<B::Msg>> = Vec::new();
+        let deg_before = self.degree[k];
         let out = {
             let (view, behavior, rng) = self.parts(k);
             behavior.initiate(config, view, rng)
         };
+        self.degree_hist.shift(deg_before, self.degree[k]);
         let event = match out {
             None => {
                 self.stats.self_loops += 1;
@@ -662,10 +741,12 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             }
             Some(k) => {
                 let config = self.config;
+                let deg_before = self.degree[k];
                 let receipt = {
                     let (view, behavior, rng) = self.parts(k);
                     behavior.receive(config, view, message, rng)
                 };
+                self.degree_hist.shift(deg_before, self.degree[k]);
                 if receipt.deleted {
                     self.stats.deleted += 1;
                 } else {
@@ -836,9 +917,10 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     pub fn round_permuted(&mut self) {
         let mut order = self.live.clone();
         order.shuffle(&mut self.rng);
-        for id in order {
+        for entry in order {
+            let id = entry.node_id();
             if self.dense_of(id).is_some() {
-                self.step_node(id);
+                self.step_impl(id, Some(entry.dense as usize));
             }
         }
         self.rounds += 1;
@@ -903,7 +985,7 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             .filter(|&off| {
                 self.slot_ids[base + off] != EMPTY && B::slot_visible(self.slot_flags[base + off])
             })
-            .map(|off| NodeId::new(self.slot_ids[base + off]))
+            .map(|off| NodeId::new(u64::from(self.slot_ids[base + off])))
             .collect();
         if pool.len() < want {
             return Err(JoinError::TooFewIds { supplied: pool.len(), d_l: want });
@@ -920,9 +1002,14 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
     ///
     /// # Errors
     ///
-    /// Returns the behavior's [`JoinError`]s.
+    /// Returns the behavior's [`JoinError`]s, or
+    /// [`JoinError::IdSpaceExhausted`] when the id allocator has reached
+    /// the arena's `u32` id limit.
     pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
         self.behavior.validate_bootstrap(self.config, bootstrap.len())?;
+        if self.next_id >= ARENA_ID_LIMIT {
+            return Err(JoinError::IdSpaceExhausted { next: self.next_id, limit: ARENA_ID_LIMIT });
+        }
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
         let k = self.dense_id.len();
@@ -932,10 +1019,12 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
         self.slot_ids.resize(base + self.s, EMPTY);
         self.slot_flags.resize(base + self.s, 0);
         for (off, b) in bootstrap.iter().enumerate() {
-            self.slot_ids[base + off] = b.as_u64();
+            self.slot_ids[base + off] = slot_word(*b);
             self.slot_flags[base + off] = FLAG_DEPENDENT;
         }
-        self.degree.push(u32::try_from(bootstrap.len()).expect("bootstrap exceeds u32"));
+        let deg = u32::try_from(bootstrap.len()).expect("bootstrap exceeds u32");
+        self.degree.push(deg);
+        self.degree_hist.add(deg);
         self.node_stats.push(NodeStats::new());
         self.dense_id.push(id);
         let raw = id.index();
@@ -943,7 +1032,7 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
             self.index.resize(raw + 1, DEAD);
         }
         self.index[raw] = dense;
-        self.live.push(id);
+        self.live.push(LiveRef { id: slot_word(id), dense });
         Ok(id)
     }
 
@@ -955,43 +1044,68 @@ impl<L: FaultModel, B: ProtocolBehavior> FlatSimulation<L, B> {
         let k = self.dense_of(id)?;
         let node = SfNode::from_view(id, self.config, self.view_at(k));
         self.index[id.index()] = DEAD;
-        let pos = self.live.iter().position(|&x| x == id).expect("live list out of sync");
+        self.degree_hist.remove(self.degree[k]);
+        let needle = slot_word(id);
+        let pos = self.live.iter().position(|e| e.id == needle).expect("live list out of sync");
         self.live.swap_remove(pos);
         Some(node)
     }
 
-    /// Total multiplicity of `id` across all live, visible slots.
+    /// Total multiplicity of `id` across all live, visible slots. Ids at
+    /// or above the arena's `u32` limit cannot be stored, so they count
+    /// zero (the widening boundary never aliases them onto arena words).
+    ///
+    /// Windows are scanned two slots per u64 word; the per-slot
+    /// visibility check only runs on the rare windows with a raw match.
     #[must_use]
     pub fn count_id_instances(&self, id: NodeId) -> usize {
-        let raw = id.as_u64();
+        if id.as_u64() >= ARENA_ID_LIMIT {
+            return 0;
+        }
+        let needle = slot_word(id);
         self.live
             .iter()
-            .map(|&lid| {
-                let base = (self.index[lid.index()] as usize) * self.s;
-                (0..self.s)
-                    .filter(|&off| {
-                        self.slot_ids[base + off] == raw
-                            && B::slot_visible(self.slot_flags[base + off])
+            .map(|&entry| {
+                let base = (entry.dense as usize) * self.s;
+                let window = &self.slot_ids[base..base + self.s];
+                let raw = crate::scan::count_matches(window, needle);
+                if raw == 0 {
+                    return 0;
+                }
+                window
+                    .iter()
+                    .enumerate()
+                    .filter(|&(off, &slot)| {
+                        slot == needle && B::slot_visible(self.slot_flags[base + off])
                     })
                     .count()
             })
             .sum()
     }
 
+    /// Streaming degree statistics — the live outdegree histogram,
+    /// maintained incrementally at store/delete time (`O(s)` snapshot, no
+    /// arena scan; equal to a from-scratch rebuild over the live degree
+    /// ledgers at all times).
+    #[must_use]
+    pub fn degree_stats(&self) -> &DegreeStats {
+        &self.degree_hist
+    }
+
     /// Snapshots the membership graph (live order, like the classic
     /// engine's snapshot; tombstoned slots are invisible).
     #[must_use]
     pub fn graph(&self) -> MembershipGraph {
-        MembershipGraph::from_views(self.live.iter().map(|&id| {
-            let base = (self.index[id.index()] as usize) * self.s;
+        MembershipGraph::from_views(self.live.iter().map(|&entry| {
+            let base = (entry.dense as usize) * self.s;
             let targets: Vec<NodeId> = (0..self.s)
                 .filter(|&off| {
                     self.slot_ids[base + off] != EMPTY
                         && B::slot_visible(self.slot_flags[base + off])
                 })
-                .map(|off| NodeId::new(self.slot_ids[base + off]))
+                .map(|off| NodeId::new(u64::from(self.slot_ids[base + off])))
                 .collect();
-            (id, targets)
+            (entry.node_id(), targets)
         }))
     }
 
@@ -1014,7 +1128,7 @@ impl<L: FaultModel, B: ProtocolBehavior> crate::traits::Engine for FlatSimulatio
     }
 
     fn live_ids(&self) -> Vec<NodeId> {
-        Self::live_ids(self).to_vec()
+        Self::live_ids(self)
     }
 
     fn config(&self) -> SfConfig {
@@ -1063,6 +1177,10 @@ impl<L: FaultModel, B: ProtocolBehavior> crate::traits::Engine for FlatSimulatio
 
     fn count_id_instances(&self, id: NodeId) -> usize {
         Self::count_id_instances(self, id)
+    }
+
+    fn degree_stats(&self) -> DegreeStats {
+        Self::degree_stats(self).clone()
     }
 
     fn graph(&self) -> MembershipGraph {
@@ -1393,5 +1511,42 @@ mod tests {
         assert_eq!(s.sent, s.lost + s.dead_letters + s.stored + s.deleted);
         assert_eq!(s.replies, 0, "S&F never replies");
         assert!(sim.graph().is_weakly_connected());
+    }
+
+    #[test]
+    fn join_is_rejected_once_the_u32_id_space_is_exhausted() {
+        let mut sim = FlatSimulation::new(nodes(), UniformLoss::none(), 1);
+        // Reaching the limit organically needs ~4.3 billion joins (and a
+        // 17 GB id → dense table); the guard only reads the counter, so
+        // pin it at the boundary directly.
+        sim.next_id = ARENA_ID_LIMIT;
+        let bootstrap: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        assert_eq!(
+            sim.join_with(&bootstrap),
+            Err(JoinError::IdSpaceExhausted { next: ARENA_ID_LIMIT, limit: ARENA_ID_LIMIT })
+        );
+        assert_eq!(sim.len(), 24, "a rejected join must not touch the arena");
+        assert_eq!(sim.degree_stats().live_nodes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 arena id space")]
+    fn construction_rejects_ids_at_the_slot_sentinel() {
+        // `u32::MAX` is the empty-slot sentinel; a node with that id
+        // would be indistinguishable from an empty slot.
+        let node = SfNode::new(NodeId::new(u64::from(u32::MAX)), config());
+        let _ = FlatSimulation::new(vec![node], UniformLoss::none(), 1);
+    }
+
+    #[test]
+    fn queries_beyond_the_widening_boundary_never_alias() {
+        let sim = FlatSimulation::new(nodes(), UniformLoss::none(), 1);
+        // Congruent to a live id modulo 2^32 — a truncating comparison
+        // would alias it onto node 3.
+        let wide = NodeId::new((1u64 << 32) + 3);
+        assert_eq!(sim.count_id_instances(wide), 0);
+        assert_eq!(sim.out_degree_of(wide), None);
+        assert!(sim.count_id_instances(NodeId::new(3)) > 0, "node 3 is referenced in the ring");
+        assert_eq!(sim.out_degree_of(NodeId::new(3)), Some(4));
     }
 }

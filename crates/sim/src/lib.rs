@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degree;
 mod engine;
 pub mod experiment;
 pub mod fault;
@@ -38,10 +39,12 @@ mod flat;
 mod loss;
 pub mod observer;
 mod par;
+pub mod scan;
 pub mod telemetry;
 pub mod topology;
 mod traits;
 
+pub use degree::DegreeStats;
 pub use engine::{
     DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,
 };
@@ -54,6 +57,6 @@ pub use loss::{GilbertElliott, LossModel, LossRateError, TargetedLoss, UniformLo
 pub use par::ParSimulation;
 pub use telemetry::SimRecorder;
 pub use traits::{
-    Engine, IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, EMPTY_SLOT, FLAG_DEPENDENT,
-    FLAG_TOMBSTONE, MAX_REPLY_CHAIN,
+    slot_word, Engine, IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, ARENA_ID_LIMIT,
+    EMPTY_SLOT, FLAG_DEPENDENT, FLAG_TOMBSTONE, MAX_REPLY_CHAIN,
 };

@@ -81,12 +81,16 @@ use sandf_core::{Entry, JoinError, LocalView, NodeId, NodeStats, SfConfig, SfNod
 use sandf_graph::{DependenceReport, MembershipGraph};
 use sandf_obs::{duration_buckets, GaugeHandle, HistogramHandle, MetricsRegistry, SpanTimer};
 
+use crate::degree::DegreeStats;
 use crate::engine::{DelayModel, SimStats, StepEvent, StepPhase, StepReport, StepSubscriber};
 use crate::fault::{FaultCtx, FaultModel};
-use crate::traits::{ProtocolBehavior, SfBehavior, SlotView, FLAG_DEPENDENT, MAX_REPLY_CHAIN};
+use crate::traits::{
+    slot_word, ProtocolBehavior, SfBehavior, SlotView, ARENA_ID_LIMIT, FLAG_DEPENDENT,
+    MAX_REPLY_CHAIN,
+};
 
 /// Empty-slot sentinel in the arena. Real node ids must stay below it.
-const EMPTY: u64 = crate::traits::EMPTY_SLOT;
+const EMPTY: u32 = crate::traits::EMPTY_SLOT;
 
 /// "Not live" sentinel in the id → dense-index table.
 const DEAD: u32 = u32::MAX;
@@ -197,6 +201,10 @@ struct ActionShardOut<M> {
     sends: Vec<(u64, NodeId, M)>,
     /// Action reports in dense order (`step` assigned during the merge).
     reports: Vec<StepReport<M>>,
+    /// Signed per-bucket movement of the live-outdegree histogram
+    /// (addition commutes, so the sequential merge is shard-order
+    /// independent).
+    hist: Vec<i64>,
 }
 
 /// Read-only context shared by all delivery-phase shard workers.
@@ -232,11 +240,19 @@ struct DeliveryShardOut<M> {
     /// Replies the receives produced, keyed by sorted bucket position;
     /// routed sequentially after the shards merge (empty for S&F).
     replies: Vec<(usize, NodeId, M)>,
+    /// Signed per-bucket movement of the live-outdegree histogram.
+    hist: Vec<i64>,
 }
 
-impl<M> Default for DeliveryShardOut<M> {
-    fn default() -> Self {
-        Self { stored: 0, deleted: 0, reports: Vec::new(), replies: Vec::new() }
+impl<M> DeliveryShardOut<M> {
+    fn new(s: usize) -> Self {
+        Self {
+            stored: 0,
+            deleted: 0,
+            reports: Vec::new(),
+            replies: Vec::new(),
+            hist: vec![0; s + 1],
+        }
     }
 }
 
@@ -265,12 +281,18 @@ pub struct ParSimulation<L, B: ProtocolBehavior = SfBehavior> {
     s: usize,
     /// The protocol executing over the arena.
     behavior: B,
-    /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`.
-    slot_ids: Vec<u64>,
+    /// Slot arena: node `k` owns `slot_ids[k·s .. (k+1)·s]`. Ids are
+    /// stored as `u32` words (see [`ARENA_ID_LIMIT`]); the public API
+    /// widens at the boundary.
+    slot_ids: Vec<u32>,
     /// Per-slot flag bits, parallel to `slot_ids` (meaningless on `EMPTY`).
     slot_flags: Vec<u8>,
     /// Outdegree ledger, indexed by dense node index.
     degree: Vec<u32>,
+    /// Streaming live-outdegree histogram, maintained at store/delete
+    /// time alongside `degree` (shards report signed deltas, merged
+    /// commutatively).
+    degree_hist: DegreeStats,
     /// Per-node event counters, indexed by dense node index.
     node_stats: Vec<NodeStats>,
     /// Dense index → node id (grows on join, never shrinks).
@@ -323,6 +345,7 @@ impl<L: Clone, B: ProtocolBehavior> Clone for ParSimulation<L, B> {
             slot_ids: self.slot_ids.clone(),
             slot_flags: self.slot_flags.clone(),
             degree: self.degree.clone(),
+            degree_hist: self.degree_hist.clone(),
             node_stats: self.node_stats.clone(),
             dense_id: self.dense_id.clone(),
             index: self.index.clone(),
@@ -371,42 +394,51 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L, SfBehavior> {
     /// # Panics
     ///
     /// Panics if `nodes` is empty, contains duplicate ids, mixes
-    /// configurations, uses the reserved id `u64::MAX`, or if `threads`
-    /// is zero.
+    /// configurations, uses ids at or beyond [`ARENA_ID_LIMIT`], or if
+    /// `threads` is zero.
     #[must_use]
-    pub fn new(nodes: Vec<SfNode>, loss: L, seed: u64, threads: usize) -> Self {
-        assert!(!nodes.is_empty(), "simulation needs at least one node");
-        let config = nodes[0].config();
-        assert!(
-            nodes.iter().all(|n| n.config() == config),
-            "all nodes must share one configuration"
-        );
+    pub fn new(
+        nodes: impl IntoIterator<Item = SfNode>,
+        loss: L,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let mut nodes = nodes.into_iter();
+        let hint = nodes.size_hint().0;
+        let first = nodes.next();
+        assert!(first.is_some(), "simulation needs at least one node");
+        let first = first.expect("checked above");
+        let config = first.config();
         let s = config.view_size();
-        let n = nodes.len();
-        let dense_id: Vec<NodeId> = nodes.iter().map(SfNode::id).collect();
-        let mut slot_ids = vec![EMPTY; n * s];
-        let mut slot_flags = vec![0u8; n * s];
-        let mut degree = vec![0u32; n];
-        let mut node_stats = vec![NodeStats::new(); n];
-        for (k, node) in nodes.iter().enumerate() {
-            let base = k * s;
+        let mut dense_id: Vec<NodeId> = Vec::with_capacity(hint);
+        let mut slot_ids = Vec::with_capacity(hint.saturating_mul(s));
+        let mut slot_flags = Vec::with_capacity(hint.saturating_mul(s));
+        let mut degree = Vec::with_capacity(hint);
+        let mut node_stats = Vec::with_capacity(hint);
+        // One streaming pass: at large `n` the caller can feed
+        // `topology::circulant_iter` and construction never materializes
+        // the boxed node set — the peak footprint is the arena itself.
+        for node in std::iter::once(first).chain(nodes) {
+            assert!(node.config() == config, "all nodes must share one configuration");
+            let base = slot_ids.len();
+            slot_ids.resize(base + s, EMPTY);
+            slot_flags.resize(base + s, 0u8);
             let mut deg = 0u32;
             for (off, slot) in node.view().slots().enumerate() {
                 if let Some(entry) = slot {
-                    slot_ids[base + off] = entry.id.as_u64();
+                    slot_ids[base + off] = slot_word(entry.id);
                     slot_flags[base + off] = if entry.dependent { FLAG_DEPENDENT } else { 0 };
                     deg += 1;
                 }
             }
-            degree[k] = deg;
-            node_stats[k] = *node.stats();
+            degree.push(deg);
+            node_stats.push(*node.stats());
+            dense_id.push(node.id());
         }
-        let mut sim = Self::from_arena(SfBehavior, config, dense_id, loss, seed, threads);
-        sim.slot_ids = slot_ids;
-        sim.slot_flags = slot_flags;
-        sim.degree = degree;
-        sim.node_stats = node_stats;
-        sim
+        Self::from_arena(
+            SfBehavior, config, dense_id, slot_ids, slot_flags, degree, node_stats, loss, seed,
+            threads,
+        )
     }
 
     /// Creates a sharded simulation with a message-delay model. Under
@@ -420,7 +452,7 @@ impl<L: FaultModel + Clone + Send> ParSimulation<L, SfBehavior> {
     /// delay bound is zero.
     #[must_use]
     pub fn with_delay(
-        nodes: Vec<SfNode>,
+        nodes: impl IntoIterator<Item = SfNode>,
         loss: L,
         delay: DelayModel,
         seed: u64,
@@ -460,22 +492,38 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
             assert!(view.len() <= s, "initial view exceeds the view size");
             let base = k * s;
             for (off, entry) in view.iter().enumerate() {
-                slot_ids[base + off] = entry.as_u64();
+                slot_ids[base + off] = slot_word(*entry);
             }
             degree[k] = u32::try_from(view.len()).expect("view size exceeds u32");
         }
-        let mut sim = Self::from_arena(behavior, config, dense_id, loss, seed, threads);
-        sim.slot_ids = slot_ids;
-        sim.degree = degree;
-        sim
+        let n = dense_id.len();
+        Self::from_arena(
+            behavior,
+            config,
+            dense_id,
+            slot_ids,
+            vec![0u8; n * s],
+            degree,
+            vec![NodeStats::new(); n],
+            loss,
+            seed,
+            threads,
+        )
     }
 
     /// The shared constructor core: dense ledgers, id index, loss
-    /// channels. Slot contents are filled in by the public constructors.
+    /// channels. The public constructors hand over the fully built slot
+    /// arena (no throwaway zeroed copies — at `n = 10⁷` a discarded
+    /// `n·s` slot array would cost ~640 MB of transient peak RSS).
+    #[allow(clippy::too_many_arguments)]
     fn from_arena(
         behavior: B,
         config: SfConfig,
         dense_id: Vec<NodeId>,
+        slot_ids: Vec<u32>,
+        slot_flags: Vec<u8>,
+        degree: Vec<u32>,
+        node_stats: Vec<NodeStats>,
         loss: L,
         seed: u64,
         threads: usize,
@@ -485,20 +533,28 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
         let n = dense_id.len();
         let next_id = dense_id.iter().map(|id| id.as_u64() + 1).max().unwrap_or(0);
         let max_raw = dense_id.iter().map(|id| id.index()).max().unwrap_or(0);
+        assert!(
+            (max_raw as u64) < ARENA_ID_LIMIT,
+            "node id {max_raw} exceeds the u32 arena id space (ids must stay below u32::MAX)"
+        );
         let mut index = vec![DEAD; max_raw + 1];
         for (k, id) in dense_id.iter().enumerate() {
-            assert!(id.as_u64() != EMPTY, "node id u64::MAX is reserved for empty slots");
             assert!(index[id.index()] == DEAD, "duplicate node ids");
             index[id.index()] = u32::try_from(k).expect("node count exceeds the dense index space");
         }
+        debug_assert_eq!(slot_ids.len(), n * s);
+        debug_assert_eq!(slot_flags.len(), n * s);
+        debug_assert_eq!(degree.len(), n);
+        debug_assert_eq!(node_stats.len(), n);
         Self {
             config,
             s,
             behavior,
-            slot_ids: vec![EMPTY; n * s],
-            slot_flags: vec![0u8; n * s],
-            degree: vec![0u32; n],
-            node_stats: vec![NodeStats::new(); n],
+            degree_hist: DegreeStats::rebuild(s, degree.iter().copied()),
+            slot_ids,
+            slot_flags,
+            degree,
+            node_stats,
             dense_id,
             index,
             live_count: n,
@@ -749,7 +805,7 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
             (base..base + self.s)
                 .map(|i| {
                     (self.slot_ids[i] != EMPTY).then(|| Entry {
-                        id: NodeId::new(self.slot_ids[i]),
+                        id: NodeId::new(u64::from(self.slot_ids[i])),
                         dependent: self.slot_flags[i] & FLAG_DEPENDENT != 0,
                     })
                 })
@@ -862,6 +918,7 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
             let ring_len = self.ring.len() as u64;
             for out in outs {
                 merge_stats(&mut self.stats, &out.stats);
+                self.degree_hist.apply_deltas(&out.hist);
                 for (deliver_round, to, message) in out.sends {
                     let bucket = (deliver_round % ring_len) as usize;
                     self.ring[bucket].push((to, message));
@@ -997,6 +1054,7 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
         for out in outs {
             self.stats.stored += out.stored;
             self.stats.deleted += out.deleted;
+            self.degree_hist.apply_deltas(&out.hist);
             if observed {
                 reports.extend(out.reports);
             }
@@ -1072,10 +1130,12 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
                             }
                             Some(k) => {
                                 let config = self.config;
+                                let deg_before = self.degree[k];
                                 let receipt = {
                                     let (view, behavior) = self.parts(k);
                                     behavior.receive(config, view, message, &mut rng)
                                 };
+                                self.degree_hist.shift(deg_before, self.degree[k]);
                                 if receipt.deleted {
                                     self.stats.deleted += 1;
                                 } else {
@@ -1184,7 +1244,7 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
             .filter(|&off| {
                 self.slot_ids[base + off] != EMPTY && B::slot_visible(self.slot_flags[base + off])
             })
-            .map(|off| NodeId::new(self.slot_ids[base + off]))
+            .map(|off| NodeId::new(u64::from(self.slot_ids[base + off])))
             .collect();
         if pool.len() < want {
             return Err(JoinError::TooFewIds { supplied: pool.len(), d_l: want });
@@ -1202,9 +1262,13 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
     /// # Errors
     ///
     /// Returns the [`JoinError`] the behavior's bootstrap validation
-    /// produces.
+    /// produces, or [`JoinError::IdSpaceExhausted`] when the id allocator
+    /// has reached the arena's `u32` id limit.
     pub fn join_with(&mut self, bootstrap: &[NodeId]) -> Result<NodeId, JoinError> {
         self.behavior.validate_bootstrap(self.config, bootstrap.len())?;
+        if self.next_id >= ARENA_ID_LIMIT {
+            return Err(JoinError::IdSpaceExhausted { next: self.next_id, limit: ARENA_ID_LIMIT });
+        }
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
         let k = self.dense_id.len();
@@ -1214,10 +1278,12 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
         self.slot_ids.resize(base + self.s, EMPTY);
         self.slot_flags.resize(base + self.s, 0);
         for (off, b) in bootstrap.iter().enumerate() {
-            self.slot_ids[base + off] = b.as_u64();
+            self.slot_ids[base + off] = slot_word(*b);
             self.slot_flags[base + off] = FLAG_DEPENDENT;
         }
-        self.degree.push(bootstrap.len() as u32);
+        let deg = u32::try_from(bootstrap.len()).expect("bootstrap exceeds u32");
+        self.degree.push(deg);
+        self.degree_hist.add(deg);
         self.node_stats.push(NodeStats::new());
         self.dense_id.push(id);
         self.loss.push(self.loss_proto.clone());
@@ -1237,25 +1303,50 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
         let k = self.dense_of(id)?;
         let node = SfNode::from_view(id, self.config, self.view_at(k));
         self.index[id.index()] = DEAD;
+        self.degree_hist.remove(self.degree[k]);
         self.live_count -= 1;
         Some(node)
     }
 
     /// Total multiplicity of `id` across all live, behavior-visible slots.
+    /// Ids at or beyond [`ARENA_ID_LIMIT`] trivially count zero (the
+    /// widening boundary never aliases them onto arena words).
+    ///
+    /// Windows are scanned two slots per u64 word; the per-slot
+    /// visibility check only runs on the rare windows with a raw match.
     #[must_use]
     pub fn count_id_instances(&self, id: NodeId) -> usize {
-        let raw = id.as_u64();
+        if id.as_u64() >= ARENA_ID_LIMIT {
+            return 0;
+        }
+        let needle = slot_word(id);
         self.live_dense()
             .map(|k| {
                 let base = k * self.s;
-                (0..self.s)
-                    .filter(|&off| {
-                        self.slot_ids[base + off] == raw
-                            && B::slot_visible(self.slot_flags[base + off])
+                let window = &self.slot_ids[base..base + self.s];
+                let raw = crate::scan::count_matches(window, needle);
+                if raw == 0 {
+                    return 0;
+                }
+                window
+                    .iter()
+                    .enumerate()
+                    .filter(|&(off, &slot)| {
+                        slot == needle && B::slot_visible(self.slot_flags[base + off])
                     })
                     .count()
             })
             .sum()
+    }
+
+    /// Streaming degree statistics — the live outdegree histogram,
+    /// maintained incrementally at store/delete time (`O(s)` snapshot, no
+    /// arena scan; shards report signed per-bucket deltas, merged
+    /// commutatively, so the histogram is thread-count-independent like
+    /// everything else).
+    #[must_use]
+    pub fn degree_stats(&self) -> &DegreeStats {
+        &self.degree_hist
     }
 
     /// Snapshots the membership graph (dense arena order, behavior-visible
@@ -1269,7 +1360,7 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> ParSimulation<L, B> {
                     self.slot_ids[base + off] != EMPTY
                         && B::slot_visible(self.slot_flags[base + off])
                 })
-                .map(|off| NodeId::new(self.slot_ids[base + off]))
+                .map(|off| NodeId::new(u64::from(self.slot_ids[base + off])))
                 .collect();
             (self.dense_id[k], targets)
         }))
@@ -1347,6 +1438,10 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> crate::traits::Engine
         Self::count_id_instances(self, id)
     }
 
+    fn degree_stats(&self) -> DegreeStats {
+        Self::degree_stats(self).clone()
+    }
+
     fn graph(&self) -> MembershipGraph {
         Self::graph(self)
     }
@@ -1370,7 +1465,7 @@ fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
     ctx: ActionCtx<'_>,
     behavior: &B,
     lo: usize,
-    slots: &mut [u64],
+    slots: &mut [u32],
     flags: &mut [u8],
     degs: &mut [u32],
     nstats: &mut [NodeStats],
@@ -1382,7 +1477,16 @@ fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
         live: 0,
         sends: Vec::new(),
         reports: Vec::new(),
+        hist: vec![0; s + 1],
     };
+    // One contiguous seed fill per shard per round: the FNV-1a stream
+    // derivation is a pure hash of `(seed, node id, round)`, so batching
+    // it into a single pass changes no draw and keeps the hot loop free
+    // of the 25-byte hash setup. Departed and capacity-skipped nodes
+    // simply never consume their seed.
+    let seeds: Vec<u64> = (0..degs.len())
+        .map(|r| action_seed(ctx.seed, ctx.dense_id[lo + r].as_u64(), ctx.round))
+        .collect();
     for r in 0..degs.len() {
         let k = lo + r;
         let id = ctx.dense_id[k];
@@ -1392,7 +1496,7 @@ fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
         out.live += 1;
         if !losses[r].node_acts(id, ctx.round) {
             // Capacity gate closed: the node's step is skipped before any
-            // RNG is derived, so the skip is thread-count-independent.
+            // RNG is seeded, so the skip is thread-count-independent.
             out.stats.skipped += 1;
             if ctx.observed {
                 out.reports.push(StepReport {
@@ -1405,8 +1509,9 @@ fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
             continue;
         }
         out.stats.actions += 1;
-        let mut rng = StdRng::seed_from_u64(action_seed(ctx.seed, id.as_u64(), ctx.round));
+        let mut rng = StdRng::seed_from_u64(seeds[r]);
         let base = r * s;
+        let deg_before = degs[r];
         let view = SlotView {
             id,
             ids: &mut slots[base..base + s],
@@ -1439,6 +1544,11 @@ fn run_action_shard<L: FaultModel, B: ProtocolBehavior>(
                 }
             }
         };
+        let deg_after = degs[r];
+        if deg_before != deg_after {
+            out.hist[deg_before as usize] -= 1;
+            out.hist[deg_after as usize] += 1;
+        }
         if ctx.observed {
             // `step` is assigned during the sequential merge, once the
             // preceding shards' live counts are known.
@@ -1462,18 +1572,23 @@ fn run_delivery_shard<B: ProtocolBehavior>(
     ctx: DeliveryCtx,
     behavior: &B,
     lo: usize,
-    slots: &mut [u64],
+    slots: &mut [u32],
     flags: &mut [u8],
     degs: &mut [u32],
     nstats: &mut [NodeStats],
     items: &[RoutedMessage<B::Msg>],
 ) -> DeliveryShardOut<B::Msg> {
     let s = ctx.s;
-    let mut out = DeliveryShardOut::default();
-    for &RoutedMessage { pos, dense, to, message } in items {
+    let mut out = DeliveryShardOut::new(s);
+    // One contiguous seed fill per shard per drained bucket (pure hash;
+    // see the action-phase counterpart).
+    let seeds: Vec<u64> =
+        items.iter().map(|m| delivery_seed(ctx.seed, ctx.at, m.pos as u64)).collect();
+    for (i, &RoutedMessage { pos, dense, to, message }) in items.iter().enumerate() {
         let r = dense - lo;
-        let mut rng = StdRng::seed_from_u64(delivery_seed(ctx.seed, ctx.at, pos as u64));
+        let mut rng = StdRng::seed_from_u64(seeds[i]);
         let base = r * s;
+        let deg_before = degs[r];
         let view = SlotView {
             id: to,
             ids: &mut slots[base..base + s],
@@ -1482,6 +1597,11 @@ fn run_delivery_shard<B: ProtocolBehavior>(
             stats: &mut nstats[r],
         };
         let receipt = behavior.receive(ctx.config, view, message, &mut rng);
+        let deg_after = degs[r];
+        if deg_before != deg_after {
+            out.hist[deg_before as usize] -= 1;
+            out.hist[deg_after as usize] += 1;
+        }
         if receipt.deleted {
             out.deleted += 1;
         } else {
@@ -1755,6 +1875,43 @@ mod tests {
         let id = sim.join_with(&(0..4).map(NodeId::new).collect::<Vec<_>>()).unwrap();
         assert_eq!(sim.out_degree_of(id), Some(4));
         assert_eq!(sim.len(), 25);
+    }
+
+    #[test]
+    fn join_is_rejected_once_the_u32_id_space_is_exhausted() {
+        let mut sim = ParSimulation::new(nodes(), UniformLoss::none(), 1, 2);
+        // Reaching the limit organically needs ~4.3 billion joins (and a
+        // 17 GB id → dense table); the guard only reads the counter, so
+        // pin it at the boundary directly.
+        sim.next_id = ARENA_ID_LIMIT;
+        let bootstrap: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        assert_eq!(
+            sim.join_with(&bootstrap),
+            Err(JoinError::IdSpaceExhausted { next: ARENA_ID_LIMIT, limit: ARENA_ID_LIMIT })
+        );
+        assert_eq!(sim.len(), 24, "a rejected join must not touch the arena");
+        assert_eq!(sim.degree_stats().live_nodes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 arena id space")]
+    fn construction_rejects_ids_at_the_slot_sentinel() {
+        // `u32::MAX` is the empty-slot sentinel; a node with that id
+        // would be indistinguishable from an empty slot.
+        let node = SfNode::new(NodeId::new(u64::from(u32::MAX)), config());
+        let _ = ParSimulation::new(vec![node], UniformLoss::none(), 1, 1);
+    }
+
+    #[test]
+    fn queries_beyond_the_widening_boundary_never_alias() {
+        let sim = ParSimulation::new(nodes(), UniformLoss::none(), 1, 2);
+        // Congruent to a live id modulo 2^32 — a truncating comparison
+        // would alias it onto node 3.
+        let wide = NodeId::new((1u64 << 32) + 3);
+        assert_eq!(sim.count_id_instances(wide), 0);
+        assert_eq!(sim.out_degree_of(wide), None);
+        assert!(sim.count_id_instances(NodeId::new(3)) > 0, "node 3 is referenced in the ring");
+        assert_eq!(sim.out_degree_of(NodeId::new(3)), Some(4));
     }
 
     #[test]

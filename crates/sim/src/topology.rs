@@ -29,16 +29,26 @@ fn node_from_targets(id: u64, config: SfConfig, targets: &[NodeId]) -> SfNode {
 /// Panics if `d0` is odd or exceeds the view size, or if `d0 ≥ n`.
 #[must_use]
 pub fn circulant(n: usize, config: SfConfig, d0: usize) -> Vec<SfNode> {
+    circulant_iter(n, config, d0).collect()
+}
+
+/// The lazy form of [`circulant`]: yields the same nodes in the same order
+/// without materializing them. Feed it straight into the arena engines'
+/// streaming constructors so building an `n = 10⁷` simulation never holds
+/// more than one boxed node at a time.
+///
+/// # Panics
+///
+/// Panics if `d0` is odd or exceeds the view size, or if `d0 ≥ n`.
+pub fn circulant_iter(n: usize, config: SfConfig, d0: usize) -> impl Iterator<Item = SfNode> {
     assert!(d0.is_multiple_of(2), "initial outdegree must be even (Observation 5.1)");
     assert!(d0 <= config.view_size(), "initial outdegree exceeds view size");
     assert!(d0 < n, "circulant requires d0 < n");
-    (0..n as u64)
-        .map(|i| {
-            let targets: Vec<NodeId> =
-                (1..=d0 as u64).map(|k| NodeId::new((i + k) % n as u64)).collect();
-            node_from_targets(i, config, &targets)
-        })
-        .collect()
+    (0..n as u64).map(move |i| {
+        let targets: Vec<NodeId> =
+            (1..=d0 as u64).map(|k| NodeId::new((i + k) % n as u64)).collect();
+        node_from_targets(i, config, &targets)
+    })
 }
 
 /// A random topology: each node selects `d0` out-neighbors uniformly at

@@ -49,11 +49,31 @@ use rand::Rng;
 use sandf_core::{JoinError, Message, NodeId, NodeStats, SfConfig};
 use sandf_graph::MembershipGraph;
 
+use crate::degree::DegreeStats;
 use crate::engine::{SimStats, StepSubscriber};
 
-/// Empty-slot sentinel in the slot arenas. Real node ids must stay below
-/// it.
-pub const EMPTY_SLOT: u64 = u64::MAX;
+/// Empty-slot sentinel in the slot arenas. The arenas store ids as `u32`
+/// words (half the footprint of the public `u64` id space), so real node
+/// ids must stay below this sentinel; the engines reject ids at or above
+/// [`ARENA_ID_LIMIT`] at construction and join time.
+pub const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Exclusive upper bound on node ids representable in the slot arenas
+/// (`u32::MAX` itself is the [`EMPTY_SLOT`] sentinel).
+pub const ARENA_ID_LIMIT: u64 = u32::MAX as u64;
+
+/// Narrows a node id to its arena slot word. The engines guarantee every
+/// admitted id sits below [`ARENA_ID_LIMIT`], so the narrowing is
+/// lossless; debug builds assert it.
+#[inline]
+#[must_use]
+pub fn slot_word(id: NodeId) -> u32 {
+    debug_assert!(id.as_u64() < ARENA_ID_LIMIT, "node id {id} exceeds the u32 arena id space");
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        id.as_u64() as u32
+    }
+}
 
 /// Slot-flag bit: the entry is dependent (a duplicated id, in the paper's
 /// sense).
@@ -74,8 +94,8 @@ pub const FLAG_TOMBSTONE: u8 = 2;
 pub struct SlotView<'a> {
     /// The node that owns this window.
     pub id: NodeId,
-    /// Slot ids (`EMPTY_SLOT` = empty).
-    pub ids: &'a mut [u64],
+    /// Slot ids as arena words (`EMPTY_SLOT` = empty).
+    pub ids: &'a mut [u32],
     /// Per-slot flag bits, parallel to `ids`.
     pub flags: &'a mut [u8],
     /// The node's outdegree ledger (live entries only — excludes
@@ -101,7 +121,7 @@ impl SlotView<'_> {
     /// Raw slot content (`EMPTY_SLOT` when empty).
     #[inline]
     #[must_use]
-    pub fn raw(&self, off: usize) -> u64 {
+    pub fn raw(&self, off: usize) -> u32 {
         self.ids[off]
     }
 
@@ -109,7 +129,7 @@ impl SlotView<'_> {
     #[inline]
     #[must_use]
     pub fn id_at(&self, off: usize) -> Option<NodeId> {
-        (self.ids[off] != EMPTY_SLOT).then(|| NodeId::new(self.ids[off]))
+        (self.ids[off] != EMPTY_SLOT).then(|| NodeId::new(u64::from(self.ids[off])))
     }
 
     /// Whether a slot holds a live (non-empty, non-tombstone) entry.
@@ -129,7 +149,7 @@ impl SlotView<'_> {
     /// Writes a slot (does not touch the degree ledger).
     #[inline]
     pub fn set(&mut self, off: usize, id: NodeId, flags: u8) {
-        self.ids[off] = id.as_u64();
+        self.ids[off] = slot_word(id);
         self.flags[off] = flags;
     }
 
@@ -146,19 +166,12 @@ impl SlotView<'_> {
         let s = self.len();
         let empty = s - *self.degree as usize;
         debug_assert!(empty > 0, "outdegree below s implies an empty slot");
-        let mut nth = rng.gen_range(0..empty);
-        for off in 0..s {
-            if self.ids[off] == EMPTY_SLOT {
-                if nth == 0 {
-                    self.ids[off] = id.as_u64();
-                    self.flags[off] = flags;
-                    *self.degree += 1;
-                    return;
-                }
-                nth -= 1;
-            }
-        }
-        unreachable!("an empty slot was counted but not found");
+        let nth = rng.gen_range(0..empty);
+        let off = crate::scan::nth_match(self.ids, EMPTY_SLOT, nth)
+            .expect("an empty slot was counted but not found");
+        self.ids[off] = slot_word(id);
+        self.flags[off] = flags;
+        *self.degree += 1;
     }
 
     /// Offsets of the occupied (non-empty, non-tombstone) slots, in slot
@@ -331,8 +344,8 @@ impl ProtocolBehavior for SfBehavior {
             *degree -= 2;
         }
         stats.sent += 1;
-        let message = Message::new(id, NodeId::new(payload), duplicated);
-        Some((NodeId::new(target), message))
+        let message = Message::new(id, NodeId::new(u64::from(payload)), duplicated);
+        Some((NodeId::new(u64::from(target)), message))
     }
 
     #[inline]
@@ -492,6 +505,12 @@ pub trait Engine {
     /// Total multiplicity of `id` across all live views.
     fn count_id_instances(&self, id: NodeId) -> usize;
 
+    /// Streaming degree statistics: the live outdegree histogram the
+    /// engine maintains incrementally at store/delete time. An `O(s)`
+    /// snapshot — no arena scan — equal to a from-scratch rebuild over
+    /// the live degree ledgers at all times.
+    fn degree_stats(&self) -> DegreeStats;
+
     /// Snapshots the membership graph.
     fn graph(&self) -> MembershipGraph;
 
@@ -562,6 +581,10 @@ impl<L: crate::fault::FaultModel> Engine for crate::Simulation<L> {
         Self::count_id_instances(self, id)
     }
 
+    fn degree_stats(&self) -> DegreeStats {
+        Self::degree_stats(self).clone()
+    }
+
     fn graph(&self) -> MembershipGraph {
         Self::graph(self)
     }
@@ -582,7 +605,7 @@ mod tests {
     use super::*;
 
     fn window<'a>(
-        ids: &'a mut [u64],
+        ids: &'a mut [u32],
         flags: &'a mut [u8],
         degree: &'a mut u32,
         stats: &'a mut NodeStats,
@@ -592,7 +615,7 @@ mod tests {
 
     #[test]
     fn insert_into_random_empty_scans_in_slot_order() {
-        let mut ids = [7, EMPTY_SLOT, 3, EMPTY_SLOT];
+        let mut ids = [7u32, EMPTY_SLOT, 3, EMPTY_SLOT];
         let mut flags = [0u8; 4];
         let mut degree = 2u32;
         let mut stats = NodeStats::new();

@@ -21,8 +21,8 @@ use rand::seq::index::sample;
 use rand::Rng;
 use sandf_core::{NodeId, SfConfig};
 use sandf_sim::{
-    IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, EMPTY_SLOT, FLAG_DEPENDENT,
-    FLAG_TOMBSTONE,
+    slot_word, IdBatch, ProtocolBehavior, Receipt, SfBehavior, SlotView, EMPTY_SLOT,
+    FLAG_DEPENDENT, FLAG_TOMBSTONE,
 };
 
 /// [`IdBatch::kind`] for a send whose transmitted instances were cleansed
@@ -112,8 +112,8 @@ impl ProtocolBehavior for ReplaceBehavior {
             stats.self_loops += 1;
             return None;
         }
-        let target = NodeId::new(ids[i]);
-        let payload = NodeId::new(ids[j]);
+        let target = NodeId::new(u64::from(ids[i]));
+        let payload = NodeId::new(u64::from(ids[j]));
         let duplicated = (*degree as usize) <= config.lower_threshold();
         if duplicated {
             stats.duplications += 1;
@@ -171,7 +171,7 @@ impl ProtocolBehavior for ReplaceBehavior {
 pub struct UndeleteBehavior;
 
 impl UndeleteBehavior {
-    fn is_tombstone(ids: &[u64], flags: &[u8], off: usize) -> bool {
+    fn is_tombstone(ids: &[u32], flags: &[u8], off: usize) -> bool {
         ids[off] != EMPTY_SLOT && flags[off] & FLAG_TOMBSTONE != 0
     }
 
@@ -219,7 +219,7 @@ impl UndeleteBehavior {
         } else {
             empties[rng.gen_range(0..empties.len())]
         };
-        view.ids[target] = id.as_u64();
+        view.ids[target] = slot_word(id);
         view.flags[target] = dep_flag(dependent);
         *view.degree += 1;
         true
@@ -251,8 +251,8 @@ impl ProtocolBehavior for UndeleteBehavior {
             stats.self_loops += 1;
             return None;
         }
-        let target = NodeId::new(ids[i]);
-        let payload = NodeId::new(ids[j]);
+        let target = NodeId::new(u64::from(ids[i]));
+        let payload = NodeId::new(u64::from(ids[j]));
         let compensate = (*degree as usize) <= config.lower_threshold();
         // Tombstone instead of clearing: the entries stay as a reservoir.
         flags[i] |= FLAG_TOMBSTONE;
@@ -357,7 +357,7 @@ impl ProtocolBehavior for BatchedBehavior {
             stats.self_loops += 1;
             return None;
         }
-        let target = NodeId::new(ids[picks[0]]);
+        let target = NodeId::new(u64::from(ids[picks[0]]));
         // Clearing 1 + b entries must not cross d_L.
         let duplicated = (*degree as usize) < config.lower_threshold() + self.batch + 1;
         if duplicated {
@@ -366,7 +366,7 @@ impl ProtocolBehavior for BatchedBehavior {
         // Read the payload ids before any clearing.
         let mut msg = IdBatch::new(id, kind_of(duplicated));
         for &k in &picks[1..] {
-            msg.push(NodeId::new(ids[k]), duplicated);
+            msg.push(NodeId::new(u64::from(ids[k])), duplicated);
         }
         if !duplicated {
             for &k in &picks {
@@ -398,7 +398,7 @@ impl ProtocolBehavior for BatchedBehavior {
         entries.push((msg.sender, msg.kind == KIND_DEPENDENT_SEND));
         entries.extend(msg.entries());
         for (&slot_pick, (id, dependent)) in chosen.iter().zip(entries) {
-            ids[empties[slot_pick]] = id.as_u64();
+            ids[empties[slot_pick]] = slot_word(id);
             flags[empties[slot_pick]] = dep_flag(dependent);
         }
         *degree += arriving as u32;
