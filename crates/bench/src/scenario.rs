@@ -23,6 +23,11 @@
 //! protocol <name>              # sandf | push_only | push_pull | shuffle
 //!                              # (default sandf; baselines run through the
 //!                              # unified Engine/ProtocolBehavior traits)
+//! broadcast <fanout> <max_age> [pull]
+//!                              # optional rumor layer over the live views:
+//!                              # each measured phase seeds a rumor at the
+//!                              # lowest live id and reports coverage,
+//!                              # spread time, and message complexity
 //!
 //! phase <rounds> <fault> <args...>
 //! churn <leaves> <joins>       # optional, attaches to the phase above
@@ -72,8 +77,9 @@ use sandf_markov::decay::leave_survival_bound;
 use sandf_markov::{DegreeMc, DegreeMcParams};
 use sandf_obs::MetricsRegistry;
 use sandf_sim::{
-    topology, Engine, GilbertElliott, NodeCapacity, ParSimulation, PerLinkLoss, PhaseFault,
-    RegionalPartition, ScheduledFault, UniformLoss, VictimLoss,
+    topology, BroadcastConfig, BroadcastLayer, Engine, GilbertElliott, NodeCapacity, ParSimulation,
+    PerLinkLoss, PhaseFault, RegionalPartition, RumorChannel, ScheduledFault, UniformLoss,
+    VictimLoss,
 };
 
 use crate::fmt;
@@ -88,6 +94,22 @@ pub const MC_MEAN_TOLERANCE: f64 = 1.0;
 /// The metric columns every scenario cell reports, in order.
 pub const SCENARIO_METRICS: &[&str] =
     &["mean_in", "in_std", "loss_rate", "skipped_frac", "stale_frac", "connected"];
+
+/// The metric columns when the spec carries a `broadcast` directive: the
+/// base columns plus the rumor layer's coverage, spread time to 99 %
+/// (phase `rounds + 1` when unreached), and per-node message complexity,
+/// all measured over the target phase.
+pub const SCENARIO_BROADCAST_METRICS: &[&str] = &[
+    "mean_in",
+    "in_std",
+    "loss_rate",
+    "skipped_frac",
+    "stale_frac",
+    "connected",
+    "bcast_coverage",
+    "bcast_to99",
+    "bcast_msgs_per_node",
+];
 
 // ---------------------------------------------------------------------------
 // The AST
@@ -266,6 +288,58 @@ impl ProtocolSpec {
     }
 }
 
+/// The `broadcast` directive: runs a rumor layer
+/// ([`sandf_sim::BroadcastLayer`]) over the live views during each
+/// measured phase, seeded at the lowest live id when the phase begins.
+/// The rumor channel mirrors the phase's fault model (see
+/// [`rumor_channel_for`]), so the envelope table reports how the scheduled
+/// fault degrades dissemination, not just view quality.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BroadcastSpec {
+    /// Push targets per informed node per round (≥ 1).
+    pub fanout: usize,
+    /// Rounds an informed node keeps pushing (`255` ≈ forever).
+    pub max_age: u8,
+    /// Push-pull instead of push-only.
+    pub pull: bool,
+}
+
+impl BroadcastSpec {
+    /// The rumor parameters this directive names.
+    #[must_use]
+    pub fn config(&self) -> BroadcastConfig {
+        if self.pull {
+            BroadcastConfig::push_pull(self.fanout, self.max_age)
+        } else {
+            BroadcastConfig::push(self.fanout, self.max_age)
+        }
+    }
+}
+
+/// The rumor channel matching a phase's fault model at the same
+/// parameters: `uniform`/`bursty`/`partition` map directly, `victims`
+/// aims at the same re-targeted victim set, and the membership-specific
+/// models map to their marginals (`perlink` → uniform at the effective
+/// rate; `capacity` gates sends rather than dropping them, so the rumor
+/// channel stays lossless).
+#[must_use]
+pub fn rumor_channel_for(fault: &FaultSpec, n: usize, victims: &[NodeId]) -> RumorChannel {
+    match *fault {
+        FaultSpec::Uniform { rate } => RumorChannel::Uniform { rate },
+        FaultSpec::Bursty { to_bad, to_good, loss_good, loss_bad } => {
+            RumorChannel::Bursty { to_bad, to_good, loss_good, loss_bad }
+        }
+        FaultSpec::Partition { regions, sever, base } => {
+            RumorChannel::Partition { regions, sever, base }
+        }
+        FaultSpec::PerLink { .. } => RumorChannel::Uniform { rate: fault.effective_rate(n) },
+        FaultSpec::Capacity { .. } => RumorChannel::Lossless,
+        FaultSpec::Victims { victim_rate, base, .. } => {
+            RumorChannel::Victims { victim_rate, base, victims: victims.to_vec() }
+        }
+    }
+}
+
 /// Churn applied at a phase's start: the `leaves` lowest live ids depart,
 /// then `joins` new nodes enter via the highest live sponsor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -309,6 +383,8 @@ pub struct Scenario {
     pub burn_in: usize,
     /// The protocol under test (default S&F).
     pub protocol: ProtocolSpec,
+    /// Optional rumor layer riding the live views during measured phases.
+    pub broadcast: Option<BroadcastSpec>,
     /// The phase schedule, in order.
     pub phases: Vec<Phase>,
 }
@@ -506,6 +582,7 @@ impl Scenario {
         let mut seed: Option<u64> = None;
         let mut burn_in: Option<usize> = None;
         let mut protocol: Option<ProtocolSpec> = None;
+        let mut broadcast: Option<BroadcastSpec> = None;
         let mut phases: Vec<Phase> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
@@ -606,6 +683,35 @@ impl Scenario {
                     };
                     set_once(&mut protocol, value, line, "protocol")?;
                 }
+                "broadcast" => {
+                    if args.len() < 2 || args.len() > 3 {
+                        return Err(err(
+                            line,
+                            "`broadcast` expects `broadcast <fanout> <max_age> [pull]`",
+                        ));
+                    }
+                    let fanout: usize = num(line, "broadcast", "an integer fanout", args[0])?;
+                    if fanout == 0 {
+                        return Err(err(line, "`broadcast` fanout must be at least 1"));
+                    }
+                    let max_age: u8 = num(line, "broadcast", "a max age in 0..=255", args[1])?;
+                    let pull = match args.get(2) {
+                        None => false,
+                        Some(&"pull") => true,
+                        Some(other) => {
+                            return Err(err(
+                                line,
+                                format!("`broadcast` third argument must be `pull`, got {other:?}"),
+                            ));
+                        }
+                    };
+                    set_once(
+                        &mut broadcast,
+                        BroadcastSpec { fanout, max_age, pull },
+                        line,
+                        "broadcast",
+                    )?;
+                }
                 "phase" => {
                     if args.len() < 2 {
                         return Err(err(
@@ -638,7 +744,7 @@ impl Scenario {
                         line,
                         format!(
                             "unknown directive {other:?} — expected one of scenario, n, view, \
-                             degree, replicates, seed, burn_in, protocol, phase, churn"
+                             degree, replicates, seed, burn_in, protocol, broadcast, phase, churn"
                         ),
                     ));
                 }
@@ -688,6 +794,7 @@ impl Scenario {
             seed: seed.unwrap_or(42),
             burn_in: burn_in.unwrap_or(0),
             protocol: protocol.unwrap_or_default(),
+            broadcast,
             phases,
         })
     }
@@ -760,6 +867,15 @@ impl std::fmt::Display for Scenario {
         if self.protocol != ProtocolSpec::Sf {
             writeln!(f, "protocol {}", self.protocol.kind())?;
         }
+        // Same non-default rule as `protocol`: absent directives stay
+        // absent, so pre-PR-10 specs and goldens print byte-identically.
+        if let Some(b) = self.broadcast {
+            write!(f, "broadcast {} {}", b.fanout, b.max_age)?;
+            if b.pull {
+                write!(f, " pull")?;
+            }
+            writeln!(f)?;
+        }
         for phase in &self.phases {
             writeln!(f)?;
             write!(f, "phase {} ", phase.rounds)?;
@@ -824,6 +940,20 @@ pub struct ScenarioOutcome {
     pub stale_frac: Summary,
     /// Fraction of replicates ending the phase weakly connected.
     pub connected: Summary,
+    /// Rumor-layer columns (only when the spec carries `broadcast`).
+    pub broadcast: Option<BroadcastOutcome>,
+}
+
+/// The rumor-layer columns of a broadcast-enabled scenario row, measured
+/// over the target phase.
+#[derive(Clone, Debug)]
+pub struct BroadcastOutcome {
+    /// Live-set coverage at phase end.
+    pub coverage: Summary,
+    /// Rounds to 99 % coverage (`rounds + 1` sentinel when unreached).
+    pub to_99: Summary,
+    /// Rumor messages per live node.
+    pub msgs_per_node: Summary,
 }
 
 impl ScenarioOutcome {
@@ -875,6 +1005,13 @@ impl ScenarioReport {
             cols.push(format!("{metric}_mean"));
             cols.push(format!("{metric}_ci95"));
         }
+        let has_broadcast = self.outcomes.iter().any(|o| o.broadcast.is_some());
+        if has_broadcast {
+            for metric in &SCENARIO_BROADCAST_METRICS[SCENARIO_METRICS.len()..] {
+                cols.push(format!("{metric}_mean"));
+                cols.push(format!("{metric}_ci95"));
+            }
+        }
         cols.push("mc_gap".to_string());
         cols.push("verdict".to_string());
         out.push_str(&cols.join("\t"));
@@ -900,6 +1037,16 @@ impl ScenarioReport {
             ] {
                 fields.push(fmt(summary.mean));
                 fields.push(fmt(summary.ci95));
+            }
+            if has_broadcast {
+                if let Some(b) = &row.broadcast {
+                    for summary in [&b.coverage, &b.to_99, &b.msgs_per_node] {
+                        fields.push(fmt(summary.mean));
+                        fields.push(fmt(summary.ci95));
+                    }
+                } else {
+                    fields.extend((0..6).map(|_| "-".to_string()));
+                }
             }
             fields.push(opt(row.mc_gap()));
             fields.push(match row.within_envelope(tolerance) {
@@ -938,6 +1085,7 @@ fn run_replicate(
     threads: usize,
     rng: &mut StdRng,
     counters: &FaultCounters,
+    registry: &MetricsRegistry,
 ) -> Vec<f64> {
     let fault_salt = rng.next_u64();
     let sim_seed = rng.next_u64();
@@ -950,7 +1098,7 @@ fn run_replicate(
         ProtocolSpec::Sf => {
             let nodes = topology::circulant(scenario.n, config, scenario.degree);
             let sim = ParSimulation::new(nodes, fault, sim_seed, threads);
-            drive_replicate(sim, scenario, target, counters)
+            drive_replicate(sim, scenario, target, sim_seed, counters, registry)
         }
         ProtocolSpec::PushOnly => {
             let sim = ParSimulation::from_views(
@@ -961,7 +1109,7 @@ fn run_replicate(
                 sim_seed,
                 threads,
             );
-            drive_replicate(sim, scenario, target, counters)
+            drive_replicate(sim, scenario, target, sim_seed, counters, registry)
         }
         ProtocolSpec::PushPull => {
             let sim = ParSimulation::from_views(
@@ -972,7 +1120,7 @@ fn run_replicate(
                 sim_seed,
                 threads,
             );
-            drive_replicate(sim, scenario, target, counters)
+            drive_replicate(sim, scenario, target, sim_seed, counters, registry)
         }
         ProtocolSpec::Shuffle => {
             let sim = ParSimulation::from_views(
@@ -983,7 +1131,7 @@ fn run_replicate(
                 sim_seed,
                 threads,
             );
-            drive_replicate(sim, scenario, target, counters)
+            drive_replicate(sim, scenario, target, sim_seed, counters, registry)
         }
     }
 }
@@ -995,11 +1143,14 @@ fn drive_replicate<E: Engine<Fault = ScheduledFault>>(
     mut sim: E,
     scenario: &Scenario,
     target: usize,
+    sim_seed: u64,
     counters: &FaultCounters,
+    registry: &MetricsRegistry,
 ) -> Vec<f64> {
     sim.run_rounds(scenario.burn_in);
     counters.replicates.inc();
 
+    let mut layer: Option<BroadcastLayer> = None;
     for (p, phase) in scenario.phases.iter().enumerate().take(target + 1) {
         if let Some(churn) = phase.churn {
             let mut live = sim.live_ids();
@@ -1020,25 +1171,43 @@ fn drive_replicate<E: Engine<Fault = ScheduledFault>>(
                 }
             }
         }
+        let mut victims: Vec<NodeId> = Vec::new();
         if let FaultSpec::Victims { count, .. } = phase.fault {
             let graph = sim.graph();
             let mut by_degree: Vec<(usize, NodeId)> =
                 graph.ids().iter().map(|&id| (graph.in_degree(id).unwrap_or(0), id)).collect();
             // Highest indegree first; ties broken by id for determinism.
             by_degree.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            let victims: Vec<NodeId> = by_degree.iter().take(count).map(|&(_, id)| id).collect();
+            victims = by_degree.iter().take(count).map(|&(_, id)| id).collect();
             let index = scenario.schedule_index(p);
+            let aimed = victims.clone();
             sim.update_fault(|fault| {
                 if let PhaseFault::Victims(v) = fault.phase_mut(index) {
-                    v.set_victims(&victims);
+                    v.set_victims(&aimed);
                 }
             });
             counters.retargets.inc();
         }
         if p == target {
             sim.reset_stats();
+            if let Some(spec) = scenario.broadcast {
+                let channel = rumor_channel_for(&phase.fault, scenario.n, &victims);
+                let mut l = BroadcastLayer::with_channel(sim_seed, spec.config(), channel);
+                l.attach_metrics(registry);
+                let origin = sim.live_ids().into_iter().min().expect("at least 4 nodes stay live");
+                l.seed_rumor_at(origin);
+                layer = Some(l);
+            }
         }
-        sim.run_rounds(phase.rounds);
+        if let Some(l) = &mut layer {
+            // The rumor rides the target phase round by round.
+            for _ in 0..phase.rounds {
+                sim.round();
+                l.step(&sim);
+            }
+        } else {
+            sim.run_rounds(phase.rounds);
+        }
         counters.rounds.add(phase.rounds as u64);
     }
 
@@ -1047,14 +1216,22 @@ fn drive_replicate<E: Engine<Fault = ScheduledFault>>(
     let degrees = DegreeStats::from_samples(&graph.in_degrees());
     let edges = graph.edge_count();
     let steps = stats.actions + stats.skipped;
-    vec![
+    let mut values = vec![
         degrees.mean,
         degrees.std_dev(),
         if stats.sent == 0 { 0.0 } else { stats.lost as f64 / stats.sent as f64 },
         if steps == 0 { 0.0 } else { stats.skipped as f64 / steps as f64 },
         if edges == 0 { 0.0 } else { graph.dangling_edge_count() as f64 / edges as f64 },
         f64::from(u8::from(graph.is_weakly_connected())),
-    ]
+    ];
+    if let Some(l) = &layer {
+        let report = l.report();
+        let rounds = scenario.phases[target].rounds;
+        values.push(report.coverage);
+        values.push(report.to_99.map_or((rounds + 1) as f64, |v| v as f64));
+        values.push(report.messages_per_node);
+    }
+    values
 }
 
 /// The `sim.fault.*` observability counters a scenario run maintains.
@@ -1150,8 +1327,10 @@ pub fn run_scenario(
     let cells: Vec<PhaseCell<'_>> =
         (0..scenario.phases.len()).map(|phase| PhaseCell { scenario, phase }).collect();
     let spec = SweepSpec::new(cells, scenario.replicates, scenario.seed);
-    let results = spec.run(SCENARIO_METRICS, |cell, rng| {
-        run_replicate(scenario, cell.phase, threads, rng, &counters)
+    let metrics: &'static [&'static str] =
+        if scenario.broadcast.is_some() { SCENARIO_BROADCAST_METRICS } else { SCENARIO_METRICS };
+    let results = spec.run(metrics, |cell, rng| {
+        run_replicate(scenario, cell.phase, threads, rng, &counters, registry)
     });
 
     let config = scenario.config();
@@ -1180,6 +1359,11 @@ pub fn run_scenario(
                 skipped_frac: *results.summary(i, "skipped_frac"),
                 stale_frac: *results.summary(i, "stale_frac"),
                 connected: *results.summary(i, "connected"),
+                broadcast: scenario.broadcast.map(|_| BroadcastOutcome {
+                    coverage: *results.summary(i, "bcast_coverage"),
+                    to_99: *results.summary(i, "bcast_to99"),
+                    msgs_per_node: *results.summary(i, "bcast_msgs_per_node"),
+                }),
             }
         })
         .collect();
@@ -1290,7 +1474,7 @@ pub fn render_scenario(scenario: &Scenario, threads: usize) -> String {
     }
     out.push_str(&report.to_tsv(MC_MEAN_TOLERANCE));
     for line in registry.render_prometheus().lines() {
-        if line.contains("sim_fault") {
+        if line.contains("sim_fault") || line.contains("sim_broadcast") {
             let _ = writeln!(out, "# {line}");
         }
     }
@@ -1441,5 +1625,59 @@ mod tests {
         // 2 phases × 2 replicates.
         assert_eq!(registry.counter_value("sim.fault.replicates"), Some(4));
         assert!(registry.counter_value("sim.fault.churn_leaves").unwrap_or(0) > 0);
+    }
+
+    fn broadcast_spec() -> String {
+        "scenario tiny-bcast\nn 24\nview 12 4\ndegree 6\nreplicates 2\nseed 7\nburn_in 2\n\
+         broadcast 2 255\n\nphase 20 uniform 0.05\nphase 4 partition 2 1 0.02\n"
+            .to_string()
+    }
+
+    #[test]
+    fn broadcast_directive_parses_prints_and_rejects_bad_args() {
+        let s = Scenario::parse(&broadcast_spec()).expect("parses");
+        assert_eq!(s.broadcast, Some(BroadcastSpec { fanout: 2, max_age: 255, pull: false }));
+        assert_eq!(Scenario::parse(&s.to_string()).expect("round-trips"), s);
+        assert!(s.to_string().contains("broadcast 2 255\n"));
+
+        let pull = broadcast_spec().replace("broadcast 2 255", "broadcast 1 8 pull");
+        let s = Scenario::parse(&pull).expect("parses");
+        assert_eq!(s.broadcast, Some(BroadcastSpec { fanout: 1, max_age: 8, pull: true }));
+        assert!(s.to_string().contains("broadcast 1 8 pull\n"));
+
+        for bad in ["broadcast 0 255", "broadcast 1", "broadcast 1 256", "broadcast 1 8 push"] {
+            let spec = broadcast_spec().replace("broadcast 2 255", bad);
+            assert!(Scenario::parse(&spec).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn specs_without_broadcast_print_no_broadcast_line() {
+        let s = Scenario::parse(&tiny_spec()).expect("parses");
+        assert_eq!(s.broadcast, None);
+        assert!(!s.to_string().contains("broadcast"));
+    }
+
+    #[test]
+    fn broadcast_scenario_reports_rumor_columns_and_counters() {
+        let s = Scenario::parse(&broadcast_spec()).expect("parses");
+        let registry = MetricsRegistry::new();
+        let report = run_scenario(&s, 1, &registry);
+        let tsv = report.to_tsv(MC_MEAN_TOLERANCE);
+        let header = tsv.lines().next().expect("header");
+        assert!(header.contains("bcast_coverage_mean\tbcast_coverage_ci95"));
+        assert!(header.contains("bcast_to99_mean"));
+        assert!(header.contains("bcast_msgs_per_node_mean"));
+        assert!(header.ends_with("mc_gap\tverdict"));
+        let uniform = report.outcomes[0].broadcast.as_ref().expect("broadcast columns");
+        // 20 rounds of fanout-2 push over a 24-node system under 5 % rumor
+        // loss: the rumor saturates the live set.
+        assert!(uniform.coverage.mean > 0.99, "coverage {}", uniform.coverage.mean);
+        assert!(uniform.to_99.mean <= 20.0);
+        assert!(registry.counter_value("sim.broadcast.sent").unwrap_or(0) > 0);
+        assert!(registry.counter_value("sim.broadcast.rounds").unwrap_or(0) > 0);
+        // The non-broadcast table is unchanged by the new columns.
+        let plain = run_scenario(&Scenario::parse(&tiny_spec()).expect("parses"), 1, &registry);
+        assert!(!plain.to_tsv(MC_MEAN_TOLERANCE).lines().next().expect("header").contains("bcast"));
     }
 }

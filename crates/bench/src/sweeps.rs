@@ -26,8 +26,9 @@ use sandf_graph::DegreeStats;
 use sandf_markov::{select_thresholds, DegreeMc, DegreeMcParams};
 use sandf_sim::experiment::{continuous_churn, steady_state_degrees, uniformity, ExperimentParams};
 use sandf_sim::{
-    topology, DelayModel, Engine, FlatSimulation, GilbertElliott, LossModel, ParSimulation,
-    ProtocolBehavior, SfBehavior, Simulation, TargetedLoss, UniformLoss,
+    topology, BroadcastConfig, BroadcastLayer, DelayModel, Engine, FlatSimulation, GilbertElliott,
+    LossModel, ParSimulation, ProtocolBehavior, RumorChannel, SfBehavior, Simulation, TargetedLoss,
+    UniformLoss,
 };
 use sandf_variants::{BatchedBehavior, ReplaceBehavior, UndeleteBehavior};
 
@@ -584,6 +585,146 @@ pub fn zoo_engine_table(
 }
 
 // ---------------------------------------------------------------------------
+// broadcast_sweep — rumor spreading over live views (PR 10)
+// ---------------------------------------------------------------------------
+
+/// One cell of the dissemination grid: a view protocol × a rumor channel.
+pub struct BroadcastCell {
+    /// View-layer protocol feeding the rumor layer.
+    pub protocol: &'static str,
+    /// Rumor-channel fault applied to broadcast messages.
+    pub channel: &'static str,
+}
+
+impl SweepCell for BroadcastCell {
+    fn key(&self) -> String {
+        format!("{}/{}", self.protocol, self.channel)
+    }
+}
+
+/// View protocols the dissemination sweep rides on: S&F plus the §3.1
+/// baselines whose views stay populated (push-only saturates into a
+/// useless clique-of-stale-ids and is excluded from the headline grid).
+const BROADCAST_PROTOCOLS: [&str; 3] = ["sandf", "push_pull", "shuffle"];
+
+/// Rumor channels of the dissemination grid, mirroring the fault zoo.
+const BROADCAST_CHANNELS: [&str; 5] = ["lossless", "uniform", "bursty", "partition", "victims"];
+
+/// Metric columns of [`broadcast_table`] (spread-time milestones use the
+/// `rounds + 1` sentinel when a run never reaches them).
+pub const BROADCAST_METRICS: [&str; 5] =
+    ["to_half", "to_99", "to_full", "coverage", "msgs_per_node"];
+
+/// The named rumor channel at its grid-pinned rates. Victims are ids
+/// `1..=10` (the origin, id 0, is seeded directly and stays informed).
+fn broadcast_channel(name: &str) -> RumorChannel {
+    match name {
+        "lossless" => RumorChannel::Lossless,
+        "uniform" => RumorChannel::Uniform { rate: 0.2 },
+        "bursty" => {
+            RumorChannel::Bursty { to_bad: 0.1, to_good: 0.3, loss_good: 0.02, loss_bad: 0.8 }
+        }
+        "partition" => RumorChannel::Partition { regions: 2, sever: 1.0, base: 0.0 },
+        "victims" => RumorChannel::Victims {
+            victim_rate: 1.0,
+            base: 0.0,
+            victims: (1..=10).map(NodeId::new).collect(),
+        },
+        other => panic!("unknown rumor channel {other:?}"),
+    }
+}
+
+/// `Some(round)` → that round; `None` → the `rounds + 1` sentinel, so
+/// unreached milestones stay finite (and visibly out of range) in means.
+fn milestone(value: Option<u64>, rounds: usize) -> f64 {
+    value.map_or_else(|| (rounds + 1) as f64, |v| v as f64)
+}
+
+fn broadcast_run<B: ProtocolBehavior>(
+    behavior: B,
+    config: SfConfig,
+    views: Vec<(NodeId, Vec<NodeId>)>,
+    channel: RumorChannel,
+    seed: u64,
+    burn_in: usize,
+    rounds: usize,
+) -> Vec<f64> {
+    let loss = UniformLoss::new(0.01).expect("valid rate");
+    let mut sim = FlatSimulation::from_views(behavior, config, views, loss, seed);
+    sim.run_rounds(burn_in);
+    let mut layer = BroadcastLayer::with_channel(seed, BroadcastConfig::default(), channel);
+    let origin = Engine::live_ids(&sim).into_iter().min().expect("non-empty sim");
+    layer.seed_rumor_at(origin);
+    layer.run(&mut sim, rounds);
+    let report = layer.report();
+    vec![
+        milestone(report.to_half, rounds),
+        milestone(report.to_99, rounds),
+        milestone(report.to_full, rounds),
+        report.coverage,
+        report.messages_per_node,
+    ]
+}
+
+/// Dissemination grid (DESIGN.md PR 10): fanout-1 push rumor spreading
+/// over the live views of S&F and the §3.1 baselines, under the rumor-
+/// channel fault zoo, with 1 % uniform loss on the membership channel
+/// throughout. Spread-time milestones compare against
+/// [`sandf_sim::doerr_spread_prediction`] (`log₂ n + ln n`); message
+/// complexity is per live node.
+#[must_use]
+pub fn broadcast_table(
+    n: usize,
+    burn_in: usize,
+    rounds: usize,
+    replicates: usize,
+    base_seed: u64,
+) -> String {
+    let config = SfConfig::new(16, 6).expect("legal config");
+    let mut cells = Vec::new();
+    for protocol in BROADCAST_PROTOCOLS {
+        for channel in BROADCAST_CHANNELS {
+            cells.push(BroadcastCell { protocol, channel });
+        }
+    }
+    let spec = SweepSpec::new(cells, replicates, base_seed);
+    // Expander-like bootstrap: ring views take Θ(diameter²) S&F rounds to
+    // mix, which at dissemination scales would swamp the rumor's own
+    // spread time with membership warm-up (see EXPERIMENTS.md).
+    let views: Vec<(NodeId, Vec<NodeId>)> = topology::random_iter(n, config, 8, base_seed)
+        .map(|node| (node.id(), node.view().ids().collect()))
+        .collect();
+    let results = spec.run(&BROADCAST_METRICS, |cell, rng| {
+        let seed = rng.next_u64();
+        let views = views.clone();
+        let channel = broadcast_channel(cell.channel);
+        match cell.protocol {
+            "sandf" => broadcast_run(SfBehavior, config, views, channel, seed, burn_in, rounds),
+            "push_pull" => broadcast_run(
+                PushPullBehavior::new(3),
+                config,
+                views,
+                channel,
+                seed,
+                burn_in,
+                rounds,
+            ),
+            _ => broadcast_run(
+                ShuffleBehavior::new(3),
+                config,
+                views,
+                channel,
+                seed,
+                burn_in,
+                rounds,
+            ),
+        }
+    });
+    results
+        .to_tsv(&["protocol", "channel"], |c| vec![c.protocol.to_string(), c.channel.to_string()])
+}
+
+// ---------------------------------------------------------------------------
 // churn_sweep — sustainable-churn boundary
 // ---------------------------------------------------------------------------
 
@@ -818,6 +959,24 @@ mod tests {
                 assert_eq!(
                     tsv.lines()
                         .filter(|l| l.starts_with(&format!("{protocol}\t{engine}\t")))
+                        .count(),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_table_covers_the_dissemination_grid() {
+        let tsv = broadcast_table(32, 10, 25, 2, 17);
+        // Header + 3 protocols × 5 channels.
+        assert_eq!(tsv.lines().count(), 16);
+        assert!(tsv.starts_with("protocol\tchannel\tto_half_mean\t"));
+        for protocol in BROADCAST_PROTOCOLS {
+            for channel in BROADCAST_CHANNELS {
+                assert_eq!(
+                    tsv.lines()
+                        .filter(|l| l.starts_with(&format!("{protocol}\t{channel}\t")))
                         .count(),
                     1
                 );

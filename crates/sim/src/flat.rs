@@ -1187,6 +1187,21 @@ impl<L: FaultModel, B: ProtocolBehavior> crate::traits::Engine for FlatSimulatio
         Self::graph(self)
     }
 
+    fn for_each_live_view(&self, visit: &mut dyn FnMut(NodeId, &[NodeId])) {
+        let mut buf: Vec<NodeId> = Vec::with_capacity(self.s);
+        for &entry in &self.live {
+            let base = (entry.dense as usize) * self.s;
+            buf.clear();
+            for off in 0..self.s {
+                let id = self.slot_ids[base + off];
+                if id != EMPTY && B::slot_visible(self.slot_flags[base + off]) {
+                    buf.push(NodeId::new(u64::from(id)));
+                }
+            }
+            visit(entry.node_id(), &buf);
+        }
+    }
+
     fn update_fault(&mut self, f: impl FnMut(&mut L)) {
         Self::update_fault(self, f);
     }

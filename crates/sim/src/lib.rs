@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod broadcast;
 mod degree;
 mod engine;
 pub mod experiment;
@@ -44,6 +45,10 @@ pub mod telemetry;
 pub mod topology;
 mod traits;
 
+pub use broadcast::{
+    doerr_spread_prediction, BroadcastConfig, BroadcastLayer, BroadcastStats, RumorChannel,
+    SpreadReport, TraceEdge,
+};
 pub use degree::DegreeStats;
 pub use engine::{
     DelayModel, SimStats, Simulation, StepEvent, StepPhase, StepReport, StepSubscriber,

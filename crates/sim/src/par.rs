@@ -105,7 +105,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// per-replicate seeds, applied here to per-`(node, round)` and
 /// per-message streams.
 #[inline]
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET_BASIS;
     for &byte in bytes {
         hash ^= u64::from(byte);
@@ -118,7 +118,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// stream coordinates, hashed as little-endian bytes (a fixed 25-byte
 /// layout: seed ‖ tag ‖ a ‖ b — no allocation on the hot path).
 #[inline]
-fn stream_seed(seed: u64, tag: u8, a: u64, b: u64) -> u64 {
+pub(crate) fn stream_seed(seed: u64, tag: u8, a: u64, b: u64) -> u64 {
     let mut buf = [0u8; 25];
     buf[..8].copy_from_slice(&seed.to_le_bytes());
     buf[8] = tag;
@@ -1444,6 +1444,21 @@ impl<L: FaultModel + Clone + Send, B: ProtocolBehavior> crate::traits::Engine
 
     fn graph(&self) -> MembershipGraph {
         Self::graph(self)
+    }
+
+    fn for_each_live_view(&self, visit: &mut dyn FnMut(NodeId, &[NodeId])) {
+        let mut buf: Vec<NodeId> = Vec::with_capacity(self.s);
+        for k in self.live_dense() {
+            let base = k * self.s;
+            buf.clear();
+            for off in 0..self.s {
+                let id = self.slot_ids[base + off];
+                if id != EMPTY && B::slot_visible(self.slot_flags[base + off]) {
+                    buf.push(NodeId::new(u64::from(id)));
+                }
+            }
+            visit(self.dense_id[k], &buf);
+        }
     }
 
     fn update_fault(&mut self, f: impl FnMut(&mut L)) {

@@ -6,8 +6,9 @@
 //! every node has the same sum degree `d_s(u) = d_m` — provided here by the
 //! circulant builder.
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use sandf_core::{NodeId, SfConfig, SfNode};
 
 fn node_from_targets(id: u64, config: SfConfig, targets: &[NodeId]) -> SfNode {
@@ -72,6 +73,43 @@ pub fn random<R: Rng + ?Sized>(n: usize, config: SfConfig, d0: usize, rng: &mut 
             node_from_targets(i, config, &targets)
         })
         .collect()
+}
+
+/// Stream tag for the per-node bootstrap draws of [`random_iter`].
+const TOPOLOGY_TAG: u8 = b't';
+
+/// The streaming, seeded form of [`random`]: node `i` draws its `d0`
+/// distinct targets from its own counter-based stream (the engines'
+/// FNV-1a `seed ‖ tag ‖ node ‖ 0` layout with tag `b't'`), so the same
+/// seed yields the same topology without materializing `O(n)` scratch per
+/// node — [`random`] shuffles a full id vector per node and is `O(n²)`,
+/// unusable past `n ≈ 10⁴`. Feed this into the arena engines' streaming
+/// constructors for expander-like bootstraps at `n = 10⁶⁺`.
+///
+/// # Panics
+///
+/// The returned iterator panics lazily if `d0` is odd, exceeds the view
+/// size, or `d0 ≥ n`.
+pub fn random_iter(
+    n: usize,
+    config: SfConfig,
+    d0: usize,
+    seed: u64,
+) -> impl Iterator<Item = SfNode> {
+    assert!(d0.is_multiple_of(2), "initial outdegree must be even (Observation 5.1)");
+    assert!(d0 <= config.view_size(), "initial outdegree exceeds view size");
+    assert!(d0 < n, "random topology requires d0 < n");
+    (0..n as u64).map(move |i| {
+        let mut rng = StdRng::seed_from_u64(crate::par::stream_seed(seed, TOPOLOGY_TAG, i, 0));
+        let mut targets: Vec<NodeId> = Vec::with_capacity(d0);
+        while targets.len() < d0 {
+            let x = NodeId::new(rng.gen_range(0..n as u64));
+            if x.as_u64() != i && !targets.contains(&x) {
+                targets.push(x);
+            }
+        }
+        node_from_targets(i, config, &targets)
+    })
 }
 
 /// A directed ring with `d0 = 2`: node `i` points at `i±1 (mod n)` — the

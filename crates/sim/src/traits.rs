@@ -514,6 +514,18 @@ pub trait Engine {
     /// Snapshots the membership graph.
     fn graph(&self) -> MembershipGraph;
 
+    /// Visits every live node's current view as `(viewer, neighbour_ids)`,
+    /// in the engine's deterministic live order. The slice holds exactly
+    /// the protocol-visible occupied slots (tombstones hidden) — the same
+    /// edges [`Engine::graph`] would record for that node — and is only
+    /// valid for the duration of the callback (one shared buffer is reused
+    /// across nodes, so a full pass does no per-node allocation).
+    ///
+    /// This is the per-round piggyback hook for layers that consume the
+    /// peer-sampling service rather than only measure it, e.g.
+    /// [`crate::broadcast::BroadcastLayer`].
+    fn for_each_live_view(&self, visit: &mut dyn FnMut(NodeId, &[NodeId]));
+
     /// Applies `f` to the fault model.
     fn update_fault(&mut self, f: impl FnMut(&mut Self::Fault));
 
@@ -587,6 +599,16 @@ impl<L: crate::fault::FaultModel> Engine for crate::Simulation<L> {
 
     fn graph(&self) -> MembershipGraph {
         Self::graph(self)
+    }
+
+    fn for_each_live_view(&self, visit: &mut dyn FnMut(NodeId, &[NodeId])) {
+        let mut buf: Vec<NodeId> = Vec::new();
+        for &id in Self::live_ids(self) {
+            let node = self.node(id).expect("live id resolves to a node");
+            buf.clear();
+            buf.extend(node.view().ids());
+            visit(id, &buf);
+        }
     }
 
     fn update_fault(&mut self, f: impl FnMut(&mut L)) {

@@ -8,20 +8,25 @@
 //! aggregation quality directly reflects view uniformity and temporal
 //! independence.
 //!
+//! It runs on the arena fast path: a [`FlatSimulation`] driven through the
+//! unified [`Engine`] trait, reading every live node's view in one pass
+//! with [`Engine::for_each_live_view`] — the same hook the broadcast layer
+//! gossips over (see `examples/broadcast_quickstart.rs`).
+//!
 //! Run with: `cargo run --example peer_sampling_service`
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sandf::sim::topology;
-use sandf::{NodeId, SfConfig, Simulation, UniformLoss};
+use sandf::{Engine, FlatSimulation, SfConfig, UniformLoss};
 
 const N: usize = 200;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SfConfig::new(16, 6)?;
-    let nodes = topology::circulant(N, config, 10);
-    let mut sim = Simulation::new(nodes, UniformLoss::new(0.01)?, 11);
+    let mut sim =
+        FlatSimulation::new(topology::circulant(N, config, 10), UniformLoss::new(0.01)?, 11);
 
     // Let the membership converge first (Section 7: steady state).
     sim.run_rounds(100);
@@ -40,17 +45,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for round in 1..=60 {
         // Keep the membership evolving underneath the aggregation.
         sim.round();
-        // One push-sum round: each node halves its mass and ships half to a
-        // partner drawn from its *current* S&F view.
+        // One push-sum round: each node halves its mass and ships half to
+        // a partner drawn from its *current* S&F view, all views read in
+        // a single arena pass.
         let mut inbox: Vec<(f64, f64)> = vec![(0.0, 0.0); N];
-        for i in 0..N {
-            let view: Vec<NodeId> =
-                sim.node(NodeId::new(i as u64)).expect("node is live").view().ids().collect();
-            let target = view.choose(&mut rng).map_or(i, |id| id.index() % N);
+        let mut shares: Vec<(usize, f64, f64)> = Vec::with_capacity(N);
+        sim.for_each_live_view(&mut |id, view| {
+            let i = id.index() % N;
+            let target = view.choose(&mut rng).map_or(i, |peer| peer.index() % N);
             sums[i] /= 2.0;
             weights[i] /= 2.0;
-            inbox[target].0 += sums[i];
-            inbox[target].1 += weights[i];
+            shares.push((target, sums[i], weights[i]));
+        });
+        for (target, sum, weight) in shares {
+            inbox[target].0 += sum;
+            inbox[target].1 += weight;
         }
         for i in 0..N {
             sums[i] += inbox[i].0;

@@ -67,8 +67,10 @@ pub use sandf_core::{
 pub use sandf_graph::{DegreeStats, DependenceReport, Histogram, MembershipGraph};
 pub use sandf_markov::{select_thresholds, AnalyticalDegrees, DegreeMc, DegreeMcParams};
 pub use sandf_sim::{
-    Engine, FaultCtx, FaultModel, FlatSimulation, GilbertElliott, IdBatch, LossModel, NodeCapacity,
-    ParSimulation, PerLinkLoss, PhaseFault, ProtocolBehavior, Receipt, RegionalPartition,
-    ScheduledFault, SfBehavior, SimStats, Simulation, SlotView, UniformLoss, VictimLoss,
+    doerr_spread_prediction, BroadcastConfig, BroadcastLayer, BroadcastStats, Engine, FaultCtx,
+    FaultModel, FlatSimulation, GilbertElliott, IdBatch, LossModel, NodeCapacity, ParSimulation,
+    PerLinkLoss, PhaseFault, ProtocolBehavior, Receipt, RegionalPartition, RumorChannel,
+    ScheduledFault, SfBehavior, SimStats, Simulation, SlotView, SpreadReport, TraceEdge,
+    UniformLoss, VictimLoss,
 };
 pub use sandf_variants as variants;
